@@ -1,0 +1,58 @@
+// E2: coil construction (§4) — size and time scaling in the base-graph size
+// and the window n, plus a per-run verification of Property 1 (h_G is a
+// surjective homomorphism). Expected shape: node count = |Paths(G,n)|·(n+1),
+// growing geometrically in n for graphs with branching.
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/coil.h"
+#include "src/graph/generators.h"
+#include "src/graph/homomorphism.h"
+
+namespace {
+
+using namespace gqc;
+
+void BM_E2_CoilCycle(benchmark::State& state) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  std::size_t window = static_cast<std::size_t>(state.range(1));
+  Graph g = CycleGraph(nodes, r);
+  std::size_t coil_nodes = 0;
+  for (auto _ : state) {
+    CoilResult coil = Coil(g, window);
+    coil_nodes = coil.graph.NodeCount();
+    benchmark::DoNotOptimize(coil);
+  }
+  state.counters["coil_nodes"] = static_cast<double>(coil_nodes);
+}
+BENCHMARK(BM_E2_CoilCycle)
+    ->ArgsProduct({{8, 16, 32, 64}, {1, 2, 4, 6}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_E2_CoilRandom(benchmark::State& state) {
+  Vocabulary vocab;
+  RandomGraphOptions opts;
+  opts.nodes = static_cast<std::size_t>(state.range(0));
+  opts.edge_probability = 0.15;
+  opts.roles = {vocab.RoleId("r"), vocab.RoleId("s")};
+  opts.concepts = {vocab.ConceptId("A")};
+  Graph g = RandomGraph(opts);
+  std::size_t window = static_cast<std::size_t>(state.range(1));
+  std::size_t coil_nodes = 0;
+  bool property1 = true;
+  for (auto _ : state) {
+    CoilResult coil = Coil(g, window);
+    coil_nodes = coil.graph.NodeCount();
+    property1 = property1 && IsHomomorphism(coil.graph, g, coil.base_node);
+    benchmark::DoNotOptimize(coil);
+  }
+  state.counters["coil_nodes"] = static_cast<double>(coil_nodes);
+  state.counters["property1_holds"] = property1 ? 1 : 0;
+}
+BENCHMARK(BM_E2_CoilRandom)
+    ->ArgsProduct({{8, 12, 16}, {1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// E6: end-to-end containment — "who wins" with and without a schema, and a
+// constraint-ablation sweep. Expected shape: schemas make strictly more
+// containments hold; dropping the responsible constraint flips the verdict
+// back to not-contained (the crossover).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/containment.h"
+#include "src/dl/concept_parser.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace gqc;
+
+// Family: chain typing constraints top ⊑ ∀ri.Li for i < k; query pair asks
+// whether the last label is forced.
+void BM_E6_TypingChain(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string schema_text;
+  std::string p_text = "Start(x0)";
+  std::string q_text = "Start(x0)";
+  for (int i = 0; i < k; ++i) {
+    std::string role = "r" + std::to_string(i);
+    std::string label = "L" + std::to_string(i);
+    schema_text += "top <= forall " + role + "." + label + "\n";
+    p_text += ", " + role + "(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+    q_text += ", " + role + "(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+  }
+  q_text += ", L" + std::to_string(k - 1) + "(x" + std::to_string(k) + ")";
+
+  std::string with_schema, without_schema;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto schema = ParseTBox(schema_text, &vocab);
+    auto p = ParseUcrpq(p_text, &vocab);
+    auto q = ParseUcrpq(q_text, &vocab);
+    ContainmentChecker checker(&vocab);
+    with_schema = VerdictName(checker.Decide(p.value(), q.value(), schema.value()).verdict);
+    TBox empty;
+    without_schema = VerdictName(checker.Decide(p.value(), q.value(), empty).verdict);
+  }
+  state.SetLabel("with schema: " + with_schema + " / without: " + without_schema);
+}
+BENCHMARK(BM_E6_TypingChain)->DenseRange(1, 4, 1)->Unit(benchmark::kMillisecond);
+
+// Ablation: drop the one load-bearing constraint and watch the verdict flip.
+void BM_E6_Ablation(benchmark::State& state) {
+  bool keep_constraint = state.range(0) == 1;
+  std::string schema_text = "A <= exists owns.Card\n";
+  if (keep_constraint) schema_text += "top <= forall owns.Card\n";
+  std::string verdict;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto schema = ParseTBox(schema_text, &vocab);
+    auto p = ParseUcrpq("owns(x, y)", &vocab);
+    auto q = ParseUcrpq("owns(x, y), Card(y)", &vocab);
+    ContainmentChecker checker(&vocab);
+    verdict = VerdictName(checker.Decide(p.value(), q.value(), schema.value()).verdict);
+  }
+  state.SetLabel(std::string(keep_constraint ? "typing kept: " : "typing dropped: ") +
+                 verdict);
+}
+BENCHMARK(BM_E6_Ablation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Participation ablation: the reduction/search must build witnesses.
+void BM_E6_ParticipationAblation(benchmark::State& state) {
+  bool keep = state.range(0) == 1;
+  std::string schema_text = keep ? "A <= exists owns.Card\n" : "A <= A\n";
+  std::string verdict;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto schema = ParseTBox(schema_text, &vocab);
+    auto p = ParseUcrpq("A(x)", &vocab);
+    auto q = ParseUcrpq("owns(x, y)", &vocab);
+    ContainmentChecker checker(&vocab);
+    verdict = VerdictName(checker.Decide(p.value(), q.value(), schema.value()).verdict);
+  }
+  state.SetLabel(std::string(keep ? "participation kept: " : "dropped: ") + verdict);
+}
+BENCHMARK(BM_E6_ParticipationAblation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace

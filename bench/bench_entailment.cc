@@ -1,0 +1,101 @@
+// E5: the §6 entailment engine — realizable-type-set computation (Tp(T, Q̂))
+// versus the number of concept names, counting bound, and role count.
+// Expected shape: doubly-exponential worst case; the sweep shows the
+// type-space enumeration dominating as concepts are added, and the recursion
+// depth growing with the role count.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/entailment/alcq_simple.h"
+#include "src/query/factorize.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace gqc;
+
+void BM_E5_ConceptSweep(benchmark::State& state) {
+  // T: A0 ⊑ ∃r.A1, plus k inert concept names added via Boolean CIs.
+  int extra = static_cast<int>(state.range(0));
+  std::string text = "A0 <= exists r.A1";
+  for (int i = 0; i < extra; ++i) {
+    text += "\nB" + std::to_string(i) + " <= B" + std::to_string(i);
+  }
+  std::size_t realizable = 0;
+  bool capped = false;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto tbox = ParseTBox(text, &vocab);
+    NormalTBox nf = Normalize(tbox.value(), &vocab);
+    auto q = ParseUcrpq("Avoid(x)", &vocab);
+    auto f = FactorizeSimpleUcrpq(q.value(), &vocab);
+    AlcqSimpleEngine engine(&f.value(), &vocab);
+    auto set = engine.RealizableTypes(nf);
+    realizable = set.masks.size();
+    capped = engine.hit_cap();
+    state.counters["fixpoint_iters"] =
+        static_cast<double>(engine.stats().fixpoint_iterations);
+    state.counters["types_enumerated"] =
+        static_cast<double>(engine.stats().types_enumerated);
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["realizable_types"] = static_cast<double>(realizable);
+  state.counters["capped"] = capped ? 1 : 0;
+}
+BENCHMARK(BM_E5_ConceptSweep)->DenseRange(0, 6, 2)->Unit(benchmark::kMillisecond);
+
+void BM_E5_CountingBoundSweep(benchmark::State& state) {
+  // T: A ⊑ ≥n r.B ∧ ≤n r.B for growing n: the counting vocabulary grows
+  // linearly with n and connector search effort with n as well.
+  int n = static_cast<int>(state.range(0));
+  std::string text = "A <= atleast " + std::to_string(n) + " r.B\nA <= atmost " +
+                     std::to_string(n) + " r.B";
+  std::size_t realizable = 0;
+  bool capped = false;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto tbox = ParseTBox(text, &vocab);
+    NormalTBox nf = Normalize(tbox.value(), &vocab);
+    auto q = ParseUcrpq("Avoid(x)", &vocab);
+    auto f = FactorizeSimpleUcrpq(q.value(), &vocab);
+    AlcqSimpleEngine engine(&f.value(), &vocab);
+    auto set = engine.RealizableTypes(nf);
+    realizable = set.masks.size();
+    capped = engine.hit_cap();
+    state.counters["connector_searches"] =
+        static_cast<double>(engine.stats().connector_searches);
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["realizable_types"] = static_cast<double>(realizable);
+  state.counters["capped"] = capped ? 1 : 0;
+}
+BENCHMARK(BM_E5_CountingBoundSweep)->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+
+void BM_E5_QueryInteraction(benchmark::State& state) {
+  // The query to refute interacts with the fixpoint: a query that the TBox
+  // forces (kills all types with A) vs one it does not.
+  bool forced = state.range(0) == 1;
+  std::string query = forced ? "A(x), r(x, y), B(y)" : "C(x), r(x, y), C(y)";
+  std::size_t realizable = 0;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto tbox = ParseTBox("A <= exists r.B", &vocab);
+    NormalTBox nf = Normalize(tbox.value(), &vocab);
+    auto q = ParseUcrpq(query, &vocab);
+    auto f = FactorizeSimpleUcrpq(q.value(), &vocab);
+    AlcqSimpleEngine engine(&f.value(), &vocab);
+    auto set = engine.RealizableTypes(nf);
+    realizable = set.masks.size();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["realizable_types"] = static_cast<double>(realizable);
+  state.SetLabel(forced ? "query forced by TBox (A-types must die)"
+                        : "query independent of TBox");
+}
+BENCHMARK(BM_E5_QueryInteraction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// E3: query evaluation scaling — G ⊨ q via product reachability plus join,
+// over growing graphs and query families. Expected shape: near-linear in
+// |V|·|E| per atom for the RPQ part; the join adds a small polynomial factor.
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generators.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace gqc;
+
+void BM_E3_RpqOnCycle(benchmark::State& state) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph g = CycleGraph(static_cast<std::size_t>(state.range(0)), r);
+  Crpq q = ParseCrpq("(r*)(x, y)", &vocab).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(g, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_E3_RpqOnCycle)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_E3_ConcatenationOnRandom(benchmark::State& state) {
+  Vocabulary vocab;
+  RandomGraphOptions opts;
+  opts.nodes = static_cast<std::size_t>(state.range(0));
+  opts.edge_probability = 4.0 / static_cast<double>(opts.nodes);
+  opts.roles = {vocab.RoleId("r"), vocab.RoleId("s")};
+  opts.concepts = {vocab.ConceptId("A"), vocab.ConceptId("B")};
+  Graph g = RandomGraph(opts);
+  Crpq q = ParseCrpq("(r . s . (r + s)*)(x, y), B(y)", &vocab).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(g, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_E3_ConcatenationOnRandom)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_E3_ConjunctiveJoin(benchmark::State& state) {
+  Vocabulary vocab;
+  RandomGraphOptions opts;
+  opts.nodes = static_cast<std::size_t>(state.range(0));
+  opts.edge_probability = 4.0 / static_cast<double>(opts.nodes);
+  opts.roles = {vocab.RoleId("r"), vocab.RoleId("s")};
+  opts.concepts = {vocab.ConceptId("A")};
+  Graph g = RandomGraph(opts);
+  Crpq q = ParseCrpq("r(x, y), s(y, z), r(z, w), A(w)", &vocab).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(g, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_E3_ConjunctiveJoin)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_E3_TwoWayOnTree(benchmark::State& state) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph g = BalancedTree(static_cast<std::size_t>(state.range(0)), 2, r);
+  Crpq q = ParseCrpq("((r- + r)*)(x, y)", &vocab).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(g, q));
+  }
+  state.counters["nodes"] = static_cast<double>(g.NodeCount());
+}
+BENCHMARK(BM_E3_TwoWayOnTree)->DenseRange(3, 8, 1);
+
+}  // namespace

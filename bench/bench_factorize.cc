@@ -1,0 +1,78 @@
+// E4: factorization Q̂ (Lemma 3.7) — output size (factors, permission labels,
+// disjuncts) versus input size, for simple query families. Expected shape:
+// exponential growth in the number of variables/atoms (the paper computes Q̂
+// in exponential time with polynomial-size disjuncts).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/query/factorize.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace gqc;
+
+/// Path-shaped simple query with k single-edge atoms:
+/// A(x0), r(x0,x1), ..., r(x_{k-1},x_k), B(x_k).
+std::string PathQuery(int k) {
+  std::string q = "A(x0)";
+  for (int i = 0; i < k; ++i) {
+    q += ", r(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+  }
+  q += ", B(x" + std::to_string(k) + ")";
+  return q;
+}
+
+/// Star-reachability query with k unary-labelled stops:
+/// A0(x0), (r*)(x0,x1), A1(x1), ... (all star atoms).
+std::string StarQuery(int k) {
+  std::string q = "A0(x0)";
+  for (int i = 0; i < k; ++i) {
+    q += ", (r*)(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+    q += ", A" + std::to_string(i + 1) + "(x" + std::to_string(i + 1) + ")";
+  }
+  return q;
+}
+
+void RunFactorize(benchmark::State& state, const std::string& text) {
+  FactorizeOptions options;
+  options.max_factors = 512;       // measure true growth, not the cap
+  options.max_disjuncts = 100000;
+  std::size_t factors = 0, disjuncts = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto q = ParseUcrpq(text, &vocab);
+    auto f = FactorizeSimpleUcrpq(q.value(), &vocab, options);
+    ok = f.ok();
+    if (ok) {
+      factors = f.value().factor_count;
+      disjuncts = f.value().q_hat.size();
+    }
+    benchmark::DoNotOptimize(f);
+  }
+  state.counters["factors"] = static_cast<double>(factors);
+  state.counters["qhat_disjuncts"] = static_cast<double>(disjuncts);
+  state.counters["ok"] = ok ? 1 : 0;
+}
+
+void BM_E4_PathQueries(benchmark::State& state) {
+  RunFactorize(state, PathQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_E4_PathQueries)->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+
+void BM_E4_StarQueries(benchmark::State& state) {
+  RunFactorize(state, StarQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_E4_StarQueries)->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+
+void BM_E4_UnionGrowth(benchmark::State& state) {
+  std::string text = StarQuery(1);
+  for (int i = 1; i < state.range(0); ++i) text += " ; " + StarQuery(1);
+  RunFactorize(state, text);
+}
+BENCHMARK(BM_E4_UnionGrowth)->DenseRange(1, 4, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// E8: the simple-query restriction (§1: query logs are dominated by simple
+// queries, and simple UC2RPQs + ALCQ is decidable, Thm 3.4(2)). Compares a
+// mixed workload of simple vs concatenation queries: how many instances each
+// pipeline stage decides, and at what cost. Expected shape: simple queries
+// are decided exactly (screen/reduction paths), concatenation queries fall
+// back to bounded search more often.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/containment.h"
+#include "src/dl/concept_parser.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace gqc;
+
+struct Case {
+  std::string p, q;
+};
+
+const std::vector<Case>& SimpleWorkload() {
+  static const std::vector<Case> cases = {
+      {"owns(x, y)", "owns(x, y), Card(y)"},
+      {"A(x)", "owns(x, y)"},
+      {"owns(x, y), Card(y)", "owns(x, y)"},
+      {"A(x), owns(x, y)", "((owns + uses)*)(x, y)"},
+      {"A(x), ((owns + uses)*)(x, y), Card(y)", "((owns + uses)*)(x, y)"},
+  };
+  return cases;
+}
+
+const std::vector<Case>& ConcatWorkload() {
+  static const std::vector<Case> cases = {
+      {"(owns . uses)(x, y)", "(owns . uses)(x, y), Card(y)"},
+      {"A(x), (owns . uses)(x, y)", "(owns . (uses)*)(x, y)"},
+      {"(owns . owns)(x, y)", "owns(x, z)"},
+      {"(owns . uses . owns)(x, y)", "(owns . uses)(x, z)"},
+      {"A(x), (owns . uses)(x, y), Card(y)", "(owns . uses . uses)(x, y)"},
+  };
+  return cases;
+}
+
+void RunWorkload(benchmark::State& state, const std::vector<Case>& cases) {
+  int decided = 0, unknown = 0;
+  for (auto _ : state) {
+    decided = unknown = 0;
+    for (const Case& c : cases) {
+      Vocabulary vocab;
+      auto schema = ParseTBox(
+          "top <= forall owns.Card\nA <= exists owns.Card", &vocab);
+      auto p = ParseUcrpq(c.p, &vocab);
+      auto q = ParseUcrpq(c.q, &vocab);
+      ContainmentChecker checker(&vocab);
+      auto r = checker.Decide(p.value(), q.value(), schema.value());
+      (r.verdict == Verdict::kUnknown ? unknown : decided) += 1;
+    }
+  }
+  state.counters["decided"] = decided;
+  state.counters["unknown"] = unknown;
+  state.SetLabel(std::to_string(decided) + "/" +
+                 std::to_string(decided + unknown) + " decided exactly");
+}
+
+void BM_E8_SimpleQueries(benchmark::State& state) {
+  RunWorkload(state, SimpleWorkload());
+}
+BENCHMARK(BM_E8_SimpleQueries)->Unit(benchmark::kMillisecond);
+
+void BM_E8_ConcatenationQueries(benchmark::State& state) {
+  RunWorkload(state, ConcatWorkload());
+}
+BENCHMARK(BM_E8_ConcatenationQueries)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,146 @@
+// gqc command-line front end.
+//
+//   example_gqc_cli contain <schema-file> '<p-query>' '<q-query>'
+//   example_gqc_cli entail  <schema-file> <graph-file> '<query>'
+//   example_gqc_cli eval    <graph-file> '<query>'
+//
+// Schema files use either the PG-Schema surface syntax (node/edge/subtype/
+// participation/cardinality/key lines) or the concept syntax (lines with
+// '<='); pass "-" for an empty schema. Graph files use the node/edge format
+// (src/graph/io.h). Queries use the UC2RPQ syntax (src/query/parser.h).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/containment.h"
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/entailment/entailment.h"
+#include "src/graph/dot.h"
+#include "src/graph/io.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+#include "src/schema/schema_parser.h"
+
+namespace {
+
+using namespace gqc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  gqc_cli contain <schema-file|-> '<p-query>' '<q-query>'\n"
+               "  gqc_cli entail  <schema-file|-> <graph-file> '<query>'\n"
+               "  gqc_cli eval    <graph-file> '<query>'\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Loads a schema file in either surface or concept syntax; "-" = empty.
+Result<TBox> LoadSchema(const std::string& path, Vocabulary* vocab) {
+  if (path == "-") return TBox{};
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    return Result<TBox>::Error("cannot read schema file: " + path);
+  }
+  if (text.find("<=") != std::string::npos) {
+    return ParseTBox(text, vocab);
+  }
+  return ParseSchema(text, vocab);
+}
+
+int RunContain(const std::string& schema_path, const std::string& p_text,
+               const std::string& q_text) {
+  Vocabulary vocab;
+  auto schema = LoadSchema(schema_path, &vocab);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.error().c_str());
+    return 1;
+  }
+  auto p = ParseUcrpq(p_text, &vocab);
+  auto q = ParseUcrpq(q_text, &vocab);
+  if (!p.ok() || !q.ok()) {
+    std::fprintf(stderr, "%s\n", (!p.ok() ? p.error() : q.error()).c_str());
+    return 1;
+  }
+  ContainmentChecker checker(&vocab);
+  ContainmentResult r = checker.Decide(p.value(), q.value(), schema.value());
+  std::printf("verdict: %s\nmethod: %s\n", VerdictName(r.verdict),
+              ContainmentMethodName(r.method));
+  if (!r.note.empty()) std::printf("note: %s\n", r.note.c_str());
+  if (r.countermodel.has_value()) {
+    std::printf("countermodel:\n%s", WriteGraph(*r.countermodel, vocab).c_str());
+  }
+  if (r.central_part.has_value()) {
+    std::printf("central part of star-like countermodel:\n%s",
+                WriteGraph(*r.central_part, vocab).c_str());
+  }
+  return r.verdict == Verdict::kUnknown ? 3 : 0;
+}
+
+int RunEntail(const std::string& schema_path, const std::string& graph_path,
+              const std::string& q_text) {
+  Vocabulary vocab;
+  auto schema = LoadSchema(schema_path, &vocab);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.error().c_str());
+    return 1;
+  }
+  std::string graph_text;
+  if (!ReadFile(graph_path, &graph_text)) {
+    std::fprintf(stderr, "cannot read graph file: %s\n", graph_path.c_str());
+    return 1;
+  }
+  auto g = ParseGraph(graph_text, &vocab);
+  auto q = ParseUcrpq(q_text, &vocab);
+  if (!g.ok() || !q.ok()) {
+    std::fprintf(stderr, "%s\n", (!g.ok() ? g.error() : q.error()).c_str());
+    return 1;
+  }
+  NormalTBox normal = Normalize(schema.value(), &vocab);
+  EntailmentResult e = FiniteEntails(g.value().graph, normal, q.value(), &vocab);
+  std::printf("finitely entailed: %s\n", EngineAnswerName(e.answer));
+  if (e.witness.has_value()) {
+    std::printf("counter-extension:\n%s", WriteGraph(*e.witness, vocab).c_str());
+  }
+  return e.answer == EngineAnswer::kUnknown ? 3 : 0;
+}
+
+int RunEval(const std::string& graph_path, const std::string& q_text) {
+  Vocabulary vocab;
+  std::string graph_text;
+  if (!ReadFile(graph_path, &graph_text)) {
+    std::fprintf(stderr, "cannot read graph file: %s\n", graph_path.c_str());
+    return 1;
+  }
+  auto g = ParseGraph(graph_text, &vocab);
+  auto q = ParseUcrpq(q_text, &vocab);
+  if (!g.ok() || !q.ok()) {
+    std::fprintf(stderr, "%s\n", (!g.ok() ? g.error() : q.error()).c_str());
+    return 1;
+  }
+  bool matched = Matches(g.value().graph, q.value());
+  std::printf("matches: %s\n", matched ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "contain" && argc == 5) return RunContain(argv[2], argv[3], argv[4]);
+  if (command == "entail" && argc == 5) return RunEntail(argv[2], argv[3], argv[4]);
+  if (command == "eval" && argc == 4) return RunEval(argv[2], argv[3]);
+  return Usage();
+}

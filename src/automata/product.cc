@@ -1,0 +1,60 @@
+#include "src/automata/product.h"
+
+#include <deque>
+
+namespace gqc {
+
+DynamicBitset AtomTargets(const Graph& g, const Semiautomaton& a, uint32_t s,
+                          uint32_t t, bool allow_empty, NodeId u) {
+  const std::size_t states = a.StateCount();
+  const std::size_t nodes = g.NodeCount();
+  DynamicBitset targets(nodes);
+  DynamicBitset visited(nodes * states);
+
+  auto idx = [states](NodeId v, uint32_t q) { return std::size_t{v} * states + q; };
+
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  queue.emplace_back(u, s);
+  visited.Set(idx(u, s));
+  if (s == t || allow_empty) targets.Set(u);
+
+  while (!queue.empty()) {
+    auto [v, q] = queue.front();
+    queue.pop_front();
+    for (const auto& [sym, q2] : a.Out(q)) {
+      if (sym.is_test()) {
+        if (g.SatisfiesLiteral(v, sym.literal()) && !visited.Test(idx(v, q2))) {
+          visited.Set(idx(v, q2));
+          if (q2 == t) targets.Set(v);
+          queue.emplace_back(v, q2);
+        }
+      } else {
+        for (NodeId w : g.Successors(v, sym.role())) {
+          if (!visited.Test(idx(w, q2))) {
+            visited.Set(idx(w, q2));
+            if (q2 == t) targets.Set(w);
+            queue.emplace_back(w, q2);
+          }
+        }
+      }
+    }
+  }
+  return targets;
+}
+
+std::vector<DynamicBitset> AtomRelation(const Graph& g, const Semiautomaton& a,
+                                        uint32_t s, uint32_t t, bool allow_empty) {
+  std::vector<DynamicBitset> relation;
+  relation.reserve(g.NodeCount());
+  for (NodeId u = 0; u < g.NodeCount(); ++u) {
+    relation.push_back(AtomTargets(g, a, s, t, allow_empty, u));
+  }
+  return relation;
+}
+
+bool AtomHolds(const Graph& g, const Semiautomaton& a, uint32_t s, uint32_t t,
+               bool allow_empty, NodeId u, NodeId v) {
+  return AtomTargets(g, a, s, t, allow_empty, u).Test(v);
+}
+
+}  // namespace gqc

@@ -1,0 +1,33 @@
+#ifndef GQC_AUTOMATA_PRODUCT_H_
+#define GQC_AUTOMATA_PRODUCT_H_
+
+#include <vector>
+
+#include "src/automata/semiautomaton.h"
+#include "src/graph/graph.h"
+#include "src/util/bitset.h"
+
+namespace gqc {
+
+/// Computes the binary relation defined by the 2RPQ atom (a, s, t) over `g`
+/// via product reachability: pair (u, v) is in the relation iff there is a
+/// path witnessing a run of `a` from state `s` to state `t` starting at u and
+/// ending at v (§2, match condition 3'). A length-0 run exists iff s == t;
+/// `allow_empty` additionally admits (u, u) pairs for nullable regexes whose
+/// compiled start/end states differ.
+///
+/// Returns one bitset of targets per source node.
+std::vector<DynamicBitset> AtomRelation(const Graph& g, const Semiautomaton& a,
+                                        uint32_t s, uint32_t t, bool allow_empty);
+
+/// Targets reachable from the single source `u` (same semantics).
+DynamicBitset AtomTargets(const Graph& g, const Semiautomaton& a, uint32_t s,
+                          uint32_t t, bool allow_empty, NodeId u);
+
+/// True if the specific pair (u, v) is in the atom relation.
+bool AtomHolds(const Graph& g, const Semiautomaton& a, uint32_t s, uint32_t t,
+               bool allow_empty, NodeId u, NodeId v);
+
+}  // namespace gqc
+
+#endif  // GQC_AUTOMATA_PRODUCT_H_

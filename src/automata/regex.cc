@@ -1,0 +1,150 @@
+#include "src/automata/regex.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gqc {
+
+RegexPtr Regex::Epsilon() {
+  return std::make_shared<Regex>(Regex{RegexKind::kEpsilon, {}, {}});
+}
+
+RegexPtr Regex::Sym(Symbol s) {
+  return std::make_shared<Regex>(Regex{RegexKind::kSymbol, s, {}});
+}
+
+RegexPtr Regex::Concat(std::vector<RegexPtr> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return parts[0];
+  return std::make_shared<Regex>(Regex{RegexKind::kConcat, {}, std::move(parts)});
+}
+
+RegexPtr Regex::Union(std::vector<RegexPtr> parts) {
+  if (parts.size() == 1) return parts[0];
+  return std::make_shared<Regex>(Regex{RegexKind::kUnion, {}, std::move(parts)});
+}
+
+RegexPtr Regex::Star(RegexPtr inner) {
+  return std::make_shared<Regex>(Regex{RegexKind::kStar, {}, {std::move(inner)}});
+}
+
+RegexPtr Regex::Plus(RegexPtr inner) {
+  return Concat({inner, Star(inner)});
+}
+
+std::size_t RegexSize(const RegexPtr& r) {
+  switch (r->kind) {
+    case RegexKind::kEpsilon:
+      return 0;
+    case RegexKind::kSymbol:
+      return 1;
+    default: {
+      std::size_t n = 0;
+      for (const auto& c : r->children) n += RegexSize(c);
+      return n;
+    }
+  }
+}
+
+bool IsNullable(const RegexPtr& r) {
+  switch (r->kind) {
+    case RegexKind::kEpsilon:
+    case RegexKind::kStar:
+      return true;
+    case RegexKind::kSymbol:
+      return false;
+    case RegexKind::kConcat:
+      return std::all_of(r->children.begin(), r->children.end(),
+                         [](const RegexPtr& c) { return IsNullable(c); });
+    case RegexKind::kUnion:
+      return std::any_of(r->children.begin(), r->children.end(),
+                         [](const RegexPtr& c) { return IsNullable(c); });
+  }
+  return false;
+}
+
+namespace {
+
+template <typename Pred>
+bool AllSymbols(const RegexPtr& r, Pred pred) {
+  if (r->kind == RegexKind::kSymbol) return pred(r->symbol);
+  for (const auto& c : r->children) {
+    if (!AllSymbols(c, pred)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsOneWay(const RegexPtr& r) {
+  return AllSymbols(r, [](Symbol s) { return s.is_test() || !s.role().is_inverse(); });
+}
+
+bool IsTestFree(const RegexPtr& r) {
+  return AllSymbols(r, [](Symbol s) { return s.is_role(); });
+}
+
+std::optional<SimpleShape> GetSimpleShape(const RegexPtr& r) {
+  if (r->kind == RegexKind::kSymbol && r->symbol.is_role()) {
+    return SimpleShape{false, {r->symbol.role()}};
+  }
+  if (r->kind == RegexKind::kStar) {
+    const RegexPtr& inner = r->children[0];
+    std::vector<Role> roles;
+    if (inner->kind == RegexKind::kSymbol && inner->symbol.is_role()) {
+      roles.push_back(inner->symbol.role());
+    } else if (inner->kind == RegexKind::kUnion) {
+      for (const auto& c : inner->children) {
+        if (c->kind != RegexKind::kSymbol || !c->symbol.is_role()) return std::nullopt;
+        roles.push_back(c->symbol.role());
+      }
+    } else {
+      return std::nullopt;
+    }
+    std::sort(roles.begin(), roles.end());
+    roles.erase(std::unique(roles.begin(), roles.end()), roles.end());
+    return SimpleShape{true, std::move(roles)};
+  }
+  return std::nullopt;
+}
+
+std::vector<Symbol> RegexSymbols(const RegexPtr& r) {
+  std::set<Symbol> seen;
+  std::function<void(const RegexPtr&)> visit = [&](const RegexPtr& node) {
+    if (node->kind == RegexKind::kSymbol) seen.insert(node->symbol);
+    for (const auto& c : node->children) visit(c);
+  };
+  visit(r);
+  return std::vector<Symbol>(seen.begin(), seen.end());
+}
+
+std::string RegexToString(const RegexPtr& r, const Vocabulary& vocab) {
+  switch (r->kind) {
+    case RegexKind::kEpsilon:
+      return "eps";
+    case RegexKind::kSymbol:
+      return r->symbol.ToString(vocab);
+    case RegexKind::kStar: {
+      return "(" + RegexToString(r->children[0], vocab) + ")*";
+    }
+    case RegexKind::kConcat: {
+      std::string out;
+      for (std::size_t i = 0; i < r->children.size(); ++i) {
+        if (i) out += ".";
+        out += RegexToString(r->children[i], vocab);
+      }
+      return out;
+    }
+    case RegexKind::kUnion: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < r->children.size(); ++i) {
+        if (i) out += " + ";
+        out += RegexToString(r->children[i], vocab);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace gqc

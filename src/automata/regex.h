@@ -1,0 +1,64 @@
+#ifndef GQC_AUTOMATA_REGEX_H_
+#define GQC_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/automata/symbol.h"
+
+namespace gqc {
+
+enum class RegexKind { kEpsilon, kSymbol, kConcat, kUnion, kStar };
+
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Regular expressions over Γ± ∪ Σ± using concatenation, union, and Kleene
+/// star (§2). Immutable shared AST nodes.
+struct Regex {
+  RegexKind kind;
+  Symbol symbol;                  // kSymbol only
+  std::vector<RegexPtr> children; // kConcat/kUnion: >= 2; kStar: exactly 1
+
+  static RegexPtr Epsilon();
+  static RegexPtr Sym(Symbol s);
+  static RegexPtr RoleSym(Role r) { return Sym(Symbol::FromRole(r)); }
+  static RegexPtr TestSym(Literal l) { return Sym(Symbol::FromTest(l)); }
+  static RegexPtr Concat(std::vector<RegexPtr> parts);
+  static RegexPtr Union(std::vector<RegexPtr> parts);
+  static RegexPtr Star(RegexPtr inner);
+  /// r+ = r . r*.
+  static RegexPtr Plus(RegexPtr inner);
+};
+
+/// Number of symbol occurrences (the natural size measure |φ|).
+std::size_t RegexSize(const RegexPtr& r);
+
+/// True if the empty word belongs to the language.
+bool IsNullable(const RegexPtr& r);
+
+/// True if no inverse role occurs (one-way / CRPQ condition).
+bool IsOneWay(const RegexPtr& r);
+
+/// True if no node-label test occurs (test-free condition).
+bool IsTestFree(const RegexPtr& r);
+
+/// The paper's "simple" shapes: a single role r, or (r1 + ... + rn)* with all
+/// ri in Σ±. If the regex is simple, returns the role set and whether it is
+/// starred; otherwise std::nullopt.
+struct SimpleShape {
+  bool starred = false;
+  std::vector<Role> roles;  // singleton when !starred
+};
+std::optional<SimpleShape> GetSimpleShape(const RegexPtr& r);
+
+/// All symbols occurring in the regex (with duplicates removed).
+std::vector<Symbol> RegexSymbols(const RegexPtr& r);
+
+std::string RegexToString(const RegexPtr& r, const Vocabulary& vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_AUTOMATA_REGEX_H_

@@ -1,0 +1,148 @@
+#include "src/automata/regex_parser.h"
+
+#include <cctype>
+
+namespace gqc {
+
+namespace {
+
+class RegexParser {
+ public:
+  RegexParser(std::string_view text, Vocabulary* vocab) : text_(text), vocab_(vocab) {}
+
+  Result<RegexPtr> Parse() {
+    auto r = ParseExpr();
+    if (!r.ok()) return r;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<RegexPtr>::Error("regex: trailing input at position " +
+                                     std::to_string(pos_));
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<RegexPtr> ParseExpr() {
+    auto first = ParseTerm();
+    if (!first.ok()) return first;
+    std::vector<RegexPtr> parts{first.value()};
+    while (Consume('+')) {
+      auto next = ParseTerm();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    return Regex::Union(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseTerm() {
+    auto first = ParseFactor();
+    if (!first.ok()) return first;
+    std::vector<RegexPtr> parts{first.value()};
+    while (Consume('.')) {
+      auto next = ParseFactor();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr r = atom.value();
+    while (true) {
+      if (Consume('*')) {
+        r = Regex::Star(r);
+      } else if (Peek('^')) {
+        ++pos_;
+        if (!Consume('+')) {
+          return Result<RegexPtr>::Error("regex: expected '+' after '^'");
+        }
+        r = Regex::Plus(r);
+      } else {
+        break;
+      }
+    }
+    return r;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Result<RegexPtr>::Error("regex: unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) {
+        return Result<RegexPtr>::Error("regex: expected ')'");
+      }
+      return inner;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipSpace();
+      bool negated = Consume('!');
+      auto name = ParseIdent();
+      if (!name.ok()) return Result<RegexPtr>::Error(name.error());
+      if (!Consume(']')) {
+        return Result<RegexPtr>::Error("regex: expected ']'");
+      }
+      uint32_t id = vocab_->ConceptId(name.value());
+      return Regex::TestSym(negated ? Literal::Negative(id) : Literal::Positive(id));
+    }
+    auto name = ParseIdent();
+    if (!name.ok()) return Result<RegexPtr>::Error(name.error());
+    if (name.value() == "eps") return Regex::Epsilon();
+    bool inverse = Consume('-');
+    uint32_t id = vocab_->RoleId(name.value());
+    return Regex::RoleSym(inverse ? Role::Inverse(id) : Role::Forward(id));
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Result<std::string>::Error("regex: expected identifier at position " +
+                                        std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  Vocabulary* vocab_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text, Vocabulary* vocab) {
+  return RegexParser(text, vocab).Parse();
+}
+
+}  // namespace gqc

@@ -1,0 +1,28 @@
+#ifndef GQC_AUTOMATA_REGEX_PARSER_H_
+#define GQC_AUTOMATA_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "src/automata/regex.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Parses the textual regular-expression syntax used throughout examples and
+/// tests. Grammar:
+///
+///   expr    := term ('+' term)*               -- union
+///   term    := factor ('.' factor)*           -- concatenation
+///   factor  := atom ('*' | '^+')*             -- Kleene star / plus
+///   atom    := 'eps'                          -- empty word
+///            | IDENT                          -- forward role, e.g. owns
+///            | IDENT '-'                      -- inverse role, e.g. owns-
+///            | '[' '!'? IDENT ']'             -- node-label test, e.g. [A], [!A]
+///            | '(' expr ')'
+///
+/// Role and concept names are interned into `vocab`.
+Result<RegexPtr> ParseRegex(std::string_view text, Vocabulary* vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_AUTOMATA_REGEX_PARSER_H_

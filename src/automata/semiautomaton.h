@@ -1,0 +1,82 @@
+#ifndef GQC_AUTOMATA_SEMIAUTOMATON_H_
+#define GQC_AUTOMATA_SEMIAUTOMATON_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/automata/regex.h"
+#include "src/automata/symbol.h"
+
+namespace gqc {
+
+/// A (nondeterministic) semiautomaton (§2, after [26]): states and a
+/// transition relation over Γ± ∪ Σ±, with no initial/final states. 2RPQ atoms
+/// pick out state pairs (s, s'); a run may begin in any state.
+///
+/// There are no epsilon transitions: a length-0 run begins and ends in the
+/// same state, so an atom A_{s,s} matches the empty word by definition, and
+/// nullable regexes additionally record an `allow_empty` flag on their atom.
+class Semiautomaton {
+ public:
+  uint32_t AddState();
+  std::size_t StateCount() const { return out_.size(); }
+
+  /// Adds transition from --symbol--> to (idempotent).
+  void AddTransition(uint32_t from, Symbol symbol, uint32_t to);
+
+  const std::vector<std::pair<Symbol, uint32_t>>& Out(uint32_t s) const {
+    return out_[s];
+  }
+  const std::vector<std::pair<Symbol, uint32_t>>& In(uint32_t s) const { return in_[s]; }
+
+  std::size_t TransitionCount() const { return transition_count_; }
+
+  /// Appends a disjoint copy of `other`; returns the state-id offset.
+  uint32_t DisjointUnion(const Semiautomaton& other);
+
+  /// The reversed semiautomaton: transition (s, a, t) becomes (t, a, s).
+  /// Used in App. A.2 when flipping between forward and backward reasoning.
+  Semiautomaton Reversed() const;
+
+  /// All distinct symbols on transitions.
+  std::vector<Symbol> Alphabet() const;
+
+  /// States reachable from `from` (inclusive) via any transitions.
+  std::vector<bool> ReachableStates(uint32_t from) const;
+  /// States that can reach `to` (inclusive).
+  std::vector<bool> CoReachableStates(uint32_t to) const;
+
+ private:
+  std::vector<std::vector<std::pair<Symbol, uint32_t>>> out_;
+  std::vector<std::vector<std::pair<Symbol, uint32_t>>> in_;
+  std::size_t transition_count_ = 0;
+};
+
+/// A regex compiled to semiautomaton form: matching words are exactly the
+/// non-empty words with a run from `start` to `end`, plus the empty word iff
+/// `nullable` (the atom then also matches with both variables at one node).
+struct CompiledRegex {
+  Semiautomaton automaton;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  bool nullable = false;
+};
+
+/// Compiles a regex via Thompson construction followed by two-sided
+/// epsilon-elimination, so the result has no epsilon transitions and is
+/// linear in |regex| states.
+CompiledRegex CompileRegex(const RegexPtr& regex);
+
+/// Compiles `regex` into `target` (disjoint union); returns (start, end,
+/// nullable) with state ids relative to `target`.
+struct CompiledRef {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  bool nullable = false;
+};
+CompiledRef CompileRegexInto(const RegexPtr& regex, Semiautomaton* target);
+
+}  // namespace gqc
+
+#endif  // GQC_AUTOMATA_SEMIAUTOMATON_H_

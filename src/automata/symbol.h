@@ -1,0 +1,52 @@
+#ifndef GQC_AUTOMATA_SYMBOL_H_
+#define GQC_AUTOMATA_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+/// One letter of the alphabet Γ± ∪ Σ± that regular expressions and
+/// semiautomata range over (§2): either a role (edge traversal, possibly
+/// inverse) or a node-label test (positive or complemented literal).
+class Symbol {
+ public:
+  Symbol() : code_(0) {}
+
+  static Symbol FromRole(Role r) { return Symbol((r.code() << 1) | 0); }
+  static Symbol FromTest(Literal l) { return Symbol((l.code() << 1) | 1); }
+
+  bool is_test() const { return code_ & 1; }
+  bool is_role() const { return !is_test(); }
+
+  Role role() const { return Role::FromCode(code_ >> 1); }
+  Literal literal() const { return Literal::FromCode(code_ >> 1); }
+
+  uint32_t code() const { return code_; }
+
+  bool operator==(const Symbol&) const = default;
+  auto operator<=>(const Symbol&) const = default;
+
+  std::string ToString(const Vocabulary& vocab) const {
+    return is_test() ? "[" + vocab.LiteralString(literal()) + "]"
+                     : vocab.RoleString(role());
+  }
+
+ private:
+  explicit Symbol(uint32_t code) : code_(code) {}
+  uint32_t code_;
+};
+
+}  // namespace gqc
+
+template <>
+struct std::hash<gqc::Symbol> {
+  std::size_t operator()(const gqc::Symbol& s) const {
+    return std::hash<uint32_t>{}(s.code());
+  }
+};
+
+#endif  // GQC_AUTOMATA_SYMBOL_H_

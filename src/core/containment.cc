@@ -1,0 +1,164 @@
+#include "src/core/containment.h"
+
+#include "src/core/minimize.h"
+
+#include "src/dl/model_check.h"
+#include <algorithm>
+
+#include "src/dl/normalize.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
+                                             const TBox& schema) {
+  return Decide(p, q, Normalize(schema, vocab_));
+}
+
+ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
+                                             const NormalTBox& schema) {
+  // P ⊑_T Q iff every disjunct of P is contained. Report the first
+  // counterexample; a kUnknown disjunct makes the overall answer kUnknown
+  // unless some other disjunct already refutes.
+  ContainmentResult combined;
+  combined.verdict = Verdict::kContained;
+  combined.method = ContainmentMethod::kTrivial;
+  for (const Crpq& disjunct : p.Disjuncts()) {
+    ContainmentResult r = DecideDisjunct(disjunct, q, schema);
+    if (r.verdict == Verdict::kNotContained) return r;
+    if (r.verdict == Verdict::kUnknown) {
+      combined.verdict = Verdict::kUnknown;
+      combined.method = r.method;
+      combined.note = r.note;
+    } else if (combined.verdict == Verdict::kContained) {
+      combined.method = r.method;
+      if (combined.note.empty()) combined.note = r.note;
+    }
+  }
+  return combined;
+}
+
+ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p, const Ucrpq& q,
+                                                        const NormalTBox& schema) {
+  ContainmentResult forward = Decide(p, q, schema);
+  if (forward.verdict == Verdict::kNotContained) {
+    forward.note = "P ⋢_T Q; " + forward.note;
+    return forward;
+  }
+  ContainmentResult backward = Decide(q, p, schema);
+  if (backward.verdict == Verdict::kNotContained) {
+    backward.note = "Q ⋢_T P; " + backward.note;
+    return backward;
+  }
+  ContainmentResult combined;
+  combined.verdict = (forward.verdict == Verdict::kContained &&
+                      backward.verdict == Verdict::kContained)
+                         ? Verdict::kContained
+                         : Verdict::kUnknown;
+  combined.method = forward.method;
+  return combined;
+}
+
+namespace {
+
+/// True if the disjunct matches every graph with at least one node: no unary
+/// atoms and every binary atom admits the empty word (e.g. pure reachability
+/// queries like (r+s)*(x, y)).
+bool MatchesAnyNonEmptyGraph(const Crpq& d) {
+  if (!d.UnaryAtoms().empty() || d.VarCount() == 0) return false;
+  return std::all_of(d.BinaryAtoms().begin(), d.BinaryAtoms().end(),
+                     [](const BinaryAtom& a) { return a.allow_empty; });
+}
+
+}  // namespace
+
+ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq& q,
+                                                     const NormalTBox& schema) {
+  ContainmentResult result;
+
+  // 1. Cheap exact screens. (a) Some disjunct of Q matches every non-empty
+  //    graph, and any match of p requires a node.
+  if (p.VarCount() > 0 &&
+      std::any_of(q.Disjuncts().begin(), q.Disjuncts().end(),
+                  MatchesAnyNonEmptyGraph)) {
+    result.verdict = Verdict::kContained;
+    result.method = ContainmentMethod::kTrivial;
+    result.note = "a disjunct of Q matches every non-empty graph";
+    return result;
+  }
+  //    (b) Classical containment (no schema) implies containment modulo any
+  //    schema; the canonical-database test certifies the CQ-shaped cases.
+  {
+    Ucrpq p_union;
+    p_union.AddDisjunct(p);
+    ClassicalContainmentResult classical = ClassicalContainment(p_union, q);
+    if (classical.verdict == Verdict::kContained) {
+      result.verdict = Verdict::kContained;
+      result.method = ContainmentMethod::kClassical;
+      result.note = "holds classically (schema-free)";
+      return result;
+    }
+  }
+
+  // 2. Direct bounded countermodel search against the full TBox. Also serves
+  //    as the satisfiability screen: if p cannot be satisfied under T at all
+  //    the expansion/quotient seeds all die and the answer is kNo.
+  CountermodelSearchResult direct =
+      FindCountermodel(p, q, schema, options_.countermodel);
+  if (direct.answer == EngineAnswer::kYes) {
+    result.verdict = Verdict::kNotContained;
+    result.method = ContainmentMethod::kDirectSearch;
+    if (options_.minimize_countermodels && direct.witness.has_value()) {
+      Ucrpq p_union;
+      p_union.AddDisjunct(p);
+      result.countermodel = MinimizeCountermodel(*direct.witness, p_union, q, schema);
+    } else {
+      result.countermodel = std::move(direct.witness);
+    }
+    return result;
+  }
+  bool participation = schema.HasParticipationConstraints();
+  if (direct.answer == EngineAnswer::kNo) {
+    // Exact: no countermodel exists (see FindCountermodel's completeness
+    // conditions — exhaustive seeds, no budget caps).
+    result.verdict = Verdict::kContained;
+    result.method = participation ? ContainmentMethod::kDirectSearch
+                                  : ContainmentMethod::kSparse;
+    return result;
+  }
+
+  // 3. §3 reduction for the supported fragments.
+  bool fragment_ok = q.IsSimple() && q.IsConnected() && p.IsConnected();
+  bool alcq_case = !schema.UsesInverse();
+  bool alci_case = !schema.UsesCounting() && q.IsOneWay();
+  if (!options_.disable_reduction && participation && fragment_ok &&
+      (alcq_case || alci_case)) {
+    ReductionOptions opts;
+    opts.countermodel = options_.countermodel;
+    opts.factorize = options_.factorize;
+    ReductionResult red =
+        ContainmentViaEntailment(p, q, schema, alcq_case, vocab_, opts);
+    if (red.countermodel_found == EngineAnswer::kYes) {
+      result.verdict = Verdict::kNotContained;
+      result.method = ContainmentMethod::kReduction;
+      result.central_part = std::move(red.central_part);
+      result.note = "countermodel is star-like; central part returned";
+      return result;
+    }
+    if (red.countermodel_found == EngineAnswer::kNo) {
+      result.verdict = Verdict::kContained;
+      result.method = ContainmentMethod::kReduction;
+      return result;
+    }
+    result.note = red.note.empty() ? "reduction inconclusive" : red.note;
+  }
+
+  result.verdict = Verdict::kUnknown;
+  result.method = ContainmentMethod::kDirectSearch;
+  if (result.note.empty()) {
+    result.note = "no countermodel within budget; containment not certified";
+  }
+  return result;
+}
+
+}  // namespace gqc

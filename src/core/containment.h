@@ -1,0 +1,68 @@
+#ifndef GQC_CORE_CONTAINMENT_H_
+#define GQC_CORE_CONTAINMENT_H_
+
+#include "src/core/reduction.h"
+#include "src/core/result.h"
+#include "src/dl/tbox.h"
+
+namespace gqc {
+
+/// Options controlling the containment pipeline.
+struct ContainmentOptions {
+  CountermodelOptions countermodel;
+  FactorizeOptions factorize;
+  /// Skip the (potentially expensive) §3 reduction and only run the direct
+  /// bounded searches.
+  bool disable_reduction = false;
+  /// Shrink returned countermodels to 1-minimal witnesses (readability).
+  bool minimize_countermodels = true;
+};
+
+/// Decides containment modulo schema, P ⊑_T Q over all finite graphs (§3).
+///
+/// Pipeline per connected disjunct p of P (P ⊑_T Q iff every disjunct is
+/// contained):
+///   1. Satisfiability screen: if p has no model satisfying T at all, the
+///      disjunct is vacuously contained.
+///   2. Direct countermodel search: seeds from canonical expansions of p and
+///      their quotients, completed against the full TBox while avoiding Q.
+///      A hit is a verified countermodel (kNotContained). For TBoxes without
+///      participation constraints this search is also complete
+///      (Theorem 3.2 path) when the expansion set is exhaustive.
+///   3. With participation constraints and a supported fragment
+///      (simple Q + ALCQ, or simple one-way Q + ALCI), the §3 reduction:
+///      Tp(T, Q̂) via the entailment engines, then a star-like central-part
+///      search with participation deferral (Lemma 3.5).
+///   4. Otherwise: kUnknown (budgets in `options` control how hard 2 tries).
+///
+/// Definite answers are exact; kNotContained verdicts carry a re-verified
+/// countermodel (or the central part when found via the reduction).
+class ContainmentChecker {
+ public:
+  ContainmentChecker(Vocabulary* vocab, ContainmentOptions options = {})
+      : vocab_(vocab), options_(std::move(options)) {}
+
+  /// P, Q: UC2RPQs. `schema`: the TBox (normalized internally).
+  ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q, const TBox& schema);
+
+  /// Same with a pre-normalized TBox.
+  ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q, const NormalTBox& schema);
+
+  /// Equivalence modulo schema: containment in both directions. Useful for
+  /// schema-aware query rewriting (an atom may be dropped iff the rewritten
+  /// query stays equivalent). kContained in the result means "equivalent";
+  /// a countermodel (from whichever direction failed) refutes equivalence.
+  ContainmentResult DecideEquivalence(const Ucrpq& p, const Ucrpq& q,
+                                      const NormalTBox& schema);
+
+ private:
+  ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,
+                                   const NormalTBox& schema);
+
+  Vocabulary* vocab_;
+  ContainmentOptions options_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_CONTAINMENT_H_

@@ -1,0 +1,59 @@
+#include "src/core/minimize.h"
+
+#include "src/dl/model_check.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+Graph MinimizeWitness(Graph g, const std::function<bool(const Graph&)>& invariant) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Drop nodes (largest id first so the remaining renaming is stable-ish).
+    for (NodeId v = static_cast<NodeId>(g.NodeCount()); v-- > 0;) {
+      if (g.NodeCount() <= 1) break;
+      std::vector<NodeId> keep;
+      for (NodeId u = 0; u < g.NodeCount(); ++u) {
+        if (u != v) keep.push_back(u);
+      }
+      Graph candidate = g.InducedSubgraph(keep);
+      if (invariant(candidate)) {
+        g = std::move(candidate);
+        changed = true;
+      }
+    }
+    // Drop edges.
+    for (const Edge& e : g.AllEdges()) {
+      Graph candidate = g;
+      candidate.RemoveEdge(e.from, e.role, e.to);
+      if (invariant(candidate)) {
+        g = std::move(candidate);
+        changed = true;
+      }
+    }
+    // Drop labels.
+    for (NodeId v = 0; v < g.NodeCount(); ++v) {
+      for (uint32_t id : g.Labels(v).ToIds()) {
+        Graph candidate = g;
+        candidate.RemoveLabel(v, id);
+        if (invariant(candidate)) {
+          g = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph MinimizeCountermodel(const Graph& g, const Ucrpq& p, const Ucrpq& q,
+                           const NormalTBox& tbox) {
+  auto invariant = [&](const Graph& candidate) {
+    return Satisfies(candidate, tbox) && Matches(candidate, p) &&
+           !Matches(candidate, q);
+  };
+  if (!invariant(g)) return g;  // not a countermodel; leave untouched
+  return MinimizeWitness(g, invariant);
+}
+
+}  // namespace gqc

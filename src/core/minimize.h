@@ -1,0 +1,25 @@
+#ifndef GQC_CORE_MINIMIZE_H_
+#define GQC_CORE_MINIMIZE_H_
+
+#include <functional>
+
+#include "src/dl/tbox.h"
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// Greedily shrinks a graph while `invariant` stays true: drops nodes, then
+/// edges, then labels, iterating to a fixpoint. The result is 1-minimal
+/// (no single removal preserves the invariant), not globally minimal.
+Graph MinimizeWitness(Graph g, const std::function<bool(const Graph&)>& invariant);
+
+/// Minimizes a containment countermodel: keeps G ⊨ tbox, G ⊨ p, G ⊭ q.
+/// Smaller countermodels are dramatically easier to read; the containment
+/// checker applies this before returning a witness.
+Graph MinimizeCountermodel(const Graph& g, const Ucrpq& p, const Ucrpq& q,
+                           const NormalTBox& tbox);
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_MINIMIZE_H_

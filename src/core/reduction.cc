@@ -1,0 +1,144 @@
+#include "src/core/reduction.h"
+
+#include <set>
+
+#include "src/dl/transforms.h"
+#include "src/entailment/alci_oneway.h"
+#include "src/entailment/alcq_simple.h"
+#include "src/entailment/witness_search.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+/// Projects engine-level realizable masks onto the H0 search space; a stub
+/// type over the H0 space is allowed iff some realizable engine mask agrees
+/// with it on the shared support.
+std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
+                                     const std::vector<uint64_t>& engine_masks,
+                                     const TypeSpace& h0_space) {
+  // Positions of h0 support concepts within the engine space. Concepts
+  // unknown to the engine space are unconstrained there: both values must be
+  // admitted; handle by enumerating completions of the missing bits.
+  std::vector<std::size_t> engine_pos(h0_space.arity(), TypeSpace::npos);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < h0_space.arity(); ++i) {
+    engine_pos[i] = engine_space.PositionOf(h0_space.support()[i]);
+    if (engine_pos[i] == TypeSpace::npos) missing.push_back(i);
+  }
+  std::set<uint64_t> base;
+  for (uint64_t m : engine_masks) {
+    uint64_t projected = 0;
+    for (std::size_t i = 0; i < h0_space.arity(); ++i) {
+      if (engine_pos[i] != TypeSpace::npos && ((m >> engine_pos[i]) & 1)) {
+        projected |= uint64_t{1} << i;
+      }
+    }
+    base.insert(projected);
+  }
+  if (missing.empty() || missing.size() > 12) return base;
+  std::set<uint64_t> out;
+  for (uint64_t m : base) {
+    for (uint64_t combo = 0; combo < (uint64_t{1} << missing.size()); ++combo) {
+      uint64_t mask = m;
+      for (std::size_t j = 0; j < missing.size(); ++j) {
+        if ((combo >> j) & 1) mask |= uint64_t{1} << missing[j];
+      }
+      out.insert(mask);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+                                         const NormalTBox& tbox, bool alcq_case,
+                                         Vocabulary* vocab,
+                                         const ReductionOptions& options) {
+  ReductionResult result;
+
+  auto factorization = FactorizeSimpleUcrpq(q, vocab, options.factorize);
+  if (!factorization.ok()) {
+    result.note = "factorization failed: " + factorization.error();
+    return result;
+  }
+  const SimpleFactorization& f = factorization.value();
+
+  // Tp(T, Q̂): realizable types, computed by the matching engine.
+  TypeSpace engine_space({});
+  std::vector<uint64_t> engine_masks;
+  bool engine_capped = false;
+  if (alcq_case) {
+    AlcqSimpleEngine engine(&f, vocab, options.countermodel.limits);
+    auto set = engine.RealizableTypes(tbox);
+    engine_space = set.space;
+    engine_masks = std::move(set.masks);
+    engine_capped = engine.hit_cap();
+  } else {
+    AlciOnewayEngine engine(&f, vocab, options.countermodel.limits);
+    auto set = engine.RealizableTypes(tbox);
+    engine_space = set.space;
+    engine_masks = std::move(set.masks);
+    engine_capped = engine.hit_cap();
+  }
+
+  // H0 search space: T, Q̂ (with permissions), p.
+  std::vector<uint32_t> ids = tbox.ConceptIds();
+  for (uint32_t id : f.q_hat.MentionedConcepts()) ids.push_back(id);
+  for (uint32_t id : p.MentionedConcepts()) ids.push_back(id);
+  TypeSpace h0_space{std::move(ids)};
+  if (h0_space.arity() > options.countermodel.limits.max_support_bits) {
+    result.note = "H0 type space too large";
+    return result;
+  }
+
+  std::set<uint64_t> allowed = ProjectRealizable(engine_space, engine_masks, h0_space);
+  if (allowed.empty() && engine_capped) {
+    result.note = "Tp computation capped";
+    return result;
+  }
+
+  // Search for the central part H0: ⊨ p, ⊨ T (participation deferred at
+  // stubs with Tp types), ⊭ Q̂, seeded from expansions of p and quotients.
+  ExpansionSet expansions = CanonicalExpansions(p, options.countermodel.expansion);
+  bool exhaustive = expansions.exhaustive;
+  bool capped = engine_capped;
+
+  Ucrpq p_union;
+  p_union.AddDisjunct(p);
+
+  for (const Expansion& exp : expansions.expansions) {
+    std::vector<Graph> seeds =
+        SatisfyingQuotients(exp.graph, p, options.countermodel.max_quotients);
+    if (seeds.size() >= options.countermodel.max_quotients ||
+        exp.graph.NodeCount() > 8) {
+      capped = true;
+    }
+    for (const Graph& seed : seeds) {
+      WitnessProblem problem;
+      problem.space = &h0_space;
+      problem.tbox = &tbox;
+      problem.forbid = &f.q_hat;
+      problem.require = &p_union;
+      problem.seed = &seed;
+      WitnessProblem::Deferral deferral;
+      deferral.allowed_masks = &allowed;
+      deferral.forbid_outgoing = alcq_case;
+      problem.deferral = deferral;
+      WitnessResult w = FindWitness(problem, options.countermodel.limits);
+      if (w.answer == EngineAnswer::kYes) {
+        result.countermodel_found = EngineAnswer::kYes;
+        result.central_part = std::move(w.witness);
+        return result;
+      }
+      if (w.answer == EngineAnswer::kUnknown) capped = true;
+    }
+  }
+  result.countermodel_found =
+      (exhaustive && !capped) ? EngineAnswer::kNo : EngineAnswer::kUnknown;
+  return result;
+}
+
+}  // namespace gqc

@@ -1,0 +1,44 @@
+#ifndef GQC_CORE_REDUCTION_H_
+#define GQC_CORE_REDUCTION_H_
+
+#include "src/core/sparse.h"
+#include "src/query/factorize.h"
+
+namespace gqc {
+
+/// The §3 reduction of containment modulo schema to finite entailment, for
+/// TBoxes with participation constraints:
+///   p ⊑_T Q  iff  there is no finite graph H0 (the central part of a
+///   star-like countermodel, Lemma 3.5) with H0 ⊨ p, H0 ⊨ T0 (participation
+///   dropped at stub nodes), H0 ⊭ Q̂, where every node still violating a
+///   participation constraint is a stub: its type is in Tp(T, Q̂) — realized
+///   in some finite graph satisfying T and refuting Q — and it has exactly
+///   one incident edge (and no outgoing edges in the ALCQ case).
+///
+/// Tp(T, Q̂) is computed by the §5/§6 entailment engines; the H0 search uses
+/// the bounded witness search with the deferral policy.
+struct ReductionResult {
+  /// kYes: containment REFUTED (H0 in `central_part`); kNo: containment
+  /// holds (exact when nothing was capped); kUnknown otherwise.
+  EngineAnswer countermodel_found = EngineAnswer::kUnknown;
+  std::optional<Graph> central_part;
+  std::string note;
+};
+
+struct ReductionOptions {
+  CountermodelOptions countermodel;
+  FactorizeOptions factorize;
+};
+
+/// Runs the reduction for one connected disjunct p against connected simple
+/// UC2RPQ q and a normalized TBox in a supported fragment (ALCQ, or ALCI
+/// with one-way q). `alcq_case` selects the stub discipline (no outgoing
+/// edges) and which engine computes Tp.
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+                                         const NormalTBox& tbox, bool alcq_case,
+                                         Vocabulary* vocab,
+                                         const ReductionOptions& options);
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_REDUCTION_H_

@@ -1,0 +1,21 @@
+#include "src/core/result.h"
+
+namespace gqc {
+
+const char* ContainmentMethodName(ContainmentMethod m) {
+  switch (m) {
+    case ContainmentMethod::kClassical:
+      return "classical";
+    case ContainmentMethod::kDirectSearch:
+      return "direct-search";
+    case ContainmentMethod::kSparse:
+      return "sparse";
+    case ContainmentMethod::kReduction:
+      return "reduction";
+    case ContainmentMethod::kTrivial:
+      return "trivial";
+  }
+  return "?";
+}
+
+}  // namespace gqc

@@ -1,0 +1,42 @@
+#ifndef GQC_CORE_RESULT_H_
+#define GQC_CORE_RESULT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/query/containment.h"
+
+namespace gqc {
+
+/// Which decision path produced a containment verdict.
+enum class ContainmentMethod {
+  kClassical,        // no schema: canonical-database test
+  kDirectSearch,     // bounded countermodel search against the full TBox
+  kSparse,           // Thm 3.2 path (no participation constraints)
+  kReduction,        // §3 reduction to finite entailment (star-like models)
+  kTrivial,          // e.g. P unsatisfiable under the schema
+};
+
+const char* ContainmentMethodName(ContainmentMethod m);
+
+/// The outcome of a containment-modulo-schema query P ⊑_T Q.
+struct ContainmentResult {
+  Verdict verdict = Verdict::kUnknown;
+  ContainmentMethod method = ContainmentMethod::kDirectSearch;
+
+  /// For kNotContained via direct/sparse search: a finite graph G with
+  /// G ⊨ T, G ⊨ P, G ⊭ Q, re-verified before being returned.
+  std::optional<Graph> countermodel;
+
+  /// For kNotContained via the §3 reduction: the central part H0 of the
+  /// star-like countermodel (Lemma 3.5); the full countermodel additionally
+  /// hangs a peripheral part off each participation-deferred stub.
+  std::optional<Graph> central_part;
+
+  std::string note;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_RESULT_H_

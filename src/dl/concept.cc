@@ -1,0 +1,219 @@
+#include "src/dl/concept.h"
+
+#include <algorithm>
+
+namespace gqc {
+
+namespace {
+
+ConceptPtr Make(ConceptNode node) {
+  return std::make_shared<ConceptNode>(std::move(node));
+}
+
+}  // namespace
+
+ConceptPtr ConceptNode::Bottom() {
+  ConceptNode node;
+  node.kind = ConceptKind::kBottom;
+  return Make(std::move(node));
+}
+ConceptPtr ConceptNode::Top() {
+  ConceptNode node;
+  node.kind = ConceptKind::kTop;
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::Name(uint32_t concept_id) {
+  ConceptNode node;
+  node.kind = ConceptKind::kName;
+  node.concept_id = concept_id;
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::FromLiteral(Literal l) {
+  ConceptPtr name = Name(l.concept_id());
+  return l.is_negative() ? Not(name) : name;
+}
+
+ConceptPtr ConceptNode::Not(ConceptPtr c) {
+  ConceptNode node;
+  node.kind = ConceptKind::kNot;
+  node.children.push_back(std::move(c));
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::And(std::vector<ConceptPtr> cs) {
+  if (cs.size() == 1) return cs[0];
+  if (cs.empty()) return Top();
+  ConceptNode node;
+  node.kind = ConceptKind::kAnd;
+  node.children = std::move(cs);
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::Or(std::vector<ConceptPtr> cs) {
+  if (cs.size() == 1) return cs[0];
+  if (cs.empty()) return Bottom();
+  ConceptNode node;
+  node.kind = ConceptKind::kOr;
+  node.children = std::move(cs);
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::Exists(Role r, ConceptPtr c) {
+  ConceptNode node;
+  node.kind = ConceptKind::kExists;
+  node.role = r;
+  node.n = 1;
+  node.children.push_back(std::move(c));
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::Forall(Role r, ConceptPtr c) {
+  ConceptNode node;
+  node.kind = ConceptKind::kForall;
+  node.role = r;
+  node.children.push_back(std::move(c));
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::AtLeast(uint32_t n, Role r, ConceptPtr c) {
+  ConceptNode node;
+  node.kind = ConceptKind::kAtLeast;
+  node.role = r;
+  node.n = n;
+  node.children.push_back(std::move(c));
+  return Make(std::move(node));
+}
+
+ConceptPtr ConceptNode::AtMost(uint32_t n, Role r, ConceptPtr c) {
+  ConceptNode node;
+  node.kind = ConceptKind::kAtMost;
+  node.role = r;
+  node.n = n;
+  node.children.push_back(std::move(c));
+  return Make(std::move(node));
+}
+
+std::string ConceptToString(const ConceptPtr& c, const Vocabulary& vocab) {
+  switch (c->kind) {
+    case ConceptKind::kBottom:
+      return "bottom";
+    case ConceptKind::kTop:
+      return "top";
+    case ConceptKind::kName:
+      return vocab.ConceptName(c->concept_id);
+    case ConceptKind::kNot:
+      return "not " + ConceptToString(c->children[0], vocab);
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      std::string op = c->kind == ConceptKind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < c->children.size(); ++i) {
+        if (i) out += op;
+        out += ConceptToString(c->children[i], vocab);
+      }
+      return out + ")";
+    }
+    case ConceptKind::kExists:
+      return "exists " + vocab.RoleString(c->role) + "." +
+             ConceptToString(c->children[0], vocab);
+    case ConceptKind::kForall:
+      return "forall " + vocab.RoleString(c->role) + "." +
+             ConceptToString(c->children[0], vocab);
+    case ConceptKind::kAtLeast:
+      return "atleast " + std::to_string(c->n) + " " + vocab.RoleString(c->role) + "." +
+             ConceptToString(c->children[0], vocab);
+    case ConceptKind::kAtMost:
+      return "atmost " + std::to_string(c->n) + " " + vocab.RoleString(c->role) + "." +
+             ConceptToString(c->children[0], vocab);
+  }
+  return "?";
+}
+
+namespace {
+
+ConceptPtr Nnf(const ConceptPtr& c, bool negated) {
+  switch (c->kind) {
+    case ConceptKind::kBottom:
+      return negated ? ConceptNode::Top() : ConceptNode::Bottom();
+    case ConceptKind::kTop:
+      return negated ? ConceptNode::Bottom() : ConceptNode::Top();
+    case ConceptKind::kName:
+      return negated ? ConceptNode::Not(c) : c;
+    case ConceptKind::kNot:
+      return Nnf(c->children[0], !negated);
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      bool is_and = (c->kind == ConceptKind::kAnd) != negated;
+      std::vector<ConceptPtr> children;
+      children.reserve(c->children.size());
+      for (const auto& child : c->children) children.push_back(Nnf(child, negated));
+      return is_and ? ConceptNode::And(std::move(children))
+                    : ConceptNode::Or(std::move(children));
+    }
+    case ConceptKind::kExists:
+      // ∃r.C = ≥1 r.C; ¬∃r.C = ∀r.¬C (stays within ALC, unlike ≤0 r.C).
+      return negated ? ConceptNode::Forall(c->role, Nnf(c->children[0], true))
+                     : ConceptNode::AtLeast(1, c->role, Nnf(c->children[0], false));
+    case ConceptKind::kForall:
+      // ¬∀r.C = ≥1 r.¬C.
+      return negated ? ConceptNode::AtLeast(1, c->role, Nnf(c->children[0], true))
+                     : ConceptNode::Forall(c->role, Nnf(c->children[0], false));
+    case ConceptKind::kAtLeast:
+      if (!negated) return ConceptNode::AtLeast(c->n, c->role, Nnf(c->children[0], false));
+      // ¬≥n r.C = ≤n-1 r.C; ¬≥0 is unsatisfiable.
+      if (c->n == 0) return ConceptNode::Bottom();
+      return ConceptNode::AtMost(c->n - 1, c->role, Nnf(c->children[0], false));
+    case ConceptKind::kAtMost:
+      if (!negated) return ConceptNode::AtMost(c->n, c->role, Nnf(c->children[0], false));
+      // ¬≤n r.C = ≥n+1 r.C.
+      return ConceptNode::AtLeast(c->n + 1, c->role, Nnf(c->children[0], false));
+  }
+  return c;
+}
+
+}  // namespace
+
+ConceptPtr ToNnf(const ConceptPtr& c) { return Nnf(c, false); }
+
+bool ConceptUsesInverse(const ConceptPtr& c) {
+  switch (c->kind) {
+    case ConceptKind::kExists:
+    case ConceptKind::kForall:
+    case ConceptKind::kAtLeast:
+    case ConceptKind::kAtMost:
+      if (c->role.is_inverse()) return true;
+      break;
+    default:
+      break;
+  }
+  return std::any_of(c->children.begin(), c->children.end(), ConceptUsesInverse);
+}
+
+bool ConceptUsesCounting(const ConceptPtr& c) {
+  if (c->kind == ConceptKind::kAtLeast && c->n >= 2) return true;
+  if (c->kind == ConceptKind::kAtMost) return true;
+  return std::any_of(c->children.begin(), c->children.end(), ConceptUsesCounting);
+}
+
+void CollectConceptIds(const ConceptPtr& c, std::vector<uint32_t>* out) {
+  if (c->kind == ConceptKind::kName) out->push_back(c->concept_id);
+  for (const auto& child : c->children) CollectConceptIds(child, out);
+}
+
+void CollectRoleIds(const ConceptPtr& c, std::vector<uint32_t>* out) {
+  switch (c->kind) {
+    case ConceptKind::kExists:
+    case ConceptKind::kForall:
+    case ConceptKind::kAtLeast:
+    case ConceptKind::kAtMost:
+      out->push_back(c->role.name_id());
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : c->children) CollectRoleIds(child, out);
+}
+
+}  // namespace gqc

@@ -1,0 +1,71 @@
+#ifndef GQC_DL_CONCEPT_H_
+#define GQC_DL_CONCEPT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+/// ALCQI concept constructors (§2). The core grammar is
+///   C ::= ⊥ | A | C ⊓ C | ¬C | ∃^{≥n} r.C
+/// with ⊤, ⊔, ∀r.C, ∃r.C, ∃^{≤n} r.C kept as explicit kinds for readability
+/// (they are eliminated by normalization).
+enum class ConceptKind {
+  kBottom,
+  kTop,
+  kName,     // concept name A
+  kNot,      // ¬C
+  kAnd,      // C1 ⊓ ... ⊓ Ck
+  kOr,       // C1 ⊔ ... ⊔ Ck
+  kExists,   // ∃r.C  (= ∃^{≥1})
+  kForall,   // ∀r.C
+  kAtLeast,  // ∃^{≥n} r.C
+  kAtMost,   // ∃^{≤n} r.C
+};
+
+struct ConceptNode;
+using ConceptPtr = std::shared_ptr<const ConceptNode>;
+
+/// Immutable shared concept AST node.
+struct ConceptNode {
+  ConceptKind kind = ConceptKind::kBottom;
+  uint32_t concept_id = 0;          // kName
+  Role role;                        // restriction kinds
+  uint32_t n = 0;                   // kAtLeast / kAtMost
+  std::vector<ConceptPtr> children; // kNot: 1; kAnd/kOr: >= 1; restrictions: 1
+
+  static ConceptPtr Bottom();
+  static ConceptPtr Top();
+  static ConceptPtr Name(uint32_t concept_id);
+  static ConceptPtr FromLiteral(Literal l);
+  static ConceptPtr Not(ConceptPtr c);
+  static ConceptPtr And(std::vector<ConceptPtr> cs);
+  static ConceptPtr Or(std::vector<ConceptPtr> cs);
+  static ConceptPtr Exists(Role r, ConceptPtr c);
+  static ConceptPtr Forall(Role r, ConceptPtr c);
+  static ConceptPtr AtLeast(uint32_t n, Role r, ConceptPtr c);
+  static ConceptPtr AtMost(uint32_t n, Role r, ConceptPtr c);
+};
+
+std::string ConceptToString(const ConceptPtr& c, const Vocabulary& vocab);
+
+/// Negation normal form: negation only on names; ∃/∀ rewritten to ≥/≤ when
+/// negated. ¬≥n becomes ≤n-1, ¬≤n becomes ≥n+1, ¬∀r.C becomes ≥1 r.¬C.
+ConceptPtr ToNnf(const ConceptPtr& c);
+
+/// True if the concept (or any subconcept) uses an inverse role.
+bool ConceptUsesInverse(const ConceptPtr& c);
+/// True if the concept uses genuine counting: ≥n with n >= 2, or ≤n.
+bool ConceptUsesCounting(const ConceptPtr& c);
+
+/// Collects concept names / role names used.
+void CollectConceptIds(const ConceptPtr& c, std::vector<uint32_t>* out);
+void CollectRoleIds(const ConceptPtr& c, std::vector<uint32_t>* out);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_CONCEPT_H_

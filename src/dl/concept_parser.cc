@@ -1,0 +1,196 @@
+#include "src/dl/concept_parser.h"
+
+#include <cctype>
+
+namespace gqc {
+
+namespace {
+
+class ConceptParser {
+ public:
+  ConceptParser(std::string_view text, Vocabulary* vocab) : text_(text), vocab_(vocab) {}
+
+  Result<ConceptPtr> ParseFull() {
+    auto c = ParseOr();
+    if (!c.ok()) return c;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<ConceptPtr>::Error("concept: trailing input at position " +
+                                       std::to_string(pos_));
+    }
+    return c;
+  }
+
+  Result<ConceptPtr> ParseOr() {
+    auto first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<ConceptPtr> parts{first.value()};
+    while (ConsumeWord("or")) {
+      auto next = ParseAnd();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    return ConceptNode::Or(std::move(parts));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes keyword `word` only if it is a whole identifier at the cursor.
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_).substr(0, word.size()) != word) return false;
+    std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) || text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Result<std::string>::Error("concept: expected identifier at position " +
+                                        std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Role> ParseRole() {
+    auto name = ParseIdent();
+    if (!name.ok()) return Result<Role>::Error(name.error());
+    uint32_t id = vocab_->RoleId(name.value());
+    bool inverse = pos_ < text_.size() && text_[pos_] == '-';
+    if (inverse) ++pos_;
+    return inverse ? Role::Inverse(id) : Role::Forward(id);
+  }
+
+  Result<uint32_t> ParseNumber() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Result<uint32_t>::Error("concept: expected number at position " +
+                                     std::to_string(start));
+    }
+    return static_cast<uint32_t>(
+        std::stoul(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  Result<ConceptPtr> ParseAnd() {
+    auto first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<ConceptPtr> parts{first.value()};
+    while (ConsumeWord("and")) {
+      auto next = ParseUnary();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    return ConceptNode::And(std::move(parts));
+  }
+
+  Result<ConceptPtr> ParseUnary() {
+    if (ConsumeWord("not")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return ConceptNode::Not(inner.value());
+    }
+    return ParseRestOrAtom();
+  }
+
+  Result<ConceptPtr> ParseRestOrAtom() {
+    using R = Result<ConceptPtr>;
+    for (const char* kw : {"exists", "forall", "atleast", "atmost"}) {
+      if (!ConsumeWord(kw)) continue;
+      uint32_t n = 0;
+      std::string key = kw;
+      if (key == "atleast" || key == "atmost") {
+        auto num = ParseNumber();
+        if (!num.ok()) return R::Error(num.error());
+        n = num.value();
+      }
+      auto role = ParseRole();
+      if (!role.ok()) return R::Error(role.error());
+      if (!Consume('.')) return R::Error("concept: expected '.' after role");
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      if (key == "exists") return ConceptNode::Exists(role.value(), inner.value());
+      if (key == "forall") return ConceptNode::Forall(role.value(), inner.value());
+      if (key == "atleast") return ConceptNode::AtLeast(n, role.value(), inner.value());
+      return ConceptNode::AtMost(n, role.value(), inner.value());
+    }
+    if (ConsumeWord("top")) return ConceptNode::Top();
+    if (ConsumeWord("bottom")) return ConceptNode::Bottom();
+    if (Consume('(')) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return R::Error("concept: expected ')'");
+      return inner;
+    }
+    auto name = ParseIdent();
+    if (!name.ok()) return R::Error(name.error());
+    return ConceptNode::Name(vocab_->ConceptId(name.value()));
+  }
+
+  std::string_view text_;
+  Vocabulary* vocab_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConceptPtr> ParseConcept(std::string_view text, Vocabulary* vocab) {
+  return ConceptParser(text, vocab).ParseFull();
+}
+
+Result<TBox> ParseTBox(std::string_view text, Vocabulary* vocab) {
+  TBox tbox;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find_first_of(";\n", start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    // Trim and skip blanks/comments.
+    std::size_t a = line.find_first_not_of(" \t\r");
+    if (a == std::string_view::npos || line[a] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    std::size_t arrow = line.find("<=");
+    if (arrow == std::string_view::npos) {
+      return Result<TBox>::Error("tbox: missing '<=' in line: " + std::string(line));
+    }
+    auto lhs = ParseConcept(line.substr(0, arrow), vocab);
+    if (!lhs.ok()) return Result<TBox>::Error(lhs.error());
+    auto rhs = ParseConcept(line.substr(arrow + 2), vocab);
+    if (!rhs.ok()) return Result<TBox>::Error(rhs.error());
+    tbox.Add(lhs.value(), rhs.value());
+    if (end == text.size()) break;
+  }
+  return tbox;
+}
+
+}  // namespace gqc

@@ -1,0 +1,30 @@
+#ifndef GQC_DL_CONCEPT_PARSER_H_
+#define GQC_DL_CONCEPT_PARSER_H_
+
+#include <string_view>
+
+#include "src/dl/tbox.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Parses the textual concept syntax used by examples and tests:
+///
+///   concept := and_expr ('or' and_expr)*
+///   and     := unary ('and' unary)*
+///   unary   := 'not' unary
+///            | 'exists'  role '.' unary
+///            | 'forall'  role '.' unary
+///            | 'atleast' N role '.' unary
+///            | 'atmost'  N role '.' unary
+///            | 'top' | 'bottom' | NAME | '(' concept ')'
+///   role    := IDENT '-'?                        -- '-' marks an inverse role
+Result<ConceptPtr> ParseConcept(std::string_view text, Vocabulary* vocab);
+
+/// Parses a TBox: one CI per non-empty line (or ';'-separated), each of the
+/// form `concept <= concept`. Lines starting with '#' are comments.
+Result<TBox> ParseTBox(std::string_view text, Vocabulary* vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_CONCEPT_PARSER_H_

@@ -1,0 +1,44 @@
+#ifndef GQC_DL_MODEL_CHECK_H_
+#define GQC_DL_MODEL_CHECK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/graph/graph.h"
+#include "src/util/bitset.h"
+
+namespace gqc {
+
+/// Extension C^G of a concept over a finite graph (§2 interpretation).
+DynamicBitset ConceptExtension(const Graph& g, const ConceptPtr& c);
+
+/// G ⊨ T for a full TBox.
+bool Satisfies(const Graph& g, const TBox& tbox);
+
+/// G ⊨ T for a normalized TBox.
+bool Satisfies(const Graph& g, const NormalTBox& tbox);
+
+/// A violation: node `node` is in the lhs but not the rhs of CI `ci_index`.
+struct Violation {
+  NodeId node;
+  std::size_t ci_index;
+};
+
+/// All violations of a normalized TBox (empty iff G ⊨ T).
+std::vector<Violation> FindViolations(const Graph& g, const NormalTBox& tbox);
+
+/// Whether node `v` satisfies CI `ci` (i.e. is not a counterexample to it).
+bool NodeSatisfiesCi(const Graph& g, NodeId v, const NormalCi& ci);
+
+/// Whether node `v` satisfies every CI of `tbox`. Used for the per-node
+/// conditions on distinguished connector nodes (§5, §6).
+bool NodeSatisfies(const Graph& g, NodeId v, const NormalTBox& tbox);
+
+/// Number of r-successors of v carrying literal `l`.
+std::size_t CountSuccessors(const Graph& g, NodeId v, Role r, Literal l);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_MODEL_CHECK_H_

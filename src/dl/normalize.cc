@@ -1,0 +1,253 @@
+#include "src/dl/normalize.h"
+
+#include <cassert>
+
+namespace gqc {
+
+namespace {
+
+/// Structural transformation. Define(c, lower=true) returns a literal L with
+/// L ⊑ c entailed by the emitted clauses (a "lower bound" definition);
+/// Define(c, lower=false) returns L with c ⊑ L entailed. Both are exact under
+/// the canonical expansion of a model, which is what makes the normalization
+/// a conservative extension.
+class Normalizer {
+ public:
+  Normalizer(Vocabulary* vocab, NormalTBox* out) : vocab_(vocab), out_(out) {}
+
+  void AddCi(const ConceptInclusion& ci) {
+    ConceptPtr lhs = ToNnf(ci.lhs);
+    ConceptPtr rhs = ToNnf(ci.rhs);
+
+    // Fast paths that avoid fresh names for CIs already in (or close to)
+    // normal form. This keeps the type spaces of the entailment engines
+    // small, so it matters beyond aesthetics.
+    std::vector<Literal> lhs_lits, rhs_lits;
+    bool lhs_conj = AsLiteralConjunction(lhs, &lhs_lits);
+    if (lhs_conj && AsLiteralDisjunction(rhs, &rhs_lits)) {
+      EmitBoolean(std::move(lhs_lits), std::move(rhs_lits));
+      return;
+    }
+    if (lhs_conj && lhs_lits.size() <= 1) {
+      Literal l = lhs_lits.empty() ? Define(ConceptNode::Top(), /*lower=*/false)
+                                   : lhs_lits[0];
+      Literal filler;
+      switch (rhs->kind) {
+        case ConceptKind::kForall:
+          if (AsSingleLiteral(rhs->children[0], &filler)) {
+            EmitRestriction(NormalCi::Kind::kForall, l, rhs->role, 0, filler);
+            return;
+          }
+          break;
+        case ConceptKind::kAtLeast:
+          if (rhs->n >= 1 && AsSingleLiteral(rhs->children[0], &filler)) {
+            EmitRestriction(NormalCi::Kind::kAtLeast, l, rhs->role, rhs->n, filler);
+            return;
+          }
+          break;
+        case ConceptKind::kAtMost:
+          if (AsSingleLiteral(rhs->children[0], &filler)) {
+            EmitRestriction(NormalCi::Kind::kAtMost, l, rhs->role, rhs->n, filler);
+            return;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    Literal upper = Define(lhs, /*lower=*/false);  // lhs ⊑ upper
+    Literal low = Define(rhs, /*lower=*/true);     // low ⊑ rhs
+    NormalCi clause;
+    clause.kind = NormalCi::Kind::kBoolean;
+    clause.lhs = {upper};
+    clause.rhs = {low};
+    out_->Add(std::move(clause));
+  }
+
+ private:
+  static bool AsSingleLiteral(const ConceptPtr& c, Literal* out) {
+    if (c->kind == ConceptKind::kName) {
+      *out = Literal::Positive(c->concept_id);
+      return true;
+    }
+    if (c->kind == ConceptKind::kNot && c->children[0]->kind == ConceptKind::kName) {
+      *out = Literal::Negative(c->children[0]->concept_id);
+      return true;
+    }
+    return false;
+  }
+
+  /// ⊤ is the empty conjunction; a literal is a singleton.
+  static bool AsLiteralConjunction(const ConceptPtr& c, std::vector<Literal>* out) {
+    if (c->kind == ConceptKind::kTop) return true;
+    Literal l;
+    if (AsSingleLiteral(c, &l)) {
+      out->push_back(l);
+      return true;
+    }
+    if (c->kind != ConceptKind::kAnd) return false;
+    for (const auto& child : c->children) {
+      if (!AsLiteralConjunction(child, out)) return false;
+    }
+    return true;
+  }
+
+  /// ⊥ is the empty disjunction; a literal is a singleton.
+  static bool AsLiteralDisjunction(const ConceptPtr& c, std::vector<Literal>* out) {
+    if (c->kind == ConceptKind::kBottom) return true;
+    Literal l;
+    if (AsSingleLiteral(c, &l)) {
+      out->push_back(l);
+      return true;
+    }
+    if (c->kind != ConceptKind::kOr) return false;
+    for (const auto& child : c->children) {
+      if (!AsLiteralDisjunction(child, out)) return false;
+    }
+    return true;
+  }
+
+  Literal Fresh(const char* base) {
+    return Literal::Positive(vocab_->FreshConcept(base));
+  }
+
+  void EmitBoolean(std::vector<Literal> lhs, std::vector<Literal> rhs) {
+    NormalCi ci;
+    ci.kind = NormalCi::Kind::kBoolean;
+    ci.lhs = std::move(lhs);
+    ci.rhs = std::move(rhs);
+    out_->Add(std::move(ci));
+  }
+
+  void EmitRestriction(NormalCi::Kind kind, Literal lhs, Role r, uint32_t n,
+                       Literal rhs) {
+    NormalCi ci;
+    ci.kind = kind;
+    ci.lhs = {lhs};
+    ci.role = r;
+    ci.n = n;
+    ci.rhs_lit = rhs;
+    out_->Add(std::move(ci));
+  }
+
+  /// lower=true:  returns L with L ⊑ c.
+  /// lower=false: returns L with c ⊑ L.
+  Literal Define(const ConceptPtr& c, bool lower) {
+    switch (c->kind) {
+      case ConceptKind::kName:
+        return Literal::Positive(c->concept_id);
+      case ConceptKind::kNot:
+        // NNF: the child is a name.
+        assert(c->children[0]->kind == ConceptKind::kName);
+        return Literal::Negative(c->children[0]->concept_id);
+      case ConceptKind::kBottom: {
+        Literal a = Fresh("nf_bot");
+        if (lower) {
+          // a ⊑ ⊥.
+          EmitBoolean({a}, {});
+        }
+        // For the upper direction ⊥ ⊑ a holds for any a; emit nothing.
+        return a;
+      }
+      case ConceptKind::kTop: {
+        Literal a = Fresh("nf_top");
+        if (!lower) {
+          // ⊤ ⊑ a.
+          EmitBoolean({}, {a});
+        }
+        return a;
+      }
+      case ConceptKind::kAnd: {
+        Literal a = Fresh("nf_and");
+        std::vector<Literal> parts;
+        for (const auto& child : c->children) parts.push_back(Define(child, lower));
+        if (lower) {
+          // a ⊑ Li for each i, so a ⊑ ⨅ Li ⊑ ⨅ Ci.
+          for (Literal l : parts) EmitBoolean({a}, {l});
+        } else {
+          // ⨅ Li ⊑ a, so ⨅ Ci ⊑ ⨅ Li ⊑ a.
+          EmitBoolean(parts, {a});
+        }
+        return a;
+      }
+      case ConceptKind::kOr: {
+        Literal a = Fresh("nf_or");
+        std::vector<Literal> parts;
+        for (const auto& child : c->children) parts.push_back(Define(child, lower));
+        if (lower) {
+          // a ⊑ ⨆ Li ⊑ ⨆ Ci.
+          EmitBoolean({a}, parts);
+        } else {
+          // Li ⊑ a for each i, so ⨆ Ci ⊑ a.
+          for (Literal l : parts) EmitBoolean({l}, {a});
+        }
+        return a;
+      }
+      case ConceptKind::kForall: {
+        Literal a = Fresh("nf_all");
+        if (lower) {
+          // a ⊑ ∀r.L with L ⊑ C.
+          Literal l = Define(c->children[0], /*lower=*/true);
+          EmitRestriction(NormalCi::Kind::kForall, a, c->role, 0, l);
+        } else {
+          // ∀r.C ⊑ a  ⟺  ¬a ⊑ ∃r.¬C; need a lower witness for ¬C, i.e. an
+          // upper bound U ⊒ C and use ¬U ⊑ ¬C.
+          Literal u = Define(c->children[0], /*lower=*/false);
+          EmitRestriction(NormalCi::Kind::kAtLeast, a.Complemented(), c->role, 1,
+                          u.Complemented());
+        }
+        return a;
+      }
+      case ConceptKind::kExists:
+      case ConceptKind::kAtLeast: {
+        Literal a = Fresh("nf_ge");
+        uint32_t n = c->kind == ConceptKind::kExists ? 1 : c->n;
+        if (n == 0) {
+          // ≥0 r.C = ⊤.
+          return Define(ConceptNode::Top(), lower);
+        }
+        if (lower) {
+          // a ⊑ ≥n r.L with L ⊑ C.
+          Literal l = Define(c->children[0], /*lower=*/true);
+          EmitRestriction(NormalCi::Kind::kAtLeast, a, c->role, n, l);
+        } else {
+          // ≥n r.C ⊑ a  ⟺  ¬a ⊑ ≤n-1 r.C; sound with U ⊒ C.
+          Literal u = Define(c->children[0], /*lower=*/false);
+          EmitRestriction(NormalCi::Kind::kAtMost, a.Complemented(), c->role, n - 1, u);
+        }
+        return a;
+      }
+      case ConceptKind::kAtMost: {
+        Literal a = Fresh("nf_le");
+        if (lower) {
+          // a ⊑ ≤n r.C; sound with U ⊒ C: a ⊑ ≤n r.U ⊑ ≤n r.C.
+          Literal u = Define(c->children[0], /*lower=*/false);
+          EmitRestriction(NormalCi::Kind::kAtMost, a, c->role, c->n, u);
+        } else {
+          // ≤n r.C ⊑ a  ⟺  ¬a ⊑ ≥n+1 r.C; sound with L ⊑ C.
+          Literal l = Define(c->children[0], /*lower=*/true);
+          EmitRestriction(NormalCi::Kind::kAtLeast, a.Complemented(), c->role, c->n + 1,
+                          l);
+        }
+        return a;
+      }
+    }
+    assert(false && "unreachable");
+    return Literal::Positive(0);
+  }
+
+  Vocabulary* vocab_;
+  NormalTBox* out_;
+};
+
+}  // namespace
+
+NormalTBox Normalize(const TBox& tbox, Vocabulary* vocab) {
+  NormalTBox out;
+  Normalizer normalizer(vocab, &out);
+  for (const auto& ci : tbox.Cis()) normalizer.AddCi(ci);
+  return out;
+}
+
+}  // namespace gqc

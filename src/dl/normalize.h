@@ -1,0 +1,19 @@
+#ifndef GQC_DL_NORMALIZE_H_
+#define GQC_DL_NORMALIZE_H_
+
+#include "src/dl/tbox.h"
+
+namespace gqc {
+
+/// Normalizes a TBox into the §2 normal form (Boolean clauses over literals,
+/// l ⊑ ∀r.l', l ⊑ ∃^{≥n} r.l', l ⊑ ∃^{≤n} r.l') by structural transformation
+/// with fresh concept names interned into `vocab`.
+///
+/// The result is a conservative extension: every model of the input extends
+/// (uniquely, by evaluating the defining expressions) to a model of the
+/// output, and every model of the output satisfies the input.
+NormalTBox Normalize(const TBox& tbox, Vocabulary* vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_NORMALIZE_H_

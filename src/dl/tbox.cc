@@ -1,0 +1,167 @@
+#include "src/dl/tbox.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gqc {
+
+const char* DlFragmentName(DlFragment f) {
+  switch (f) {
+    case DlFragment::kAlc:
+      return "ALC";
+    case DlFragment::kAlci:
+      return "ALCI";
+    case DlFragment::kAlcq:
+      return "ALCQ";
+    case DlFragment::kAlcqi:
+      return "ALCQI";
+  }
+  return "?";
+}
+
+bool TBox::UsesInverse() const {
+  return std::any_of(cis_.begin(), cis_.end(), [](const ConceptInclusion& ci) {
+    return ConceptUsesInverse(ci.lhs) || ConceptUsesInverse(ci.rhs);
+  });
+}
+
+bool TBox::UsesCounting() const {
+  // Counting on the left of ⊑ behaves dually under the ⊤ ⊑ ¬C ⊔ D reading;
+  // check the NNF of the whole implication.
+  return std::any_of(cis_.begin(), cis_.end(), [](const ConceptInclusion& ci) {
+    ConceptPtr impl = ConceptNode::Or({ConceptNode::Not(ci.lhs), ci.rhs});
+    return ConceptUsesCounting(ToNnf(impl));
+  });
+}
+
+DlFragment TBox::Fragment() const {
+  bool inv = UsesInverse();
+  bool cnt = UsesCounting();
+  if (inv && cnt) return DlFragment::kAlcqi;
+  if (inv) return DlFragment::kAlci;
+  if (cnt) return DlFragment::kAlcq;
+  return DlFragment::kAlc;
+}
+
+std::vector<uint32_t> TBox::ConceptIds() const {
+  std::vector<uint32_t> out;
+  for (const auto& ci : cis_) {
+    CollectConceptIds(ci.lhs, &out);
+    CollectConceptIds(ci.rhs, &out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<uint32_t> TBox::RoleIds() const {
+  std::vector<uint32_t> out;
+  for (const auto& ci : cis_) {
+    CollectRoleIds(ci.lhs, &out);
+    CollectRoleIds(ci.rhs, &out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string TBox::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (const auto& ci : cis_) {
+    out += ConceptToString(ci.lhs, vocab) + " <= " + ConceptToString(ci.rhs, vocab) +
+           "\n";
+  }
+  return out;
+}
+
+std::string NormalCi::ToString(const Vocabulary& vocab) const {
+  auto literals = [&vocab](const std::vector<Literal>& ls, const char* sep,
+                           const char* empty) {
+    if (ls.empty()) return std::string(empty);
+    std::string out;
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      if (i) out += sep;
+      out += vocab.LiteralString(ls[i]);
+    }
+    return out;
+  };
+  std::string left = literals(lhs, " and ", "top");
+  switch (kind) {
+    case Kind::kBoolean:
+      return left + " <= " + literals(rhs, " or ", "bottom");
+    case Kind::kForall:
+      return left + " <= forall " + vocab.RoleString(role) + "." +
+             vocab.LiteralString(rhs_lit);
+    case Kind::kAtLeast:
+      return left + " <= atleast " + std::to_string(n) + " " + vocab.RoleString(role) +
+             "." + vocab.LiteralString(rhs_lit);
+    case Kind::kAtMost:
+      return left + " <= atmost " + std::to_string(n) + " " + vocab.RoleString(role) +
+             "." + vocab.LiteralString(rhs_lit);
+  }
+  return "?";
+}
+
+bool NormalTBox::UsesInverse() const {
+  return std::any_of(cis_.begin(), cis_.end(), [](const NormalCi& ci) {
+    return ci.kind != NormalCi::Kind::kBoolean && ci.role.is_inverse();
+  });
+}
+
+bool NormalTBox::UsesCounting() const {
+  return std::any_of(cis_.begin(), cis_.end(), [](const NormalCi& ci) {
+    return (ci.kind == NormalCi::Kind::kAtLeast && ci.n >= 2) ||
+           ci.kind == NormalCi::Kind::kAtMost;
+  });
+}
+
+DlFragment NormalTBox::Fragment() const {
+  bool inv = UsesInverse();
+  bool cnt = UsesCounting();
+  if (inv && cnt) return DlFragment::kAlcqi;
+  if (inv) return DlFragment::kAlci;
+  if (cnt) return DlFragment::kAlcq;
+  return DlFragment::kAlc;
+}
+
+bool NormalTBox::HasParticipationConstraints() const {
+  return std::any_of(cis_.begin(), cis_.end(), [](const NormalCi& ci) {
+    return ci.kind == NormalCi::Kind::kAtLeast;
+  });
+}
+
+std::vector<uint32_t> NormalTBox::RoleIds() const {
+  std::set<uint32_t> ids;
+  for (const auto& ci : cis_) {
+    if (ci.kind != NormalCi::Kind::kBoolean) ids.insert(ci.role.name_id());
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+std::vector<uint32_t> NormalTBox::ConceptIds() const {
+  std::set<uint32_t> ids;
+  for (const auto& ci : cis_) {
+    for (Literal l : ci.lhs) ids.insert(l.concept_id());
+    for (Literal l : ci.rhs) ids.insert(l.concept_id());
+    if (ci.kind != NormalCi::Kind::kBoolean) ids.insert(ci.rhs_lit.concept_id());
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+uint32_t NormalTBox::MaxNumber() const {
+  uint32_t max_n = 0;
+  for (const auto& ci : cis_) {
+    if (ci.kind == NormalCi::Kind::kAtLeast || ci.kind == NormalCi::Kind::kAtMost) {
+      max_n = std::max(max_n, ci.n);
+    }
+  }
+  return max_n;
+}
+
+std::string NormalTBox::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (const auto& ci : cis_) out += ci.ToString(vocab) + "\n";
+  return out;
+}
+
+}  // namespace gqc

@@ -1,0 +1,100 @@
+#ifndef GQC_DL_TBOX_H_
+#define GQC_DL_TBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dl/concept.h"
+
+namespace gqc {
+
+/// A concept inclusion C ⊑ D.
+struct ConceptInclusion {
+  ConceptPtr lhs;
+  ConceptPtr rhs;
+};
+
+/// The description-logic fragments the paper distinguishes (§2): ALC plus
+/// inverses (I) and/or qualified number restrictions (Q).
+enum class DlFragment { kAlc, kAlci, kAlcq, kAlcqi };
+
+const char* DlFragmentName(DlFragment f);
+
+/// A TBox: a finite set of concept inclusions. This is the schema formalism;
+/// the PG-Schema front-end (src/schema) compiles to it.
+class TBox {
+ public:
+  void Add(ConceptPtr lhs, ConceptPtr rhs) { cis_.push_back({std::move(lhs), std::move(rhs)}); }
+  void Add(ConceptInclusion ci) { cis_.push_back(std::move(ci)); }
+
+  const std::vector<ConceptInclusion>& Cis() const { return cis_; }
+  std::size_t size() const { return cis_.size(); }
+
+  bool UsesInverse() const;
+  bool UsesCounting() const;
+  DlFragment Fragment() const;
+
+  std::vector<uint32_t> ConceptIds() const;
+  std::vector<uint32_t> RoleIds() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<ConceptInclusion> cis_;
+};
+
+/// Normal-form concept inclusions (§2's normalized TBoxes, with literal
+/// conjunctions allowed on the left, which the §6 counting factorization
+/// needs):
+///   kBoolean: l1 ⊓ ... ⊓ lk ⊑ l'1 ⊔ ... ⊔ l'm    (all literals)
+///   kForall:  l1 ⊓ ... ⊓ lk ⊑ ∀r.l'
+///   kAtLeast: l1 ⊓ ... ⊓ lk ⊑ ∃^{≥n} r.l'   (n >= 1; n = 1 is ∃r.l', a
+///                                            participation constraint)
+///   kAtMost:  l1 ⊓ ... ⊓ lk ⊑ ∃^{≤n} r.l'
+struct NormalCi {
+  enum class Kind { kBoolean, kForall, kAtLeast, kAtMost };
+  Kind kind = Kind::kBoolean;
+  // All kinds: conjunction of literals on the left; empty lhs means ⊤.
+  std::vector<Literal> lhs;
+  // kBoolean only: disjunction of literals; empty rhs means ⊥.
+  std::vector<Literal> rhs;
+  // Restriction forms.
+  Literal rhs_lit;
+  Role role;
+  uint32_t n = 0;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// A TBox in normal form. All reasoning engines operate on this.
+class NormalTBox {
+ public:
+  void Add(NormalCi ci) { cis_.push_back(std::move(ci)); }
+  const std::vector<NormalCi>& Cis() const { return cis_; }
+  std::size_t size() const { return cis_.size(); }
+
+  bool UsesInverse() const;
+  bool UsesCounting() const;
+  DlFragment Fragment() const;
+
+  /// Participation constraints: at-least CIs (§3). Their presence forces the
+  /// entailment-based decision path.
+  bool HasParticipationConstraints() const;
+
+  /// Role name ids used in restriction CIs (the paper's Σ_T).
+  std::vector<uint32_t> RoleIds() const;
+  /// Concept ids used anywhere.
+  std::vector<uint32_t> ConceptIds() const;
+
+  /// Largest n in any at-least/at-most CI (0 if none).
+  uint32_t MaxNumber() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<NormalCi> cis_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_DL_TBOX_H_

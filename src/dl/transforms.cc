@@ -1,0 +1,323 @@
+#include "src/dl/transforms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gqc {
+
+NormalTBox DropParticipationConstraints(const NormalTBox& t) {
+  NormalTBox out;
+  for (const auto& ci : t.Cis()) {
+    if (ci.kind != NormalCi::Kind::kAtLeast) out.Add(ci);
+  }
+  return out;
+}
+
+namespace {
+
+NormalCi FlipForall(const NormalCi& ci) {
+  // l ⊑ ∀r.l'  ≡  ¬l' ⊑ ∀r⁻.¬l.
+  // The Normalize() pass always emits restrictions with exactly one literal
+  // on the left (a ⊤ left-hand side gets a defined name), so the flip stays
+  // within the normal form.
+  assert(ci.lhs.size() == 1 && "flip requires a single-literal lhs");
+  NormalCi flipped;
+  flipped.kind = NormalCi::Kind::kForall;
+  flipped.lhs = {ci.rhs_lit.Complemented()};
+  flipped.role = ci.role.Reversed();
+  flipped.rhs_lit = ci.lhs[0].Complemented();
+  return flipped;
+}
+
+NormalTBox DirectionalRestriction(const NormalTBox& t, bool keep_forward) {
+  NormalTBox out;
+  for (const auto& ci : t.Cis()) {
+    switch (ci.kind) {
+      case NormalCi::Kind::kBoolean:
+        out.Add(ci);
+        break;
+      case NormalCi::Kind::kAtLeast:
+        // Participation constraints over the wrong direction are dropped
+        // (their witnesses are provided by the other side of the frame).
+        if (ci.role.is_inverse() != keep_forward) out.Add(ci);
+        break;
+      case NormalCi::Kind::kForall:
+        // Universal restrictions are kept, flipping those over roles of the
+        // wrong direction to their contrapositive.
+        if (ci.role.is_inverse() != keep_forward) {
+          out.Add(ci);
+        } else {
+          out.Add(FlipForall(ci));
+        }
+        break;
+      case NormalCi::Kind::kAtMost:
+        assert(false && "T→/T← are defined for ALCI TBoxes (no counting)");
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+NormalTBox ForwardRestriction(const NormalTBox& t) {
+  return DirectionalRestriction(t, /*keep_forward=*/true);
+}
+
+NormalTBox BackwardRestriction(const NormalTBox& t) {
+  return DirectionalRestriction(t, /*keep_forward=*/false);
+}
+
+NormalTBox ForallsToAtMost(const NormalTBox& t) {
+  NormalTBox out;
+  for (const auto& ci : t.Cis()) {
+    if (ci.kind == NormalCi::Kind::kForall) {
+      NormalCi atmost;
+      atmost.kind = NormalCi::Kind::kAtMost;
+      atmost.lhs = ci.lhs;
+      atmost.role = ci.role;
+      atmost.n = 0;
+      atmost.rhs_lit = ci.rhs_lit.Complemented();
+      out.Add(std::move(atmost));
+    } else {
+      out.Add(ci);
+    }
+  }
+  return out;
+}
+
+std::size_t CountingVocabulary::PairIndex(Role role, Literal filler) const {
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].role == role && pairs[i].filler == filler) return i;
+  }
+  return npos;
+}
+
+std::vector<uint32_t> CountingVocabulary::AllLabelIds() const {
+  std::vector<uint32_t> out;
+  for (const auto& p : pairs) {
+    out.insert(out.end(), p.labels.begin(), p.labels.end());
+  }
+  return out;
+}
+
+CountingVocabulary MakeCountingVocabulary(const NormalTBox& t, Vocabulary* vocab) {
+  CountingVocabulary cv;
+  cv.big_n = t.MaxNumber() + 1;
+  std::set<std::pair<uint32_t, uint32_t>> seen;  // (role code, literal code)
+  for (const auto& ci : t.Cis()) {
+    if (ci.kind != NormalCi::Kind::kAtLeast && ci.kind != NormalCi::Kind::kAtMost) {
+      continue;
+    }
+    if (!seen.emplace(ci.role.code(), ci.rhs_lit.code()).second) continue;
+    CountedPair pair;
+    pair.role = ci.role;
+    pair.filler = ci.rhs_lit;
+    for (uint32_t i = 0; i <= cv.big_n; ++i) {
+      pair.labels.push_back(vocab->FreshConcept("cnt"));
+    }
+    cv.pairs.push_back(std::move(pair));
+  }
+  return cv;
+}
+
+NormalTBox MakeTn(const CountingVocabulary& cv) {
+  NormalTBox out;
+  for (const auto& pair : cv.pairs) {
+    // ⊤ ⊑ C_0.
+    NormalCi base;
+    base.kind = NormalCi::Kind::kBoolean;
+    base.rhs = {Literal::Positive(pair.labels[0])};
+    out.Add(std::move(base));
+    for (uint32_t i = 1; i < pair.labels.size(); ++i) {
+      NormalCi lower;
+      lower.kind = NormalCi::Kind::kAtLeast;
+      lower.lhs = {Literal::Positive(pair.labels[i])};
+      lower.role = pair.role;
+      lower.n = i;
+      lower.rhs_lit = pair.filler;
+      out.Add(std::move(lower));
+
+      NormalCi upper;
+      upper.kind = NormalCi::Kind::kAtMost;
+      upper.lhs = {Literal::Negative(pair.labels[i])};
+      upper.role = pair.role;
+      upper.n = i - 1;
+      upper.rhs_lit = pair.filler;
+      out.Add(std::move(upper));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ConceptPtr LiteralConcept(Literal l) { return ConceptNode::FromLiteral(l); }
+
+ConceptPtr LhsConcept(const NormalCi& ci) {
+  std::vector<ConceptPtr> parts;
+  for (Literal l : ci.lhs) parts.push_back(LiteralConcept(l));
+  return ConceptNode::And(std::move(parts));
+}
+
+}  // namespace
+
+TBox MakeTe(const NormalTBox& t, const CountingVocabulary& cv) {
+  TBox out;
+  for (const auto& ci : t.Cis()) {
+    switch (ci.kind) {
+      case NormalCi::Kind::kBoolean: {
+        std::vector<ConceptPtr> lhs, rhs;
+        for (Literal l : ci.lhs) lhs.push_back(LiteralConcept(l));
+        for (Literal l : ci.rhs) rhs.push_back(LiteralConcept(l));
+        out.Add(ConceptNode::And(std::move(lhs)), ConceptNode::Or(std::move(rhs)));
+        break;
+      }
+      case NormalCi::Kind::kForall:
+        assert(false && "run ForallsToAtMost before MakeTe");
+        break;
+      case NormalCi::Kind::kAtLeast: {
+        std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
+        assert(idx != CountingVocabulary::npos);
+        const CountedPair& pair = cv.pairs[idx];
+        std::vector<ConceptPtr> options;
+        for (uint32_t i = 0; i < pair.labels.size(); ++i) {
+          ConceptPtr label = ConceptNode::Name(pair.labels[i]);
+          if (i >= ci.n) {
+            options.push_back(label);  // the connector alone provides ≥ n
+          } else {
+            options.push_back(ConceptNode::And(
+                {label, ConceptNode::AtLeast(ci.n - i, ci.role,
+                                             LiteralConcept(ci.rhs_lit))}));
+          }
+        }
+        out.Add(LhsConcept(ci), ConceptNode::Or(std::move(options)));
+        break;
+      }
+      case NormalCi::Kind::kAtMost: {
+        std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
+        assert(idx != CountingVocabulary::npos);
+        const CountedPair& pair = cv.pairs[idx];
+        std::vector<ConceptPtr> conjuncts;
+        for (uint32_t i = 0; i < pair.labels.size(); ++i) {
+          ConceptPtr not_label = ConceptNode::Not(ConceptNode::Name(pair.labels[i]));
+          if (i > ci.n) {
+            conjuncts.push_back(not_label);  // connector count already exceeds n
+          } else {
+            conjuncts.push_back(ConceptNode::Or(
+                {not_label, ConceptNode::AtMost(ci.n - i, ci.role,
+                                                LiteralConcept(ci.rhs_lit))}));
+          }
+        }
+        out.Add(LhsConcept(ci), ConceptNode::And(std::move(conjuncts)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+NormalTBox CountingMonotonicity(const CountingVocabulary& cv) {
+  NormalTBox out;
+  for (const auto& pair : cv.pairs) {
+    for (std::size_t i = 0; i + 1 < pair.labels.size(); ++i) {
+      NormalCi mono;
+      mono.kind = NormalCi::Kind::kBoolean;
+      mono.lhs = {Literal::Positive(pair.labels[i + 1])};
+      mono.rhs = {Literal::Positive(pair.labels[i])};
+      out.Add(std::move(mono));
+    }
+    // C_0 is unconditionally true.
+    NormalCi base;
+    base.kind = NormalCi::Kind::kBoolean;
+    base.rhs = {Literal::Positive(pair.labels[0])};
+    out.Add(std::move(base));
+  }
+  return out;
+}
+
+NormalTBox MakeTeNormal(const NormalTBox& t, const CountingVocabulary& cv) {
+  NormalTBox out = CountingMonotonicity(cv);
+  const uint32_t big_n = cv.big_n;
+  for (const auto& ci : t.Cis()) {
+    switch (ci.kind) {
+      case NormalCi::Kind::kBoolean:
+        out.Add(ci);
+        break;
+      case NormalCi::Kind::kForall:
+        assert(false && "run ForallsToAtMost before MakeTeNormal");
+        break;
+      case NormalCi::Kind::kAtLeast: {
+        std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
+        assert(idx != CountingVocabulary::npos);
+        const CountedPair& pair = cv.pairs[idx];
+        for (uint32_t i = 0; i < ci.n; ++i) {
+          NormalCi split = ci;
+          split.lhs.push_back(Literal::Positive(pair.labels[i]));
+          if (i + 1 <= big_n) {
+            split.lhs.push_back(Literal::Negative(pair.labels[i + 1]));
+          }
+          split.n = ci.n - i;
+          out.Add(std::move(split));
+        }
+        // Promise >= n: nothing required in the component (i >= n cases).
+        break;
+      }
+      case NormalCi::Kind::kAtMost: {
+        std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
+        assert(idx != CountingVocabulary::npos);
+        const CountedPair& pair = cv.pairs[idx];
+        for (uint32_t i = 0; i <= ci.n && i <= big_n; ++i) {
+          NormalCi split = ci;
+          split.lhs.push_back(Literal::Positive(pair.labels[i]));
+          if (i + 1 <= big_n) {
+            split.lhs.push_back(Literal::Negative(pair.labels[i + 1]));
+          }
+          split.n = ci.n - i;
+          out.Add(std::move(split));
+        }
+        if (ci.n + 1 <= big_n) {
+          NormalCi forbid;
+          forbid.kind = NormalCi::Kind::kBoolean;
+          forbid.lhs = ci.lhs;
+          forbid.lhs.push_back(Literal::Positive(pair.labels[ci.n + 1]));
+          // Empty rhs = ⊥.
+          out.Add(std::move(forbid));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool SameLiteralSet(std::vector<Literal> a, std::vector<Literal> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool SameCi(const NormalCi& a, const NormalCi& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == NormalCi::Kind::kBoolean) {
+    return SameLiteralSet(a.lhs, b.lhs) && SameLiteralSet(a.rhs, b.rhs);
+  }
+  return SameLiteralSet(a.lhs, b.lhs) && a.rhs_lit == b.rhs_lit && a.role == b.role &&
+         a.n == b.n;
+}
+
+}  // namespace
+
+bool SyntacticallyEntails(const NormalTBox& t1, const NormalTBox& t2) {
+  for (const auto& ci2 : t2.Cis()) {
+    bool found = std::any_of(t1.Cis().begin(), t1.Cis().end(),
+                             [&](const NormalCi& ci1) { return SameCi(ci1, ci2); });
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace gqc

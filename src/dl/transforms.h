@@ -1,0 +1,91 @@
+#ifndef GQC_DL_TRANSFORMS_H_
+#define GQC_DL_TRANSFORMS_H_
+
+#include <vector>
+
+#include "src/dl/tbox.h"
+
+namespace gqc {
+
+/// T0: the TBox with all participation constraints (at-least CIs) dropped
+/// (§3, the warm-up case and TBox factorization).
+NormalTBox DropParticipationConstraints(const NormalTBox& t);
+
+/// T→ (§5): for an ALCI TBox, drops participation constraints over inverse
+/// roles and flips universal restrictions over inverse roles to their
+/// forward contrapositive (A ⊑ ∀r⁻.B becomes B̄ ⊑ ∀r.Ā). The result mentions
+/// only forward roles.
+NormalTBox ForwardRestriction(const NormalTBox& t);
+
+/// T← (§5): the symmetric transform; the result mentions only inverse roles.
+NormalTBox BackwardRestriction(const NormalTBox& t);
+
+/// Converts every kForall CI into the equivalent at-most form
+/// (l ⊑ ∀r.l' becomes l ⊑ ∃^{≤0} r.l̄'), so ALCQ TBoxes consist of Boolean,
+/// at-least, and at-most CIs only. Used by the §6 engine.
+NormalTBox ForallsToAtMost(const NormalTBox& t);
+
+/// The §6 counting vocabulary Γ_T: for each (role, filler literal) pair in an
+/// at-least/at-most restriction of T, fresh labels C_{0,r,D} .. C_{N,r,D}
+/// where N is one plus the maximal number in T. Label C_{i,r,D} on a node
+/// asserts it has at least i r-successors satisfying D among its *frame*
+/// successors (the connector side of the decomposition).
+struct CountedPair {
+  Role role;
+  Literal filler;
+  /// labels[i] is the concept id of C_{i,role,filler}, i = 0..N.
+  std::vector<uint32_t> labels;
+};
+
+struct CountingVocabulary {
+  std::vector<CountedPair> pairs;
+  uint32_t big_n = 0;  // N
+
+  /// Index of the pair for (role, filler), or npos.
+  std::size_t PairIndex(Role role, Literal filler) const;
+  static constexpr std::size_t npos = SIZE_MAX;
+
+  /// All label ids, across pairs and counts.
+  std::vector<uint32_t> AllLabelIds() const;
+};
+
+CountingVocabulary MakeCountingVocabulary(const NormalTBox& t, Vocabulary* vocab);
+
+/// T_n (§6): the definitional TBox pinning the counting labels to actual
+/// successor counts: ⊤ ⊑ C_0, C_i ⊑ ∃^{≥i} r.D, C̄_i ⊑ ∃^{≤i-1} r.D.
+/// In our frame decomposition it is checked at the distinguished node of each
+/// connector (whose successors are exactly the frame successors).
+NormalTBox MakeTn(const CountingVocabulary& cv);
+
+/// T_e (§6): T with every counting CI split between in-component successors
+/// and the connector counts promised by the labels:
+///   C ⊑ ∃^{≥n} r.D   ~>  C ⊑ ⨆_{i=0..N} (C_i ⊓ ∃^{≥ n-i} r.D)
+///   C ⊑ ∃^{≤n} r.D   ~>  C ⊑ ⨅_{i=0..N} (C̄_i ⊔ ∃^{≤ n-i} r.D)
+/// where ∃^{≥k} with k <= 0 is ⊤ and ∃^{≤k} with k < 0 is ⊥. Boolean CIs are
+/// kept. Requires ForallsToAtMost first. The result is a general TBox
+/// (normalize before feeding it to engines).
+TBox MakeTe(const NormalTBox& t, const CountingVocabulary& cv);
+
+/// T_e in normal form without fresh names, exploiting the conjunctive
+/// left-hand sides of NormalCi. For every counting CI and every possible
+/// connector promise i (determined by the labels C_i, with monotonicity
+/// C_{i+1} ⊑ C_i added as Boolean CIs):
+///   C ⊑ ∃^{≥n} r.D  ~>  {C, C_i, C̄_{i+1}} ⊑ ∃^{≥ n-i} r.D   for i < n
+///   C ⊑ ∃^{≤n} r.D  ~>  {C, C_i, C̄_{i+1}} ⊑ ∃^{≤ n-i} r.D   for i <= n
+///                        {C, C_{n+1}} ⊑ ⊥
+/// (i = N has no C_{N+1} guard). Per-type, this is exactly the general
+/// MakeTe; the §6 engine recursion uses this form.
+NormalTBox MakeTeNormal(const NormalTBox& t, const CountingVocabulary& cv);
+
+/// Monotonicity Boolean CIs C_{i+1,r,D} ⊑ C_{i,r,D} alone (part of both T_n
+/// and MakeTeNormal; exposed for tests).
+NormalTBox CountingMonotonicity(const CountingVocabulary& cv);
+
+/// "T1 entails T2" check used by abstract frames, implemented syntactically:
+/// every CI of t2 occurs in t1 (up to literal-set equality). Sufficient for
+/// the frames our engines build, which share CIs by construction.
+bool SyntacticallyEntails(const NormalTBox& t1, const NormalTBox& t2);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_TRANSFORMS_H_

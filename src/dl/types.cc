@@ -1,0 +1,53 @@
+#include "src/dl/types.h"
+
+#include <cassert>
+
+namespace gqc {
+
+bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
+                             const NormalTBox& tbox) {
+  for (const auto& ci : tbox.Cis()) {
+    if (ci.kind != NormalCi::Kind::kBoolean) continue;
+    bool lhs_holds = true;
+    for (Literal l : ci.lhs) {
+      std::size_t pos = space.PositionOf(l.concept_id());
+      assert(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      bool set = (mask >> pos) & 1;
+      if (l.is_negative() ? set : !set) {
+        lhs_holds = false;
+        break;
+      }
+    }
+    if (!lhs_holds) continue;
+    bool rhs_holds = false;
+    for (Literal l : ci.rhs) {
+      std::size_t pos = space.PositionOf(l.concept_id());
+      assert(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      bool set = (mask >> pos) & 1;
+      if (l.is_negative() ? !set : set) {
+        rhs_holds = true;
+        break;
+      }
+    }
+    if (!rhs_holds) return false;
+  }
+  return true;
+}
+
+std::vector<uint64_t> EnumerateLocallyConsistentTypes(const TypeSpace& space,
+                                                      const NormalTBox& tbox) {
+  assert(space.arity() <= 28 && "type space too large to enumerate");
+  std::vector<uint64_t> out;
+  for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
+    if (MaskSatisfiesBooleanCis(space, mask, tbox)) out.push_back(mask);
+  }
+  return out;
+}
+
+TypeSpace MakeSupport(const std::vector<std::vector<uint32_t>>& groups) {
+  std::vector<uint32_t> all;
+  for (const auto& g : groups) all.insert(all.end(), g.begin(), g.end());
+  return TypeSpace(std::move(all));
+}
+
+}  // namespace gqc

@@ -1,0 +1,29 @@
+#ifndef GQC_DL_TYPES_H_
+#define GQC_DL_TYPES_H_
+
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/graph/type.h"
+
+namespace gqc {
+
+/// Checks whether the maximal type `mask` (over `space`) satisfies every
+/// Boolean CI of `tbox`. The support must cover every concept mentioned in a
+/// Boolean CI of the TBox (asserted).
+bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
+                             const NormalTBox& tbox);
+
+/// Enumerates all maximal types over the support of `space` that satisfy the
+/// Boolean CIs of `tbox` (restriction CIs are ignored here — they are handled
+/// by the engines' fixpoints). Requires space.arity() <= 28.
+std::vector<uint64_t> EnumerateLocallyConsistentTypes(const TypeSpace& space,
+                                                      const NormalTBox& tbox);
+
+/// Builds the support Γ₀ as the union of the given concept-id groups,
+/// deduplicated.
+TypeSpace MakeSupport(const std::vector<std::vector<uint32_t>>& groups);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_TYPES_H_

@@ -1,0 +1,181 @@
+#include "src/entailment/alci_oneway.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/dl/model_check.h"
+#include "src/dl/transforms.h"
+#include "src/entailment/witness_search.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+bool MaskHasLiteralIn(const TypeSpace& space, uint64_t mask, Literal l) {
+  std::size_t pos = space.PositionOf(l.concept_id());
+  if (pos == TypeSpace::npos) return l.is_negative();
+  bool set = (mask >> pos) & 1;
+  return l.is_negative() ? !set : set;
+}
+
+}  // namespace
+
+EngineAnswer AlciOnewayEngine::TypeRealizable(const Type& tau, const NormalTBox& tbox) {
+  RealizableSet set = RealizableTypes(tbox);
+  // τ-literals over concepts outside the support are unconstrained by T and
+  // Q̂, so any witness can be relabelled to satisfy them; only the in-support
+  // part needs to be matched against the realizable masks.
+  Type in_support;
+  for (Literal l : tau.Literals()) {
+    if (set.space.PositionOf(l.concept_id()) != TypeSpace::npos) {
+      in_support.AddLiteral(l);
+    }
+  }
+  for (uint64_t mask : set.masks) {
+    if (set.space.MaskContains(mask, in_support)) return EngineAnswer::kYes;
+  }
+  return hit_cap_ ? EngineAnswer::kUnknown : EngineAnswer::kNo;
+}
+
+AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
+    const NormalTBox& tbox) {
+  hit_cap_ = false;
+  if (tbox.UsesCounting()) {
+    hit_cap_ = true;  // not this engine's case
+    return {};
+  }
+
+  uint32_t c_fwd = vocab_->FreshConcept("fwd_marker");
+
+  NormalTBox t_fwd = ForwardRestriction(tbox);
+  NormalTBox t_bwd = BackwardRestriction(tbox);
+
+  // Support Γ₀: T, Q̂, marker.
+  std::vector<uint32_t> ids = tbox.ConceptIds();
+  for (uint32_t id : f_->q_hat.MentionedConcepts()) ids.push_back(id);
+  ids.push_back(c_fwd);
+  TypeSpace space{std::move(ids)};
+  if (space.arity() > limits_.max_support_bits) {
+    hit_cap_ = true;
+    return {};
+  }
+
+  std::vector<uint64_t> members = EnumerateLocallyConsistentTypes(space, tbox);
+  std::vector<bool> alive(members.size(), true);
+  std::size_t fwd_pos = space.PositionOf(c_fwd);
+  auto is_forward = [&](uint64_t mask) { return (mask >> fwd_pos) & 1; };
+
+  // Connector check: for σ of direction d, every participation constraint of
+  // the opposite-direction TBox applicable at σ picks one child of the
+  // opposite direction; the assembled star must satisfy the opposite TBox at
+  // the distinguished node and refute Q̂. ALCI cannot detect duplicated
+  // witnesses, so one child per constraint is enough (Lemma 3.5 remark).
+  auto connector_ok = [&](uint64_t sigma, const std::vector<uint64_t>& opposite) {
+    bool forward = is_forward(sigma);
+    const NormalTBox& t_opp = forward ? t_bwd : t_fwd;
+    // Collect applicable participation constraints.
+    std::vector<const NormalCi*> obligations;
+    for (const auto& ci : t_opp.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
+      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
+        return MaskHasLiteralIn(space, sigma, l);
+      });
+      if (applicable) obligations.push_back(&ci);
+    }
+    if (obligations.size() > limits_.max_connector_children) {
+      hit_cap_ = true;
+      return false;
+    }
+    // Per-obligation candidates.
+    std::vector<std::vector<uint64_t>> candidates(obligations.size());
+    for (std::size_t i = 0; i < obligations.size(); ++i) {
+      for (uint64_t child : opposite) {
+        if (MaskHasLiteralIn(space, child, obligations[i]->rhs_lit)) {
+          candidates[i].push_back(child);
+        }
+      }
+      if (candidates[i].empty()) return false;
+    }
+    // Enumerate combinations; verify on the materialized star.
+    std::size_t steps = 0;
+    std::vector<uint64_t> picks(obligations.size());
+    std::function<bool(std::size_t)> choose = [&](std::size_t i) -> bool {
+      if (++steps > limits_.max_search_steps) {
+        hit_cap_ = true;
+        return false;
+      }
+      if (i == obligations.size()) {
+        Graph star = MaterializeNode(space, sigma);
+        for (std::size_t k = 0; k < picks.size(); ++k) {
+          NodeId w = AddMaskNode(&star, space, picks[k]);
+          // Directed connectors: edges run from backward to forward nodes.
+          Role role = obligations[k]->role;
+          if (role.is_inverse()) {
+            star.AddEdge(w, role.name_id(), 0);
+          } else {
+            star.AddEdge(0, role.name_id(), w);
+          }
+        }
+        if (!NodeSatisfies(star, 0, t_opp)) return false;
+        if (Matches(star, f_->q_hat)) return false;
+        return true;
+      }
+      for (uint64_t child : candidates[i]) {
+        picks[i] = child;
+        if (choose(i + 1)) return true;
+      }
+      return false;
+    };
+    return choose(0);
+  };
+
+  // Component productivity via bounded witness search (the DESIGN.md
+  // substitution for the [28] oracle).
+  auto component_ok = [&](uint64_t sigma, const std::vector<uint64_t>& same_dir) {
+    bool forward = is_forward(sigma);
+    const NormalTBox& t_dir = forward ? t_fwd : t_bwd;
+    std::vector<Type> theta;
+    theta.reserve(same_dir.size());
+    for (uint64_t m : same_dir) theta.push_back(space.MaterializeType(m));
+    WitnessProblem problem;
+    problem.space = &space;
+    problem.tbox = &t_dir;
+    problem.tau = space.MaterializeType(sigma);
+    problem.theta = std::move(theta);
+    problem.forbid = &f_->q_hat;
+    WitnessResult result = FindWitness(problem, limits_);
+    if (result.answer == EngineAnswer::kUnknown) hit_cap_ = true;
+    return result.answer == EngineAnswer::kYes;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<uint64_t> fwd_alive, bwd_alive;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!alive[i]) continue;
+      (is_forward(members[i]) ? fwd_alive : bwd_alive).push_back(members[i]);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!alive[i]) continue;
+      uint64_t sigma = members[i];
+      bool forward = is_forward(sigma);
+      const std::vector<uint64_t>& same = forward ? fwd_alive : bwd_alive;
+      const std::vector<uint64_t>& opp = forward ? bwd_alive : fwd_alive;
+      if (!connector_ok(sigma, opp) || !component_ok(sigma, same)) {
+        alive[i] = false;
+        changed = true;
+      }
+    }
+  }
+
+  RealizableSet out;
+  out.space = space;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (alive[i]) out.masks.push_back(members[i]);
+  }
+  return out;
+}
+
+}  // namespace gqc

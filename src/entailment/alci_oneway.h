@@ -1,0 +1,53 @@
+#ifndef GQC_ENTAILMENT_ALCI_ONEWAY_H_
+#define GQC_ENTAILMENT_ALCI_ONEWAY_H_
+
+#include "src/entailment/common.h"
+#include "src/query/factorize.h"
+
+namespace gqc {
+
+/// The §5 engine: finite entailment of one-way UCRPQs in ALCI
+/// (Theorem 5.1), in type-realization form. Countermodels decompose into
+/// *alternating frames*: components where every node is forward (marker C→)
+/// or every node is backward (C← = ¬C→), connected by directed connectors
+/// whose edges run from backward to forward nodes. Forward components reason
+/// with T→ (inverse participation dropped, inverse foralls flipped) and get
+/// their backward witnesses from connectors, and symmetrically.
+///
+/// The greatest fixpoint over maximal types (App. A.2) is implemented
+/// exactly; per the DESIGN.md substitution, component productivity uses the
+/// bounded witness search instead of the cited [28] automata construction,
+/// so "no" answers degrade to kUnknown when a budget is hit.
+///
+/// Scope: the factorization this engine consumes is exact for *simple*
+/// queries; arbitrary one-way UCRPQs fall back to bounded search in the
+/// public API (src/entailment/entailment.h).
+class AlciOnewayEngine {
+ public:
+  AlciOnewayEngine(const SimpleFactorization* factorization, Vocabulary* vocab,
+                   const EngineLimits& limits = {})
+      : f_(factorization), vocab_(vocab), limits_(limits) {}
+
+  /// Is `tau` realized in a finite graph satisfying `tbox` (normalized ALCI:
+  /// Boolean, forall, and exists CIs; no counting) and refuting the query?
+  EngineAnswer TypeRealizable(const Type& tau, const NormalTBox& tbox);
+
+  /// All realizable maximal types at once (Tp(T, Q̂), §3).
+  struct RealizableSet {
+    TypeSpace space{std::vector<uint32_t>{}};
+    std::vector<uint64_t> masks;
+  };
+  RealizableSet RealizableTypes(const NormalTBox& tbox);
+
+  bool hit_cap() const { return hit_cap_; }
+
+ private:
+  const SimpleFactorization* f_;
+  Vocabulary* vocab_;
+  EngineLimits limits_;
+  bool hit_cap_ = false;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_ALCI_ONEWAY_H_

@@ -1,0 +1,559 @@
+#include "src/entailment/alcq_simple.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/dl/transforms.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+/// Θ given as maximal-type masks over a (parent) space. A mask over a child
+/// space respects it iff its projection onto the parent support is listed.
+/// An empty `space` means unconstrained.
+struct MaskTheta {
+  const TypeSpace* space = nullptr;
+  std::vector<uint64_t> masks;  // sorted
+};
+
+/// Positions of `parent` support concepts inside `child` (child ⊇ parent).
+std::vector<std::size_t> ProjectionPositions(const TypeSpace& parent,
+                                             const TypeSpace& child) {
+  std::vector<std::size_t> out;
+  out.reserve(parent.arity());
+  for (uint32_t id : parent.support()) {
+    std::size_t pos = child.PositionOf(id);
+    assert(pos != TypeSpace::npos);
+    out.push_back(pos);
+  }
+  return out;
+}
+
+uint64_t Project(uint64_t mask, const std::vector<std::size_t>& positions) {
+  uint64_t out = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if ((mask >> positions[i]) & 1) out |= uint64_t{1} << i;
+  }
+  return out;
+}
+
+TypeSpace MakeLevelSupport(const Type& tau, const NormalTBox& tbox,
+                           const MaskTheta& theta, const Ucrpq& q_hat,
+                           const std::vector<uint32_t>& extra) {
+  std::vector<uint32_t> ids = tbox.ConceptIds();
+  for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
+  if (theta.space != nullptr) {
+    const auto& sup = theta.space->support();
+    ids.insert(ids.end(), sup.begin(), sup.end());
+  }
+  for (uint32_t id : q_hat.MentionedConcepts()) ids.push_back(id);
+  ids.insert(ids.end(), extra.begin(), extra.end());
+  return TypeSpace(std::move(ids));
+}
+
+/// Per-recursion-level bookkeeping: the type space Γ₀, the counting
+/// vocabulary, and the promise-split TBox.
+struct Level {
+  TypeSpace space{std::vector<uint32_t>{}};
+  CountingVocabulary cv;
+  NormalTBox te;
+
+  uint32_t Promise(uint64_t sigma, std::size_t pair_idx) const {
+    const CountedPair& pair = cv.pairs[pair_idx];
+    uint32_t m = 0;
+    for (uint32_t i = 0; i < pair.labels.size(); ++i) {
+      std::size_t pos = space.PositionOf(pair.labels[i]);
+      if (pos != TypeSpace::npos && ((sigma >> pos) & 1)) m = i;
+    }
+    return m;
+  }
+
+  bool MaskHasLiteral(uint64_t mask, Literal l) const {
+    std::size_t pos = space.PositionOf(l.concept_id());
+    if (pos == TypeSpace::npos) return l.is_negative();
+    bool set = (mask >> pos) & 1;
+    return l.is_negative() ? !set : set;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Implementation class holding the recursion; the public engine forwards.
+// ---------------------------------------------------------------------------
+
+class AlcqSimpleEngineImpl {
+ public:
+  AlcqSimpleEngineImpl(const SimpleFactorization* f, Vocabulary* vocab,
+                       const EngineLimits& limits)
+      : f_(f), vocab_(vocab), limits_(limits) {}
+
+  bool hit_cap_ = false;
+  AlcqSimpleEngine::Stats stats_;
+
+  /// Step A (Lemma 6.3). Returns the realizable distinguished masks over the
+  /// level's own space, along with the space itself (via out parameters).
+  std::vector<uint64_t> SolveSet(const NormalTBox& tbox, const MaskTheta& theta,
+                                 const std::vector<uint32_t>& sigma0,
+                                 std::size_t depth, TypeSpace* out_space) {
+    if (depth > limits_.max_depth) {
+      hit_cap_ = true;
+      *out_space = TypeSpace({});
+      return {};
+    }
+    ++stats_.recursive_calls;
+    std::vector<uint32_t> roles = tbox.RoleIds();
+    Ucrpq q_mod_sigma0 = DropReachabilityAtoms(f_->q_hat, sigma0);
+
+    if (roles.empty()) {
+      return BaseCaseSet(tbox, theta, q_mod_sigma0, out_space);
+    }
+
+    Level level;
+    level.cv = MakeCountingVocabulary(tbox, vocab_);
+    level.te = MakeTeNormal(tbox, level.cv);
+    level.space =
+        MakeLevelSupport(Type{}, level.te, theta, f_->q_hat, level.cv.AllLabelIds());
+    *out_space = level.space;
+    if (level.space.arity() > limits_.max_support_bits) {
+      hit_cap_ = true;
+      return {};
+    }
+
+    Ucrpq q_mod_sigma_t = DropReachabilityAtoms(f_->q_hat, roles);
+    std::vector<uint64_t> candidates =
+        FilterCandidates(level, theta, q_mod_sigma_t);
+
+    std::vector<std::size_t> all_pairs(level.cv.pairs.size());
+    for (std::size_t i = 0; i < all_pairs.size(); ++i) all_pairs[i] = i;
+
+    std::vector<uint64_t> psi;
+    for (std::size_t iteration = 0; iteration < 64; ++iteration) {
+      ++stats_.fixpoint_iterations;
+      // Connector-feasible candidates over the current psi.
+      std::vector<uint64_t> feasible;
+      for (uint64_t sigma : candidates) {
+        if (ConnectorExists(level, sigma, psi, q_mod_sigma0, all_pairs)) {
+          feasible.push_back(sigma);
+        }
+      }
+      if (feasible.empty()) return {};
+      // Productivity: one recursive set computation for all of them.
+      MaskTheta component_theta{&level.space, feasible};
+      TypeSpace child_space({});
+      std::vector<uint64_t> realizable = SolveSetStepB(
+          level.te, component_theta, roles, depth + 1, &child_space);
+      std::vector<uint64_t> productive =
+          ProjectSet(realizable, level.space, child_space);
+      // Keep only feasible ones (projection may include types outside).
+      std::vector<uint64_t> next;
+      std::set_intersection(feasible.begin(), feasible.end(), productive.begin(),
+                            productive.end(), std::back_inserter(next));
+      if (next == psi) return psi;
+      psi = std::move(next);
+    }
+    hit_cap_ = true;
+    return psi;
+  }
+
+  /// Step B (Lemma 6.5): role-alternating frames, greatest fixpoint.
+  std::vector<uint64_t> SolveSetStepB(const NormalTBox& tbox, const MaskTheta& theta,
+                                      const std::vector<uint32_t>& sigma_mod,
+                                      std::size_t depth, TypeSpace* out_space) {
+    if (depth > limits_.max_depth) {
+      hit_cap_ = true;
+      *out_space = TypeSpace({});
+      return {};
+    }
+    std::vector<uint32_t> roles = tbox.RoleIds();
+    if (roles.empty()) {
+      return BaseCaseSet(tbox, theta, DropReachabilityAtoms(f_->q_hat, sigma_mod),
+                         out_space);
+    }
+
+    Level level;
+    level.cv = MakeCountingVocabulary(tbox, vocab_);
+    level.te = MakeTeNormal(tbox, level.cv);
+    std::map<uint32_t, uint32_t> marker;
+    std::vector<uint32_t> extra = level.cv.AllLabelIds();
+    for (uint32_t r : roles) {
+      marker[r] = vocab_->FreshConcept("role_marker");
+      extra.push_back(marker[r]);
+    }
+    level.space = MakeLevelSupport(Type{}, level.te, theta, f_->q_hat, extra);
+    *out_space = level.space;
+    if (level.space.arity() > limits_.max_support_bits) {
+      hit_cap_ = true;
+      return {};
+    }
+
+    Ucrpq q_mod = DropReachabilityAtoms(f_->q_hat, sigma_mod);
+    std::vector<uint64_t> base = FilterCandidates(level, theta, q_mod);
+
+    struct Member {
+      uint64_t mask;
+      uint32_t banned;
+    };
+    std::vector<Member> members;
+    for (uint64_t mask : base) {
+      uint32_t banned = UINT32_MAX;
+      bool exactly_one = true;
+      for (uint32_t r : roles) {
+        std::size_t pos = level.space.PositionOf(marker[r]);
+        if ((mask >> pos) & 1) {
+          if (banned != UINT32_MAX) {
+            exactly_one = false;
+            break;
+          }
+          banned = r;
+        }
+      }
+      if (!exactly_one || banned == UINT32_MAX) continue;
+      if (!ZeroPromisesForOtherRoles(level, mask, banned)) continue;
+      if (!BannedRoleResiduesHold(level, tbox, mask, banned)) continue;
+      members.push_back({mask, banned});
+    }
+
+    auto next_role = [&](uint32_t r) {
+      auto it = std::find(roles.begin(), roles.end(), r);
+      ++it;
+      return it == roles.end() ? roles.front() : *it;
+    };
+
+    std::vector<bool> alive(members.size(), true);
+    bool changed = true;
+    std::size_t sweeps = 0;
+    while (changed) {
+      ++stats_.fixpoint_iterations;
+      if (++sweeps > 64) {
+        hit_cap_ = true;
+        break;
+      }
+      changed = false;
+      // Component productivity, one recursive set per banned role.
+      std::map<uint32_t, std::set<uint64_t>> productive;
+      for (uint32_t r : roles) {
+        std::vector<uint64_t> theta_masks;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (alive[j] && members[j].banned == r) theta_masks.push_back(members[j].mask);
+        }
+        if (theta_masks.empty()) continue;
+        std::sort(theta_masks.begin(), theta_masks.end());
+        NormalTBox component_tbox;
+        for (const auto& ci : tbox.Cis()) {
+          if (ci.kind == NormalCi::Kind::kBoolean || ci.role.name_id() != r) {
+            component_tbox.Add(ci);
+          }
+        }
+        MaskTheta component_theta{&level.space, theta_masks};
+        TypeSpace child_space({});
+        std::vector<uint64_t> realizable =
+            SolveSet(component_tbox, component_theta, sigma_mod, depth + 1,
+                     &child_space);
+        auto projected = ProjectSet(realizable, level.space, child_space);
+        productive[r] = std::set<uint64_t>(projected.begin(), projected.end());
+      }
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!alive[i]) continue;
+        uint32_t banned = members[i].banned;
+        if (productive[banned].find(members[i].mask) == productive[banned].end()) {
+          alive[i] = false;
+          changed = true;
+          continue;
+        }
+        uint32_t succ = next_role(banned);
+        std::vector<uint64_t> children;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (alive[j] && members[j].banned == succ) children.push_back(members[j].mask);
+        }
+        std::vector<std::size_t> pairs;
+        for (std::size_t p = 0; p < level.cv.pairs.size(); ++p) {
+          if (level.cv.pairs[p].role.name_id() == banned) pairs.push_back(p);
+        }
+        if (!ConnectorExists(level, members[i].mask, children, q_mod, pairs)) {
+          alive[i] = false;
+          changed = true;
+        }
+      }
+    }
+
+    std::vector<uint64_t> result;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (alive[i]) result.push_back(members[i].mask);
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+ private:
+  /// No-roles base case (B.1): single isolated nodes.
+  std::vector<uint64_t> BaseCaseSet(const NormalTBox& tbox, const MaskTheta& theta,
+                                    const Ucrpq& q_mod, TypeSpace* out_space) {
+    TypeSpace space = MakeLevelSupport(Type{}, tbox, theta, f_->q_hat, {});
+    *out_space = space;
+    if (space.arity() > limits_.max_support_bits) {
+      hit_cap_ = true;
+      return {};
+    }
+    std::vector<uint64_t> out;
+    Level level;
+    level.space = space;
+    for (uint64_t mask : EnumerateLocallyConsistentTypes(space, tbox)) {
+      if (!RespectsTheta(level, mask, theta)) continue;
+      if (HasAtLeastObligation(tbox, level, mask)) continue;
+      Graph g = MaterializeNode(space, mask);
+      if (!Matches(g, q_mod)) out.push_back(mask);
+    }
+    return out;
+  }
+
+  bool RespectsTheta(const Level& level, uint64_t mask, const MaskTheta& theta) {
+    if (theta.space == nullptr) return true;
+    auto positions = ProjectionPositions(*theta.space, level.space);
+    uint64_t projected = Project(mask, positions);
+    return std::binary_search(theta.masks.begin(), theta.masks.end(), projected);
+  }
+
+  bool HasAtLeastObligation(const NormalTBox& tbox, const Level& level,
+                            uint64_t mask) {
+    for (const auto& ci : tbox.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
+      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
+        return level.MaskHasLiteral(mask, l);
+      });
+      if (applicable) return true;
+    }
+    return false;
+  }
+
+  /// Locally consistent, Θ-respecting masks whose single-node graph already
+  /// refutes the component-level query (a node matching a one-variable
+  /// disjunct can never appear in a countermodel).
+  std::vector<uint64_t> FilterCandidates(const Level& level, const MaskTheta& theta,
+                                         const Ucrpq& q_component) {
+    stats_.types_enumerated += level.space.mask_count();
+    stats_.max_support_bits = std::max(stats_.max_support_bits, level.space.arity());
+    std::vector<uint64_t> out;
+    std::vector<std::size_t> positions;
+    if (theta.space != nullptr) {
+      positions = ProjectionPositions(*theta.space, level.space);
+    }
+    for (uint64_t mask : EnumerateLocallyConsistentTypes(level.space, level.te)) {
+      if (theta.space != nullptr &&
+          !std::binary_search(theta.masks.begin(), theta.masks.end(),
+                              Project(mask, positions))) {
+        continue;
+      }
+      Graph g = MaterializeNode(level.space, mask);
+      if (Matches(g, q_component)) continue;
+      out.push_back(mask);
+    }
+    return out;
+  }
+
+  std::vector<uint64_t> ProjectSet(const std::vector<uint64_t>& masks,
+                                   const TypeSpace& parent, const TypeSpace& child) {
+    if (child.arity() == 0) return {};
+    auto positions = ProjectionPositions(parent, child);
+    std::set<uint64_t> out;
+    for (uint64_t m : masks) out.insert(Project(m, positions));
+    return std::vector<uint64_t>(out.begin(), out.end());
+  }
+
+  bool ZeroPromisesForOtherRoles(const Level& level, uint64_t mask, uint32_t banned) {
+    for (std::size_t i = 0; i < level.cv.pairs.size(); ++i) {
+      if (level.cv.pairs[i].role.name_id() != banned && level.Promise(mask, i) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool BannedRoleResiduesHold(const Level& level, const NormalTBox& tbox,
+                              uint64_t mask, uint32_t banned) {
+    for (const auto& ci : tbox.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast && ci.kind != NormalCi::Kind::kAtMost) {
+        continue;
+      }
+      if (ci.role.name_id() != banned) continue;
+      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
+        return level.MaskHasLiteral(mask, l);
+      });
+      if (!applicable) continue;
+      std::size_t pair = level.cv.PairIndex(ci.role, ci.rhs_lit);
+      assert(pair != CountingVocabulary::npos);
+      uint32_t m = level.Promise(mask, pair);
+      bool saturated = m == level.cv.big_n;
+      if (ci.kind == NormalCi::Kind::kAtLeast) {
+        if (m < ci.n && !(saturated && level.cv.big_n >= ci.n)) return false;
+      } else {
+        if (saturated || m > ci.n) return false;
+      }
+    }
+    return true;
+  }
+
+ public:
+  bool ConnectorExists(const Level& level, uint64_t sigma,
+                       const std::vector<uint64_t>& child_masks, const Ucrpq& q_mod,
+                       const std::vector<std::size_t>& relevant_pairs) {
+    ++stats_.connector_searches;
+    std::vector<uint32_t> needed;
+    std::size_t total_needed = 0;
+    for (std::size_t p : relevant_pairs) {
+      uint32_t m = level.Promise(sigma, p);
+      needed.push_back(m);
+      total_needed += m;
+    }
+    if (total_needed == 0) {
+      Graph star = MaterializeNode(level.space, sigma);
+      return !Matches(star, q_mod);
+    }
+    if (total_needed > limits_.max_connector_children) {
+      hit_cap_ = true;
+      return false;
+    }
+
+    std::set<uint32_t> role_set;
+    for (std::size_t p : relevant_pairs) {
+      role_set.insert(level.cv.pairs[p].role.name_id());
+    }
+    std::vector<uint32_t> roles(role_set.begin(), role_set.end());
+
+    struct ChildChoice {
+      uint32_t role;
+      uint64_t mask;
+    };
+    std::vector<ChildChoice> picks;
+    std::size_t steps = 0;
+    std::function<bool(std::size_t, std::size_t)> search =
+        [&](std::size_t role_idx, std::size_t min_mask_idx) -> bool {
+      if (++steps > limits_.max_search_steps) {
+        hit_cap_ = true;
+        return false;
+      }
+      if (role_idx == roles.size()) {
+        Graph star = MaterializeNode(level.space, sigma);
+        for (const ChildChoice& c : picks) {
+          NodeId w = AddMaskNode(&star, level.space, c.mask);
+          star.AddEdge(0, c.role, w);
+        }
+        return !Matches(star, q_mod);
+      }
+      uint32_t role = roles[role_idx];
+      bool role_done = true;
+      for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
+        if (level.cv.pairs[relevant_pairs[k]].role.name_id() == role &&
+            needed[k] > 0) {
+          role_done = false;
+        }
+      }
+      if (role_done) return search(role_idx + 1, 0);
+
+      for (std::size_t m = min_mask_idx; m < child_masks.size(); ++m) {
+        uint64_t child = child_masks[m];
+        std::vector<std::size_t> hits;
+        bool overshoot = false;
+        for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
+          const CountedPair& pair = level.cv.pairs[relevant_pairs[k]];
+          if (pair.role.name_id() != role) continue;
+          if (level.MaskHasLiteral(child, pair.filler)) {
+            if (needed[k] == 0) {
+              overshoot = true;
+              break;
+            }
+            hits.push_back(k);
+          }
+        }
+        if (overshoot || hits.empty()) continue;
+        for (std::size_t k : hits) --needed[k];
+        picks.push_back({role, child});
+        if (search(role_idx, m)) return true;
+        picks.pop_back();
+        for (std::size_t k : hits) ++needed[k];
+      }
+      return false;
+    };
+    return search(0, 0);
+  }
+
+  const SimpleFactorization* f_;
+  Vocabulary* vocab_;
+  EngineLimits limits_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public wrappers.
+// ---------------------------------------------------------------------------
+
+EngineAnswer AlcqSimpleEngine::TypeRealizable(const Type& tau, const NormalTBox& tbox) {
+  hit_cap_ = false;
+  NormalTBox prepared = ForallsToAtMost(tbox);
+  std::vector<uint32_t> sigma0 = prepared.RoleIds();
+  sigma0.push_back(vocab_->RoleId("#fresh"));
+  return Solve(tau, prepared, {}, sigma0, 0);
+}
+
+AlcqSimpleEngine::RealizableSet AlcqSimpleEngine::RealizableTypes(
+    const NormalTBox& tbox) {
+  hit_cap_ = false;
+  NormalTBox prepared = ForallsToAtMost(tbox);
+  std::vector<uint32_t> sigma0 = prepared.RoleIds();
+  sigma0.push_back(vocab_->RoleId("#fresh"));
+  AlcqSimpleEngineImpl impl(f_, vocab_, limits_);
+  MaskTheta unconstrained;
+  RealizableSet out;
+  out.masks = impl.SolveSet(prepared, unconstrained, sigma0, 0, &out.space);
+  hit_cap_ = impl.hit_cap_;
+  stats_ = impl.stats_;
+  return out;
+}
+
+EngineAnswer AlcqSimpleEngine::Solve(const Type& tau, const NormalTBox& tbox,
+                                     const std::vector<Type>& theta,
+                                     const std::vector<uint32_t>& sigma0,
+                                     std::size_t depth) {
+  AlcqSimpleEngineImpl impl(f_, vocab_, limits_);
+  // Encode tau's concepts into the support via theta of a trivial space; the
+  // realizability check below uses MaskContains directly.
+  MaskTheta unconstrained;
+  std::vector<Type> all_theta = theta;
+  // Theta as explicit types: convert to a mask theta over their own support.
+  TypeSpace theta_space({});
+  if (!theta.empty()) {
+    std::vector<uint32_t> ids;
+    for (const Type& t : theta) {
+      for (Literal l : t.Literals()) ids.push_back(l.concept_id());
+    }
+    theta_space = TypeSpace(std::move(ids));
+    std::set<uint64_t> masks;
+    for (const Type& t : theta) masks.insert(theta_space.MaskOf(t));
+    unconstrained.space = &theta_space;
+    unconstrained.masks.assign(masks.begin(), masks.end());
+  }
+  // Make sure tau's concepts are in the level support by adding them to a
+  // widened tbox copy via a vacuous Boolean CI.
+  NormalTBox widened = tbox;
+  for (Literal l : tau.Literals()) {
+    NormalCi vac;
+    vac.kind = NormalCi::Kind::kBoolean;
+    vac.lhs = {l, l.Complemented()};  // unsatisfiable lhs: vacuously true CI
+    widened.Add(std::move(vac));
+  }
+  TypeSpace space({});
+  std::vector<uint64_t> realizable =
+      impl.SolveSet(widened, unconstrained, sigma0, depth, &space);
+  hit_cap_ = impl.hit_cap_;
+  stats_ = impl.stats_;
+  for (uint64_t mask : realizable) {
+    if (space.MaskContains(mask, tau)) return EngineAnswer::kYes;
+  }
+  return hit_cap_ ? EngineAnswer::kUnknown : EngineAnswer::kNo;
+}
+
+}  // namespace gqc

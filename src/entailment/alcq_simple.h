@@ -1,0 +1,82 @@
+#ifndef GQC_ENTAILMENT_ALCQ_SIMPLE_H_
+#define GQC_ENTAILMENT_ALCQ_SIMPLE_H_
+
+#include "src/entailment/common.h"
+#include "src/query/factorize.h"
+
+namespace gqc {
+
+/// The §6 engine: finite entailment of simple UC2RPQs in ALCQ
+/// (Theorem 6.1), in the type-realization form used by the containment
+/// reduction: decide whether a type τ is realized in some finite graph that
+/// satisfies the TBox, respects Θ, and refutes Q (i.e. avoids Q̂) modulo
+/// Σ0-reachability.
+///
+/// Structure (App. B):
+///  - Step A (Lemma 6.3): decompose along strongly connected components into
+///    tree-shaped frames; a least fixpoint computes the feasible distinguished
+///    types, with connectors satisfying the counting pinning T_n and
+///    components carrying the promise-split TBox T_e (checked recursively).
+///  - Step B (Lemma 6.5): role-alternating frames; a greatest fixpoint over
+///    marker-labelled types, whose component productivity recurses into Step
+///    A with one role fewer.
+///  - Base case (B.1): no roles — single-node witnesses.
+///
+/// The counting labels C_{i,r,D} record, for each node, how many r-successors
+/// with filler D it has across *frame* edges (its connector); T_n pins them at
+/// connectors and T_e splits each counting CI between in-component structure
+/// and the promised connector counts. This follows the paper's §6 scheme with
+/// the label bookkeeping made explicit (DESIGN.md).
+class AlcqSimpleEngine {
+ public:
+  /// `factorization` must come from FactorizeSimpleUcrpq on the query to
+  /// avoid; `vocab` mints the per-level counting labels and role markers.
+  AlcqSimpleEngine(const SimpleFactorization* factorization, Vocabulary* vocab,
+                   const EngineLimits& limits = {})
+      : f_(factorization), vocab_(vocab), limits_(limits) {}
+
+  /// Top-level query: is `tau` realized in a finite graph satisfying `tbox`
+  /// (normalized ALCQ, no inverse roles; foralls are converted internally)
+  /// and refuting the factorized query? Θ starts unconstrained.
+  EngineAnswer TypeRealizable(const Type& tau, const NormalTBox& tbox);
+
+  /// The recursive form (exposed for tests): refute Q̂ modulo
+  /// Σ0-reachability, with Σ0 ⊇ roles(tbox).
+  EngineAnswer Solve(const Type& tau, const NormalTBox& tbox,
+                     const std::vector<Type>& theta,
+                     const std::vector<uint32_t>& sigma0, std::size_t depth = 0);
+
+  /// All realizable maximal types at once (the paper's Tp(T, Q̂) computation
+  /// in §3): the masks over `space` whose single realization decides every
+  /// per-type query. Much cheaper than per-type TypeRealizable calls.
+  struct RealizableSet {
+    TypeSpace space{std::vector<uint32_t>{}};
+    std::vector<uint64_t> masks;
+  };
+  RealizableSet RealizableTypes(const NormalTBox& tbox);
+
+  /// True if any resource cap was hit during the last call (in which case
+  /// the answer was already reported as kUnknown).
+  bool hit_cap() const { return hit_cap_; }
+
+  /// Work counters from the last call (diagnostics / benchmarks).
+  struct Stats {
+    std::size_t fixpoint_iterations = 0;  // step-A rounds + step-B sweeps
+    std::size_t connector_searches = 0;
+    std::size_t types_enumerated = 0;
+    std::size_t recursive_calls = 0;
+    std::size_t max_support_bits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const SimpleFactorization* f_;
+  Vocabulary* vocab_;
+  EngineLimits limits_;
+  bool hit_cap_ = false;
+  Stats stats_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_ALCQ_SIMPLE_H_

@@ -1,0 +1,39 @@
+#include "src/entailment/common.h"
+
+namespace gqc {
+
+const char* EngineAnswerName(EngineAnswer a) {
+  switch (a) {
+    case EngineAnswer::kYes:
+      return "yes";
+    case EngineAnswer::kNo:
+      return "no";
+    case EngineAnswer::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+NodeId AddMaskNode(Graph* g, const TypeSpace& space, uint64_t mask) {
+  LabelSet labels;
+  for (std::size_t i = 0; i < space.arity(); ++i) {
+    if ((mask >> i) & 1) labels.Add(space.support()[i]);
+  }
+  return g->AddNode(std::move(labels));
+}
+
+Graph MaterializeNode(const TypeSpace& space, uint64_t mask) {
+  Graph g;
+  AddMaskNode(&g, space, mask);
+  return g;
+}
+
+bool MaskRespectsTheta(const TypeSpace& space, uint64_t mask,
+                       const std::vector<Type>& theta) {
+  for (const Type& t : theta) {
+    if (space.MaskContains(mask, t)) return true;
+  }
+  return theta.empty();
+}
+
+}  // namespace gqc

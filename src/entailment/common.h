@@ -1,0 +1,50 @@
+#ifndef GQC_ENTAILMENT_COMMON_H_
+#define GQC_ENTAILMENT_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/dl/types.h"
+#include "src/graph/graph.h"
+#include "src/graph/type.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// Tri-state answer of the bounded/exact decision procedures. Definite
+/// answers are exact; kUnknown means a configured resource cap was hit.
+enum class EngineAnswer { kYes, kNo, kUnknown };
+
+const char* EngineAnswerName(EngineAnswer a);
+
+/// Shared resource limits for the entailment engines.
+struct EngineLimits {
+  /// Maximum number of bits in any type-space support Γ₀ (the fixpoints
+  /// enumerate up to 2^bits maximal types).
+  std::size_t max_support_bits = 22;
+  /// Maximum number of children tried when searching for a connector.
+  std::size_t max_connector_children = 12;
+  /// Node budget for the bounded witness search.
+  std::size_t max_witness_nodes = 10;
+  /// Global step budget shared by a search (backtracking nodes expanded).
+  std::size_t max_search_steps = 200000;
+  /// Recursion depth guard.
+  std::size_t max_depth = 16;
+};
+
+/// Materializes a single node whose labels are the positive bits of `mask`
+/// over `space`.
+Graph MaterializeNode(const TypeSpace& space, uint64_t mask);
+
+/// Adds a node with the positive labels of `mask` to `g`.
+NodeId AddMaskNode(Graph* g, const TypeSpace& space, uint64_t mask);
+
+/// True if the maximal type `mask` contains some type of `theta`
+/// (the "respects Θ" condition on node types).
+bool MaskRespectsTheta(const TypeSpace& space, uint64_t mask,
+                       const std::vector<Type>& theta);
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_COMMON_H_

@@ -1,0 +1,110 @@
+#include "src/entailment/entailment.h"
+
+#include "src/dl/transforms.h"
+#include "src/entailment/alci_oneway.h"
+#include "src/entailment/alcq_simple.h"
+#include "src/entailment/witness_search.h"
+
+namespace gqc {
+
+const char* EnginePathName(EnginePath p) {
+  switch (p) {
+    case EnginePath::kNoRoles:
+      return "no-roles";
+    case EnginePath::kAlcqSimple:
+      return "alcq-simple";
+    case EnginePath::kAlciOneway:
+      return "alci-oneway";
+    case EnginePath::kBoundedSearch:
+      return "bounded-search";
+  }
+  return "?";
+}
+
+namespace {
+
+EntailmentResult RealizeByBoundedSearch(const Type& tau, const NormalTBox& tbox,
+                                        const Ucrpq& q, Vocabulary* vocab,
+                                        const EntailmentOptions& options) {
+  (void)vocab;
+  EntailmentResult result;
+  result.path = EnginePath::kBoundedSearch;
+  std::vector<uint32_t> ids = tbox.ConceptIds();
+  for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
+  for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
+  TypeSpace space{std::move(ids)};
+  WitnessProblem problem;
+  problem.space = &space;
+  problem.tbox = &tbox;
+  problem.tau = tau;
+  problem.forbid = &q;
+  WitnessResult w = FindWitness(problem, options.limits);
+  result.answer = w.answer;
+  result.witness = std::move(w.witness);
+  return result;
+}
+
+}  // namespace
+
+EntailmentResult TypeRealizable(const Type& tau, const NormalTBox& tbox,
+                                const Ucrpq& q, Vocabulary* vocab,
+                                const EntailmentOptions& options) {
+  const bool simple = q.IsSimple() && q.IsConnected();
+  if (simple) {
+    auto factorization = FactorizeSimpleUcrpq(q, vocab, options.factorize);
+    if (factorization.ok()) {
+      if (!tbox.UsesInverse()) {
+        EntailmentResult result;
+        result.path = EnginePath::kAlcqSimple;
+        AlcqSimpleEngine engine(&factorization.value(), vocab, options.limits);
+        result.answer = engine.TypeRealizable(tau, tbox);
+        return result;
+      }
+      if (!tbox.UsesCounting() && q.IsOneWay()) {
+        EntailmentResult result;
+        result.path = EnginePath::kAlciOneway;
+        AlciOnewayEngine engine(&factorization.value(), vocab, options.limits);
+        result.answer = engine.TypeRealizable(tau, tbox);
+        return result;
+      }
+    }
+  }
+  EntailmentResult result = RealizeByBoundedSearch(tau, tbox, q, vocab, options);
+  result.note = "combination outside the exact engines; bounded search used";
+  return result;
+}
+
+EntailmentResult FiniteEntails(const Graph& g, const NormalTBox& tbox, const Ucrpq& q,
+                               Vocabulary* vocab, const EntailmentOptions& options) {
+  (void)vocab;
+  EntailmentResult result;
+  result.path = EnginePath::kBoundedSearch;
+  std::vector<uint32_t> ids = tbox.ConceptIds();
+  for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    for (uint32_t id : g.Labels(v).ToIds()) ids.push_back(id);
+  }
+  TypeSpace space{std::move(ids)};
+  WitnessProblem problem;
+  problem.space = &space;
+  problem.tbox = &tbox;
+  problem.forbid = &q;
+  problem.seed = &g;
+  WitnessResult w = FindWitness(problem, options.limits);
+  // A counter-extension exists  <=>  Q is NOT finitely entailed.
+  switch (w.answer) {
+    case EngineAnswer::kYes:
+      result.answer = EngineAnswer::kNo;
+      result.witness = std::move(w.witness);
+      break;
+    case EngineAnswer::kNo:
+      result.answer = EngineAnswer::kYes;
+      break;
+    case EngineAnswer::kUnknown:
+      result.answer = EngineAnswer::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace gqc

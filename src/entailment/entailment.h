@@ -1,0 +1,55 @@
+#ifndef GQC_ENTAILMENT_ENTAILMENT_H_
+#define GQC_ENTAILMENT_ENTAILMENT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/entailment/common.h"
+#include "src/query/factorize.h"
+
+namespace gqc {
+
+/// Which decision path answered a request (reported for transparency).
+enum class EnginePath {
+  kNoRoles,       // B.1 base case
+  kAlcqSimple,    // §6 engine (exact)
+  kAlciOneway,    // §5 engine (productivity via bounded search)
+  kBoundedSearch  // bounded witness search only
+};
+
+const char* EnginePathName(EnginePath p);
+
+struct EntailmentResult {
+  EngineAnswer answer = EngineAnswer::kUnknown;
+  EnginePath path = EnginePath::kBoundedSearch;
+  /// For type-realization kYes via bounded search: the witness graph.
+  std::optional<Graph> witness;
+  std::string note;
+};
+
+struct EntailmentOptions {
+  EngineLimits limits;
+  FactorizeOptions factorize;
+};
+
+/// Type-realization variant of finite entailment (§3): is `tau` realized in
+/// some finite graph that satisfies `tbox` and refutes `q`? Dispatches:
+///   - simple connected UC2RPQ + ALCQ (no inverses)  -> §6 engine,
+///   - simple connected one-way UCRPQ + ALCI         -> §5 engine,
+///   - anything else                                 -> bounded search.
+/// `tbox` must be normalized; `q` is the query to avoid (not factorized —
+/// factorization happens inside).
+EntailmentResult TypeRealizable(const Type& tau, const NormalTBox& tbox,
+                                const Ucrpq& q, Vocabulary* vocab,
+                                const EntailmentOptions& options = {});
+
+/// Finite entailment proper: G, T ⊨_fin Q — does every finite extension of
+/// `g` satisfying `tbox` match `q`? Decided by searching for a finite
+/// counter-extension with the bounded witness search (kYes/kNo exact when no
+/// cap is hit; the witness of non-entailment is returned).
+EntailmentResult FiniteEntails(const Graph& g, const NormalTBox& tbox, const Ucrpq& q,
+                               Vocabulary* vocab, const EntailmentOptions& options = {});
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_ENTAILMENT_H_

@@ -1,0 +1,43 @@
+#include "src/entailment/no_roles.h"
+
+#include "src/query/eval.h"
+
+namespace gqc {
+
+EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
+                               const NormalTBox& tbox, const std::vector<Type>& theta,
+                               const Ucrpq& q_hat_mod) {
+  if (space.arity() > 28) return EngineAnswer::kUnknown;
+  for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
+    if (!space.MaskContains(mask, tau)) continue;
+    if (!MaskRespectsTheta(space, mask, theta)) continue;
+    if (!MaskSatisfiesBooleanCis(space, mask, tbox)) continue;
+    // Restriction CIs with an at-least obligation cannot be met by an
+    // isolated node; at-most and forall hold vacuously.
+    bool restriction_ok = true;
+    for (const auto& ci : tbox.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
+      bool applicable = true;
+      for (Literal l : ci.lhs) {
+        if (!space.MaskContains(mask, [&] {
+              Type t;
+              t.AddLiteral(l);
+              return t;
+            }())) {
+          applicable = false;
+          break;
+        }
+      }
+      if (applicable) {
+        restriction_ok = false;
+        break;
+      }
+    }
+    if (!restriction_ok) continue;
+    Graph g = MaterializeNode(space, mask);
+    if (!Matches(g, q_hat_mod)) return EngineAnswer::kYes;
+  }
+  return EngineAnswer::kNo;
+}
+
+}  // namespace gqc

@@ -1,0 +1,20 @@
+#ifndef GQC_ENTAILMENT_NO_ROLES_H_
+#define GQC_ENTAILMENT_NO_ROLES_H_
+
+#include "src/entailment/common.h"
+
+namespace gqc {
+
+/// Base case of the §6 recursion (App. B.1): the TBox mentions no roles, so
+/// it suffices to look for a single isolated node. Decides whether some
+/// maximal type over `space` (already filtered to the Boolean CIs of `tbox`
+/// by the caller or not — this function re-checks) contains `tau`, contains
+/// some type of `theta`, and whose one-node graph does not satisfy
+/// `q_hat_mod` (the factorized query with Σ0-reachability atoms dropped).
+EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
+                               const NormalTBox& tbox, const std::vector<Type>& theta,
+                               const Ucrpq& q_hat_mod);
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_NO_ROLES_H_

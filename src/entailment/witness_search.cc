@@ -1,0 +1,308 @@
+#include "src/entailment/witness_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/dl/model_check.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+class WitnessSearch {
+ public:
+  WitnessSearch(const WitnessProblem& problem, const EngineLimits& limits)
+      : p_(problem), limits_(limits), space_(*problem.space) {}
+
+  WitnessResult Run() {
+    if (space_.arity() > limits_.max_support_bits) {
+      return {EngineAnswer::kUnknown, std::nullopt};
+    }
+    roles_ = p_.roles.empty() ? p_.tbox->RoleIds() : p_.roles;
+
+    // Enumerate admissible masks once.
+    for (uint64_t mask = 0; mask < space_.mask_count(); ++mask) {
+      if (!MaskSatisfiesBooleanCis(space_, mask, *p_.tbox)) continue;
+      if (!MaskRespectsTheta(space_, mask, p_.theta)) continue;
+      masks_.push_back(mask);
+    }
+    if (masks_.empty()) return {EngineAnswer::kNo, std::nullopt};
+
+    // Initial states: either completions of the seed or a single tau-node.
+    if (p_.seed != nullptr) {
+      Graph g;
+      std::vector<uint64_t> node_masks;
+      if (SeedStates(&g, &node_masks, 0)) {
+        return {EngineAnswer::kYes, std::move(found_)};
+      }
+    } else {
+      for (uint64_t mask : masks_) {
+        if (!space_.MaskContains(mask, p_.tau)) continue;
+        Graph g = MaterializeNode(space_, mask);
+        std::vector<uint64_t> node_masks{mask};
+        if (Search(g, node_masks)) return {EngineAnswer::kYes, std::move(found_)};
+        if (OutOfBudget()) break;
+      }
+    }
+    return {hit_cap_ ? EngineAnswer::kUnknown : EngineAnswer::kNo, std::nullopt};
+  }
+
+ private:
+  bool OutOfBudget() {
+    if (steps_ > limits_.max_search_steps) {
+      hit_cap_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Recursively completes the seed's node labels to full masks, then runs
+  /// the main search on each completion.
+  bool SeedStates(Graph* g, std::vector<uint64_t>* node_masks, NodeId v) {
+    const Graph& seed = *p_.seed;
+    if (v == seed.NodeCount()) {
+      Graph completed;
+      for (NodeId u = 0; u < seed.NodeCount(); ++u) {
+        AddMaskNode(&completed, space_, (*node_masks)[u]);
+      }
+      seed.ForEachEdge([&](const Edge& e) {
+        completed.AddEdge(e.from, e.role, e.to);
+      });
+      std::vector<uint64_t> masks_copy = *node_masks;
+      return Search(completed, masks_copy);
+    }
+    for (uint64_t mask : masks_) {
+      bool covers = true;
+      for (uint32_t id : seed.Labels(v).ToIds()) {
+        std::size_t pos = space_.PositionOf(id);
+        if (pos == TypeSpace::npos || !((mask >> pos) & 1)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      node_masks->push_back(mask);
+      if (SeedStates(g, node_masks, v + 1)) return true;
+      node_masks->pop_back();
+      if (OutOfBudget()) return false;
+    }
+    return false;
+  }
+
+  /// True iff adding edge (u, role, w) keeps all forall/at-most CIs intact.
+  bool EdgeAdmissible(const Graph& g, const std::vector<uint64_t>& node_masks,
+                      NodeId u, uint32_t role, NodeId w) {
+    if (g.HasEdge(u, role, w)) return false;
+    auto mask_satisfies = [&](NodeId v, Literal l) {
+      std::size_t pos = space_.PositionOf(l.concept_id());
+      if (pos == TypeSpace::npos) return l.is_negative();
+      bool set = (node_masks[v] >> pos) & 1;
+      return l.is_negative() ? !set : set;
+    };
+    auto lhs_applies = [&](NodeId v, const NormalCi& ci) {
+      return std::all_of(ci.lhs.begin(), ci.lhs.end(),
+                         [&](Literal l) { return mask_satisfies(v, l); });
+    };
+    for (const auto& ci : p_.tbox->Cis()) {
+      if (ci.kind == NormalCi::Kind::kForall) {
+        // The new edge is an r-edge u->w, i.e. a Forward(role) successor of u
+        // and an Inverse(role) successor of w.
+        if (ci.role == Role::Forward(role) && lhs_applies(u, ci) &&
+            !mask_satisfies(w, ci.rhs_lit)) {
+          return false;
+        }
+        if (ci.role == Role::Inverse(role) && lhs_applies(w, ci) &&
+            !mask_satisfies(u, ci.rhs_lit)) {
+          return false;
+        }
+      } else if (ci.kind == NormalCi::Kind::kAtMost) {
+        auto violates = [&](NodeId src, NodeId dst, Role r) {
+          if (!(ci.role == r) || !lhs_applies(src, ci)) return false;
+          if (!mask_satisfies(dst, ci.rhs_lit)) return false;
+          return CountSuccessors(g, src, r, ci.rhs_lit) + 1 > ci.n;
+        };
+        if (violates(u, w, Role::Forward(role))) return false;
+        if (violates(w, u, Role::Inverse(role))) return false;
+      }
+    }
+    return true;
+  }
+
+  /// True if node `v` currently qualifies as a deferred shared stub
+  /// (Lemma 3.5): allowed mask, exactly one incident edge, and no outgoing
+  /// edges when the policy forbids them.
+  bool IsDeferred(const Graph& g, const std::vector<uint64_t>& node_masks,
+                  NodeId v) const {
+    if (!p_.deferral.has_value()) return false;
+    const auto& policy = *p_.deferral;
+    if (policy.allowed_masks == nullptr ||
+        policy.allowed_masks->find(node_masks[v]) == policy.allowed_masks->end()) {
+      return false;
+    }
+    if (g.Degree(v) != 1) return false;
+    if (policy.forbid_outgoing && !g.OutEdges(v).empty()) return false;
+    return true;
+  }
+
+  /// Finds the first at-least violation, or nullopt if the graph satisfies
+  /// the TBox (forall/at-most hold by edge-addition discipline; Boolean by
+  /// mask choice; seeds are re-checked here too). At-least violations at
+  /// deferred stubs are skipped.
+  struct Obligation {
+    NodeId node;
+    std::size_t ci_index;
+  };
+  std::optional<Obligation> FirstObligation(const Graph& g,
+                                            const std::vector<uint64_t>& node_masks) {
+    for (std::size_t i = 0; i < p_.tbox->Cis().size(); ++i) {
+      bool at_least = p_.tbox->Cis()[i].kind == NormalCi::Kind::kAtLeast;
+      for (NodeId v = 0; v < g.NodeCount(); ++v) {
+        if (NodeSatisfiesCi(g, v, p_.tbox->Cis()[i])) continue;
+        if (at_least && IsDeferred(g, node_masks, v)) continue;
+        return Obligation{v, i};
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Search(Graph& g, std::vector<uint64_t>& node_masks) {
+    if (OutOfBudget()) return false;
+    ++steps_;
+    if (p_.forbid != nullptr && Matches(g, *p_.forbid)) return false;
+
+    // Memoize visited states (approximate canonical form).
+    std::vector<uint64_t> key;
+    key.reserve(g.NodeCount() * 3);
+    for (NodeId v = 0; v < g.NodeCount(); ++v) key.push_back(node_masks[v]);
+    for (const Edge& e : g.AllEdges()) {
+      key.push_back((uint64_t{e.from} << 40) | (uint64_t{e.role} << 20) | e.to);
+    }
+    if (!visited_.insert(key).second) return false;
+
+    auto obligation = FirstObligation(g, node_masks);
+    if (!obligation.has_value()) {
+      if (p_.require != nullptr && !Matches(g, *p_.require)) return false;
+      if (!p_.tau.Literals().empty()) {
+        bool realized = false;
+        for (NodeId v = 0; v < g.NodeCount(); ++v) {
+          if (space_.MaskContains(node_masks[v], p_.tau)) realized = true;
+        }
+        if (!realized) return false;
+      }
+      found_ = g;
+      return true;
+    }
+
+    const NormalCi& ci = p_.tbox->Cis()[obligation->ci_index];
+    if (ci.kind != NormalCi::Kind::kAtLeast) {
+      // A forall/at-most/Boolean violation in a seeded start (edges given to
+      // us rather than added by the discipline): dead state.
+      return false;
+    }
+    NodeId v = obligation->node;
+
+    // Repair: add one more r-successor with the filler literal, either by
+    // linking to an existing node or by creating a fresh one.
+    for (NodeId w = 0; w < g.NodeCount(); ++w) {
+      if (!TryEdgeRepair(g, node_masks, v, ci, w)) continue;
+      if (Search(g, node_masks)) return true;
+      UndoEdge(g, v, ci, w);
+      if (OutOfBudget()) return false;
+    }
+    if (g.NodeCount() < limits_.max_witness_nodes) {
+      for (uint64_t mask : masks_) {
+        if (!MaskHasLiteral(mask, ci.rhs_lit)) continue;
+        NodeId w = AddMaskNode(&g, space_, mask);
+        node_masks.push_back(mask);
+        if (TryEdgeRepair(g, node_masks, v, ci, w)) {
+          if (Search(g, node_masks)) return true;
+          UndoEdge(g, v, ci, w);
+        }
+        RemoveLastNode(&g, &node_masks);
+        if (OutOfBudget()) return false;
+      }
+    } else {
+      hit_cap_ = true;
+    }
+    return false;
+  }
+
+  bool MaskHasLiteral(uint64_t mask, Literal l) {
+    std::size_t pos = space_.PositionOf(l.concept_id());
+    if (pos == TypeSpace::npos) return l.is_negative();
+    bool set = (mask >> pos) & 1;
+    return l.is_negative() ? !set : set;
+  }
+
+  bool TryEdgeRepair(Graph& g, const std::vector<uint64_t>& node_masks, NodeId v,
+                     const NormalCi& ci, NodeId w) {
+    if (!MaskHasLiteral(node_masks[w], ci.rhs_lit)) return false;
+    NodeId from = ci.role.is_inverse() ? w : v;
+    NodeId to = ci.role.is_inverse() ? v : w;
+    if (!EdgeAdmissible(g, node_masks, from, ci.role.name_id(), to)) return false;
+    g.AddEdge(from, ci.role.name_id(), to);
+    return true;
+  }
+
+  void UndoEdge(Graph& g, NodeId v, const NormalCi& ci, NodeId w) {
+    NodeId from = ci.role.is_inverse() ? w : v;
+    NodeId to = ci.role.is_inverse() ? v : w;
+    g.RemoveEdge(from, ci.role.name_id(), to);
+  }
+
+  void RemoveLastNode(Graph* g, std::vector<uint64_t>* node_masks) {
+    // Nodes are only removed right after creation, with no incident edges
+    // left (edges added during the repair were undone). Rebuild without the
+    // last node.
+    Graph rebuilt;
+    for (NodeId v = 0; v + 1 < g->NodeCount(); ++v) {
+      rebuilt.AddNode(g->Labels(v));
+    }
+    g->ForEachEdge([&](const Edge& e) {
+      if (e.from + 1 < g->NodeCount() && e.to + 1 < g->NodeCount()) {
+        rebuilt.AddEdge(e.from, e.role, e.to);
+      }
+    });
+    *g = std::move(rebuilt);
+    node_masks->pop_back();
+  }
+
+  const WitnessProblem& p_;
+  const EngineLimits& limits_;
+  const TypeSpace& space_;
+  std::vector<uint32_t> roles_;
+  std::vector<uint64_t> masks_;
+  std::set<std::vector<uint64_t>> visited_;
+  std::size_t steps_ = 0;
+  bool hit_cap_ = false;
+  std::optional<Graph> found_;
+};
+
+}  // namespace
+
+WitnessResult FindWitness(const WitnessProblem& problem, const EngineLimits& limits) {
+  WitnessResult result = WitnessSearch(problem, limits).Run();
+  // Definite witnesses are re-verified against the exact checkers. With a
+  // deferral policy the witness is only the central part of a star-like
+  // countermodel, so at-least CIs are exempt from the re-check (the stubs'
+  // needs are met by peripheral parts).
+  if (result.answer == EngineAnswer::kYes && result.witness.has_value()) {
+    bool ok = true;
+    if (problem.deferral.has_value()) {
+      NormalTBox without_at_least;
+      for (const auto& ci : problem.tbox->Cis()) {
+        if (ci.kind != NormalCi::Kind::kAtLeast) without_at_least.Add(ci);
+      }
+      ok = Satisfies(*result.witness, without_at_least);
+    } else {
+      ok = Satisfies(*result.witness, *problem.tbox);
+    }
+    if (problem.forbid != nullptr) ok = ok && !Matches(*result.witness, *problem.forbid);
+    if (problem.require != nullptr) ok = ok && Matches(*result.witness, *problem.require);
+    if (!ok) result.answer = EngineAnswer::kUnknown;  // should not happen
+  }
+  return result;
+}
+
+}  // namespace gqc

@@ -1,0 +1,62 @@
+#ifndef GQC_ENTAILMENT_WITNESS_SEARCH_H_
+#define GQC_ENTAILMENT_WITNESS_SEARCH_H_
+
+#include <optional>
+#include <set>
+
+#include "src/entailment/common.h"
+
+namespace gqc {
+
+/// A bounded model-construction problem: find a finite graph that
+///  - has its node labels drawn from `space` (every node carries a full
+///    maximal type over the support),
+///  - satisfies the normalized TBox,
+///  - has every node's type containing some member of `theta` (if nonempty),
+///  - realizes `tau` at some node (if nonempty),
+///  - does not match `forbid` (if provided),
+///  - matches `require` (if provided), and
+///  - optionally extends `seed` (nodes keep at least their seed labels).
+struct WitnessProblem {
+  const TypeSpace* space = nullptr;
+  const NormalTBox* tbox = nullptr;
+  Type tau;
+  std::vector<Type> theta;
+  const Ucrpq* forbid = nullptr;
+  const Ucrpq* require = nullptr;
+  const Graph* seed = nullptr;
+  /// Role name ids edges may use; defaults to the TBox roles if empty.
+  std::vector<uint32_t> roles;
+
+  /// Participation deferral (§3, Lemma 3.5): at-least violations are ignored
+  /// at nodes that qualify as *shared stubs* — their full mask is in
+  /// `allowed_masks`, they have exactly one incident edge, and (ALCQ case)
+  /// no outgoing edges. Used by the containment reduction to search for the
+  /// central part H0 of a star-like countermodel.
+  struct Deferral {
+    const std::set<uint64_t>* allowed_masks = nullptr;  // over `space`
+    bool forbid_outgoing = true;
+  };
+  std::optional<Deferral> deferral;
+};
+
+struct WitnessResult {
+  EngineAnswer answer = EngineAnswer::kUnknown;
+  std::optional<Graph> witness;
+};
+
+/// Chase/tableau-style backtracking search with a node budget: repairs
+/// at-least violations by reusing or creating nodes, never adds an edge that
+/// breaks a universal or at-most constraint, and rejects states matching
+/// `forbid`. kYes answers carry a verified witness; kNo means the bounded
+/// space was exhausted without hitting any cap (exact for problems whose
+/// minimal witnesses fit the budget); kUnknown means a cap was hit.
+///
+/// This is the engineering substitute (DESIGN.md, substitution 1) for the
+/// worst-case-optimal automata constructions the paper cites for component
+/// productivity.
+WitnessResult FindWitness(const WitnessProblem& problem, const EngineLimits& limits);
+
+}  // namespace gqc
+
+#endif  // GQC_ENTAILMENT_WITNESS_SEARCH_H_

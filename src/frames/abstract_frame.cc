@@ -1,0 +1,58 @@
+#include "src/frames/abstract_frame.h"
+
+#include <algorithm>
+
+#include "src/dl/model_check.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+uint32_t AbstractFrame::AddComponent(AbstractComponent c) {
+  components_.push_back(std::move(c));
+  return static_cast<uint32_t>(components_.size() - 1);
+}
+
+void AbstractFrame::AddEdge(uint32_t from, Type source_type, Role role, uint32_t to) {
+  edges_.push_back({from, std::move(source_type), role, to});
+}
+
+bool AbstractFrame::RealizesType(const Type& t) const {
+  return std::any_of(components_.begin(), components_.end(),
+                     [&](const AbstractComponent& c) {
+                       return c.distinguished.Contains(t);
+                     });
+}
+
+bool AbstractFrame::IsWitness(uint32_t f, const PointedGraph& witness) const {
+  const AbstractComponent& c = components_[f];
+  if (!witness.graph.HasType(witness.point, c.distinguished)) return false;
+  if (!Satisfies(witness.graph, c.tbox)) return false;
+  if (Matches(witness.graph, c.avoid)) return false;
+  if (!c.allowed.empty()) {
+    for (NodeId v = 0; v < witness.graph.NodeCount(); ++v) {
+      bool ok = std::any_of(c.allowed.begin(), c.allowed.end(), [&](const Type& t) {
+        return witness.graph.HasType(v, t);
+      });
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+ConcreteFrame AbstractFrame::Represent(const std::vector<PointedGraph>& witnesses) const {
+  ConcreteFrame out;
+  for (std::size_t f = 0; f < components_.size(); ++f) {
+    out.AddComponent(witnesses[f]);
+  }
+  for (const FrameEdge& e : edges_) {
+    const PointedGraph& w = witnesses[e.from];
+    for (NodeId v = 0; v < w.graph.NodeCount(); ++v) {
+      if (w.graph.HasType(v, e.source_type)) {
+        out.AddEdge(e.from, v, e.role, e.to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gqc

@@ -1,0 +1,63 @@
+#ifndef GQC_FRAMES_ABSTRACT_FRAME_H_
+#define GQC_FRAMES_ABSTRACT_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/frames/concrete_frame.h"
+
+namespace gqc {
+
+/// An abstract component (§4): a symbolic specification (τ_f, T_f, Θ_f, Q_f)
+/// of the pointed graphs a frame node may hold — distinguished type to
+/// realize, TBox to satisfy, maximal types to respect, query to avoid.
+struct AbstractComponent {
+  Type distinguished;        // τ_f
+  NormalTBox tbox;           // T_f
+  std::vector<Type> allowed; // Θ_f
+  Ucrpq avoid;               // Q_f
+};
+
+/// An abstract frame: like a concrete frame but with abstract components;
+/// edges are labelled (type, role) and stand for edges out of every node of
+/// that type. The engines realize abstract frames implicitly through their
+/// fixpoints; this explicit form exists for tests and documentation of the
+/// §4 notions.
+class AbstractFrame {
+ public:
+  uint32_t AddComponent(AbstractComponent c);
+  void AddEdge(uint32_t from, Type source_type, Role role, uint32_t to);
+
+  std::size_t ComponentCount() const { return components_.size(); }
+  const AbstractComponent& Component(uint32_t f) const { return components_[f]; }
+
+  struct FrameEdge {
+    uint32_t from;
+    Type source_type;
+    Role role;
+    uint32_t to;
+  };
+  const std::vector<FrameEdge>& Edges() const { return edges_; }
+
+  /// True if some component's distinguished type contains `t`.
+  bool RealizesType(const Type& t) const;
+
+  /// Checks that `witness` is a witnessing graph for component `f`
+  /// (§4: respects Θ_f, distinguished node of type τ_f, satisfies T_f,
+  /// avoids Q_f).
+  bool IsWitness(uint32_t f, const PointedGraph& witness) const;
+
+  /// Builds the concrete frame obtained by substituting `witnesses[f]` for
+  /// each component and expanding each abstract edge over all nodes of its
+  /// source type (§4, "represents"). Witnesses are not re-validated here.
+  ConcreteFrame Represent(const std::vector<PointedGraph>& witnesses) const;
+
+ private:
+  std::vector<AbstractComponent> components_;
+  std::vector<FrameEdge> edges_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_FRAMES_ABSTRACT_FRAME_H_

@@ -1,0 +1,93 @@
+#include "src/frames/alternating.h"
+
+#include <algorithm>
+
+namespace gqc {
+
+namespace {
+
+bool AllNodesMarked(const Graph& g, uint32_t concept_id, bool present) {
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    if (g.HasLabel(v, concept_id) != present) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsAlternating(const ConcreteFrame& frame, uint32_t c_forward) {
+  // Components: uniformly forward or uniformly backward.
+  std::vector<bool> forward(frame.ComponentCount());
+  for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
+    const Graph& g = frame.Component(f).graph;
+    if (AllNodesMarked(g, c_forward, true)) {
+      forward[f] = true;
+    } else if (AllNodesMarked(g, c_forward, false)) {
+      forward[f] = false;
+    } else {
+      return false;
+    }
+  }
+  // Connectors directed: frame edges run from backward nodes to forward
+  // nodes once edge direction is taken into account.
+  for (const auto& e : frame.Edges()) {
+    bool src_forward = forward[e.from];
+    bool dst_forward = forward[e.to];
+    // The actual edge in G_F runs source -> target for forward roles and
+    // target -> source for inverse roles.
+    bool tail_forward = e.role.is_inverse() ? dst_forward : src_forward;
+    bool head_forward = e.role.is_inverse() ? src_forward : dst_forward;
+    if (tail_forward || !head_forward) return false;  // must be backward->forward
+  }
+  return true;
+}
+
+bool ComponentsAreDirectional(const ConcreteFrame& frame, uint32_t c_forward) {
+  // In a graph represented by an alternating frame, forward components have
+  // only incoming frame edges and backward components only outgoing ones.
+  for (const auto& e : frame.Edges()) {
+    const Graph& src = frame.Component(e.from).graph;
+    bool src_forward = src.HasLabel(e.source_node, c_forward);
+    bool actual_outgoing = !e.role.is_inverse();
+    if (src_forward && actual_outgoing) return false;
+    if (!src_forward && !actual_outgoing) return false;
+  }
+  return true;
+}
+
+bool IsRoleAlternating(const ConcreteFrame& frame,
+                       const std::map<uint32_t, uint32_t>& markers,
+                       const std::vector<uint32_t>& role_order) {
+  auto next_role = [&](uint32_t r) {
+    auto it = std::find(role_order.begin(), role_order.end(), r);
+    if (it == role_order.end()) return role_order.front();
+    ++it;
+    return it == role_order.end() ? role_order.front() : *it;
+  };
+
+  std::vector<uint32_t> banned(frame.ComponentCount(), UINT32_MAX);
+  for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
+    const Graph& g = frame.Component(f).graph;
+    for (auto [role, marker] : markers) {
+      if (AllNodesMarked(g, marker, true)) {
+        if (banned[f] != UINT32_MAX) return false;  // two markers
+        banned[f] = role;
+      }
+    }
+    if (banned[f] == UINT32_MAX) return false;
+    // No in-component edges with the banned role.
+    bool clean = true;
+    g.ForEachEdge([&](const Edge& e) {
+      if (e.role == banned[f]) clean = false;
+    });
+    if (!clean) return false;
+  }
+  for (const auto& e : frame.Edges()) {
+    if (e.role.is_inverse()) return false;  // connectors are out-stars
+    if (e.role.name_id() != banned[e.from]) return false;
+    if (banned[e.to] != next_role(banned[e.from])) return false;
+  }
+  return true;
+}
+
+}  // namespace gqc

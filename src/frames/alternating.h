@@ -1,0 +1,37 @@
+#ifndef GQC_FRAMES_ALTERNATING_H_
+#define GQC_FRAMES_ALTERNATING_H_
+
+#include <map>
+
+#include "src/frames/concrete_frame.h"
+
+namespace gqc {
+
+/// §5's alternating-frame conditions, with `c_forward` the marker concept
+/// (C→; its absence is C←):
+///  - every component is all-forward or all-backward;
+///  - every connector is directed: all edges run from backward nodes to
+///    forward nodes, and the non-distinguished direction occurs only at the
+///    distinguished node.
+bool IsAlternating(const ConcreteFrame& frame, uint32_t c_forward);
+
+/// §6's role-alternating conditions, with `markers` mapping each role name
+/// id r in Σ_T to its marker concept C_r and `role_order` giving the cyclic
+/// enumeration r_1 .. r_m:
+///  - every component is uniformly marked with exactly one C_r (its banned
+///    role) and none of its edges use that role;
+///  - every connector is role-directed: the distinguished node is an
+///    r_i-node, the remaining nodes are r_{i+1}-nodes, and all edges are
+///    r_i-edges out of the distinguished node.
+bool IsRoleAlternating(const ConcreteFrame& frame,
+                       const std::map<uint32_t, uint32_t>& markers,
+                       const std::vector<uint32_t>& role_order);
+
+/// The §4/§6 span of a frame path machinery is analytic; what benchmarks and
+/// tests need is the observable consequence: in an alternating frame every
+/// component has only incoming or only outgoing frame edges. Checked here.
+bool ComponentsAreDirectional(const ConcreteFrame& frame, uint32_t c_forward);
+
+}  // namespace gqc
+
+#endif  // GQC_FRAMES_ALTERNATING_H_

@@ -1,0 +1,139 @@
+#include "src/frames/concrete_frame.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "src/graph/coil.h"
+#include "src/graph/homomorphism.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+uint32_t ConcreteFrame::AddComponent(PointedGraph component) {
+  components_.push_back(std::move(component));
+  return static_cast<uint32_t>(components_.size() - 1);
+}
+
+void ConcreteFrame::AddEdge(uint32_t from, NodeId source_node, Role role,
+                            uint32_t to) {
+  assert(from != to && "frames have no self-loops");
+#ifndef NDEBUG
+  for (const FrameEdge& e : edges_) {
+    assert(!(e.from == from && e.source_node == source_node && e.to == to) &&
+           "edges with the same source node must have distinct targets");
+  }
+#endif
+  edges_.push_back({from, source_node, role, to});
+}
+
+Graph ConcreteFrame::Assemble(std::vector<std::vector<NodeId>>* node_map) const {
+  Graph g;
+  std::vector<std::vector<NodeId>> map(components_.size());
+  for (std::size_t f = 0; f < components_.size(); ++f) {
+    NodeId offset = g.DisjointUnion(components_[f].graph);
+    map[f].resize(components_[f].graph.NodeCount());
+    for (NodeId v = 0; v < components_[f].graph.NodeCount(); ++v) {
+      map[f][v] = offset + v;
+    }
+  }
+  for (const FrameEdge& e : edges_) {
+    NodeId src = map[e.from][e.source_node];
+    NodeId dst = map[e.to][components_[e.to].point];
+    g.AddEdge(src, e.role, dst);
+  }
+  if (node_map != nullptr) *node_map = std::move(map);
+  return g;
+}
+
+PointedGraph ConcreteFrame::Connector(uint32_t f, NodeId v) const {
+  PointedGraph out;
+  NodeId center = out.graph.AddNode(components_[f].graph.Labels(v));
+  out.point = center;
+  for (const FrameEdge& e : edges_) {
+    if (e.from != f || e.source_node != v) continue;
+    const PointedGraph& target = components_[e.to];
+    NodeId w = out.graph.AddNode(target.graph.Labels(target.point));
+    out.graph.AddEdge(center, e.role, w);
+  }
+  return out;
+}
+
+std::vector<PointedGraph> ConcreteFrame::AllConnectors() const {
+  std::vector<PointedGraph> out;
+  for (uint32_t f = 0; f < components_.size(); ++f) {
+    for (NodeId v = 0; v < components_[f].graph.NodeCount(); ++v) {
+      out.push_back(Connector(f, v));
+    }
+  }
+  return out;
+}
+
+bool ConcreteFrame::RealizesType(const Type& t) const {
+  return std::any_of(components_.begin(), components_.end(), [&](const PointedGraph& c) {
+    return c.graph.HasType(c.point, t);
+  });
+}
+
+bool ConcreteFrame::WeaklyRefutes(const Ucrpq& q_components,
+                                  const Ucrpq& q_connectors) const {
+  for (const PointedGraph& c : components_) {
+    if (Matches(c.graph, q_components)) return false;
+  }
+  for (const PointedGraph& c : AllConnectors()) {
+    if (Matches(c.graph, q_connectors)) return false;
+  }
+  return true;
+}
+
+bool ConcreteFrame::ActuallyRefutes(const Ucrpq& q) const {
+  return !Matches(Assemble(), q);
+}
+
+Graph ConcreteFrame::ShapeGraph(std::vector<std::size_t>* edge_of_role) const {
+  Graph g;
+  for (std::size_t f = 0; f < components_.size(); ++f) g.AddNode();
+  std::vector<std::size_t> roles;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    // Synthetic role id = frame edge index: unique per edge.
+    g.AddEdge(edges_[i].from, static_cast<uint32_t>(i), edges_[i].to);
+    roles.push_back(i);
+  }
+  if (edge_of_role != nullptr) *edge_of_role = std::move(roles);
+  return g;
+}
+
+std::string ConcreteFrame::LocalSignature() const {
+  // §4: locally isomorphic frames have equal *sets* of isomorphism types of
+  // components and connectors (multiplicities do not matter).
+  std::set<std::string> prints;
+  for (const PointedGraph& c : components_) {
+    prints.insert("C:" + PointedFingerprint(c));
+  }
+  for (const PointedGraph& c : AllConnectors()) {
+    prints.insert("K:" + PointedFingerprint(c));
+  }
+  std::string out;
+  for (const auto& p : prints) out += p + "\n";
+  return out;
+}
+
+ConcreteFrame FrameCoil(const ConcreteFrame& frame, std::size_t n) {
+  Graph shape = frame.ShapeGraph();
+  CoilResult coil = Coil(shape, n);
+
+  ConcreteFrame out;
+  // Each coil node becomes a fresh copy of the base component.
+  for (NodeId u = 0; u < coil.graph.NodeCount(); ++u) {
+    out.AddComponent(frame.Component(static_cast<uint32_t>(coil.base_node[u])));
+  }
+  // Each coil edge carries the synthetic role id = original frame-edge index.
+  coil.graph.ForEachEdge([&](const Edge& e) {
+    const ConcreteFrame::FrameEdge& base = frame.Edges()[e.role];
+    out.AddEdge(e.from, base.source_node, base.role, e.to);
+  });
+  return out;
+}
+
+}  // namespace gqc

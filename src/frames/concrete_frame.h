@@ -1,0 +1,86 @@
+#ifndef GQC_FRAMES_CONCRETE_FRAME_H_
+#define GQC_FRAMES_CONCRETE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// A concrete frame (§4): a finite graph without self-loops whose nodes are
+/// labelled with pointed graphs (components) and whose edges, labelled with
+/// (source node, role) pairs, represent edges between components. Distinct
+/// edges out of the same source node must have distinct targets.
+class ConcreteFrame {
+ public:
+  /// Adds a component; returns its frame-node id.
+  uint32_t AddComponent(PointedGraph component);
+
+  /// Adds a frame edge from `from`'s node `source_node` over `role` to the
+  /// distinguished node of `to`'s component. Inverse roles produce an edge
+  /// pointing back into the component (a frame edge and the corresponding
+  /// edge in the frame may have opposite directions, §4).
+  void AddEdge(uint32_t from, NodeId source_node, Role role, uint32_t to);
+
+  std::size_t ComponentCount() const { return components_.size(); }
+  const PointedGraph& Component(uint32_t f) const { return components_[f]; }
+
+  struct FrameEdge {
+    uint32_t from;
+    NodeId source_node;
+    Role role;
+    uint32_t to;
+  };
+  const std::vector<FrameEdge>& Edges() const { return edges_; }
+
+  /// The represented graph G_F: the union of all components plus the frame
+  /// edges (§4). `node_map` (optional) receives, per frame node, the mapping
+  /// from component node ids to G_F node ids.
+  Graph Assemble(std::vector<std::vector<NodeId>>* node_map = nullptr) const;
+
+  /// The connector G_{f,v}: node v with its labels, plus one node per frame
+  /// edge out of (f, v) holding the target component's distinguished node
+  /// labels, joined by the edge's role (§4).
+  PointedGraph Connector(uint32_t f, NodeId v) const;
+
+  /// All connectors with at least the distinguished node (i.e. one per
+  /// component node).
+  std::vector<PointedGraph> AllConnectors() const;
+
+  /// True if some component's distinguished node has type `t`.
+  bool RealizesType(const Type& t) const;
+
+  /// Weak refutation (§4): every component and every connector fails `q`
+  /// (callers pass the factorized query Q̂, possibly with reachability atoms
+  /// dropped for components vs connectors — hence two parameters).
+  bool WeaklyRefutes(const Ucrpq& q_components, const Ucrpq& q_connectors) const;
+
+  /// Actual refutation: the represented graph fails `q`.
+  bool ActuallyRefutes(const Ucrpq& q) const;
+
+  /// The frame's own shape as a graph: one node per component, one edge per
+  /// frame edge; each frame edge gets a unique synthetic role id so that coil
+  /// paths distinguish parallel frame edges. `edge_of_role` maps the
+  /// synthetic role id back to the frame-edge index.
+  Graph ShapeGraph(std::vector<std::size_t>* edge_of_role = nullptr) const;
+
+  /// Local-isomorphism signature: the multiset of fingerprints of components
+  /// and connectors. Locally isomorphic frames (§4) have equal signatures.
+  std::string LocalSignature() const;
+
+ private:
+  std::vector<PointedGraph> components_;
+  std::vector<FrameEdge> edges_;
+};
+
+/// The frame coil F_n (Lemma 4.3): Coil(F, n) with every coil node holding a
+/// fresh copy of its component, locally isomorphic to F. Window `n` should
+/// exceed (span bound) * (largest disjunct size) per Lemma 4.3.
+ConcreteFrame FrameCoil(const ConcreteFrame& frame, std::size_t n);
+
+}  // namespace gqc
+
+#endif  // GQC_FRAMES_CONCRETE_FRAME_H_

@@ -1,0 +1,31 @@
+#ifndef GQC_FRAMES_SPAN_H_
+#define GQC_FRAMES_SPAN_H_
+
+#include <vector>
+
+#include "src/frames/concrete_frame.h"
+
+namespace gqc {
+
+/// The span machinery of §4/§6: an undirected path in G_F induces a path in
+/// the frame F; its *span* is the maximum absolute difference between the
+/// numbers of frame edges traversed forward and backward over any infix.
+/// The span of a 2RPQ in F is the maximum span over witnessing paths
+/// (Lemma 6.4 bounds it by |Σ_T| for simple non-reachability atoms in
+/// role-alternating frames; §5 bounds it by 1 in alternating frames).
+
+/// Decides whether some path witnessing the simple star atom R* (with
+/// R = `roles`, possibly containing inverse roles) in G_F has span
+/// exceeding `k`. Exact: explores (position, balance-window) states, whose
+/// count is bounded because windows wider than k+1 terminate the search.
+bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& roles,
+                         std::size_t k);
+
+/// The exact maximal span of R*-witnessing paths in the frame, capped at
+/// `cap` (returns cap + 1 if exceeded).
+std::size_t StarAtomSpan(const ConcreteFrame& frame, const std::vector<Role>& roles,
+                         std::size_t cap);
+
+}  // namespace gqc
+
+#endif  // GQC_FRAMES_SPAN_H_

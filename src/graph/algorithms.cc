@@ -1,0 +1,163 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace gqc {
+
+namespace {
+
+/// Visits the undirected neighbourhood of `u` (both edge directions).
+template <typename Fn>
+void ForEachUndirectedNeighbour(const Graph& g, NodeId u, Fn fn) {
+  for (const auto& [role, v] : g.OutEdges(u)) fn(v);
+  for (const auto& [role, v] : g.InEdges(u)) fn(v);
+}
+
+}  // namespace
+
+bool IsConnected(const Graph& g) {
+  std::size_t count = 0;
+  ConnectedComponents(g, &count);
+  return count <= 1;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g, std::size_t* count) {
+  std::vector<uint32_t> comp(g.NodeCount(), UINT32_MAX);
+  uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g.NodeCount(); ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    comp[start] = next;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      ForEachUndirectedNeighbour(g, u, [&](NodeId v) {
+        if (comp[v] == UINT32_MAX) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      });
+    }
+    ++next;
+  }
+  if (count != nullptr) *count = next;
+  return comp;
+}
+
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& g, std::size_t* count) {
+  // Iterative Tarjan.
+  const std::size_t n = g.NodeCount();
+  std::vector<uint32_t> index(n, UINT32_MAX), lowlink(n, 0), scc(n, UINT32_MAX);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0, next_scc = 0;
+
+  struct Frame {
+    NodeId v;
+    std::size_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      NodeId v = frame.v;
+      const auto& edges = g.OutEdges(v);
+      if (frame.edge < edges.size()) {
+        NodeId w = edges[frame.edge].second;
+        ++frame.edge;
+        if (index[w] == UINT32_MAX) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          NodeId parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = next_scc;
+            if (w == v) break;
+          }
+          ++next_scc;
+        }
+      }
+    }
+  }
+  if (count != nullptr) *count = next_scc;
+  return scc;
+}
+
+bool IsCSparse(const Graph& g, int64_t c) {
+  return static_cast<int64_t>(g.EdgeCount()) <=
+         static_cast<int64_t>(g.NodeCount()) + c;
+}
+
+bool IsUndirectedTree(const Graph& g) {
+  if (g.NodeCount() == 0) return false;
+  return IsConnected(g) && g.EdgeCount() == g.NodeCount() - 1;
+}
+
+std::vector<std::size_t> UndirectedDistances(const Graph& g, NodeId source) {
+  std::vector<std::size_t> dist(g.NodeCount(), SIZE_MAX);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    ForEachUndirectedNeighbour(g, u, [&](NodeId v) {
+      if (dist[v] == SIZE_MAX) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<std::size_t> DirectedDistances(const Graph& g, NodeId source) {
+  std::vector<std::size_t> dist(g.NodeCount(), SIZE_MAX);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& [role, v] : g.OutEdges(u)) {
+      if (dist[v] == SIZE_MAX) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ReachableFrom(const Graph& g, NodeId source) {
+  std::vector<NodeId> out;
+  auto dist = DirectedDistances(g, source);
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    if (dist[v] != SIZE_MAX) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gqc

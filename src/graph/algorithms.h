@@ -1,0 +1,43 @@
+#ifndef GQC_GRAPH_ALGORITHMS_H_
+#define GQC_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqc {
+
+/// True if the graph is connected when edge directions are ignored.
+/// The empty graph counts as connected.
+bool IsConnected(const Graph& g);
+
+/// Connected components (edge directions ignored); returns per-node component
+/// ids, dense from 0 in first-seen order.
+std::vector<uint32_t> ConnectedComponents(const Graph& g, std::size_t* count = nullptr);
+
+/// Strongly connected components (Tarjan); returns per-node SCC ids.
+/// Ids are dense from 0 and in reverse topological order of the condensation.
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& g,
+                                                  std::size_t* count = nullptr);
+
+/// A finite connected graph with n nodes and m edges is c-sparse if
+/// m <= n + c (§3, after Lee & Streinu). Requires IsConnected(g).
+bool IsCSparse(const Graph& g, int64_t c);
+
+/// True if the graph is a tree when edge directions are ignored
+/// (connected and m = n - 1). The empty graph is not a tree.
+bool IsUndirectedTree(const Graph& g);
+
+/// BFS distances from `source` ignoring edge directions; unreachable nodes
+/// get SIZE_MAX.
+std::vector<std::size_t> UndirectedDistances(const Graph& g, NodeId source);
+
+/// BFS distances from `source` following edge directions.
+std::vector<std::size_t> DirectedDistances(const Graph& g, NodeId source);
+
+/// Nodes reachable from `source` by directed paths (including source).
+std::vector<NodeId> ReachableFrom(const Graph& g, NodeId source);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,69 @@
+#include "src/graph/coil.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace gqc {
+
+namespace {
+
+struct PathKey {
+  std::vector<uint64_t> packed;
+
+  explicit PathKey(const GraphPath& p) {
+    packed.reserve(p.nodes.size() + p.roles.size());
+    for (NodeId v : p.nodes) packed.push_back((uint64_t{v} << 1) | 0);
+    for (uint32_t r : p.roles) packed.push_back((uint64_t{r} << 1) | 1);
+  }
+  bool operator==(const PathKey&) const = default;
+};
+
+struct PathKeyHash {
+  std::size_t operator()(const PathKey& k) const { return VectorHash{}(k.packed); }
+};
+
+}  // namespace
+
+CoilResult Coil(const Graph& g, std::size_t n) {
+  assert(n > 0);
+  CoilResult result;
+  result.n = n;
+
+  std::vector<GraphPath> paths = PathsUpTo(g, n);
+  std::unordered_map<PathKey, std::size_t, PathKeyHash> path_index;
+  path_index.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    path_index.emplace(PathKey(paths[i]), i);
+  }
+
+  const std::size_t levels = n + 1;
+  // Node id of (path i, level ℓ) = i * (n+1) + ℓ.
+  for (const GraphPath& p : paths) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      result.graph.AddNode(g.Labels(p.Last()));
+      result.base_node.push_back(p.Last());
+      result.level.push_back(static_cast<uint32_t>(l));
+      result.paths.push_back(p);
+    }
+  }
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const GraphPath& p = paths[i];
+    for (const auto& [role, to] : g.OutEdges(p.Last())) {
+      GraphPath suffix = p.Extend(role, to).Suffix(n);
+      auto it = path_index.find(PathKey(suffix));
+      assert(it != path_index.end());
+      std::size_t j = it->second;
+      for (std::size_t l = 0; l < levels; ++l) {
+        std::size_t l2 = (l + 1) % levels;
+        result.graph.AddEdge(static_cast<NodeId>(i * levels + l), role,
+                             static_cast<NodeId>(j * levels + l2));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gqc

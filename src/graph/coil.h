@@ -1,0 +1,35 @@
+#ifndef GQC_GRAPH_COIL_H_
+#define GQC_GRAPH_COIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/unravel.h"
+
+namespace gqc {
+
+/// Result of the coil construction (§4). Coil(G, n) has nodes
+/// Paths(G, n) × {0, ..., n} and an edge ((π, ℓ), (π', ℓ')) whenever
+/// ℓ' ≡ ℓ+1 (mod n+1) and π' is the n-suffix of a one-edge extension of π.
+/// Labels are inherited from the last node / edge of the path.
+struct CoilResult {
+  Graph graph;
+  /// coil node -> base graph node (last node of the path); this is the
+  /// mapping h_G of Property 1, a surjective homomorphism.
+  std::vector<NodeId> base_node;
+  /// coil node -> level ℓ in {0, ..., n}.
+  std::vector<uint32_t> level;
+  /// coil node -> the path π it represents.
+  std::vector<GraphPath> paths;
+  /// The window size n.
+  std::size_t n = 0;
+};
+
+/// Builds Coil(G, n). Requires n > 0. The number of coil nodes is
+/// |Paths(G, n)| * (n + 1), which grows quickly with n; callers control n.
+CoilResult Coil(const Graph& g, std::size_t n);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_COIL_H_

@@ -1,0 +1,25 @@
+#include "src/graph/dot.h"
+
+namespace gqc {
+
+std::string ToDot(const Graph& g, const Vocabulary& vocab, const std::string& name) {
+  std::string out = "digraph " + name + " {\n";
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    out += "  n" + std::to_string(v) + " [label=\"" + std::to_string(v) + " ";
+    bool first = true;
+    for (uint32_t id : g.Labels(v).ToIds()) {
+      if (!first) out += ",";
+      first = false;
+      out += vocab.ConceptName(id);
+    }
+    out += "\"];\n";
+  }
+  g.ForEachEdge([&](const Edge& e) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [label=\"" + vocab.RoleName(e.role) + "\"];\n";
+  });
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gqc

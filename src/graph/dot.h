@@ -1,0 +1,18 @@
+#ifndef GQC_GRAPH_DOT_H_
+#define GQC_GRAPH_DOT_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+/// Renders a graph in Graphviz DOT syntax, with node-label sets and role
+/// names resolved through `vocab`. Useful for inspecting countermodels.
+std::string ToDot(const Graph& g, const Vocabulary& vocab,
+                  const std::string& name = "G");
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_DOT_H_

@@ -1,0 +1,62 @@
+#include "src/graph/generators.h"
+
+#include <random>
+
+namespace gqc {
+
+Graph PathGraph(std::size_t n, uint32_t role_id) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) g.AddNode();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<NodeId>(i), role_id, static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph CycleGraph(std::size_t n, uint32_t role_id) {
+  Graph g = PathGraph(n, role_id);
+  if (n > 1) g.AddEdge(static_cast<NodeId>(n - 1), role_id, 0);
+  if (n == 1) g.AddEdge(0, role_id, 0);
+  return g;
+}
+
+Graph BalancedTree(std::size_t depth, std::size_t branching, uint32_t role_id) {
+  Graph g;
+  g.AddNode();
+  std::vector<NodeId> frontier{0};
+  for (std::size_t d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId parent : frontier) {
+      for (std::size_t b = 0; b < branching; ++b) {
+        NodeId child = g.AddNode();
+        g.AddEdge(parent, role_id, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+Graph RandomGraph(const RandomGraphOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Graph g;
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    LabelSet labels;
+    for (uint32_t c : options.concepts) {
+      if (coin(rng) < options.label_probability) labels.Add(c);
+    }
+    g.AddNode(std::move(labels));
+  }
+  for (NodeId u = 0; u < options.nodes; ++u) {
+    for (NodeId v = 0; v < options.nodes; ++v) {
+      for (uint32_t r : options.roles) {
+        if (coin(rng) < options.edge_probability) g.AddEdge(u, r, v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace gqc

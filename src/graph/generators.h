@@ -1,0 +1,41 @@
+#ifndef GQC_GRAPH_GENERATORS_H_
+#define GQC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+/// Deterministic graph generators used by tests and benchmarks.
+
+/// Directed path v0 -> v1 -> ... -> v_{n-1}, all edges labelled `role_id`.
+Graph PathGraph(std::size_t n, uint32_t role_id);
+
+/// Directed cycle of n nodes, all edges labelled `role_id`.
+Graph CycleGraph(std::size_t n, uint32_t role_id);
+
+/// Complete `branching`-ary tree of the given depth; edges labelled
+/// `role_id`, all edges pointing away from the root (node 0).
+Graph BalancedTree(std::size_t depth, std::size_t branching, uint32_t role_id);
+
+/// Options for random graph generation.
+struct RandomGraphOptions {
+  std::size_t nodes = 16;
+  /// Per ordered node pair and role: probability of an edge.
+  double edge_probability = 0.1;
+  /// Per node and concept: probability of carrying the label.
+  double label_probability = 0.3;
+  std::vector<uint32_t> roles;
+  std::vector<uint32_t> concepts;
+  uint64_t seed = 1;
+};
+
+/// Erdős–Rényi-style random multigraph (per-role independent edges).
+Graph RandomGraph(const RandomGraphOptions& options);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_GENERATORS_H_

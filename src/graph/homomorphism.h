@@ -1,0 +1,45 @@
+#ifndef GQC_GRAPH_HOMOMORPHISM_H_
+#define GQC_GRAPH_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqc {
+
+/// A node mapping from a source graph into a target graph.
+using NodeMapping = std::vector<NodeId>;
+
+/// Finds a homomorphism h : g -> h_target in the paper's sense (§2):
+/// node label sets must match exactly (homomorphisms preserve the absence of
+/// node labels), and every edge (u, r, v) of g must map to an edge
+/// (h(u), r, h(v)) of the target. Returns std::nullopt if none exists.
+std::optional<NodeMapping> FindHomomorphism(const Graph& g, const Graph& target);
+
+/// Verifies that `h` is a homomorphism g -> target (paper semantics).
+bool IsHomomorphism(const Graph& g, const Graph& target, const NodeMapping& h);
+
+/// Verifies the local-embedding condition (§3): `h` is a homomorphism and for
+/// every r in Σ± and distinct r-successors v1 != v2 of any node u,
+/// h(v1) != h(v2).
+bool IsLocalEmbedding(const Graph& g, const Graph& target, const NodeMapping& h);
+
+/// Finds a local embedding g -> target, or std::nullopt.
+std::optional<NodeMapping> FindLocalEmbedding(const Graph& g, const Graph& target);
+
+/// Tests isomorphism of pointed graphs (graph isomorphism preserving the
+/// distinguished node). Exact backtracking; intended for the small component
+/// and connector graphs that frames are built from.
+bool ArePointedIsomorphic(const PointedGraph& a, const PointedGraph& b);
+
+/// A 1-WL (colour refinement) fingerprint of a pointed graph. Isomorphic
+/// pointed graphs have equal fingerprints; equal fingerprints are confirmed
+/// with ArePointedIsomorphic by callers that need exactness.
+std::string PointedFingerprint(const PointedGraph& g);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_HOMOMORPHISM_H_

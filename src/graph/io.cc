@@ -1,0 +1,85 @@
+#include "src/graph/io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace gqc {
+
+NodeId NamedGraph::Find(const std::string& name) const {
+  auto it = nodes.find(name);
+  return it == nodes.end() ? kNoNode : it->second;
+}
+
+Result<NamedGraph> ParseGraph(std::string_view text, Vocabulary* vocab) {
+  NamedGraph out;
+  auto node_of = [&](const std::string& name) {
+    auto it = out.nodes.find(name);
+    if (it != out.nodes.end()) return it->second;
+    NodeId id = out.graph.AddNode();
+    out.nodes.emplace(name, id);
+    return id;
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "node") {
+      std::string name;
+      if (!(ls >> name)) {
+        return Result<NamedGraph>::Error("graph: 'node' needs a name (line " +
+                                         std::to_string(line_no) + ")");
+      }
+      NodeId v = node_of(name);
+      std::string label;
+      while (ls >> label) {
+        if (label[0] == '#') break;
+        out.graph.AddLabel(v, vocab->ConceptId(label));
+      }
+    } else if (keyword == "edge") {
+      std::string src, role, dst;
+      if (!(ls >> src >> role >> dst)) {
+        return Result<NamedGraph>::Error(
+            "graph: 'edge' needs <src> <role> <dst> (line " +
+            std::to_string(line_no) + ")");
+      }
+      out.graph.AddEdge(node_of(src), vocab->RoleId(role), node_of(dst));
+    } else {
+      return Result<NamedGraph>::Error("graph: unknown keyword '" + keyword +
+                                       "' (line " + std::to_string(line_no) + ")");
+    }
+  }
+  return out;
+}
+
+std::string WriteGraph(const Graph& g, const Vocabulary& vocab,
+                       const std::map<std::string, NodeId>* names) {
+  std::vector<std::string> name_of(g.NodeCount());
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    name_of[v] = "n" + std::to_string(v);
+  }
+  if (names != nullptr) {
+    for (const auto& [name, v] : *names) {
+      if (v < g.NodeCount()) name_of[v] = name;
+    }
+  }
+  std::string out;
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    out += "node " + name_of[v];
+    for (uint32_t id : g.Labels(v).ToIds()) {
+      out += " " + vocab.ConceptName(id);
+    }
+    out += "\n";
+  }
+  g.ForEachEdge([&](const Edge& e) {
+    out += "edge " + name_of[e.from] + " " + vocab.RoleName(e.role) + " " +
+           name_of[e.to] + "\n";
+  });
+  return out;
+}
+
+}  // namespace gqc

@@ -1,0 +1,39 @@
+#ifndef GQC_GRAPH_IO_H_
+#define GQC_GRAPH_IO_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// A parsed graph together with its node-name table.
+struct NamedGraph {
+  Graph graph;
+  std::map<std::string, NodeId> nodes;
+
+  /// Node id for `name`, or kNoNode.
+  NodeId Find(const std::string& name) const;
+};
+
+/// Parses the line-based graph (ABox) format:
+///
+///   # comment
+///   node alice Customer Premium     -- node <name> [label ...]
+///   edge alice owns visa            -- edge <src> <role> <dst>
+///
+/// Nodes referenced by `edge` before their `node` line are created
+/// implicitly (without labels). Names are interned into `vocab`.
+Result<NamedGraph> ParseGraph(std::string_view text, Vocabulary* vocab);
+
+/// Serializes a graph in the same format (node names n0, n1, ... unless a
+/// name table is provided).
+std::string WriteGraph(const Graph& g, const Vocabulary& vocab,
+                       const std::map<std::string, NodeId>* names = nullptr);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_IO_H_

@@ -1,0 +1,148 @@
+#include "src/graph/type.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace gqc {
+
+std::vector<uint32_t> LabelSet::ToIds() const {
+  std::vector<uint32_t> out;
+  for (std::size_t i : bits_.ToIndices()) out.push_back(static_cast<uint32_t>(i));
+  return out;
+}
+
+bool LabelSet::operator==(const LabelSet& other) const {
+  // Sizes may differ because of lazy growth; compare as sets.
+  const LabelSet& small = bits_.size() <= other.bits_.size() ? *this : other;
+  const LabelSet& big = bits_.size() <= other.bits_.size() ? other : *this;
+  for (uint32_t id : big.ToIds()) {
+    if (!small.Has(id)) return false;
+  }
+  for (uint32_t id : small.ToIds()) {
+    if (!big.Has(id)) return false;
+  }
+  return true;
+}
+
+std::size_t LabelSet::Hash() const {
+  // Must be growth-insensitive: hash the sorted id list.
+  std::size_t h = 0;
+  for (uint32_t id : ToIds()) HashCombine(&h, id);
+  return h;
+}
+
+std::string LabelSet::ToString(const Vocabulary& vocab) const {
+  std::string s = "{";
+  bool first = true;
+  for (uint32_t id : ToIds()) {
+    if (!first) s += ", ";
+    first = false;
+    s += vocab.ConceptName(id);
+  }
+  s += "}";
+  return s;
+}
+
+bool Type::AddLiteral(Literal l) {
+  if (l.is_negative()) {
+    if (positive_.Has(l.concept_id())) return false;
+    negative_.Add(l.concept_id());
+  } else {
+    if (negative_.Has(l.concept_id())) return false;
+    positive_.Add(l.concept_id());
+  }
+  return true;
+}
+
+bool Type::HasLiteral(Literal l) const {
+  return l.is_negative() ? negative_.Has(l.concept_id()) : positive_.Has(l.concept_id());
+}
+
+std::vector<Literal> Type::Literals() const {
+  std::vector<Literal> out;
+  for (uint32_t id : positive_.ToIds()) out.push_back(Literal::Positive(id));
+  for (uint32_t id : negative_.ToIds()) out.push_back(Literal::Negative(id));
+  return out;
+}
+
+bool Type::Contains(const Type& other) const {
+  for (uint32_t id : other.positive_.ToIds()) {
+    if (!positive_.Has(id)) return false;
+  }
+  for (uint32_t id : other.negative_.ToIds()) {
+    if (!negative_.Has(id)) return false;
+  }
+  return true;
+}
+
+bool Type::ConsistentWith(const Type& other) const {
+  for (uint32_t id : positive_.ToIds()) {
+    if (other.negative_.Has(id)) return false;
+  }
+  for (uint32_t id : negative_.ToIds()) {
+    if (other.positive_.Has(id)) return false;
+  }
+  return true;
+}
+
+std::size_t Type::Hash() const {
+  std::size_t h = positive_.Hash();
+  HashCombine(&h, negative_.Hash());
+  return h;
+}
+
+std::string Type::ToString(const Vocabulary& vocab) const {
+  std::string s = "{";
+  bool first = true;
+  for (Literal l : Literals()) {
+    if (!first) s += ", ";
+    first = false;
+    s += vocab.LiteralString(l);
+  }
+  s += "}";
+  return s;
+}
+
+TypeSpace::TypeSpace(std::vector<uint32_t> support) : support_(std::move(support)) {
+  std::sort(support_.begin(), support_.end());
+  support_.erase(std::unique(support_.begin(), support_.end()), support_.end());
+}
+
+std::size_t TypeSpace::PositionOf(uint32_t concept_id) const {
+  auto it = std::lower_bound(support_.begin(), support_.end(), concept_id);
+  if (it == support_.end() || *it != concept_id) return npos;
+  return static_cast<std::size_t>(it - support_.begin());
+}
+
+Type TypeSpace::MaterializeType(uint64_t mask) const {
+  Type t;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    if (mask & (uint64_t{1} << i)) {
+      t.AddLiteral(Literal::Positive(support_[i]));
+    } else {
+      t.AddLiteral(Literal::Negative(support_[i]));
+    }
+  }
+  return t;
+}
+
+uint64_t TypeSpace::MaskOf(const Type& type) const {
+  uint64_t mask = 0;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    if (type.HasPositive(support_[i])) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+bool TypeSpace::MaskContains(uint64_t mask, const Type& type) const {
+  for (Literal l : type.Literals()) {
+    std::size_t pos = PositionOf(l.concept_id());
+    if (pos == npos) return false;
+    bool set = (mask >> pos) & 1;
+    if (l.is_negative() ? set : !set) return false;
+  }
+  return true;
+}
+
+}  // namespace gqc

@@ -1,0 +1,140 @@
+#ifndef GQC_GRAPH_TYPE_H_
+#define GQC_GRAPH_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/vocabulary.h"
+#include "src/util/bitset.h"
+
+namespace gqc {
+
+/// A set of node labels (concept ids). Auto-grows as ids are added, so it is
+/// safe to keep adding labels interned later.
+class LabelSet {
+ public:
+  LabelSet() = default;
+
+  bool Has(uint32_t concept_id) const {
+    return concept_id < bits_.size() && bits_.Test(concept_id);
+  }
+  void Add(uint32_t concept_id) {
+    EnsureSize(concept_id + 1);
+    bits_.Set(concept_id);
+  }
+  void Remove(uint32_t concept_id) {
+    if (concept_id < bits_.size()) bits_.Reset(concept_id);
+  }
+
+  std::size_t Count() const { return bits_.Count(); }
+  bool Empty() const { return bits_.None(); }
+
+  std::vector<uint32_t> ToIds() const;
+
+  /// Set equality ignoring trailing absent ids.
+  bool operator==(const LabelSet& other) const;
+
+  std::size_t Hash() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  void EnsureSize(std::size_t n) {
+    if (bits_.size() < n) bits_.Resize(n);
+  }
+
+  DynamicBitset bits_;
+};
+
+/// A type in the paper's sense: a subset of Γ± containing at most one of
+/// A and Ā per concept name A. Positive literals assert label presence,
+/// negative literals assert absence; unmentioned labels are unconstrained.
+class Type {
+ public:
+  Type() = default;
+
+  /// Adds a literal; returns false (and leaves the type unchanged) if the
+  /// complementary literal is already present.
+  bool AddLiteral(Literal l);
+  bool HasLiteral(Literal l) const;
+
+  /// All literals, positives then negatives, ascending by concept id.
+  std::vector<Literal> Literals() const;
+
+  bool HasPositive(uint32_t concept_id) const { return positive_.Has(concept_id); }
+  bool HasNegative(uint32_t concept_id) const { return negative_.Has(concept_id); }
+
+  std::size_t Size() const { return positive_.Count() + negative_.Count(); }
+
+  /// σ.Contains(τ): every literal of τ is a literal of σ (σ ⊇ τ).
+  bool Contains(const Type& other) const;
+
+  /// True if no concept name appears both positively here and negatively in
+  /// `other` or vice versa (the union is still a type).
+  bool ConsistentWith(const Type& other) const;
+
+  /// True if this type mentions (positively or negatively) `concept_id`.
+  bool Mentions(uint32_t concept_id) const {
+    return HasPositive(concept_id) || HasNegative(concept_id);
+  }
+
+  bool operator==(const Type& other) const = default;
+  std::size_t Hash() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+  const LabelSet& positives() const { return positive_; }
+  const LabelSet& negatives() const { return negative_; }
+
+ private:
+  LabelSet positive_;
+  LabelSet negative_;
+};
+
+/// Maximal types over a fixed, small support Γ₀ (a list of concept ids),
+/// represented as bitmasks over positions in the support. The entailment
+/// engines' fixpoints iterate over these.
+class TypeSpace {
+ public:
+  /// `support` lists the concept ids of Γ₀ (order fixes bit positions).
+  explicit TypeSpace(std::vector<uint32_t> support);
+
+  std::size_t arity() const { return support_.size(); }
+  uint64_t mask_count() const { return uint64_t{1} << support_.size(); }
+  const std::vector<uint32_t>& support() const { return support_; }
+
+  /// Position of `concept_id` in the support, or npos.
+  std::size_t PositionOf(uint32_t concept_id) const;
+  static constexpr std::size_t npos = SIZE_MAX;
+
+  /// Expands a mask into a maximal Type over the support: bit set => positive
+  /// literal, bit clear => negative literal.
+  Type MaterializeType(uint64_t mask) const;
+
+  /// Projects a full Type to a mask; requires the type to decide every
+  /// support concept (maximal over the support). Positive bits only.
+  uint64_t MaskOf(const Type& type) const;
+
+  /// True if maximal type `mask` contains (extends) the partial `type`:
+  /// every positive literal of `type` is set, every negative one clear.
+  /// Literals outside the support make the answer false.
+  bool MaskContains(uint64_t mask, const Type& type) const;
+
+ private:
+  std::vector<uint32_t> support_;
+};
+
+}  // namespace gqc
+
+template <>
+struct std::hash<gqc::LabelSet> {
+  std::size_t operator()(const gqc::LabelSet& s) const { return s.Hash(); }
+};
+
+template <>
+struct std::hash<gqc::Type> {
+  std::size_t operator()(const gqc::Type& t) const { return t.Hash(); }
+};
+
+#endif  // GQC_GRAPH_TYPE_H_

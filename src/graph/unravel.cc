@@ -1,0 +1,85 @@
+#include "src/graph/unravel.h"
+
+namespace gqc {
+
+GraphPath GraphPath::Extend(uint32_t role, NodeId to) const {
+  GraphPath p = *this;
+  p.roles.push_back(role);
+  p.nodes.push_back(to);
+  return p;
+}
+
+GraphPath GraphPath::Suffix(std::size_t n) const {
+  if (Length() <= n) return *this;
+  GraphPath p;
+  std::size_t drop = Length() - n;
+  p.nodes.assign(nodes.begin() + static_cast<std::ptrdiff_t>(drop), nodes.end());
+  p.roles.assign(roles.begin() + static_cast<std::ptrdiff_t>(drop), roles.end());
+  return p;
+}
+
+namespace {
+
+std::vector<GraphPath> ExpandPaths(const Graph& g, std::size_t n,
+                                   std::vector<GraphPath> frontier) {
+  std::vector<GraphPath> all = frontier;
+  for (std::size_t len = 1; len <= n; ++len) {
+    std::vector<GraphPath> next;
+    for (const GraphPath& p : frontier) {
+      for (const auto& [role, to] : g.OutEdges(p.Last())) {
+        next.push_back(p.Extend(role, to));
+      }
+    }
+    all.insert(all.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<GraphPath> PathsUpTo(const Graph& g, std::size_t n) {
+  std::vector<GraphPath> seeds;
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    seeds.push_back(GraphPath{{v}, {}});
+  }
+  return ExpandPaths(g, n, std::move(seeds));
+}
+
+std::vector<GraphPath> PathsFrom(const Graph& g, std::size_t n, NodeId v) {
+  return ExpandPaths(g, n, {GraphPath{{v}, {}}});
+}
+
+UnravelResult Unravel(const Graph& g, std::size_t n, NodeId v) {
+  UnravelResult result;
+  // BFS construction so each path's parent already exists.
+  struct Item {
+    GraphPath path;
+    NodeId tree_node;
+  };
+  std::vector<Item> frontier;
+  NodeId root = result.tree.AddNode(g.Labels(v));
+  result.root = root;
+  result.base_node.push_back(v);
+  result.paths.push_back(GraphPath{{v}, {}});
+  frontier.push_back({GraphPath{{v}, {}}, root});
+
+  for (std::size_t len = 1; len <= n && !frontier.empty(); ++len) {
+    std::vector<Item> next;
+    for (const Item& item : frontier) {
+      for (const auto& [role, to] : g.OutEdges(item.path.Last())) {
+        GraphPath extended = item.path.Extend(role, to);
+        NodeId child = result.tree.AddNode(g.Labels(to));
+        result.base_node.push_back(to);
+        result.paths.push_back(extended);
+        result.tree.AddEdge(item.tree_node, role, child);
+        next.push_back({std::move(extended), child});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace gqc

@@ -1,0 +1,54 @@
+#ifndef GQC_GRAPH_UNRAVEL_H_
+#define GQC_GRAPH_UNRAVEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqc {
+
+/// A directed path in a graph: nodes v0, v1, ..., vk and the role labels of
+/// the traversed edges (paths need not be simple; length-0 paths are single
+/// nodes). §4 uses paths as the nodes of unravelings and coils.
+struct GraphPath {
+  std::vector<NodeId> nodes;   // k + 1 entries
+  std::vector<uint32_t> roles; // k entries
+
+  std::size_t Length() const { return roles.size(); }
+  NodeId Last() const { return nodes.back(); }
+
+  /// Extension of this path by edge (Last(), role, to).
+  GraphPath Extend(uint32_t role, NodeId to) const;
+  /// The n-suffix: the suffix of length n, or the whole path if shorter (§4).
+  GraphPath Suffix(std::size_t n) const;
+
+  bool operator==(const GraphPath&) const = default;
+};
+
+/// Paths(G, n): all directed paths of length at most n in g, including all
+/// length-0 paths. Order: by length, then lexicographic by construction.
+std::vector<GraphPath> PathsUpTo(const Graph& g, std::size_t n);
+
+/// Paths(G, n, v): the subset of Paths(G, n) originating in v.
+std::vector<GraphPath> PathsFrom(const Graph& g, std::size_t n, NodeId v);
+
+/// Result of an unraveling: the tree plus the homomorphism back to the base
+/// graph (each tree node maps to the last node of its path).
+struct UnravelResult {
+  Graph tree;
+  NodeId root = 0;
+  /// tree node -> base graph node (last node of the path).
+  std::vector<NodeId> base_node;
+  /// tree node -> the path it represents.
+  std::vector<GraphPath> paths;
+};
+
+/// Unravel(G, n, v) (§4): the tree whose nodes are Paths(G, n, v), with an
+/// edge π -> π' whenever π' extends π by one edge. Labels are inherited from
+/// the last node / last edge of the path.
+UnravelResult Unravel(const Graph& g, std::size_t n, NodeId v);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_UNRAVEL_H_

@@ -1,0 +1,14 @@
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+uint32_t Vocabulary::FreshConcept(std::string_view base) {
+  while (true) {
+    std::string candidate = std::string(base) + "#" + std::to_string(fresh_counter_++);
+    if (concepts_.Find(candidate) == Interner::kNotFound) {
+      return concepts_.Intern(candidate);
+    }
+  }
+}
+
+}  // namespace gqc

@@ -1,0 +1,128 @@
+#ifndef GQC_GRAPH_VOCABULARY_H_
+#define GQC_GRAPH_VOCABULARY_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/interner.h"
+
+namespace gqc {
+
+/// A role occurrence: a role name from Σ, traversed forward or backward.
+///
+/// The paper works over Σ± = Σ ∪ Σ⁻; Role packs (name id, direction) into one
+/// word so it can be used as a cheap map key and automaton alphabet symbol.
+class Role {
+ public:
+  Role() : code_(0) {}
+
+  static Role Forward(uint32_t name_id) { return Role(name_id << 1); }
+  static Role Inverse(uint32_t name_id) { return Role((name_id << 1) | 1); }
+
+  uint32_t name_id() const { return code_ >> 1; }
+  bool is_inverse() const { return code_ & 1; }
+
+  /// r ↦ r⁻ and r⁻ ↦ r.
+  Role Reversed() const { return Role(code_ ^ 1); }
+
+  /// Dense code usable as an array index (2 * name + direction bit).
+  uint32_t code() const { return code_; }
+  static Role FromCode(uint32_t code) { return Role(code); }
+
+  bool operator==(const Role&) const = default;
+  auto operator<=>(const Role&) const = default;
+
+ private:
+  explicit Role(uint32_t code) : code_(code) {}
+  uint32_t code_;
+};
+
+/// A node-label literal: a concept name from Γ, positive or complemented.
+///
+/// The paper's queries and normalized TBoxes range over Γ± = Γ ∪ Γ̄; a node
+/// "has label Ā" iff it does not have label A.
+class Literal {
+ public:
+  Literal() : code_(0) {}
+
+  static Literal Positive(uint32_t concept_id) { return Literal(concept_id << 1); }
+  static Literal Negative(uint32_t concept_id) { return Literal((concept_id << 1) | 1); }
+
+  uint32_t concept_id() const { return code_ >> 1; }
+  bool is_negative() const { return code_ & 1; }
+
+  /// A ↦ Ā and Ā ↦ A.
+  Literal Complemented() const { return Literal(code_ ^ 1); }
+
+  uint32_t code() const { return code_; }
+  static Literal FromCode(uint32_t code) { return Literal(code); }
+
+  bool operator==(const Literal&) const = default;
+  auto operator<=>(const Literal&) const = default;
+
+ private:
+  explicit Literal(uint32_t code) : code_(code) {}
+  uint32_t code_;
+};
+
+/// Shared name spaces for concept names (node labels, Γ) and role names
+/// (edge labels, Σ).
+///
+/// All graphs, queries, and TBoxes in one reasoning task must share a
+/// Vocabulary; structures store only the dense ids.
+class Vocabulary {
+ public:
+  /// Interns a concept name and returns its id.
+  uint32_t ConceptId(std::string_view name) { return concepts_.Intern(name); }
+  /// Interns a role name and returns its id.
+  uint32_t RoleId(std::string_view name) { return roles_.Intern(name); }
+
+  /// Looks up without interning; Interner::kNotFound if absent.
+  uint32_t FindConcept(std::string_view name) const { return concepts_.Find(name); }
+  uint32_t FindRole(std::string_view name) const { return roles_.Find(name); }
+
+  const std::string& ConceptName(uint32_t id) const { return concepts_.NameOf(id); }
+  const std::string& RoleName(uint32_t id) const { return roles_.NameOf(id); }
+
+  std::size_t concept_count() const { return concepts_.size(); }
+  std::size_t role_count() const { return roles_.size(); }
+
+  /// Renders "name" / "name-" for forward / inverse roles.
+  std::string RoleString(Role r) const {
+    return RoleName(r.name_id()) + (r.is_inverse() ? "-" : "");
+  }
+  /// Renders "A" / "!A" for positive / complemented literals.
+  std::string LiteralString(Literal l) const {
+    return (l.is_negative() ? "!" : "") + ConceptName(l.concept_id());
+  }
+
+  /// Interns a fresh concept name based on `base`, guaranteed not to collide
+  /// with any existing concept name. Used for factorization labels (the
+  /// paper's C_{p,y} permissions, C→, C_{n,r,D}, C_r).
+  uint32_t FreshConcept(std::string_view base);
+
+ private:
+  Interner concepts_;
+  Interner roles_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace gqc
+
+template <>
+struct std::hash<gqc::Role> {
+  std::size_t operator()(const gqc::Role& r) const {
+    return std::hash<uint32_t>{}(r.code());
+  }
+};
+
+template <>
+struct std::hash<gqc::Literal> {
+  std::size_t operator()(const gqc::Literal& l) const {
+    return std::hash<uint32_t>{}(l.code());
+  }
+};
+
+#endif  // GQC_GRAPH_VOCABULARY_H_

@@ -1,0 +1,173 @@
+#include "src/query/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+/// Union-find over query variables, for empty-word atom unification.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Distinct runs can spell the same word; canonical databases are per word.
+void DedupWords(std::vector<std::vector<Symbol>>* words) {
+  std::sort(words->begin(), words->end());
+  words->erase(std::unique(words->begin(), words->end()), words->end());
+}
+
+}  // namespace
+
+std::vector<std::vector<Symbol>> AtomWords(const Semiautomaton& a, uint32_t s,
+                                           uint32_t t, bool allow_empty,
+                                           std::size_t max_len, bool* complete) {
+  std::vector<std::vector<Symbol>> words;
+  if (allow_empty || s == t) words.push_back({});
+  *complete = true;
+
+  // BFS over (state, word) up to max_len; bounded by the total output.
+  struct Item {
+    uint32_t state;
+    std::vector<Symbol> word;
+  };
+  constexpr std::size_t kFrontierCap = 100000;
+  std::vector<Item> frontier{{s, {}}};
+  for (std::size_t len = 1; len <= max_len + 1; ++len) {
+    std::vector<Item> next;
+    for (const Item& item : frontier) {
+      for (const auto& [sym, q2] : a.Out(item.state)) {
+        Item ext{q2, item.word};
+        ext.word.push_back(sym);
+        if (q2 == t) {
+          if (len > max_len) {
+            *complete = false;  // longer word exists beyond the cut-off
+            DedupWords(&words);
+            return words;
+          }
+          words.push_back(ext.word);
+        }
+        next.push_back(std::move(ext));
+        if (next.size() > kFrontierCap) {
+          *complete = false;
+          DedupWords(&words);
+          return words;
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  DedupWords(&words);
+  return words;
+}
+
+ExpansionSet CanonicalExpansions(const Crpq& q, const ExpansionOptions& options) {
+  ExpansionSet result;
+  result.exhaustive = true;
+
+  // Words per atom.
+  std::vector<std::vector<std::vector<Symbol>>> atom_words;
+  for (const auto& atom : q.BinaryAtoms()) {
+    bool complete = true;
+    atom_words.push_back(AtomWords(q.Automaton(), atom.start, atom.end,
+                                   atom.allow_empty, options.max_word_length,
+                                   &complete));
+    if (!complete) result.exhaustive = false;
+    if (atom_words.back().empty()) {
+      // Unsatisfiable atom: no expansions at all.
+      result.expansions.clear();
+      return result;
+    }
+  }
+
+  // Cartesian product with a global cap.
+  std::vector<std::size_t> choice(atom_words.size(), 0);
+  while (true) {
+    if (result.expansions.size() >= options.max_expansions) {
+      result.exhaustive = false;
+      break;
+    }
+    // Build the expansion for the current choice vector.
+    UnionFind uf(q.VarCount());
+    for (std::size_t i = 0; i < atom_words.size(); ++i) {
+      // A word without role letters keeps the path at one node: y = z.
+      const auto& word = atom_words[i][choice[i]];
+      bool has_role = std::any_of(word.begin(), word.end(),
+                                  [](Symbol s) { return s.is_role(); });
+      if (!has_role) uf.Union(q.BinaryAtoms()[i].y, q.BinaryAtoms()[i].z);
+    }
+    Expansion exp;
+    std::vector<NodeId> class_node(q.VarCount(), kNoNode);
+    exp.var_nodes.assign(q.VarCount(), kNoNode);
+    for (uint32_t v = 0; v < q.VarCount(); ++v) {
+      uint32_t root = uf.Find(v);
+      if (class_node[root] == kNoNode) class_node[root] = exp.graph.AddNode();
+      exp.var_nodes[v] = class_node[root];
+    }
+    for (const auto& atom : q.UnaryAtoms()) {
+      if (!atom.literal.is_negative()) {
+        exp.graph.AddLabel(exp.var_nodes[atom.var], atom.literal.concept_id());
+      }
+    }
+    for (std::size_t i = 0; i < atom_words.size(); ++i) {
+      const auto& word = atom_words[i][choice[i]];
+      const BinaryAtom& atom = q.BinaryAtoms()[i];
+      NodeId cur = exp.var_nodes[atom.y];
+      NodeId target = exp.var_nodes[atom.z];
+      // Count role letters to know where the path must land on `target`.
+      std::size_t role_letters = 0;
+      for (Symbol sym : word) role_letters += sym.is_role() ? 1 : 0;
+      std::size_t roles_seen = 0;
+      for (Symbol sym : word) {
+        if (sym.is_test()) {
+          if (!sym.literal().is_negative()) {
+            exp.graph.AddLabel(cur, sym.literal().concept_id());
+          }
+          continue;
+        }
+        ++roles_seen;
+        NodeId nxt = roles_seen == role_letters ? target : exp.graph.AddNode();
+        exp.graph.AddEdge(cur, sym.role(), nxt);
+        cur = nxt;
+      }
+    }
+    // Post-check: complement tests can make an expansion fail to satisfy q
+    // (e.g. a [!A] test on a node another atom labels A); keep only genuine
+    // canonical databases.
+    if (Matches(exp.graph, q)) result.expansions.push_back(std::move(exp));
+
+    // Advance the choice vector.
+    std::size_t i = 0;
+    for (; i < choice.size(); ++i) {
+      if (++choice[i] < atom_words[i].size()) break;
+      choice[i] = 0;
+    }
+    if (i == choice.size()) break;
+    if (choice.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace gqc

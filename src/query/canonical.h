@@ -1,0 +1,49 @@
+#ifndef GQC_QUERY_CANONICAL_H_
+#define GQC_QUERY_CANONICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// A canonical expansion of a C2RPQ: one word chosen from each binary atom's
+/// language, realized as a concrete graph of fresh path nodes. Expansions
+/// satisfy the query by construction (post-checked when complement literals
+/// could interfere) and are the seeds for countermodel searches and for the
+/// classical containment test.
+struct Expansion {
+  Graph graph;
+  /// query variable -> node realizing it.
+  std::vector<NodeId> var_nodes;
+};
+
+struct ExpansionOptions {
+  /// Maximum word length drawn from each atom's language.
+  std::size_t max_word_length = 4;
+  /// Global cap on the number of expansions generated.
+  std::size_t max_expansions = 512;
+};
+
+struct ExpansionSet {
+  std::vector<Expansion> expansions;
+  /// True if every word of every atom's language was covered (no star was
+  /// truncated and the cap was not hit), making the set exhaustive.
+  bool exhaustive = false;
+};
+
+/// Enumerates canonical expansions of `q` up to the option bounds.
+ExpansionSet CanonicalExpansions(const Crpq& q, const ExpansionOptions& options);
+
+/// Enumerates the words of length <= max_len in the language of the atom
+/// (a, s, t), as symbol sequences; sets *complete to false if longer words
+/// exist. The empty word is included iff allow_empty or s == t.
+std::vector<std::vector<Symbol>> AtomWords(const Semiautomaton& a, uint32_t s,
+                                           uint32_t t, bool allow_empty,
+                                           std::size_t max_len, bool* complete);
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_CANONICAL_H_

@@ -1,0 +1,40 @@
+#include "src/query/containment.h"
+
+#include "src/query/eval.h"
+
+namespace gqc {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kContained:
+      return "contained";
+    case Verdict::kNotContained:
+      return "not-contained";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+ClassicalContainmentResult ClassicalContainment(
+    const Ucrpq& p, const Ucrpq& q, const ClassicalContainmentOptions& options) {
+  ClassicalContainmentResult result;
+  bool exhaustive = true;
+  for (const Crpq& disjunct : p.Disjuncts()) {
+    ExpansionSet set = CanonicalExpansions(disjunct, options.expansion);
+    exhaustive = exhaustive && set.exhaustive;
+    for (const Expansion& exp : set.expansions) {
+      if (!Matches(exp.graph, q)) {
+        // Exact counterexample: the expansion satisfies P (by construction)
+        // but not Q, and containment is over all finite graphs.
+        result.verdict = Verdict::kNotContained;
+        result.counterexample = exp.graph;
+        return result;
+      }
+    }
+  }
+  result.verdict = exhaustive ? Verdict::kContained : Verdict::kUnknown;
+  return result;
+}
+
+}  // namespace gqc

@@ -1,0 +1,128 @@
+#include "src/query/crpq.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace gqc {
+
+uint32_t Crpq::AddVar(std::string name) {
+  uint32_t id = static_cast<uint32_t>(var_names_.size());
+  if (name.empty()) name = "v" + std::to_string(id);
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+bool Crpq::IsConnected() const {
+  if (VarCount() <= 1) return true;
+  std::vector<std::vector<uint32_t>> adj(VarCount());
+  for (const auto& b : binary_) {
+    adj[b.y].push_back(b.z);
+    adj[b.z].push_back(b.y);
+  }
+  std::vector<bool> seen(VarCount(), false);
+  std::deque<uint32_t> queue{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    uint32_t u = queue.front();
+    queue.pop_front();
+    for (uint32_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        queue.push_back(v);
+      }
+    }
+  }
+  return count == VarCount();
+}
+
+std::vector<Symbol> Crpq::AtomSymbols(const BinaryAtom& atom) const {
+  // Symbols on transitions that lie on some path from atom.start to atom.end.
+  auto reach = automaton_->ReachableStates(atom.start);
+  auto coreach = automaton_->CoReachableStates(atom.end);
+  std::set<Symbol> symbols;
+  for (uint32_t s = 0; s < automaton_->StateCount(); ++s) {
+    if (!reach[s]) continue;
+    for (const auto& [sym, t] : automaton_->Out(s)) {
+      if (coreach[t]) symbols.insert(sym);
+    }
+  }
+  return std::vector<Symbol>(symbols.begin(), symbols.end());
+}
+
+bool Crpq::IsOneWay() const {
+  for (const auto& b : binary_) {
+    if (b.regex != nullptr) {
+      if (!gqc::IsOneWay(b.regex)) return false;
+      continue;
+    }
+    for (Symbol s : AtomSymbols(b)) {
+      if (s.is_role() && s.role().is_inverse()) return false;
+    }
+  }
+  return true;
+}
+
+bool Crpq::IsTestFree() const {
+  for (const auto& b : binary_) {
+    if (b.regex != nullptr) {
+      if (!gqc::IsTestFree(b.regex)) return false;
+      continue;
+    }
+    for (Symbol s : AtomSymbols(b)) {
+      if (s.is_test()) return false;
+    }
+  }
+  return true;
+}
+
+bool Crpq::IsSimple() const {
+  return std::all_of(binary_.begin(), binary_.end(),
+                     [](const BinaryAtom& b) { return b.simple.has_value(); });
+}
+
+std::vector<uint32_t> Crpq::MentionedConcepts() const {
+  std::set<uint32_t> ids;
+  for (const auto& u : unary_) ids.insert(u.literal.concept_id());
+  for (const auto& b : binary_) {
+    for (Symbol s : AtomSymbols(b)) {
+      if (s.is_test()) ids.insert(s.literal().concept_id());
+    }
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+std::vector<uint32_t> Crpq::MentionedRoles() const {
+  std::set<uint32_t> ids;
+  for (const auto& b : binary_) {
+    for (Symbol s : AtomSymbols(b)) {
+      if (s.is_role()) ids.insert(s.role().name_id());
+    }
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+std::string Crpq::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  bool first = true;
+  for (const auto& u : unary_) {
+    if (!first) out += ", ";
+    first = false;
+    out += vocab.LiteralString(u.literal) + "(" + var_names_[u.var] + ")";
+  }
+  for (const auto& b : binary_) {
+    if (!first) out += ", ";
+    first = false;
+    std::string body = b.regex != nullptr
+                           ? RegexToString(b.regex, vocab)
+                           : "A[" + std::to_string(b.start) + "," +
+                                 std::to_string(b.end) + "]";
+    out += "(" + body + ")(" + var_names_[b.y] + ", " + var_names_[b.z] + ")";
+  }
+  if (first) out = "true";
+  return out;
+}
+
+}  // namespace gqc

@@ -1,0 +1,96 @@
+#ifndef GQC_QUERY_CRPQ_H_
+#define GQC_QUERY_CRPQ_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/automata/regex.h"
+#include "src/automata/semiautomaton.h"
+#include "src/graph/vocabulary.h"
+
+namespace gqc {
+
+/// A unary atom A(x) or Ā(x) with A in Γ (§2).
+struct UnaryAtom {
+  uint32_t var;
+  Literal literal;
+};
+
+/// A binary 2RPQ atom A_{start,end}(y, z) over a shared semiautomaton (§2).
+/// `allow_empty` admits the pair π(y) = π(z) via the empty word; it is true
+/// for atoms with start == end (length-0 runs) and for nullable regexes.
+/// `regex` is provenance when the atom came from a parsed regular expression
+/// (null for atoms synthesized by factorization); `simple` caches the
+/// paper's "simple" shape (r or (r1+...+rk)*) when applicable.
+struct BinaryAtom {
+  uint32_t y;
+  uint32_t z;
+  uint32_t start;
+  uint32_t end;
+  bool allow_empty = false;
+  RegexPtr regex;
+  std::optional<SimpleShape> simple;
+};
+
+/// A conjunctive two-way regular path query (C2RPQ, §2): a conjunction of
+/// unary atoms and 2RPQ atoms over variables 0 .. var_count-1, interpreted
+/// with all variables existentially quantified (Boolean semantics).
+class Crpq {
+ public:
+  Crpq() : automaton_(std::make_shared<Semiautomaton>()) {}
+  explicit Crpq(std::shared_ptr<const Semiautomaton> automaton)
+      : automaton_(std::move(automaton)) {}
+
+  /// Adds a variable; `name` is for printing only.
+  uint32_t AddVar(std::string name = "");
+  std::size_t VarCount() const { return var_names_.size(); }
+  const std::string& VarName(uint32_t v) const { return var_names_[v]; }
+
+  void AddUnary(uint32_t var, Literal literal) { unary_.push_back({var, literal}); }
+  void AddBinary(BinaryAtom atom) { binary_.push_back(std::move(atom)); }
+
+  const std::vector<UnaryAtom>& UnaryAtoms() const { return unary_; }
+  const std::vector<BinaryAtom>& BinaryAtoms() const { return binary_; }
+
+  const Semiautomaton& Automaton() const { return *automaton_; }
+  const std::shared_ptr<const Semiautomaton>& SharedAutomaton() const {
+    return automaton_;
+  }
+  void SetAutomaton(std::shared_ptr<const Semiautomaton> a) { automaton_ = std::move(a); }
+
+  /// Number of atoms; the paper's |q| size measure for sparsity bounds.
+  std::size_t Size() const { return unary_.size() + binary_.size(); }
+
+  /// Variables connected through binary atoms (§3 assumes connected queries).
+  bool IsConnected() const;
+
+  /// No inverse roles anywhere in the atoms' languages. Conservative: checks
+  /// the symbols reachable in the shared automaton between each atom's states.
+  bool IsOneWay() const;
+  /// No node-label tests in the atoms' languages (same convention).
+  bool IsTestFree() const;
+  /// Every binary atom has a simple shape (§2: r or (r1+...+rn)*).
+  bool IsSimple() const;
+
+  /// All concept ids mentioned (unary atoms + test symbols + simple shapes).
+  std::vector<uint32_t> MentionedConcepts() const;
+  /// All role name ids mentioned.
+  std::vector<uint32_t> MentionedRoles() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  /// Symbols on automaton transitions lying on some path start -> end.
+  std::vector<Symbol> AtomSymbols(const BinaryAtom& atom) const;
+
+  std::shared_ptr<const Semiautomaton> automaton_;
+  std::vector<std::string> var_names_;
+  std::vector<UnaryAtom> unary_;
+  std::vector<BinaryAtom> binary_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_CRPQ_H_

@@ -1,0 +1,201 @@
+#include "src/query/eval.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/automata/product.h"
+
+namespace gqc {
+
+namespace {
+
+/// Materialized binary-atom relations plus candidate filtering and a
+/// backtracking join.
+class Evaluator {
+ public:
+  Evaluator(const Graph& g, const Crpq& q) : g_(g), q_(q) {}
+
+  std::optional<std::vector<NodeId>> Find(
+      const std::vector<std::pair<uint32_t, NodeId>>& pinned) {
+    const std::size_t vars = q_.VarCount();
+    const std::size_t nodes = g_.NodeCount();
+    if (nodes == 0) return std::nullopt;
+
+    // Candidate sets per variable, from unary atoms and pins.
+    candidates_.assign(vars, DynamicBitset(nodes));
+    for (auto& c : candidates_) {
+      for (std::size_t v = 0; v < nodes; ++v) c.Set(v);
+    }
+    for (const auto& [var, node] : pinned) {
+      if (node >= nodes) return std::nullopt;
+      DynamicBitset only(nodes);
+      only.Set(node);
+      candidates_[var] &= only;
+    }
+    for (const auto& atom : q_.UnaryAtoms()) {
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if (!g_.SatisfiesLiteral(static_cast<NodeId>(v), atom.literal)) {
+          candidates_[atom.var].Reset(v);
+        }
+      }
+    }
+    for (const auto& c : candidates_) {
+      if (c.None()) return std::nullopt;
+    }
+
+    // Materialize binary relations (dedup by state signature).
+    relations_.clear();
+    relations_.reserve(q_.BinaryAtoms().size());
+    std::map<std::tuple<uint32_t, uint32_t, bool>, std::size_t> cache;
+    for (const auto& atom : q_.BinaryAtoms()) {
+      auto key = std::make_tuple(atom.start, atom.end, atom.allow_empty);
+      auto it = cache.find(key);
+      if (it == cache.end()) {
+        relation_store_.push_back(
+            AtomRelation(g_, q_.Automaton(), atom.start, atom.end, atom.allow_empty));
+        it = cache.emplace(key, relation_store_.size() - 1).first;
+      }
+      relations_.push_back(it->second);
+    }
+
+    // Semi-join filtering: shrink candidates via each atom's relation, then
+    // backtrack. One filtering pass is enough for correctness; repeat to a
+    // small fixpoint for pruning power.
+    for (int round = 0; round < 3; ++round) {
+      bool changed = false;
+      for (std::size_t i = 0; i < q_.BinaryAtoms().size(); ++i) {
+        changed |= SemiJoin(i);
+      }
+      if (!changed) break;
+      for (const auto& c : candidates_) {
+        if (c.None()) return std::nullopt;
+      }
+    }
+
+    assignment_.assign(vars, kNoNode);
+    order_ = VarOrder();
+    if (Assign(0)) return assignment_;
+    return std::nullopt;
+  }
+
+ private:
+  /// Restricts candidates of the atom's endpoints to nodes with at least one
+  /// partner in the relation. Returns true if anything shrank.
+  bool SemiJoin(std::size_t atom_idx) {
+    const BinaryAtom& atom = q_.BinaryAtoms()[atom_idx];
+    const auto& rel = relation_store_[relations_[atom_idx]];
+    const std::size_t nodes = g_.NodeCount();
+    bool changed = false;
+    DynamicBitset new_y(nodes), new_z(nodes);
+    for (std::size_t u = 0; u < nodes; ++u) {
+      if (!candidates_[atom.y].Test(u)) continue;
+      DynamicBitset targets = rel[u] & candidates_[atom.z];
+      if (targets.Any()) {
+        new_y.Set(u);
+        new_z |= targets;
+      }
+    }
+    if (!(new_y == candidates_[atom.y])) {
+      candidates_[atom.y] = new_y;
+      changed = true;
+    }
+    DynamicBitset z = candidates_[atom.z] & new_z;
+    if (!(z == candidates_[atom.z])) {
+      candidates_[atom.z] = z;
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Variables ordered so each one (past the first per component) touches an
+  /// earlier variable through some atom.
+  std::vector<uint32_t> VarOrder() const {
+    const std::size_t vars = q_.VarCount();
+    std::vector<std::vector<uint32_t>> adj(vars);
+    for (const auto& atom : q_.BinaryAtoms()) {
+      adj[atom.y].push_back(atom.z);
+      adj[atom.z].push_back(atom.y);
+    }
+    std::vector<uint32_t> order;
+    std::vector<bool> seen(vars, false);
+    for (uint32_t start = 0; start < vars; ++start) {
+      if (seen[start]) continue;
+      std::vector<uint32_t> queue{start};
+      seen[start] = true;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        uint32_t u = queue[i];
+        order.push_back(u);
+        for (uint32_t v : adj[u]) {
+          if (!seen[v]) {
+            seen[v] = true;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+    return order;
+  }
+
+  bool ConsistentAt(uint32_t var, NodeId node) const {
+    for (std::size_t i = 0; i < q_.BinaryAtoms().size(); ++i) {
+      const BinaryAtom& atom = q_.BinaryAtoms()[i];
+      const auto& rel = relation_store_[relations_[i]];
+      NodeId y = atom.y == var ? node : assignment_[atom.y];
+      NodeId z = atom.z == var ? node : assignment_[atom.z];
+      if (atom.y != var && atom.z != var) continue;
+      if (y != kNoNode && z != kNoNode && !rel[y].Test(z)) return false;
+    }
+    return true;
+  }
+
+  bool Assign(std::size_t idx) {
+    if (idx == order_.size()) return true;
+    uint32_t var = order_[idx];
+    const DynamicBitset& cand = candidates_[var];
+    for (std::size_t v = cand.FindFirst(); v < cand.size(); v = cand.FindNext(v + 1)) {
+      NodeId node = static_cast<NodeId>(v);
+      if (!ConsistentAt(var, node)) continue;
+      assignment_[var] = node;
+      if (Assign(idx + 1)) return true;
+      assignment_[var] = kNoNode;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  const Crpq& q_;
+  std::vector<DynamicBitset> candidates_;
+  std::vector<std::vector<DynamicBitset>> relation_store_;
+  std::vector<std::size_t> relations_;  // atom index -> store index
+  std::vector<NodeId> assignment_;
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> FindMatch(
+    const Graph& g, const Crpq& q,
+    const std::vector<std::pair<uint32_t, NodeId>>& pinned) {
+  return Evaluator(g, q).Find(pinned);
+}
+
+bool Matches(const Graph& g, const Crpq& q) { return FindMatch(g, q).has_value(); }
+
+bool Matches(const Graph& g, const Ucrpq& q) {
+  return std::any_of(q.Disjuncts().begin(), q.Disjuncts().end(),
+                     [&](const Crpq& d) { return Matches(g, d); });
+}
+
+bool MatchesAt(const Graph& g, const Crpq& q, uint32_t var, NodeId v) {
+  return FindMatch(g, q, {{var, v}}).has_value();
+}
+
+std::vector<NodeId> MatchNodes(const Graph& g, const Crpq& q, uint32_t var) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    if (MatchesAt(g, q, var, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gqc

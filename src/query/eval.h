@@ -1,0 +1,37 @@
+#ifndef GQC_QUERY_EVAL_H_
+#define GQC_QUERY_EVAL_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// Query evaluation over finite graphs (§2 match semantics). Each binary
+/// atom's relation is materialized by product reachability; the conjunction
+/// is then solved by backtracking over variables.
+
+/// Finds a match of `q` in `g`, optionally with some variables pinned to
+/// specific nodes. Returns the full variable assignment, or std::nullopt.
+std::optional<std::vector<NodeId>> FindMatch(
+    const Graph& g, const Crpq& q,
+    const std::vector<std::pair<uint32_t, NodeId>>& pinned = {});
+
+/// G ⊨ q.
+bool Matches(const Graph& g, const Crpq& q);
+
+/// G ⊨ Q for a union of C2RPQs.
+bool Matches(const Graph& g, const Ucrpq& q);
+
+/// Pointed match (§3): (q, x) matches in g at node v.
+bool MatchesAt(const Graph& g, const Crpq& q, uint32_t var, NodeId v);
+
+/// All nodes v such that (q, var) matches at v.
+std::vector<NodeId> MatchNodes(const Graph& g, const Crpq& q, uint32_t var);
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_EVAL_H_

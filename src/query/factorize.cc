@@ -1,0 +1,758 @@
+#include "src/query/factorize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/automata/semiautomaton.h"
+#include "src/query/eval.h"
+
+namespace gqc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Internal representation of simple pointed C2RPQs.
+//
+// Variables are dense ids; factors keep their contact point in `point`
+// (always 0 for generated factors). Edge atoms are forward-normalized
+// (an inverse single-role atom r-(y, z) is stored as r(z, y)); star atoms
+// reference interned role sets and are orientation-normalized during
+// canonicalization (R*(y, z) and R̄*(z, y) are the same constraint).
+// ---------------------------------------------------------------------------
+
+struct SEdge {
+  uint32_t y, z;
+  uint32_t role;  // forward role name id
+  auto operator<=>(const SEdge&) const = default;
+};
+
+struct SStar {
+  uint32_t y, z;
+  uint32_t set_id;  // interned role set
+  auto operator<=>(const SStar&) const = default;
+};
+
+struct SUnary {
+  uint32_t var;
+  Literal lit;
+  auto operator<=>(const SUnary&) const = default;
+};
+
+struct SPointed {
+  uint32_t var_count = 0;
+  uint32_t point = 0;
+  std::vector<SUnary> unary;
+  std::vector<SEdge> edges;
+  std::vector<SStar> stars;
+
+  std::size_t AtomCount() const { return unary.size() + edges.size() + stars.size(); }
+};
+
+/// Interns sorted role sets and their reversals.
+class RoleSetInterner {
+ public:
+  uint32_t Intern(std::vector<Role> roles) {
+    std::sort(roles.begin(), roles.end());
+    roles.erase(std::unique(roles.begin(), roles.end()), roles.end());
+    auto it = ids_.find(roles);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(sets_.size());
+    sets_.push_back(roles);
+    ids_.emplace(std::move(roles), id);
+    return id;
+  }
+
+  uint32_t ReversedOf(uint32_t id) {
+    std::vector<Role> rev;
+    for (Role r : sets_[id]) rev.push_back(r.Reversed());
+    return Intern(std::move(rev));
+  }
+
+  const std::vector<Role>& Get(uint32_t id) const { return sets_[id]; }
+  std::size_t size() const { return sets_.size(); }
+
+ private:
+  std::vector<std::vector<Role>> sets_;
+  std::map<std::vector<Role>, uint32_t> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// Canonicalization: serialize minimal over variable permutations with the
+// point pinned to position 0. Factors are small (few variables), so brute
+// force is fine; guarded by an assertion.
+// ---------------------------------------------------------------------------
+
+using CanonicalKey = std::vector<uint64_t>;
+
+CanonicalKey SerializeUnder(const SPointed& p, const std::vector<uint32_t>& perm,
+                            RoleSetInterner* sets) {
+  CanonicalKey key;
+  key.push_back(p.var_count);
+  std::vector<uint64_t> items;
+  for (const auto& u : p.unary) {
+    items.push_back((uint64_t{1} << 60) | (uint64_t{perm[u.var]} << 32) |
+                    u.lit.code());
+  }
+  key.push_back(items.size());
+  std::sort(items.begin(), items.end());
+  key.insert(key.end(), items.begin(), items.end());
+
+  items.clear();
+  for (const auto& e : p.edges) {
+    items.push_back((uint64_t{2} << 60) | (uint64_t{perm[e.y]} << 40) |
+                    (uint64_t{perm[e.z]} << 20) | e.role);
+  }
+  std::sort(items.begin(), items.end());
+  key.insert(key.end(), items.begin(), items.end());
+
+  items.clear();
+  for (const auto& s : p.stars) {
+    // Orientation-normalize: R*(y, z) == reversed(R)*(z, y).
+    uint64_t a = (uint64_t{3} << 60) | (uint64_t{perm[s.y]} << 40) |
+                 (uint64_t{perm[s.z]} << 20) | s.set_id;
+    uint64_t b = (uint64_t{3} << 60) | (uint64_t{perm[s.z]} << 40) |
+                 (uint64_t{perm[s.y]} << 20) | sets->ReversedOf(s.set_id);
+    items.push_back(std::min(a, b));
+  }
+  std::sort(items.begin(), items.end());
+  key.insert(key.end(), items.begin(), items.end());
+  return key;
+}
+
+CanonicalKey Canonicalize(const SPointed& p, RoleSetInterner* sets) {
+  assert(p.var_count <= 9 && "factor too large to canonicalize");
+  std::vector<uint32_t> order;
+  for (uint32_t v = 0; v < p.var_count; ++v) {
+    if (v != p.point) order.push_back(v);
+  }
+  CanonicalKey best;
+  std::vector<uint32_t> perm(p.var_count);
+  do {
+    perm[p.point] = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) perm[order[i]] = i + 1;
+    CanonicalKey key = SerializeUnder(p, perm, sets);
+    if (best.empty() || key < best) best = key;
+  } while (std::next_permutation(order.begin(), order.end()));
+  if (best.empty()) best = SerializeUnder(p, perm, sets);  // 1-var query
+  return best;
+}
+
+/// Cleans a pointed query in place: dedup atoms, drop trivial stars
+/// (y == z, which the empty path satisfies). Returns false if a variable
+/// carries contradictory unary literals (the query is unsatisfiable).
+bool Tidy(SPointed* p) {
+  auto& stars = p->stars;
+  stars.erase(std::remove_if(stars.begin(), stars.end(),
+                             [](const SStar& s) { return s.y == s.z; }),
+              stars.end());
+  std::sort(p->unary.begin(), p->unary.end());
+  p->unary.erase(std::unique(p->unary.begin(), p->unary.end()), p->unary.end());
+  std::sort(p->edges.begin(), p->edges.end());
+  p->edges.erase(std::unique(p->edges.begin(), p->edges.end()), p->edges.end());
+  std::sort(stars.begin(), stars.end());
+  stars.erase(std::unique(stars.begin(), stars.end()), stars.end());
+  for (std::size_t i = 0; i + 1 < p->unary.size(); ++i) {
+    if (p->unary[i].var == p->unary[i + 1].var &&
+        p->unary[i].lit == p->unary[i + 1].lit.Complemented()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsConnectedToPoint(const SPointed& p) {
+  if (p.var_count <= 1) return true;
+  std::vector<std::vector<uint32_t>> adj(p.var_count);
+  auto link = [&](uint32_t a, uint32_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (const auto& e : p.edges) link(e.y, e.z);
+  for (const auto& s : p.stars) link(s.y, s.z);
+  std::vector<bool> seen(p.var_count, false);
+  std::deque<uint32_t> queue{p.point};
+  seen[p.point] = true;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        queue.push_back(w);
+      }
+    }
+  }
+  return count == p.var_count;
+}
+
+// ---------------------------------------------------------------------------
+// The factorizer.
+// ---------------------------------------------------------------------------
+
+enum class Where : uint8_t { kOut, kIn, kShared };
+
+class Factorizer {
+ public:
+  Factorizer(Vocabulary* vocab, const FactorizeOptions& options)
+      : vocab_(vocab), options_(options) {}
+
+  Result<SimpleFactorization> Run(const Ucrpq& q) {
+    // Convert and seed.
+    for (const Crpq& disjunct : q.Disjuncts()) {
+      if (!disjunct.IsConnected()) {
+        return Result<SimpleFactorization>::Error("factorize: query not connected");
+      }
+      auto sq = Convert(disjunct);
+      if (!sq.ok()) return Result<SimpleFactorization>::Error(sq.error());
+      for (uint32_t x = 0; x < sq.value().var_count; ++x) {
+        SPointed seed = sq.value();
+        seed.point = x;
+        if (!EnumeratePeripheralFactors(seed, /*mark_full=*/true)) {
+          return Result<SimpleFactorization>::Error(
+              "factorize: factor cap exceeded (" +
+              std::to_string(options_.max_factors) + ")");
+        }
+      }
+    }
+
+    // Closure: factors of factors.
+    while (!worklist_.empty()) {
+      std::size_t idx = worklist_.front();
+      worklist_.pop_front();
+      SPointed factor = factors_[idx];
+      if (!EnumeratePeripheralFactors(factor, /*mark_full=*/false)) {
+        return Result<SimpleFactorization>::Error(
+            "factorize: factor cap exceeded (" +
+            std::to_string(options_.max_factors) + ")");
+      }
+    }
+
+    // Central factors and disjunct emission.
+    for (std::size_t idx = 0; idx < factors_.size(); ++idx) {
+      EnumerateCentralFactors(idx);
+      if (disjuncts_.size() > options_.max_disjuncts) {
+        return Result<SimpleFactorization>::Error("factorize: disjunct cap exceeded");
+      }
+    }
+
+    return Emit();
+  }
+
+ private:
+  // --- conversion ---------------------------------------------------------
+
+  Result<SPointed> Convert(const Crpq& q) {
+    SPointed out;
+    out.var_count = static_cast<uint32_t>(q.VarCount());
+    for (const auto& u : q.UnaryAtoms()) out.unary.push_back({u.var, u.literal});
+    for (const auto& b : q.BinaryAtoms()) {
+      if (!b.simple.has_value()) {
+        return Result<SPointed>::Error("factorize: query is not simple");
+      }
+      if (b.simple->starred) {
+        out.stars.push_back({b.y, b.z, sets_.Intern(b.simple->roles)});
+      } else {
+        Role r = b.simple->roles[0];
+        if (r.is_inverse()) {
+          out.edges.push_back({b.z, b.y, r.name_id()});
+        } else {
+          out.edges.push_back({b.y, b.z, r.name_id()});
+        }
+      }
+    }
+    Tidy(&out);
+    return out;
+  }
+
+  // --- factor registry -----------------------------------------------------
+
+  /// Registers a factor; returns its index, or SIZE_MAX if the cap was hit.
+  std::size_t AddFactor(SPointed f, bool is_full_of_seed) {
+    CanonicalKey key = Canonicalize(f, &sets_);
+    auto it = factor_ids_.find(key);
+    if (it != factor_ids_.end()) {
+      if (is_full_of_seed) factor_is_full_[it->second] = true;
+      return it->second;
+    }
+    if (factors_.size() >= options_.max_factors) return SIZE_MAX;
+    std::size_t idx = factors_.size();
+    factors_.push_back(std::move(f));
+    factor_is_full_.push_back(is_full_of_seed);
+    factor_labels_.push_back(vocab_->FreshConcept("perm"));
+    factor_ids_.emplace(std::move(key), idx);
+    worklist_.push_back(idx);
+    return idx;
+  }
+
+  // --- peripheral factor enumeration ---------------------------------------
+
+  /// Enumerates the peripheral factors of (p, p.point) over all single-part
+  /// placements and per-atom choices. Returns false if the factor cap is hit.
+  bool EnumeratePeripheralFactors(const SPointed& p, bool mark_full) {
+    const uint32_t n = p.var_count;
+    std::vector<Where> place(n, Where::kOut);
+    return ForEachPlacement(place, 0, n, p, mark_full);
+  }
+
+  bool ForEachPlacement(std::vector<Where>& place, uint32_t v, uint32_t n,
+                        const SPointed& p, bool mark_full) {
+    if (v == n) return RealizePlacement(place, p, mark_full);
+    for (Where w : {Where::kOut, Where::kIn, Where::kShared}) {
+      if (v == p.point && w == Where::kIn) continue;  // point is central-side
+      place[v] = w;
+      if (!ForEachPlacement(place, v + 1, n, p, mark_full)) return false;
+    }
+    place[v] = Where::kOut;
+    return true;
+  }
+
+  /// Builds factors for a fixed placement, enumerating per-atom choices.
+  bool RealizePlacement(const std::vector<Where>& place, const SPointed& p,
+                        bool mark_full) {
+    // Variable mapping into the factor: contact = 0, kIn vars dense from 1.
+    std::vector<uint32_t> map(p.var_count, UINT32_MAX);
+    uint32_t next = 1;
+    bool any_inside = false;
+    for (uint32_t v = 0; v < p.var_count; ++v) {
+      if (place[v] == Where::kIn) {
+        map[v] = next++;
+        any_inside = true;
+      } else if (place[v] == Where::kShared) {
+        map[v] = 0;
+        any_inside = true;
+      }
+    }
+    if (!any_inside) return true;  // empty factor
+
+    // Choice atoms: edges with both endpoints shared (inside vs outside) and
+    // stars with both endpoints strictly inside (direct vs via contact).
+    std::vector<std::size_t> choice_edges, choice_stars;
+    for (std::size_t i = 0; i < p.edges.size(); ++i) {
+      const SEdge& e = p.edges[i];
+      Where wy = place[e.y], wz = place[e.z];
+      // Cross edges between a part interior and the outside cannot exist.
+      if ((wy == Where::kIn && wz == Where::kOut) ||
+          (wy == Where::kOut && wz == Where::kIn)) {
+        return true;  // invalid placement, no factor
+      }
+      if (wy == Where::kShared && wz == Where::kShared) choice_edges.push_back(i);
+    }
+    for (std::size_t i = 0; i < p.stars.size(); ++i) {
+      if (place[p.stars[i].y] == Where::kIn && place[p.stars[i].z] == Where::kIn) {
+        choice_stars.push_back(i);
+      }
+    }
+
+    bool all_vars_inside = std::none_of(place.begin(), place.end(),
+                                        [](Where w) { return w == Where::kOut; });
+
+    const std::size_t combos = std::size_t{1} << (choice_edges.size() + choice_stars.size());
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+      SPointed f;
+      f.var_count = next;
+      f.point = 0;
+      // "Full" means the factor is the entire query p: every variable is
+      // inside and every atom is realized entirely inside.
+      bool full = all_vars_inside;
+
+      for (const auto& u : p.unary) {
+        if (place[u.var] != Where::kOut) f.unary.push_back({map[u.var], u.lit});
+      }
+      std::size_t bit = 0;
+      for (std::size_t i = 0; i < p.edges.size(); ++i) {
+        const SEdge& e = p.edges[i];
+        Where wy = place[e.y], wz = place[e.z];
+        if (wy == Where::kOut || wz == Where::kOut) continue;  // edge lives outside
+        if (wy == Where::kShared && wz == Where::kShared) {
+          bool inside = (combo >> bit) & 1;
+          ++bit;
+          if (inside) {
+            f.edges.push_back({map[e.y], map[e.z], e.role});
+          } else {
+            full = false;
+          }
+          continue;
+        }
+        f.edges.push_back({map[e.y], map[e.z], e.role});
+      }
+      for (std::size_t i = 0; i < p.stars.size(); ++i) {
+        const SStar& s = p.stars[i];
+        Where wy = place[s.y], wz = place[s.z];
+        bool y_in = wy != Where::kOut, z_in = wz != Where::kOut;
+        if (y_in && z_in) {
+          if (wy == Where::kIn && wz == Where::kIn) {
+            bool direct = !((combo >> bit) & 1);
+            ++bit;
+            if (direct) {
+              f.stars.push_back({map[s.y], map[s.z], s.set_id});
+            } else {
+              // Path exits through the contact and re-enters.
+              f.stars.push_back({map[s.y], 0, s.set_id});
+              f.stars.push_back({0, map[s.z], s.set_id});
+              full = false;
+            }
+          } else {
+            f.stars.push_back({map[s.y], map[s.z], s.set_id});
+          }
+        } else if (y_in && !z_in) {
+          if (wy == Where::kIn) f.stars.push_back({map[s.y], 0, s.set_id});
+        } else if (!y_in && z_in) {
+          if (wz == Where::kIn) f.stars.push_back({0, map[s.z], s.set_id});
+        }
+        // Both out: witnessed outside (detours into the part are pointless
+        // for simple queries).
+      }
+
+      if (!Tidy(&f)) continue;            // unsatisfiable
+      if (f.AtomCount() == 0) continue;   // trivial
+      if (!IsConnectedToPoint(f)) continue;
+      std::size_t idx = AddFactor(std::move(f), mark_full && full);
+      if (idx == SIZE_MAX) return false;
+    }
+    return true;
+  }
+
+  // --- central factor enumeration ------------------------------------------
+
+  /// Placement of one variable for central factors: central, or
+  /// (part index, interior/shared).
+  struct CPlace {
+    bool central = true;
+    uint32_t part = 0;
+    bool shared = false;
+  };
+
+  void EnumerateCentralFactors(std::size_t factor_idx) {
+    const SPointed& f = factors_[factor_idx];
+    std::vector<CPlace> place(f.var_count);
+    RecurseCentral(place, 0, 0, factor_idx);
+  }
+
+  void RecurseCentral(std::vector<CPlace>& place, uint32_t v, uint32_t parts_used,
+                      std::size_t factor_idx) {
+    const SPointed& f = factors_[factor_idx];
+    if (disjuncts_.size() > options_.max_disjuncts) return;
+    if (v == f.var_count) {
+      RealizeCentral(place, parts_used, factor_idx);
+      return;
+    }
+    // Central.
+    place[v] = {true, 0, false};
+    RecurseCentral(place, v + 1, parts_used, factor_idx);
+    // Existing or one new part; parts appear in first-use order to avoid
+    // enumerating symmetric partitions. The point may only be shared.
+    for (uint32_t j = 0; j < std::min(parts_used + 1, f.var_count); ++j) {
+      for (bool shared : {false, true}) {
+        if (v == f.point && !shared) continue;
+        place[v] = {false, j, shared};
+        RecurseCentral(place, v + 1, std::max(parts_used, j + 1), factor_idx);
+      }
+    }
+  }
+
+  void RealizeCentral(const std::vector<CPlace>& place, uint32_t parts_used,
+                      std::size_t factor_idx) {
+    const SPointed& f = factors_[factor_idx];
+
+    // Each part needs at least one interior variable (shared-only parts are
+    // redundant: the shared node's labels are visible centrally).
+    std::vector<bool> has_interior(parts_used, false);
+    for (uint32_t v = 0; v < f.var_count; ++v) {
+      if (!place[v].central && !place[v].shared) has_interior[place[v].part] = true;
+    }
+    for (uint32_t j = 0; j < parts_used; ++j) {
+      if (!has_interior[j]) return;
+    }
+
+    // Variable mapping for the central factor: central vars keep identity
+    // (renumbered), each part j gets contact var c_j.
+    std::vector<uint32_t> central_map(f.var_count, UINT32_MAX);
+    uint32_t next = 0;
+    std::vector<uint32_t> contact(parts_used, UINT32_MAX);
+    for (uint32_t v = 0; v < f.var_count; ++v) {
+      if (place[v].central) central_map[v] = next++;
+    }
+    for (uint32_t j = 0; j < parts_used; ++j) contact[j] = next++;
+    auto cmap = [&](uint32_t v) {
+      return place[v].central ? central_map[v] : contact[place[v].part];
+    };
+
+    // Validity: no atom may cross between a part interior and elsewhere.
+    auto region = [&](uint32_t v) -> int {
+      if (place[v].central || place[v].shared) return -1;  // central-visible
+      return static_cast<int>(place[v].part);
+    };
+
+    SPointed central;
+    central.var_count = next;
+    central.point = cmap(f.point);
+
+    // Per-part peripheral content, assembled with the same rules as
+    // EnumeratePeripheralFactors (without choice atoms: choices only affect
+    // which part-side factor is referenced, and every variant is already in
+    // the closure — we pick the canonical "direct" variant).
+    std::vector<SPointed> part_factors(parts_used);
+    std::vector<std::vector<uint32_t>> part_map(parts_used,
+                                                std::vector<uint32_t>(f.var_count,
+                                                                      UINT32_MAX));
+    for (uint32_t j = 0; j < parts_used; ++j) {
+      part_factors[j].point = 0;
+      uint32_t pn = 1;
+      for (uint32_t v = 0; v < f.var_count; ++v) {
+        if (!place[v].central && place[v].part == j) {
+          part_map[j][v] = place[v].shared ? 0 : pn++;
+        }
+      }
+      part_factors[j].var_count = pn;
+    }
+
+    for (const auto& u : f.unary) {
+      if (place[u.var].central || place[u.var].shared) {
+        central.unary.push_back({cmap(u.var), u.lit});
+      }
+      if (!place[u.var].central) {
+        uint32_t j = place[u.var].part;
+        part_factors[j].unary.push_back({part_map[j][u.var], u.lit});
+      }
+    }
+
+    for (const auto& e : f.edges) {
+      int ry = region(e.y), rz = region(e.z);
+      if (ry != rz && ry != -1 && rz != -1) return;  // interior-to-interior cross
+      if (ry == -1 && rz == -1) {
+        // Both central-visible. If both are shared nodes of the same part the
+        // edge could live inside that part instead; the inside variant is
+        // covered by the placement where those variables are interior.
+        central.edges.push_back({cmap(e.y), cmap(e.z), e.role});
+      } else if (ry == rz) {
+        uint32_t j = static_cast<uint32_t>(ry);
+        part_factors[j].edges.push_back({part_map[j][e.y], part_map[j][e.z], e.role});
+      } else {
+        // One endpoint interior to part j, other central-visible: the edge
+        // must be inside part j, so the central-visible endpoint must be the
+        // shared node of part j.
+        uint32_t j = static_cast<uint32_t>(ry == -1 ? rz : ry);
+        uint32_t other = ry == -1 ? e.y : e.z;
+        // The central-visible endpoint must be the shared node of part j.
+        if (place[other].central || place[other].part != j) return;  // invalid
+        part_factors[j].edges.push_back(
+            {part_map[j][e.y], part_map[j][e.z], e.role});
+      }
+    }
+
+    for (const auto& s : f.stars) {
+      int ry = region(s.y), rz = region(s.z);
+      if (ry == -1 && rz == -1) {
+        central.stars.push_back({cmap(s.y), cmap(s.z), s.set_id});
+      } else if (ry == rz) {
+        uint32_t j = static_cast<uint32_t>(ry);
+        part_factors[j].stars.push_back(
+            {part_map[j][s.y], part_map[j][s.z], s.set_id});
+      } else {
+        // Interior endpoint(s) contribute prefix/suffix within their part;
+        // the middle runs centrally between the contacts / central vars.
+        if (ry != -1) {
+          uint32_t j = static_cast<uint32_t>(ry);
+          part_factors[j].stars.push_back({part_map[j][s.y], 0, s.set_id});
+        }
+        if (rz != -1) {
+          uint32_t j = static_cast<uint32_t>(rz);
+          part_factors[j].stars.push_back({0, part_map[j][s.z], s.set_id});
+        }
+        central.stars.push_back({cmap(s.y), cmap(s.z), s.set_id});
+      }
+    }
+
+    // Resolve part factors to permissions.
+    std::vector<uint32_t> permissions;
+    for (uint32_t j = 0; j < parts_used; ++j) {
+      if (!Tidy(&part_factors[j])) return;  // unsatisfiable part content
+      if (part_factors[j].AtomCount() == 0) return;  // redundant part
+      if (!IsConnectedToPoint(part_factors[j])) return;
+      CanonicalKey key = Canonicalize(part_factors[j], &sets_);
+      auto it = factor_ids_.find(key);
+      if (it == factor_ids_.end()) return;  // beyond the closure cap: skip
+      permissions.push_back(factor_labels_[it->second]);
+    }
+
+    // Assemble the disjunct: central structure + part permissions at the
+    // contacts + the missing permission of f at the point.
+    for (uint32_t j = 0; j < parts_used; ++j) {
+      central.unary.push_back({contact[j], Literal::Positive(permissions[j])});
+    }
+    Literal missing = Literal::Negative(factor_labels_[factor_idx]);
+    central.unary.push_back({central.point, missing});
+    if (!Tidy(&central)) return;  // e.g. C_f(y) ∧ C̄_f(y)
+    if (!IsConnectedToPoint(central)) return;
+
+    CanonicalKey key = Canonicalize(central, &sets_);
+    if (disjunct_keys_.insert(key).second) {
+      disjuncts_.push_back(std::move(central));
+    }
+  }
+
+  // --- emission -------------------------------------------------------------
+
+  Result<SimpleFactorization> Emit() {
+    // Full-query permission disjuncts: C_{q,x}(x).
+    for (std::size_t i = 0; i < factors_.size(); ++i) {
+      if (!factor_is_full_[i]) continue;
+      SPointed d;
+      d.var_count = 1;
+      d.point = 0;
+      d.unary.push_back({0, Literal::Positive(factor_labels_[i])});
+      CanonicalKey key = Canonicalize(d, &sets_);
+      if (disjunct_keys_.insert(key).second) disjuncts_.push_back(std::move(d));
+    }
+
+    // Build the shared automaton for all disjuncts.
+    auto automaton = std::make_shared<Semiautomaton>();
+    std::map<uint32_t, std::pair<uint32_t, uint32_t>> edge_states;  // role -> (s, t)
+    std::map<uint32_t, uint32_t> star_states;                       // set id -> state
+    auto edge_pair = [&](uint32_t role) {
+      auto it = edge_states.find(role);
+      if (it != edge_states.end()) return it->second;
+      uint32_t s = automaton->AddState();
+      uint32_t t = automaton->AddState();
+      automaton->AddTransition(s, Symbol::FromRole(Role::Forward(role)), t);
+      return edge_states.emplace(role, std::make_pair(s, t)).first->second;
+    };
+    auto star_state = [&](uint32_t set_id) {
+      auto it = star_states.find(set_id);
+      if (it != star_states.end()) return it->second;
+      uint32_t s = automaton->AddState();
+      for (Role r : sets_.Get(set_id)) {
+        automaton->AddTransition(s, Symbol::FromRole(r), s);
+      }
+      return star_states.emplace(set_id, s).first->second;
+    };
+
+    SimpleFactorization out;
+    std::shared_ptr<const Semiautomaton> frozen = automaton;
+    auto convert = [&](const SPointed& d) {
+      Crpq q(frozen);
+      for (uint32_t v = 0; v < d.var_count; ++v) q.AddVar();
+      for (const auto& u : d.unary) q.AddUnary(u.var, u.lit);
+      for (const auto& e : d.edges) {
+        auto [s, t] = edge_pair(e.role);
+        BinaryAtom atom;
+        atom.y = e.y;
+        atom.z = e.z;
+        atom.start = s;
+        atom.end = t;
+        atom.allow_empty = false;
+        atom.regex = Regex::RoleSym(Role::Forward(e.role));
+        atom.simple = GetSimpleShape(atom.regex);
+        q.AddBinary(std::move(atom));
+      }
+      for (const auto& s : d.stars) {
+        uint32_t state = star_state(s.set_id);
+        BinaryAtom atom;
+        atom.y = s.y;
+        atom.z = s.z;
+        atom.start = state;
+        atom.end = state;
+        atom.allow_empty = true;
+        std::vector<RegexPtr> syms;
+        for (Role r : sets_.Get(s.set_id)) syms.push_back(Regex::RoleSym(r));
+        atom.regex = Regex::Star(Regex::Union(std::move(syms)));
+        atom.simple = GetSimpleShape(atom.regex);
+        q.AddBinary(std::move(atom));
+      }
+      return q;
+    };
+
+    for (const SPointed& d : disjuncts_) {
+      out.q_hat.AddDisjunct(convert(d));
+    }
+    for (std::size_t i = 0; i < factors_.size(); ++i) {
+      SimpleFactorization::Factor f;
+      f.query = convert(factors_[i]);
+      f.point = factors_[i].point;
+      f.permission = factor_labels_[i];
+      f.is_full = factor_is_full_[i];
+      out.factors.push_back(std::move(f));
+    }
+
+    out.permission_concepts = factor_labels_;
+    for (std::size_t i = 0; i < factors_.size(); ++i) {
+      if (factor_is_full_[i]) out.full_query_permissions.push_back(factor_labels_[i]);
+    }
+    out.factor_count = factors_.size();
+    return out;
+  }
+
+  Vocabulary* vocab_;
+  FactorizeOptions options_;
+  RoleSetInterner sets_;
+
+  std::vector<SPointed> factors_;
+  std::vector<bool> factor_is_full_;
+  std::vector<uint32_t> factor_labels_;
+  std::map<CanonicalKey, std::size_t> factor_ids_;
+  std::deque<std::size_t> worklist_;
+
+  std::vector<SPointed> disjuncts_;
+  std::set<CanonicalKey> disjunct_keys_;
+};
+
+}  // namespace
+
+Result<SimpleFactorization> FactorizeSimpleUcrpq(const Ucrpq& q, Vocabulary* vocab,
+                                                 const FactorizeOptions& options) {
+  if (!q.IsSimple()) {
+    return Result<SimpleFactorization>::Error("factorize: query is not simple");
+  }
+  return Factorizer(vocab, options).Run(q);
+}
+
+Graph ApplyTrueLabelling(const Graph& g, const SimpleFactorization& f) {
+  Graph out = g;
+  for (const auto& factor : f.factors) {
+    for (NodeId v = 0; v < g.NodeCount(); ++v) {
+      if (MatchesAt(out, factor.query, factor.point, v)) {
+        // Permissions are fresh labels not mentioned by any factor query, so
+        // adding them does not change subsequent matches.
+        out.AddLabel(v, factor.permission);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsReachabilityAtom(const BinaryAtom& atom, const std::vector<uint32_t>& sigma0) {
+  if (!atom.simple.has_value() || !atom.simple->starred) return false;
+  auto has = [&](bool inverse) {
+    for (uint32_t r : sigma0) {
+      Role needle = inverse ? Role::Inverse(r) : Role::Forward(r);
+      if (std::find(atom.simple->roles.begin(), atom.simple->roles.end(), needle) ==
+          atom.simple->roles.end()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (sigma0.empty()) return false;
+  return has(false) || has(true);
+}
+
+Ucrpq DropReachabilityAtoms(const Ucrpq& q, const std::vector<uint32_t>& sigma0) {
+  Ucrpq out;
+  for (const Crpq& d : q.Disjuncts()) {
+    Crpq nd(d.SharedAutomaton());
+    for (uint32_t v = 0; v < d.VarCount(); ++v) nd.AddVar(d.VarName(v));
+    for (const auto& u : d.UnaryAtoms()) nd.AddUnary(u.var, u.literal);
+    for (const auto& b : d.BinaryAtoms()) {
+      if (!IsReachabilityAtom(b, sigma0)) nd.AddBinary(b);
+    }
+    out.AddDisjunct(std::move(nd));
+  }
+  return out;
+}
+
+}  // namespace gqc

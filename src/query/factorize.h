@@ -1,0 +1,87 @@
+#ifndef GQC_QUERY_FACTORIZE_H_
+#define GQC_QUERY_FACTORIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Query factorization (§3, Lemma 3.7): given a connected UC2RPQ Q, builds a
+/// UC2RPQ Q̂ over fresh "permission" node labels C_{p,y} such that
+///   (1) Q̂ is factorized: it holds in a star-like graph iff it holds in one
+///       of its parts, and
+///   (2) Q holds in G iff Q̂ holds in every extension of G by placements of
+///       the fresh labels.
+///
+/// This implementation is exact for *simple* UC2RPQs (atoms r or
+/// (r1+...+rn)*), the class required by Theorem 3.4(2) and the §6 engine.
+/// For simple queries the paper notes that detours into peripheral parts are
+/// pointless, so no automaton shortcuts are needed and all factors remain
+/// simple.
+///
+/// A unary factor of a pointed query (p, x) is a pointed query that can be
+/// matched inside one peripheral part of a star-like graph, touching the rest
+/// of the graph only through the shared "contact" node. Factors are closed
+/// under factorization; the closure is computed by a worklist over canonical
+/// forms. Q̂ consists of
+///   - C_{q,x}(x) for the full-query factors (a node claiming a complete
+///     match of some disjunct), and
+///   - p' ∧ C̄_p(y') for every factor p and central factor p' of p (local
+///     structure plus peripheral permissions imply a match of p at y', but
+///     the permission label is missing).
+struct SimpleFactorization {
+  /// The factorized query Q̂.
+  Ucrpq q_hat;
+  /// All fresh permission concept ids introduced (part of Γ₀ downstream).
+  std::vector<uint32_t> permission_concepts;
+  /// Permission concept ids of full-query factors (one per (q, x)).
+  std::vector<uint32_t> full_query_permissions;
+  /// Number of distinct factors in the closure.
+  std::size_t factor_count = 0;
+
+  /// The factor closure itself: pointed queries with their permission labels.
+  /// The "true labelling" of a graph G labels node v with `permission` iff
+  /// (query, point) matches at v; it is the canonical witness for condition
+  /// (2) of Lemma 3.7 and is used by tests and the containment reduction.
+  struct Factor {
+    Crpq query;
+    uint32_t point = 0;
+    uint32_t permission = 0;
+    bool is_full = false;
+  };
+  std::vector<Factor> factors;
+};
+
+/// Adds the true labelling of `g` under the factorization: each node v gets
+/// permission C_f exactly when factor f matches at v. Returns the labelled
+/// copy.
+Graph ApplyTrueLabelling(const Graph& g, const SimpleFactorization& f);
+
+struct FactorizeOptions {
+  /// Cap on the number of distinct factors (hence permission labels); the
+  /// type spaces of the entailment engines are exponential in this number.
+  std::size_t max_factors = 24;
+  /// Cap on generated Q̂ disjuncts.
+  std::size_t max_disjuncts = 4096;
+};
+
+/// Factorizes a connected simple UC2RPQ. Errors if the query is not simple,
+/// not connected, or the caps are exceeded.
+Result<SimpleFactorization> FactorizeSimpleUcrpq(const Ucrpq& q, Vocabulary* vocab,
+                                                 const FactorizeOptions& options = {});
+
+/// Q̂ mod Σ0 (§6): drops every Σ0-reachability atom — a simple star atom
+/// (r1+...+rk)* whose role set contains all of Σ0 forwards or all of Σ0
+/// backwards — from each disjunct. `sigma0` holds role name ids.
+Ucrpq DropReachabilityAtoms(const Ucrpq& q, const std::vector<uint32_t>& sigma0);
+
+/// True if the atom is a Σ0-reachability atom.
+bool IsReachabilityAtom(const BinaryAtom& atom, const std::vector<uint32_t>& sigma0);
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_FACTORIZE_H_

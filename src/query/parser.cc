@@ -1,0 +1,239 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/automata/regex_parser.h"
+
+namespace gqc {
+
+namespace {
+
+class QueryParser {
+ public:
+  QueryParser(std::string_view text, Vocabulary* vocab) : text_(text), vocab_(vocab) {}
+
+  Result<Ucrpq> Parse() {
+    auto automaton = std::make_shared<Semiautomaton>();
+    Ucrpq result;
+    while (true) {
+      auto crpq = ParseDisjunct(automaton.get());
+      if (!crpq.ok()) return Result<Ucrpq>::Error(crpq.error());
+      result.AddDisjunct(std::move(crpq.value()));
+      SkipSpace();
+      if (!Consume(';')) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<Ucrpq>::Error("query: trailing input at position " +
+                                  std::to_string(pos_));
+    }
+    // Freeze the shared automaton into every disjunct.
+    std::shared_ptr<const Semiautomaton> frozen = automaton;
+    for (Crpq& q : result.MutableDisjuncts()) q.SetAutomaton(frozen);
+    return result;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Result<std::string>::Error("query: expected identifier at position " +
+                                        std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Extracts the balanced "(...)" starting at the current '('; returns the
+  /// inner text and advances past the closing ')'.
+  Result<std::string> ParseBalancedParens() {
+    if (!Consume('(')) {
+      return Result<std::string>::Error("query: expected '('");
+    }
+    std::size_t start = pos_;
+    int depth = 1;
+    while (pos_ < text_.size() && depth > 0) {
+      if (text_[pos_] == '(') ++depth;
+      if (text_[pos_] == ')') --depth;
+      ++pos_;
+    }
+    if (depth != 0) {
+      return Result<std::string>::Error("query: unbalanced parentheses");
+    }
+    return std::string(text_.substr(start, pos_ - 1 - start));
+  }
+
+  Result<Crpq> ParseDisjunct(Semiautomaton* automaton) {
+    Crpq q;
+    std::map<std::string, uint32_t> vars;
+    auto var_id = [&](const std::string& name) {
+      auto it = vars.find(name);
+      if (it != vars.end()) return it->second;
+      uint32_t id = q.AddVar(name);
+      vars.emplace(name, id);
+      return id;
+    };
+
+    // Optional head "name(v1, ..., vk) :-": detect by scanning for ":-"
+    // before the first ',' at depth 0.
+    DetectAndSkipHead();
+
+    bool first_atom = true;
+    while (true) {
+      if (!first_atom && !Consume(',')) break;
+      first_atom = false;
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Result<Crpq>::Error("query: expected atom");
+      }
+      if (Peek('(')) {
+        // Regex binary atom: ( regex )( y , z ), allowing postfix '*' or '^+'
+        // after the closing parenthesis, e.g. (partof-)*(z, y).
+        auto regex_text = ParseBalancedParens();
+        if (!regex_text.ok()) return Result<Crpq>::Error(regex_text.error());
+        auto regex = ParseRegex(regex_text.value(), vocab_);
+        if (!regex.ok()) return Result<Crpq>::Error(regex.error());
+        while (true) {
+          if (Consume('*')) {
+            regex = Regex::Star(regex.value());
+          } else if (Peek('^')) {
+            ++pos_;
+            if (!Consume('+')) {
+              return Result<Crpq>::Error("query: expected '+' after '^'");
+            }
+            regex = Regex::Plus(regex.value());
+          } else {
+            break;
+          }
+        }
+        auto atom_vars = ParseVarPair();
+        if (!atom_vars.ok()) return Result<Crpq>::Error(atom_vars.error());
+        uint32_t y = var_id(atom_vars.value().first);
+        uint32_t z = var_id(atom_vars.value().second);
+        AddRegexAtom(&q, automaton, regex.value(), y, z);
+        continue;
+      }
+      bool negated = Consume('!');
+      auto name = ParseIdent();
+      if (!name.ok()) return Result<Crpq>::Error(name.error());
+      bool inverse = !negated && Consume('-');
+      if (!Consume('(')) {
+        return Result<Crpq>::Error("query: expected '(' after atom name");
+      }
+      auto v1 = ParseIdent();
+      if (!v1.ok()) return Result<Crpq>::Error(v1.error());
+      if (Consume(',')) {
+        // Binary shorthand: role(y, z).
+        if (negated) {
+          return Result<Crpq>::Error("query: '!' applies to unary atoms only");
+        }
+        auto v2 = ParseIdent();
+        if (!v2.ok()) return Result<Crpq>::Error(v2.error());
+        if (!Consume(')')) return Result<Crpq>::Error("query: expected ')'");
+        uint32_t role = vocab_->RoleId(name.value());
+        RegexPtr regex =
+            Regex::RoleSym(inverse ? Role::Inverse(role) : Role::Forward(role));
+        uint32_t y = var_id(v1.value());
+        uint32_t z = var_id(v2.value());
+        AddRegexAtom(&q, automaton, regex, y, z);
+      } else {
+        if (!Consume(')')) return Result<Crpq>::Error("query: expected ')'");
+        if (inverse) {
+          return Result<Crpq>::Error("query: unary atoms cannot be inverted");
+        }
+        uint32_t concept_id = vocab_->ConceptId(name.value());
+        q.AddUnary(var_id(v1.value()), negated ? Literal::Negative(concept_id)
+                                               : Literal::Positive(concept_id));
+      }
+      SkipSpace();
+    }
+    return q;
+  }
+
+  void DetectAndSkipHead() {
+    std::size_t probe = pos_;
+    int depth = 0;
+    while (probe + 1 < text_.size()) {
+      char c = text_[probe];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (depth == 0 && c == ':' && text_[probe + 1] == '-') {
+        pos_ = probe + 2;
+        return;
+      }
+      if (depth == 0 && (c == ',' || c == ';')) return;  // no head
+      ++probe;
+    }
+  }
+
+  Result<std::pair<std::string, std::string>> ParseVarPair() {
+    using R = Result<std::pair<std::string, std::string>>;
+    if (!Consume('(')) return R::Error("query: expected '(' before variables");
+    auto v1 = ParseIdent();
+    if (!v1.ok()) return R::Error(v1.error());
+    if (!Consume(',')) return R::Error("query: expected ','");
+    auto v2 = ParseIdent();
+    if (!v2.ok()) return R::Error(v2.error());
+    if (!Consume(')')) return R::Error("query: expected ')'");
+    return std::make_pair(v1.value(), v2.value());
+  }
+
+  void AddRegexAtom(Crpq* q, Semiautomaton* automaton, const RegexPtr& regex,
+                    uint32_t y, uint32_t z) {
+    CompiledRef ref = CompileRegexInto(regex, automaton);
+    BinaryAtom atom;
+    atom.y = y;
+    atom.z = z;
+    atom.start = ref.start;
+    atom.end = ref.end;
+    atom.allow_empty = ref.nullable;
+    atom.regex = regex;
+    atom.simple = GetSimpleShape(regex);
+    q->AddBinary(std::move(atom));
+  }
+
+  std::string_view text_;
+  Vocabulary* vocab_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab) {
+  return QueryParser(text, vocab).Parse();
+}
+
+Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab) {
+  auto u = ParseUcrpq(text, vocab);
+  if (!u.ok()) return Result<Crpq>::Error(u.error());
+  if (u.value().size() != 1) {
+    return Result<Crpq>::Error("query: expected a single C2RPQ, got a union");
+  }
+  return u.value().Disjuncts()[0];
+}
+
+}  // namespace gqc

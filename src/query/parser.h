@@ -1,0 +1,32 @@
+#ifndef GQC_QUERY_PARSER_H_
+#define GQC_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/query/ucrpq.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Parses the textual UC2RPQ syntax used by examples and tests. Grammar:
+///
+///   ucrpq := crpq (';' crpq)*                 -- union of disjuncts
+///   crpq  := [head ':-'] atom (',' atom)*
+///   head  := IDENT '(' var (',' var)* ')'     -- ignored (Boolean semantics)
+///   atom  := '!'? IDENT '(' var ')'           -- unary literal, e.g. !Premium(x)
+///          | IDENT '-'? '(' var ',' var ')'   -- binary single-role shorthand
+///          | '(' regex ')' '(' var ',' var ')'-- binary with a full regex
+///
+/// Example:
+///   q(x,y) :- Customer(x), (owns . earns)(x, z), RetailCompany(z),
+///             (partof*)(z, y)
+///
+/// All disjuncts share one semiautomaton, as in the paper's representation.
+Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab);
+
+/// Convenience: parses a query expected to be a single C2RPQ.
+Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_PARSER_H_

@@ -1,0 +1,53 @@
+#include "src/query/ucrpq.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gqc {
+
+bool Ucrpq::IsConnected() const {
+  return std::all_of(disjuncts_.begin(), disjuncts_.end(),
+                     [](const Crpq& q) { return q.IsConnected(); });
+}
+
+bool Ucrpq::IsOneWay() const {
+  return std::all_of(disjuncts_.begin(), disjuncts_.end(),
+                     [](const Crpq& q) { return q.IsOneWay(); });
+}
+
+bool Ucrpq::IsTestFree() const {
+  return std::all_of(disjuncts_.begin(), disjuncts_.end(),
+                     [](const Crpq& q) { return q.IsTestFree(); });
+}
+
+bool Ucrpq::IsSimple() const {
+  return std::all_of(disjuncts_.begin(), disjuncts_.end(),
+                     [](const Crpq& q) { return q.IsSimple(); });
+}
+
+std::vector<uint32_t> Ucrpq::MentionedConcepts() const {
+  std::set<uint32_t> ids;
+  for (const auto& q : disjuncts_) {
+    for (uint32_t id : q.MentionedConcepts()) ids.insert(id);
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+std::vector<uint32_t> Ucrpq::MentionedRoles() const {
+  std::set<uint32_t> ids;
+  for (const auto& q : disjuncts_) {
+    for (uint32_t id : q.MentionedRoles()) ids.insert(id);
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+std::string Ucrpq::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i) out += " ; ";
+    out += disjuncts_[i].ToString(vocab);
+  }
+  return out;
+}
+
+}  // namespace gqc

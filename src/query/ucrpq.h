@@ -1,0 +1,44 @@
+#ifndef GQC_QUERY_UCRPQ_H_
+#define GQC_QUERY_UCRPQ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/query/crpq.h"
+
+namespace gqc {
+
+/// A union of C2RPQs (§2), represented as a set of disjuncts. Disjuncts may
+/// share one semiautomaton (as in the paper) or own separate ones; evaluation
+/// goes through each disjunct's automaton reference.
+class Ucrpq {
+ public:
+  Ucrpq() = default;
+  explicit Ucrpq(std::vector<Crpq> disjuncts) : disjuncts_(std::move(disjuncts)) {}
+
+  void AddDisjunct(Crpq q) { disjuncts_.push_back(std::move(q)); }
+
+  const std::vector<Crpq>& Disjuncts() const { return disjuncts_; }
+  std::vector<Crpq>& MutableDisjuncts() { return disjuncts_; }
+  std::size_t size() const { return disjuncts_.size(); }
+  bool empty() const { return disjuncts_.empty(); }
+
+  /// A UC2RPQ is connected if every disjunct is (§3 terminology).
+  bool IsConnected() const;
+  bool IsOneWay() const;
+  bool IsTestFree() const;
+  bool IsSimple() const;
+
+  /// Union of the disjuncts' mentioned concepts / roles.
+  std::vector<uint32_t> MentionedConcepts() const;
+  std::vector<uint32_t> MentionedRoles() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<Crpq> disjuncts_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_QUERY_UCRPQ_H_

@@ -1,0 +1,94 @@
+#include "src/schema/pg_schema.h"
+
+namespace gqc {
+
+uint32_t PgSchema::NodeType(const std::string& label) {
+  return vocab_->ConceptId(label);
+}
+
+void PgSchema::Subtype(const std::string& sub, const std::string& super) {
+  subtypes_.emplace_back(NodeType(sub), NodeType(super));
+}
+
+void PgSchema::Disjoint(const std::string& a, const std::string& b) {
+  disjoint_.emplace_back(NodeType(a), NodeType(b));
+}
+
+void PgSchema::EdgeType(const std::string& role, const std::string& src,
+                        const std::string& dst) {
+  edges_.push_back({vocab_->RoleId(role), NodeType(src), NodeType(dst)});
+}
+
+void PgSchema::Participation(const std::string& src, const std::string& role,
+                             const std::string& dst, uint32_t min) {
+  counts_.push_back(
+      {NodeType(src), Role::Forward(vocab_->RoleId(role)), NodeType(dst), min, true});
+}
+
+void PgSchema::Cardinality(const std::string& src, const std::string& role,
+                           const std::string& dst, uint32_t max) {
+  counts_.push_back(
+      {NodeType(src), Role::Forward(vocab_->RoleId(role)), NodeType(dst), max, false});
+}
+
+void PgSchema::Key(const std::string& src, const std::string& role,
+                   const std::string& dst) {
+  // Each Dst is the r-target of at most one Src: Dst ⊑ ∃^{≤1} r⁻.Src.
+  counts_.push_back(
+      {NodeType(dst), Role::Inverse(vocab_->RoleId(role)), NodeType(src), 1, false});
+}
+
+TBox PgSchema::Compile() const {
+  TBox tbox;
+  for (const auto& [sub, super] : subtypes_) {
+    tbox.Add(ConceptNode::Name(sub), ConceptNode::Name(super));
+  }
+  for (const auto& [a, b] : disjoint_) {
+    tbox.Add(ConceptNode::And({ConceptNode::Name(a), ConceptNode::Name(b)}),
+             ConceptNode::Bottom());
+  }
+  for (const auto& e : edges_) {
+    // ⊤ ⊑ ∀r.Dst: every r-target is a Dst.
+    tbox.Add(ConceptNode::Top(),
+             ConceptNode::Forall(Role::Forward(e.role), ConceptNode::Name(e.dst)));
+    if (avoid_inverse_) {
+      // ⊤ ⊑ ∀r⁻.Src flipped: ¬Src ⊑ ∀r.⊥ — non-sources have no r-edges.
+      tbox.Add(ConceptNode::Not(ConceptNode::Name(e.src)),
+               ConceptNode::Forall(Role::Forward(e.role), ConceptNode::Bottom()));
+    } else {
+      tbox.Add(ConceptNode::Top(),
+               ConceptNode::Forall(Role::Inverse(e.role), ConceptNode::Name(e.src)));
+    }
+  }
+  for (const auto& c : counts_) {
+    ConceptPtr restriction =
+        c.at_least ? ConceptNode::AtLeast(c.n, c.role, ConceptNode::Name(c.dst))
+                   : ConceptNode::AtMost(c.n, c.role, ConceptNode::Name(c.dst));
+    tbox.Add(ConceptNode::Name(c.src), std::move(restriction));
+  }
+  return tbox;
+}
+
+TBox CreditCardSchema(Vocabulary* vocab, bool avoid_inverse) {
+  PgSchema schema(vocab);
+  schema.set_avoid_inverse(avoid_inverse);
+  schema.Subtype("PremCC", "CredCard");
+  schema.Subtype("RetailCompany", "Company");
+  schema.Disjoint("Customer", "CredCard");
+  schema.Disjoint("RwrdProg", "Company");
+  schema.Disjoint("Customer", "RwrdProg");
+  schema.Disjoint("Customer", "Company");
+  schema.Disjoint("CredCard", "Company");
+  schema.Disjoint("CredCard", "RwrdProg");
+  schema.EdgeType("owns", "Customer", "CredCard");
+  schema.EdgeType("earns", "PremCC", "RwrdProg");
+  schema.EdgeType("partner", "RwrdProg", "RetailCompany");
+  schema.EdgeType("partof", "Company", "Company");
+  // Each customer owns at least one credit card.
+  schema.Participation("Customer", "owns", "CredCard");
+  // Each premier card participates in at most 3 reward programs.
+  schema.Cardinality("PremCC", "earns", "RwrdProg", 3);
+  return schema.Compile();
+}
+
+}  // namespace gqc

@@ -1,0 +1,88 @@
+#ifndef GQC_SCHEMA_PG_SCHEMA_H_
+#define GQC_SCHEMA_PG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dl/tbox.h"
+
+namespace gqc {
+
+/// A PG-Schema-flavoured surface schema for property graphs with single
+/// labels on edges, compiled into an ALCQI TBox (§1–2: over such graphs,
+/// ALCQI captures PG-Types and the practically relevant subset of PG-Keys —
+/// participation, cardinality, and unary key constraints).
+///
+/// Compilation rules:
+///  - node type hierarchy:        Sub ⊑ Super
+///  - disjoint node types:        A ⊓ B ⊑ ⊥
+///  - edge typing r: Src -> Dst:  ⊤ ⊑ ∀r.Dst and ⊤ ⊑ ∀r⁻.Src
+///    (with `avoid_inverse`, the second becomes ¬Src ⊑ ∀r.¬AnyNode plus
+///    ⊤ ⊑ AnyNode, the flipped contrapositive over a universal name)
+///  - participation:              Src ⊑ ∃r.Dst        (min = 1)
+///                                Src ⊑ ∃^{≥n} r.Dst  (min = n)
+///  - cardinality (max n):        Src ⊑ ∃^{≤n} r.Dst
+///  - unary key (at most one Src r-links to each Dst):
+///                                Dst ⊑ ∃^{≤1} r⁻.Src
+class PgSchema {
+ public:
+  explicit PgSchema(Vocabulary* vocab) : vocab_(vocab) {}
+
+  /// Declares a node type; returns its concept id.
+  uint32_t NodeType(const std::string& label);
+  /// Declares Sub as a subtype of Super (generalization).
+  void Subtype(const std::string& sub, const std::string& super);
+  /// Declares two node types as disjoint.
+  void Disjoint(const std::string& a, const std::string& b);
+
+  /// Declares an edge type r with endpoint label constraints.
+  void EdgeType(const std::string& role, const std::string& src,
+                const std::string& dst);
+
+  /// Participation: every Src has at least `min` r-edges to Dst nodes.
+  void Participation(const std::string& src, const std::string& role,
+                     const std::string& dst, uint32_t min = 1);
+  /// Cardinality: every Src has at most `max` r-edges to Dst nodes.
+  void Cardinality(const std::string& src, const std::string& role,
+                   const std::string& dst, uint32_t max);
+  /// Unary key: each Dst is the r-target of at most one Src.
+  void Key(const std::string& src, const std::string& role, const std::string& dst);
+
+  /// When true, edge-typing constraints avoid inverse roles (the §1 remark
+  /// that backward constraints can be flipped to the contrapositive).
+  void set_avoid_inverse(bool v) { avoid_inverse_ = v; }
+
+  /// Compiles the accumulated declarations to a TBox.
+  TBox Compile() const;
+
+ private:
+  struct EdgeDecl {
+    uint32_t role;
+    uint32_t src;
+    uint32_t dst;
+  };
+  struct CountDecl {
+    uint32_t src;
+    Role role;
+    uint32_t dst;
+    uint32_t n;
+    bool at_least;
+  };
+
+  Vocabulary* vocab_;
+  bool avoid_inverse_ = false;
+  std::vector<std::pair<uint32_t, uint32_t>> subtypes_;
+  std::vector<std::pair<uint32_t, uint32_t>> disjoint_;
+  std::vector<EdgeDecl> edges_;
+  std::vector<CountDecl> counts_;
+};
+
+/// The paper's running example (Fig. 1 / Example 1.1): customers own credit
+/// cards; premier cards earn rewards from partner retail companies and their
+/// subsidiaries; each premier card participates in at most 3 reward programs.
+/// Returns the compiled TBox.
+TBox CreditCardSchema(Vocabulary* vocab, bool avoid_inverse = false);
+
+}  // namespace gqc
+
+#endif  // GQC_SCHEMA_PG_SCHEMA_H_

@@ -1,0 +1,77 @@
+#include "src/schema/schema_parser.h"
+
+#include <sstream>
+
+namespace gqc {
+
+namespace {
+
+Result<TBox> Error(const std::string& message, std::size_t line) {
+  return Result<TBox>::Error("schema: " + message + " (line " +
+                             std::to_string(line) + ")");
+}
+
+}  // namespace
+
+Result<TBox> ParseSchema(std::string_view text, Vocabulary* vocab) {
+  PgSchema schema(vocab);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "node") {
+      std::string label;
+      if (!(ls >> label)) return Error("'node' needs a label", line_no);
+      schema.NodeType(label);
+    } else if (keyword == "subtype") {
+      std::string sub, super;
+      if (!(ls >> sub >> super)) return Error("'subtype' needs two labels", line_no);
+      schema.Subtype(sub, super);
+    } else if (keyword == "disjoint") {
+      std::string a, b;
+      if (!(ls >> a >> b)) return Error("'disjoint' needs two labels", line_no);
+      schema.Disjoint(a, b);
+    } else if (keyword == "edge" || keyword == "key") {
+      std::string role, src, arrow, dst;
+      if (!(ls >> role >> src >> arrow >> dst) || arrow != "->") {
+        return Error("'" + keyword + "' needs <role> <src> -> <dst>", line_no);
+      }
+      if (keyword == "edge") {
+        schema.EdgeType(role, src, dst);
+      } else {
+        schema.Key(src, role, dst);
+      }
+    } else if (keyword == "participation" || keyword == "cardinality") {
+      std::string src, role, dst, bound_kw;
+      uint32_t n = 0;
+      if (!(ls >> src >> role >> dst >> bound_kw >> n)) {
+        return Error("'" + keyword + "' needs <src> <role> <dst> min|max <n>",
+                     line_no);
+      }
+      if (keyword == "participation") {
+        if (bound_kw != "min") return Error("participation uses 'min'", line_no);
+        schema.Participation(src, role, dst, n);
+      } else {
+        if (bound_kw != "max") return Error("cardinality uses 'max'", line_no);
+        schema.Cardinality(src, role, dst, n);
+      }
+    } else if (keyword == "option") {
+      std::string opt;
+      if (!(ls >> opt)) return Error("'option' needs a name", line_no);
+      if (opt == "avoid_inverse") {
+        schema.set_avoid_inverse(true);
+      } else {
+        return Error("unknown option '" + opt + "'", line_no);
+      }
+    } else {
+      return Error("unknown keyword '" + keyword + "'", line_no);
+    }
+  }
+  return schema.Compile();
+}
+
+}  // namespace gqc

@@ -1,0 +1,27 @@
+#ifndef GQC_SCHEMA_SCHEMA_PARSER_H_
+#define GQC_SCHEMA_SCHEMA_PARSER_H_
+
+#include <string_view>
+
+#include "src/schema/pg_schema.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Parses the line-based PG-Schema-flavoured surface syntax and compiles it
+/// to a TBox:
+///
+///   # comment
+///   node Customer                         -- declare a node type
+///   subtype PremCC CredCard               -- PremCC ⊑ CredCard
+///   disjoint Customer CredCard            -- Customer ⊓ CredCard ⊑ ⊥
+///   edge owns Customer -> CredCard        -- edge typing
+///   participation Customer owns CredCard min 1
+///   cardinality PremCC earns RwrdProg max 3
+///   key owns Customer -> CredCard         -- each CredCard has ≤1 owner
+///   option avoid_inverse                  -- flip backward typing CIs
+Result<TBox> ParseSchema(std::string_view text, Vocabulary* vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_SCHEMA_SCHEMA_PARSER_H_

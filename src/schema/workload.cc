@@ -1,0 +1,97 @@
+#include "src/schema/workload.h"
+
+#include <random>
+
+namespace gqc {
+
+namespace {
+
+class InstanceBuilder {
+ public:
+  InstanceBuilder(const WorkloadOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  WorkloadInstance Build() {
+    WorkloadInstance out;
+    for (std::size_t i = 0; i < options_.schema_constraints; ++i) {
+      out.schema_text += Constraint() + "\n";
+    }
+    out.p_text = Query();
+    out.q_text = Query();
+    return out;
+  }
+
+ private:
+  std::string Concept() { return "T" + std::to_string(rng_() % options_.node_types); }
+  std::string RoleName() { return "r" + std::to_string(rng_() % options_.roles); }
+  std::string RoleRef() {
+    std::string r = RoleName();
+    if (options_.allow_inverse && rng_() % 4 == 0) r += "-";
+    return r;
+  }
+
+  std::string Constraint() {
+    switch (rng_() % 5) {
+      case 0:  // hierarchy
+        return Concept() + " <= " + Concept();
+      case 1:  // disjointness
+        return Concept() + " and " + Concept() + " <= bottom";
+      case 2:  // edge typing
+        return "top <= forall " + RoleRef() + "." + Concept();
+      case 3:  // participation
+        return Concept() + " <= exists " + RoleRef() + "." + Concept();
+      default: {  // counting
+        if (!options_.allow_counting) return Concept() + " <= " + Concept();
+        std::string kind = rng_() % 2 ? "atleast" : "atmost";
+        uint32_t n = 1 + static_cast<uint32_t>(rng_() % 2);
+        return Concept() + " <= " + kind + " " + std::to_string(n) + " " +
+               RoleRef() + "." + Concept();
+      }
+    }
+  }
+
+  std::string Var(std::size_t i) { return "x" + std::to_string(i); }
+
+  std::string Query() {
+    // A connected chain of binary atoms with sprinkled unary atoms.
+    std::string out = Concept() + "(" + Var(0) + ")";
+    for (std::size_t i = 0; i < options_.query_atoms; ++i) {
+      if (options_.simple_queries && rng_() % 3 == 0) {
+        // Star over a role set.
+        std::string roles = RoleName();
+        if (options_.roles > 1 && rng_() % 2 == 0) roles += " + " + RoleName();
+        out += ", ((" + roles + ")*)(" + Var(i) + ", " + Var(i + 1) + ")";
+      } else if (!options_.simple_queries && rng_() % 3 == 0) {
+        out += ", (" + RoleName() + " . " + RoleName() + ")(" + Var(i) + ", " +
+               Var(i + 1) + ")";
+      } else {
+        out += ", " + RoleName() + "(" + Var(i) + ", " + Var(i + 1) + ")";
+      }
+      if (rng_() % 2 == 0) {
+        out += ", " + Concept() + "(" + Var(i + 1) + ")";
+      }
+    }
+    return out;
+  }
+
+  const WorkloadOptions& options_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace
+
+WorkloadInstance GenerateInstance(const WorkloadOptions& options, uint64_t seed) {
+  return InstanceBuilder(options, seed).Build();
+}
+
+std::vector<WorkloadInstance> GenerateWorkload(const WorkloadOptions& options,
+                                               std::size_t count) {
+  std::vector<WorkloadInstance> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(GenerateInstance(options, options.seed + i));
+  }
+  return out;
+}
+
+}  // namespace gqc

@@ -1,0 +1,47 @@
+#ifndef GQC_SCHEMA_WORKLOAD_H_
+#define GQC_SCHEMA_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/query/ucrpq.h"
+
+namespace gqc {
+
+/// Deterministic generator of schema + query-pair workloads, used by the
+/// randomized benchmarks and cross-validation suites. Instances are built
+/// from a small pool of node types and roles so that the exact engines'
+/// type-space budgets are exercised but not always exceeded.
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  std::size_t node_types = 3;
+  std::size_t roles = 2;
+  std::size_t schema_constraints = 3;
+  /// Atom budget per generated query.
+  std::size_t query_atoms = 2;
+  /// Generate only simple queries (single roles and role-set stars).
+  bool simple_queries = true;
+  /// Allow inverse roles in schema constraints.
+  bool allow_inverse = false;
+  /// Allow counting (at-least/at-most n >= 2) in schema constraints.
+  bool allow_counting = true;
+};
+
+struct WorkloadInstance {
+  std::string schema_text;  // concept syntax, ParseTBox-compatible
+  std::string p_text;       // UC2RPQ syntax
+  std::string q_text;
+};
+
+/// Generates `count` instances; instance i uses seed options.seed + i.
+std::vector<WorkloadInstance> GenerateWorkload(const WorkloadOptions& options,
+                                               std::size_t count);
+
+/// One instance for a specific seed (deterministic).
+WorkloadInstance GenerateInstance(const WorkloadOptions& options, uint64_t seed);
+
+}  // namespace gqc
+
+#endif  // GQC_SCHEMA_WORKLOAD_H_

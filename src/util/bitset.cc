@@ -1,0 +1,102 @@
+#include "src/util/bitset.h"
+
+#include <bit>
+
+#include "src/util/hash.h"
+
+namespace gqc {
+
+void DynamicBitset::Resize(std::size_t size) {
+  size_ = size;
+  words_.resize(WordCount(size), 0);
+  // Clear any stale bits beyond the new size in the last word.
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void DynamicBitset::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::Any() const {
+  for (auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsDisjointWith(const DynamicBitset& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return false;
+  }
+  return true;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t DynamicBitset::FindNext(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t word = from >> 6;
+  uint64_t w = words_[word] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) {
+      std::size_t bit = (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : size_;
+    }
+    if (++word >= words_.size()) return size_;
+    w = words_[word];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::ToIndices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = FindFirst(); i < size_; i = FindNext(i + 1)) out.push_back(i);
+  return out;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (std::size_t i : ToIndices()) {
+    if (!first) s += ", ";
+    first = false;
+    s += std::to_string(i);
+  }
+  s += "}";
+  return s;
+}
+
+std::size_t DynamicBitset::Hash() const {
+  std::size_t h = size_;
+  for (auto w : words_) HashCombine(&h, w);
+  return h;
+}
+
+}  // namespace gqc

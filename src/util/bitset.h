@@ -1,0 +1,99 @@
+#ifndef GQC_UTIL_BITSET_H_
+#define GQC_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gqc {
+
+/// A dynamically sized bitset used for label sets, type masks, and state sets.
+///
+/// Unlike std::vector<bool>, DynamicBitset supports fast word-level set
+/// algebra (union, intersection, difference, subset tests) and is hashable,
+/// which the type-elimination fixpoints rely on heavily.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  /// Creates a bitset with `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size) : size_(size), words_(WordCount(size), 0) {}
+
+  std::size_t size() const { return size_; }
+
+  /// Grows (or shrinks) to `size` bits; newly added bits are cleared.
+  void Resize(std::size_t size);
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  void Clear();
+  /// Number of set bits.
+  std::size_t Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  /// True if every set bit of *this is also set in `other` (sizes must match).
+  bool IsSubsetOf(const DynamicBitset& other) const;
+  /// True if *this and `other` share no set bit (sizes must match).
+  bool IsDisjointWith(const DynamicBitset& other) const;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// Removes all bits set in `other`.
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t FindNext(std::size_t from) const;
+  /// Index of the first set bit, or size() if none.
+  std::size_t FindFirst() const { return FindNext(0); }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> ToIndices() const;
+
+  /// "{0, 3, 17}"-style rendering, for diagnostics.
+  std::string ToString() const;
+
+  std::size_t Hash() const;
+
+ private:
+  static std::size_t WordCount(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gqc
+
+template <>
+struct std::hash<gqc::DynamicBitset> {
+  std::size_t operator()(const gqc::DynamicBitset& b) const { return b.Hash(); }
+};
+
+#endif  // GQC_UTIL_BITSET_H_

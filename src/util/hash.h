@@ -1,0 +1,41 @@
+#ifndef GQC_UTIL_HASH_H_
+#define GQC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gqc {
+
+/// Mixes `value`'s hash into the running hash `*seed` (boost-style combiner).
+template <typename T>
+void HashCombine(std::size_t* seed, const T& value) {
+  std::size_t h = std::hash<T>{}(value);
+  *seed ^= h + 0x9e3779b97f4a7c15ull + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash for std::pair, usable as a map key hasher.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t h = 0;
+    HashCombine(&h, p.first);
+    HashCombine(&h, p.second);
+    return h;
+  }
+};
+
+/// Hash for std::vector of hashable elements.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t h = v.size();
+    for (const auto& x : v) HashCombine(&h, x);
+    return h;
+  }
+};
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_HASH_H_

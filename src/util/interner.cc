@@ -1,0 +1,19 @@
+#include "src/util/interner.h"
+
+namespace gqc {
+
+uint32_t Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+}  // namespace gqc

@@ -1,0 +1,38 @@
+#ifndef GQC_UTIL_INTERNER_H_
+#define GQC_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gqc {
+
+/// Bidirectional string <-> dense-id interner.
+///
+/// Used by Vocabulary to map concept and role names to small integers so that
+/// label sets and types can be bitsets.
+class Interner {
+ public:
+  /// Returns the id of `name`, interning it if new. Ids are dense from 0.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` or kNotFound if it was never interned.
+  uint32_t Find(std::string_view name) const;
+
+  /// Name for an interned id.
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_INTERNER_H_

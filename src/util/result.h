@@ -1,0 +1,62 @@
+#ifndef GQC_UTIL_RESULT_H_
+#define GQC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gqc {
+
+/// Error-or-value return type used on API boundaries (parsers, compilers).
+///
+/// The library does not throw on user-input errors; fallible entry points
+/// return Result<T> and callers branch on ok(). Internal invariant violations
+/// use assert.
+template <typename T>
+class Result {
+ public:
+  /// Implicit success construction.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Builds a failed Result carrying a human-readable message.
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Error message; empty when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_RESULT_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+
+namespace gqc {
+namespace {
+
+class AlgorithmsTest : public ::testing::Test {
+ protected:
+  Vocabulary vocab_;
+};
+
+TEST_F(AlgorithmsTest, DirectedVsUndirectedDistances) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(4, r);
+  auto directed = DirectedDistances(g, 3);
+  EXPECT_EQ(directed[3], 0u);
+  EXPECT_EQ(directed[0], SIZE_MAX) << "no directed path backwards";
+  auto undirected = UndirectedDistances(g, 3);
+  EXPECT_EQ(undirected[0], 3u);
+}
+
+TEST_F(AlgorithmsTest, ReachableFromRespectsDirection) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(4, r);
+  EXPECT_EQ(ReachableFrom(g, 1).size(), 3u);
+  EXPECT_EQ(ReachableFrom(g, 3).size(), 1u);
+}
+
+TEST_F(AlgorithmsTest, SccCondensationOrder) {
+  uint32_t r = vocab_.RoleId("r");
+  // Two 2-cycles joined by a bridge: {0,1} -> {2,3}.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode();
+  g.AddEdge(0, r, 1);
+  g.AddEdge(1, r, 0);
+  g.AddEdge(2, r, 3);
+  g.AddEdge(3, r, 2);
+  g.AddEdge(1, r, 2);
+  std::size_t count = 0;
+  auto scc = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(scc[0], scc[1]);
+  EXPECT_EQ(scc[2], scc[3]);
+  EXPECT_NE(scc[0], scc[2]);
+  // Tarjan emits SCCs in reverse topological order: the sink {2,3} first.
+  EXPECT_LT(scc[2], scc[0]);
+}
+
+TEST_F(AlgorithmsTest, SelfLoopSingletonScc) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  g.AddEdge(a, r, a);
+  g.AddEdge(a, r, b);
+  std::size_t count = 0;
+  auto scc = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(scc[a], scc[b]);
+}
+
+TEST_F(AlgorithmsTest, SparsityOfTreesPlusChords) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = BalancedTree(3, 2, r);  // 15 nodes, 14 edges
+  EXPECT_TRUE(IsCSparse(g, -1));
+  // Add c+1 chords: still c-sparse for that c but not below.
+  g.AddEdge(7, r, 8);
+  g.AddEdge(9, r, 10);
+  EXPECT_TRUE(IsCSparse(g, 1));
+  EXPECT_FALSE(IsCSparse(g, 0));
+}
+
+TEST_F(AlgorithmsTest, EmptyAndSingletonGraphs) {
+  Graph empty;
+  EXPECT_TRUE(IsConnected(empty));
+  EXPECT_FALSE(IsUndirectedTree(empty));
+  Graph single;
+  single.AddNode();
+  EXPECT_TRUE(IsConnected(single));
+  EXPECT_TRUE(IsUndirectedTree(single));
+}
+
+}  // namespace
+}  // namespace gqc

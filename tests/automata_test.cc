@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/automata/product.h"
+#include "src/automata/regex_parser.h"
+#include "src/automata/semiautomaton.h"
+#include "src/graph/generators.h"
+
+namespace gqc {
+namespace {
+
+class AutomataTest : public ::testing::Test {
+ protected:
+  RegexPtr R(const std::string& text) {
+    auto r = ParseRegex(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  /// Language membership via a one-word graph: build a path spelling `word`
+  /// and test whether the atom connects its endpoints.
+  bool Accepts(const CompiledRegex& c, const std::vector<Symbol>& word) {
+    Graph g;
+    NodeId cur = g.AddNode();
+    NodeId start = cur;
+    for (Symbol s : word) {
+      if (s.is_test()) {
+        if (!s.literal().is_negative()) g.AddLabel(cur, s.literal().concept_id());
+        continue;
+      }
+      NodeId nxt = g.AddNode();
+      g.AddEdge(cur, s.role(), nxt);
+      cur = nxt;
+    }
+    return AtomHolds(g, c.automaton, c.start, c.end, c.nullable, start, cur);
+  }
+
+  Symbol Sym(const std::string& role) {
+    return Symbol::FromRole(Role::Forward(vocab_.RoleId(role)));
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(AutomataTest, CompileSingleSymbol) {
+  CompiledRegex c = CompileRegex(R("r"));
+  EXPECT_FALSE(c.nullable);
+  EXPECT_TRUE(Accepts(c, {Sym("r")}));
+  EXPECT_FALSE(Accepts(c, {}));
+  EXPECT_FALSE(Accepts(c, {Sym("r"), Sym("r")}));
+  EXPECT_FALSE(Accepts(c, {Sym("s")}));
+}
+
+TEST_F(AutomataTest, CompileConcatenationAndUnion) {
+  CompiledRegex c = CompileRegex(R("r . (s + t)"));
+  EXPECT_TRUE(Accepts(c, {Sym("r"), Sym("s")}));
+  EXPECT_TRUE(Accepts(c, {Sym("r"), Sym("t")}));
+  EXPECT_FALSE(Accepts(c, {Sym("r")}));
+  EXPECT_FALSE(Accepts(c, {Sym("s"), Sym("r")}));
+}
+
+TEST_F(AutomataTest, CompileStarNullable) {
+  CompiledRegex c = CompileRegex(R("(r . s)*"));
+  EXPECT_TRUE(c.nullable);
+  EXPECT_TRUE(Accepts(c, {}));
+  EXPECT_TRUE(Accepts(c, {Sym("r"), Sym("s")}));
+  EXPECT_TRUE(Accepts(c, {Sym("r"), Sym("s"), Sym("r"), Sym("s")}));
+  EXPECT_FALSE(Accepts(c, {Sym("r")}));
+}
+
+TEST_F(AutomataTest, CompilePlus) {
+  CompiledRegex c = CompileRegex(R("r^+"));
+  EXPECT_FALSE(c.nullable);
+  EXPECT_TRUE(Accepts(c, {Sym("r")}));
+  EXPECT_TRUE(Accepts(c, {Sym("r"), Sym("r"), Sym("r")}));
+  EXPECT_FALSE(Accepts(c, {}));
+}
+
+TEST_F(AutomataTest, TestSymbolsConsumeNoEdge) {
+  CompiledRegex c = CompileRegex(R("[A] . r . [!B]"));
+  Graph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  g.AddLabel(a, vocab_.ConceptId("A"));
+  g.AddEdge(a, vocab_.RoleId("r"), b);
+  EXPECT_TRUE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, a, b));
+  g.AddLabel(b, vocab_.ConceptId("B"));
+  EXPECT_FALSE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, a, b));
+}
+
+TEST_F(AutomataTest, InverseRoleTraversal) {
+  CompiledRegex c = CompileRegex(R("r- . r"));
+  Graph g;
+  // u <- r - m - r -> w: from u, r- goes to m? No: u's r-inverse successors
+  // are nodes with an edge INTO u. Build m -> u and m -> w.
+  NodeId u = g.AddNode(), m = g.AddNode(), w = g.AddNode();
+  uint32_t r = vocab_.RoleId("r");
+  g.AddEdge(m, r, u);
+  g.AddEdge(m, r, w);
+  EXPECT_TRUE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, u, w));
+  EXPECT_TRUE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, u, u))
+      << "the path may return to its origin";
+  EXPECT_FALSE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, m, w));
+}
+
+TEST_F(AutomataTest, DisjointUnionOffsetsStates) {
+  Semiautomaton a;
+  uint32_t s0 = a.AddState();
+  uint32_t s1 = a.AddState();
+  a.AddTransition(s0, Sym("r"), s1);
+  Semiautomaton b;
+  uint32_t t0 = b.AddState();
+  b.AddTransition(t0, Sym("s"), t0);
+  uint32_t offset = a.DisjointUnion(b);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(a.StateCount(), 3u);
+  EXPECT_EQ(a.Out(offset).size(), 1u);
+  EXPECT_EQ(a.Out(offset)[0].second, offset);
+}
+
+TEST_F(AutomataTest, ReversedSemiautomaton) {
+  CompiledRegex c = CompileRegex(R("r . s"));
+  Semiautomaton rev = c.automaton.Reversed();
+  // In the reversed automaton, a run from end to start reads the word
+  // backwards over the same symbols.
+  Graph g;
+  NodeId x = g.AddNode(), y = g.AddNode(), z = g.AddNode();
+  g.AddEdge(x, vocab_.RoleId("r"), y);
+  g.AddEdge(y, vocab_.RoleId("s"), z);
+  // Original: x --(r.s)--> z.
+  EXPECT_TRUE(AtomHolds(g, c.automaton, c.start, c.end, false, x, z));
+  // Reversed transitions: a run from c.end to c.start exists over the path
+  // read backwards; on the graph this means starting at z following edges
+  // backwards — which our role-based product cannot do directly, so we
+  // check the structural property instead:
+  EXPECT_EQ(rev.TransitionCount(), c.automaton.TransitionCount());
+  EXPECT_EQ(rev.In(c.start).size(), c.automaton.Out(c.start).size());
+}
+
+TEST_F(AutomataTest, ReachableAndCoReachable) {
+  CompiledRegex c = CompileRegex(R("r . s"));
+  auto reach = c.automaton.ReachableStates(c.start);
+  auto coreach = c.automaton.CoReachableStates(c.end);
+  EXPECT_TRUE(reach[c.end]);
+  EXPECT_TRUE(coreach[c.start]);
+}
+
+TEST_F(AutomataTest, AtomRelationOnCycle) {
+  CompiledRegex c = CompileRegex(R("r . r"));
+  Graph g = CycleGraph(4, vocab_.RoleId("r"));
+  auto rel = AtomRelation(g, c.automaton, c.start, c.end, c.nullable);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_TRUE(rel[u].Test((u + 2) % 4));
+    EXPECT_FALSE(rel[u].Test((u + 1) % 4));
+  }
+}
+
+TEST_F(AutomataTest, EmptyWordOnlyWhenStartEqualsEndOrNullable) {
+  // Atom with distinct states and non-nullable language: no diagonal.
+  CompiledRegex c = CompileRegex(R("r"));
+  Graph g;
+  NodeId v = g.AddNode();
+  EXPECT_FALSE(AtomHolds(g, c.automaton, c.start, c.end, c.nullable, v, v));
+  // Same state pair: empty run allowed by definition (§2).
+  EXPECT_TRUE(AtomHolds(g, c.automaton, c.start, c.start, false, v, v));
+}
+
+}  // namespace
+}  // namespace gqc

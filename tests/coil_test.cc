@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/coil.h"
+#include "src/graph/generators.h"
+#include "src/graph/homomorphism.h"
+#include "src/graph/unravel.h"
+
+namespace gqc {
+namespace {
+
+enum class Shape { kCycle, kPath, kTwoCycleWithTail, kRandom };
+
+Graph MakeShape(Shape shape, std::size_t size, Vocabulary* vocab) {
+  uint32_t r = vocab->RoleId("r");
+  uint32_t s = vocab->RoleId("s");
+  switch (shape) {
+    case Shape::kCycle:
+      return CycleGraph(size, r);
+    case Shape::kPath:
+      return PathGraph(size, r);
+    case Shape::kTwoCycleWithTail: {
+      Graph g = CycleGraph(2, r);
+      NodeId tail = g.AddNode();
+      g.AddEdge(1, s, tail);
+      return g;
+    }
+    case Shape::kRandom: {
+      RandomGraphOptions opts;
+      opts.nodes = size;
+      opts.edge_probability = 0.25;
+      opts.roles = {r, s};
+      opts.concepts = {vocab->ConceptId("A"), vocab->ConceptId("B")};
+      opts.seed = 42 + size;
+      return RandomGraph(opts);
+    }
+  }
+  return {};
+}
+
+/// Property sweep over (shape, window n) per §4's coil Properties 1–3.
+class CoilPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Shape, std::size_t>> {
+ protected:
+  Vocabulary vocab_;
+};
+
+TEST_P(CoilPropertyTest, Property1SurjectiveHomomorphism) {
+  auto [shape, n] = GetParam();
+  Graph g = MakeShape(shape, 4, &vocab_);
+  CoilResult coil = Coil(g, n);
+
+  // h_G is a homomorphism ...
+  EXPECT_TRUE(IsHomomorphism(coil.graph, g, coil.base_node));
+  // ... and surjective.
+  std::vector<bool> hit(g.NodeCount(), false);
+  for (NodeId u = 0; u < coil.graph.NodeCount(); ++u) hit[coil.base_node[u]] = true;
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    EXPECT_TRUE(hit[v]) << "node " << v << " not covered";
+  }
+}
+
+TEST_P(CoilPropertyTest, Property2LocalUnravelling) {
+  auto [shape, n] = GetParam();
+  if (n < 2) GTEST_SKIP() << "needs n >= 2 for a nontrivial ball";
+  Graph g = MakeShape(shape, 4, &vocab_);
+  CoilResult coil = Coil(g, n);
+
+  // For a sample of coil nodes: the subgraph induced by nodes reachable
+  // within n-1 steps is isomorphic to Unravel(G, n-1, h(u)). We check the
+  // counting consequences (node count and tree shape) plus a homomorphism,
+  // which pins the isomorphism for trees with the same size.
+  for (NodeId u = 0; u < coil.graph.NodeCount(); u += coil.graph.NodeCount() / 7 + 1) {
+    auto dist = DirectedDistances(coil.graph, u);
+    std::vector<NodeId> ball;
+    for (NodeId v = 0; v < coil.graph.NodeCount(); ++v) {
+      if (dist[v] <= n - 1) ball.push_back(v);
+    }
+    std::vector<NodeId> old_to_new;
+    Graph induced = coil.graph.InducedSubgraph(ball, &old_to_new);
+    UnravelResult unravelled = Unravel(g, n - 1, coil.base_node[u]);
+    ASSERT_EQ(induced.NodeCount(), unravelled.tree.NodeCount());
+    ASSERT_EQ(induced.EdgeCount(), unravelled.tree.EdgeCount());
+    EXPECT_TRUE(IsUndirectedTree(induced) || induced.NodeCount() == 1);
+    EXPECT_TRUE(FindHomomorphism(induced, unravelled.tree).has_value());
+  }
+}
+
+TEST_P(CoilPropertyTest, Property3LevelsBoundSubgraphs) {
+  auto [shape, n] = GetParam();
+  Graph g = MakeShape(shape, 4, &vocab_);
+  CoilResult coil = Coil(g, n);
+
+  // A connected subgraph visiting k <= n levels maps into an unravelling.
+  // Sample: directed paths of length < n in the coil (they visit at most n
+  // levels); they must map homomorphically into some Unravel(G, n-1, v) —
+  // equivalently, following their base images must not require wrapping.
+  for (NodeId start = 0; start < coil.graph.NodeCount();
+       start += coil.graph.NodeCount() / 5 + 1) {
+    std::vector<GraphPath> paths = PathsFrom(coil.graph, n - 1, start);
+    for (const GraphPath& path : paths) {
+      std::set<uint32_t> levels;
+      for (NodeId v : path.nodes) levels.insert(coil.level[v]);
+      EXPECT_LE(levels.size(), n) << "path of length < n visits at most n levels";
+    }
+  }
+}
+
+TEST_P(CoilPropertyTest, LevelsAdvanceCyclically) {
+  auto [shape, n] = GetParam();
+  Graph g = MakeShape(shape, 4, &vocab_);
+  CoilResult coil = Coil(g, n);
+  coil.graph.ForEachEdge([&](const Edge& e) {
+    EXPECT_EQ((coil.level[e.from] + 1) % (n + 1), coil.level[e.to]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoilPropertyTest,
+    ::testing::Combine(::testing::Values(Shape::kCycle, Shape::kPath,
+                                         Shape::kTwoCycleWithTail, Shape::kRandom),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3})));
+
+TEST(UnravelTest, PathCountsOnCycle) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph cycle = CycleGraph(3, r);
+  // Paths of length <= 2: 3 of length 0, 3 of length 1, 3 of length 2.
+  EXPECT_EQ(PathsUpTo(cycle, 2).size(), 9u);
+  EXPECT_EQ(PathsFrom(cycle, 2, 0).size(), 3u);
+
+  UnravelResult u = Unravel(cycle, 4, 0);
+  EXPECT_EQ(u.tree.NodeCount(), 5u) << "a cycle unravels into a path";
+  EXPECT_TRUE(IsUndirectedTree(u.tree));
+  EXPECT_EQ(u.base_node[u.root], 0u);
+}
+
+TEST(UnravelTest, BranchingTree) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph g;
+  NodeId root = g.AddNode();
+  NodeId l = g.AddNode(), rr = g.AddNode();
+  g.AddEdge(root, r, l);
+  g.AddEdge(root, r, rr);
+  g.AddEdge(l, r, root);  // cycle back
+
+  UnravelResult u = Unravel(g, 3, root);
+  EXPECT_TRUE(IsUndirectedTree(u.tree));
+  // Depth 0: 1 node; depth 1: 2; depth 2: 1 (only l has a successor);
+  // depth 3: 2.
+  EXPECT_EQ(u.tree.NodeCount(), 1u + 2u + 1u + 2u);
+}
+
+TEST(UnravelTest, CoilSizeFormula) {
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph cycle = CycleGraph(3, r);
+  for (std::size_t n = 1; n <= 4; ++n) {
+    CoilResult coil = Coil(cycle, n);
+    std::size_t paths = PathsUpTo(cycle, n).size();
+    EXPECT_EQ(coil.graph.NodeCount(), paths * (n + 1));
+  }
+}
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "src/dl/concept_parser.h"
+#include "src/dl/model_check.h"
+#include "src/dl/normalize.h"
+#include "src/dl/transforms.h"
+#include "src/dl/types.h"
+#include "src/graph/generators.h"
+
+namespace gqc {
+namespace {
+
+class DlTest : public ::testing::Test {
+ protected:
+  ConceptPtr C(const std::string& text) {
+    auto r = ParseConcept(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+  TBox T(const std::string& text) {
+    auto r = ParseTBox(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(DlTest, ParseAndPrintConcepts) {
+  ConceptPtr c = C("Customer and exists owns.(CredCard and not Closed)");
+  EXPECT_EQ(c->kind, ConceptKind::kAnd);
+  ConceptPtr q = C("atmost 3 earns.RwrdProg");
+  EXPECT_EQ(q->kind, ConceptKind::kAtMost);
+  EXPECT_EQ(q->n, 3u);
+  ConceptPtr inv = C("exists owns-.Customer");
+  EXPECT_TRUE(ConceptUsesInverse(inv));
+  EXPECT_FALSE(ConceptUsesInverse(c));
+}
+
+TEST_F(DlTest, ParseTBoxAndFragments) {
+  TBox alc = T("Customer <= exists owns.CredCard\nCredCard <= not Customer");
+  EXPECT_EQ(alc.Fragment(), DlFragment::kAlc);
+  TBox alci = T("CredCard <= exists owns-.Customer");
+  EXPECT_EQ(alci.Fragment(), DlFragment::kAlci);
+  TBox alcq = T("PremCC <= atmost 3 earns.RwrdProg");
+  EXPECT_EQ(alcq.Fragment(), DlFragment::kAlcq);
+  TBox alcqi = T("PremCC <= atmost 3 earns.RwrdProg\nCredCard <= exists owns-.Customer");
+  EXPECT_EQ(alcqi.Fragment(), DlFragment::kAlcqi);
+}
+
+TEST_F(DlTest, CountingOnLhsDetected) {
+  // atleast 2 on the left of ⊑ is counting after NNF of the implication.
+  TBox t = T("atleast 2 owns.CredCard <= Rich");
+  EXPECT_TRUE(t.UsesCounting());
+  TBox e = T("exists owns.CredCard <= Owner");
+  EXPECT_FALSE(e.UsesCounting());
+}
+
+TEST_F(DlTest, NnfPushesNegation) {
+  ConceptPtr c = C("not (A and exists r.B)");
+  ConceptPtr nnf = ToNnf(c);
+  EXPECT_EQ(nnf->kind, ConceptKind::kOr);
+  // ¬∃r.B = ∀r.¬B (stays in ALC).
+  EXPECT_EQ(nnf->children[1]->kind, ConceptKind::kForall);
+  EXPECT_EQ(nnf->children[1]->children[0]->kind, ConceptKind::kNot);
+  // ¬≤2 = ≥3.
+  ConceptPtr n = ToNnf(C("not atmost 2 r.B"));
+  EXPECT_EQ(n->kind, ConceptKind::kAtLeast);
+  EXPECT_EQ(n->n, 3u);
+}
+
+TEST_F(DlTest, ConceptExtension) {
+  uint32_t owns = vocab_.RoleId("owns");
+  uint32_t cust = vocab_.ConceptId("Customer");
+  uint32_t card = vocab_.ConceptId("CredCard");
+  Graph g;
+  NodeId alice = g.AddNode();
+  NodeId visa = g.AddNode();
+  NodeId amex = g.AddNode();
+  g.AddLabel(alice, cust);
+  g.AddLabel(visa, card);
+  g.AddLabel(amex, card);
+  g.AddEdge(alice, owns, visa);
+  g.AddEdge(alice, owns, amex);
+
+  auto ext = ConceptExtension(g, C("exists owns.CredCard"));
+  EXPECT_TRUE(ext.Test(alice));
+  EXPECT_FALSE(ext.Test(visa));
+  auto two = ConceptExtension(g, C("atleast 2 owns.CredCard"));
+  EXPECT_TRUE(two.Test(alice));
+  auto atmost1 = ConceptExtension(g, C("atmost 1 owns.CredCard"));
+  EXPECT_FALSE(atmost1.Test(alice));
+  EXPECT_TRUE(atmost1.Test(visa)) << "no successors satisfies atmost";
+  auto inv = ConceptExtension(g, C("exists owns-.Customer"));
+  EXPECT_TRUE(inv.Test(visa));
+  EXPECT_FALSE(inv.Test(alice));
+  auto forall = ConceptExtension(g, C("forall owns.CredCard"));
+  EXPECT_TRUE(forall.Test(alice));
+  g.AddEdge(alice, owns, alice);
+  auto forall2 = ConceptExtension(g, C("forall owns.CredCard"));
+  EXPECT_FALSE(forall2.Test(alice));
+}
+
+TEST_F(DlTest, SatisfiesTBox) {
+  TBox t = T("Customer <= exists owns.CredCard\nCustomer and CredCard <= bottom");
+  uint32_t owns = vocab_.FindRole("owns");
+  uint32_t cust = vocab_.FindConcept("Customer");
+  uint32_t card = vocab_.FindConcept("CredCard");
+  Graph g;
+  NodeId alice = g.AddNode();
+  NodeId visa = g.AddNode();
+  g.AddLabel(alice, cust);
+  g.AddLabel(visa, card);
+  EXPECT_FALSE(Satisfies(g, t)) << "alice owns nothing yet";
+  g.AddEdge(alice, owns, visa);
+  EXPECT_TRUE(Satisfies(g, t));
+  g.AddLabel(visa, cust);
+  EXPECT_FALSE(Satisfies(g, t)) << "disjointness violated";
+}
+
+TEST_F(DlTest, NormalizationConservative) {
+  TBox t = T(
+      "Customer <= exists owns.(CredCard and not Closed)\n"
+      "PremCC <= atmost 3 earns.RwrdProg\n"
+      "Company <= Partner or not exists partof.Company");
+  NormalTBox nf = Normalize(t, &vocab_);
+  // Every normal CI is in one of the four shapes by construction; check the
+  // model relationship on a few graphs: G ⊨ nf implies G ⊨ t.
+  uint32_t owns = vocab_.FindRole("owns");
+  uint32_t cust = vocab_.FindConcept("Customer");
+  uint32_t card = vocab_.FindConcept("CredCard");
+
+  Graph g;
+  NodeId alice = g.AddNode();
+  NodeId visa = g.AddNode();
+  g.AddLabel(alice, cust);
+  g.AddLabel(visa, card);
+  g.AddEdge(alice, owns, visa);
+  EXPECT_TRUE(Satisfies(g, t));
+  // The graph does not carry the fresh normalization labels, so it need not
+  // satisfy nf; but any graph that does satisfy nf must satisfy t.
+  Graph h = g;  // labels absent: nf likely fails, which is fine.
+  if (Satisfies(h, nf)) {
+    EXPECT_TRUE(Satisfies(h, t));
+  }
+  // Violating t must violate nf too (contrapositive of conservativity).
+  Graph bad;
+  bad.AddLabel(bad.AddNode(), cust);  // customer owning nothing
+  EXPECT_FALSE(Satisfies(bad, t));
+  EXPECT_FALSE(Satisfies(bad, nf));
+}
+
+TEST_F(DlTest, NormalFormShapes) {
+  TBox t = T("A <= exists r.(B or C)\nnot A <= forall r.(B and not C)");
+  NormalTBox nf = Normalize(t, &vocab_);
+  for (const auto& ci : nf.Cis()) {
+    if (ci.kind == NormalCi::Kind::kAtLeast) {
+      EXPECT_GE(ci.n, 1u);
+    }
+  }
+  EXPECT_TRUE(nf.HasParticipationConstraints());
+}
+
+TEST_F(DlTest, DropParticipation) {
+  TBox t = T("A <= exists r.B\nA <= forall r.B\nA <= atmost 2 r.B");
+  NormalTBox nf = Normalize(t, &vocab_);
+  NormalTBox t0 = DropParticipationConstraints(nf);
+  EXPECT_FALSE(t0.HasParticipationConstraints());
+  EXPECT_LT(t0.size(), nf.size());
+}
+
+TEST_F(DlTest, ForwardBackwardRestriction) {
+  TBox t = T("A <= exists r.B\nB <= exists r-.A\nA <= forall r-.C\nC <= forall r.D");
+  NormalTBox nf = Normalize(t, &vocab_);
+  NormalTBox fwd = ForwardRestriction(nf);
+  EXPECT_FALSE(fwd.UsesInverse());
+  NormalTBox bwd = BackwardRestriction(nf);
+  for (const auto& ci : bwd.Cis()) {
+    if (ci.kind != NormalCi::Kind::kBoolean) {
+      EXPECT_TRUE(ci.role.is_inverse());
+    }
+  }
+}
+
+TEST_F(DlTest, FlippedForallEquivalent) {
+  // A ⊑ ∀r⁻.B ≡ ¬B ⊑ ∀r.¬A: check on concrete graphs.
+  TBox orig = T("A <= forall r-.B");
+  NormalTBox nf = Normalize(orig, &vocab_);
+  NormalTBox fwd = ForwardRestriction(nf);
+  uint32_t r = vocab_.FindRole("r");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  for (int labels = 0; labels < 16; ++labels) {
+    Graph g;
+    NodeId u = g.AddNode(), v = g.AddNode();
+    g.AddEdge(u, r, v);
+    if (labels & 1) g.AddLabel(u, a);
+    if (labels & 2) g.AddLabel(u, b);
+    if (labels & 4) g.AddLabel(v, a);
+    if (labels & 8) g.AddLabel(v, b);
+    EXPECT_EQ(Satisfies(g, nf), Satisfies(g, fwd))
+        << "disagree on labels=" << labels;
+  }
+}
+
+TEST_F(DlTest, CountingVocabularyAndTn) {
+  TBox t = T("A <= atleast 2 r.B\nA <= atmost 3 r.B");
+  NormalTBox nf = ForallsToAtMost(Normalize(t, &vocab_));
+  CountingVocabulary cv = MakeCountingVocabulary(nf, &vocab_);
+  ASSERT_EQ(cv.pairs.size(), 1u);
+  EXPECT_EQ(cv.big_n, 4u);
+  EXPECT_EQ(cv.pairs[0].labels.size(), 5u);
+
+  NormalTBox tn = MakeTn(cv);
+  // A graph with a node with exactly 2 r-successors in B: the unique correct
+  // labelling has C_0, C_1, C_2 and not C_3, C_4.
+  uint32_t r = vocab_.FindRole("r");
+  uint32_t b = vocab_.FindConcept("B");
+  Graph g;
+  NodeId u = g.AddNode();
+  for (int i = 0; i < 2; ++i) {
+    NodeId w = g.AddNode();
+    g.AddLabel(w, b);
+    g.AddEdge(u, r, w);
+    // Successor labelling: C_0 only.
+    g.AddLabel(w, cv.pairs[0].labels[0]);
+  }
+  for (uint32_t i = 0; i <= 2; ++i) g.AddLabel(u, cv.pairs[0].labels[i]);
+  EXPECT_TRUE(Satisfies(g, tn));
+  g.AddLabel(u, cv.pairs[0].labels[3]);
+  EXPECT_FALSE(Satisfies(g, tn)) << "claiming 3 successors with only 2";
+}
+
+TEST_F(DlTest, TeSplitsCounts) {
+  // T: A ⊑ ≥2 r.B. With the label C_1 promising one frame successor, a node
+  // with a single in-component successor satisfies T_e.
+  TBox t = T("A <= atleast 2 r.B");
+  NormalTBox nf = ForallsToAtMost(Normalize(t, &vocab_));
+  CountingVocabulary cv = MakeCountingVocabulary(nf, &vocab_);
+  // Model-check T_e as a general TBox: graphs under test do not carry the
+  // fresh names a normalization pass would introduce.
+  TBox te = MakeTe(nf, cv);
+
+  uint32_t r = vocab_.FindRole("r");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  Graph g;
+  NodeId u = g.AddNode();
+  NodeId w = g.AddNode();
+  g.AddLabel(u, a);
+  g.AddLabel(w, b);
+  g.AddEdge(u, r, w);
+  // Without any counting labels: T_e unsatisfied (only one successor).
+  EXPECT_FALSE(Satisfies(g, te));
+  // Promise one more via C_1.
+  g.AddLabel(u, cv.pairs[0].labels[0]);
+  g.AddLabel(u, cv.pairs[0].labels[1]);
+  g.AddLabel(w, cv.pairs[0].labels[0]);
+  EXPECT_TRUE(Satisfies(g, te));
+}
+
+TEST_F(DlTest, EnumerateTypes) {
+  TBox t = T("A <= B\nA and C <= bottom");
+  NormalTBox nf = Normalize(t, &vocab_);
+  std::vector<std::vector<uint32_t>> groups{nf.ConceptIds()};
+  TypeSpace space = MakeSupport(groups);
+  auto types = EnumerateLocallyConsistentTypes(space, nf);
+  // Every returned mask satisfies: A -> B, not (A and C).
+  std::size_t pa = space.PositionOf(vocab_.FindConcept("A"));
+  std::size_t pb = space.PositionOf(vocab_.FindConcept("B"));
+  std::size_t pc = space.PositionOf(vocab_.FindConcept("C"));
+  ASSERT_NE(pa, TypeSpace::npos);
+  for (uint64_t mask : types) {
+    bool a = (mask >> pa) & 1, b = (mask >> pb) & 1, c = (mask >> pc) & 1;
+    EXPECT_TRUE(!a || b);
+    EXPECT_FALSE(a && c);
+  }
+  EXPECT_FALSE(types.empty());
+}
+
+TEST_F(DlTest, NodeSatisfiesIsPerNode) {
+  TBox t = T("A <= exists r.B");
+  NormalTBox nf = Normalize(t, &vocab_);
+  uint32_t a = vocab_.FindConcept("A");
+  Graph g;
+  NodeId u = g.AddNode();
+  NodeId v = g.AddNode();
+  g.AddLabel(u, a);
+  g.AddLabel(v, a);
+  g.AddEdge(u, vocab_.FindRole("r"), v);
+  // Needs B on the successor; both nodes violate, but differently.
+  EXPECT_FALSE(NodeSatisfies(g, u, nf));
+  EXPECT_FALSE(NodeSatisfies(g, v, nf));
+  g.AddLabel(v, vocab_.FindConcept("B"));
+  EXPECT_TRUE(NodeSatisfies(g, u, nf));
+  EXPECT_FALSE(NodeSatisfies(g, v, nf)) << "v has label A but no r-successor";
+}
+
+}  // namespace
+}  // namespace gqc

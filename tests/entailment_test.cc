@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/dl/concept_parser.h"
+#include "src/dl/model_check.h"
+#include "src/dl/normalize.h"
+#include "src/entailment/entailment.h"
+#include "src/entailment/witness_search.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+
+namespace gqc {
+namespace {
+
+class EntailmentTest : public ::testing::Test {
+ protected:
+  NormalTBox T(const std::string& text) {
+    auto r = ParseTBox(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return Normalize(r.value(), &vocab_);
+  }
+  Ucrpq U(const std::string& text) {
+    auto r = ParseUcrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+  Type Tau(const std::string& name) {
+    Type t;
+    t.AddLiteral(Literal::Positive(vocab_.ConceptId(name)));
+    return t;
+  }
+
+  /// Asserts that the dispatched engine and the bounded witness search agree
+  /// whenever both are definite, and returns the engine answer.
+  EngineAnswer Realize(const Type& tau, const NormalTBox& tbox, const Ucrpq& q,
+                       EnginePath expected_path) {
+    EntailmentResult result = TypeRealizable(tau, tbox, q, &vocab_);
+    EXPECT_EQ(result.path, expected_path)
+        << "dispatched to " << EnginePathName(result.path);
+
+    // Cross-validate with the bounded search.
+    std::vector<uint32_t> ids = tbox.ConceptIds();
+    for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
+    for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
+    TypeSpace space{std::move(ids)};
+    WitnessProblem problem;
+    problem.space = &space;
+    problem.tbox = &tbox;
+    problem.tau = tau;
+    problem.forbid = &q;
+    WitnessResult w = FindWitness(problem, EngineLimits{});
+    if (result.answer != EngineAnswer::kUnknown && w.answer != EngineAnswer::kUnknown) {
+      EXPECT_EQ(result.answer, w.answer) << "engine disagrees with bounded search";
+    }
+    return result.answer;
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(EntailmentTest, NoRolesSingleNode) {
+  NormalTBox t = T("A <= B");
+  EXPECT_EQ(Realize(Tau("A"), t, U("C(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes);
+  // Refuting B(x) while realizing A is impossible: A forces B.
+  EXPECT_EQ(Realize(Tau("A"), t, U("B(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+}
+
+TEST_F(EntailmentTest, AlcqCycleModelExists) {
+  // A ⊑ ∃r.A admits finite models (an r-cycle); refuting a harmless query
+  // is possible, refuting "there is an r-edge" is not.
+  NormalTBox t = T("A <= exists r.A");
+  EXPECT_EQ(Realize(Tau("A"), t, U("B(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes);
+  EXPECT_EQ(Realize(Tau("A"), t, U("r(x, y)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+}
+
+TEST_F(EntailmentTest, AlcqStarReachabilityUnavoidable) {
+  // (r*)(x, y) matches every non-empty graph via the empty path.
+  NormalTBox t = T("A <= B");
+  EXPECT_EQ(Realize(Tau("A"), t, U("(r*)(x, y)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+}
+
+TEST_F(EntailmentTest, AlcqParticipationForcesQuery) {
+  // Every model with an A-node has an r-successor in B, so the pattern
+  // A(x), r(x,y), B(y) cannot be refuted while realizing A; realizing ¬A can.
+  NormalTBox t = T("A <= exists r.B");
+  Ucrpq q = U("A(x), r(x, y), B(y)");
+  EXPECT_EQ(Realize(Tau("A"), t, q, EnginePath::kAlcqSimple), EngineAnswer::kNo);
+  Type not_a;
+  not_a.AddLiteral(Literal::Negative(vocab_.ConceptId("A")));
+  EXPECT_EQ(Realize(not_a, t, q, EnginePath::kAlcqSimple), EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, AlcqChainTwoSteps) {
+  // A needs B-successor, B needs C-successor; the 3-node pattern is forced.
+  // The 3-variable query's factor closure pushes the type space over the
+  // default cap, so the exact engine may honestly answer kUnknown here — but
+  // it must never answer kYes, and the bounded search decides kNo.
+  NormalTBox t = T("A <= exists r.B\nB <= exists r.C");
+  Ucrpq q = U("A(x), r(x, y), r(y, z), C(z)");
+  EXPECT_NE(Realize(Tau("A"), t, q, EnginePath::kAlcqSimple), EngineAnswer::kYes)
+      << "B-successor of A must have a C-successor";
+  // Refuting a D-pattern is easy.
+  EXPECT_EQ(Realize(Tau("A"), t, U("D(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, AlcqCountingAtLeastTwo) {
+  NormalTBox t = T("A <= atleast 2 r.B");
+  // Can refute "two B's via r from one node"? No: counting forces it...
+  // but the query cannot count either; r(x,y), B(y) alone is forced.
+  EXPECT_EQ(Realize(Tau("A"), t, U("A(x), r(x, y), B(y)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+  EXPECT_EQ(Realize(Tau("A"), t, U("C(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, AlcqAtMostBlocksWitness) {
+  // A wants an r-successor in B, but at-most-0 forbids them: unsatisfiable
+  // with an A node, so *every* query is vacuously avoided... except that
+  // realizing A itself is impossible — answer must be kNo even for a
+  // trivially refutable query.
+  NormalTBox t = T("A <= exists r.B\nA <= atmost 0 r.B");
+  EXPECT_EQ(Realize(Tau("A"), t, U("C(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+  // A type not containing A is fine.
+  Type not_a;
+  not_a.AddLiteral(Literal::Negative(vocab_.ConceptId("A")));
+  EXPECT_EQ(Realize(not_a, t, U("C(x)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, AlcqDisjointnessPropagation) {
+  // r-successors are always B; query asks for an r-successor that is not B.
+  NormalTBox t = T("top <= forall r.B\nA <= exists r.C");
+  EXPECT_EQ(Realize(Tau("A"), t, U("r(x, y), !B(y)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kYes)
+      << "wait: this should be refutable since all successors are B";
+  EXPECT_EQ(Realize(Tau("A"), t, U("r(x, y), B(y)"), EnginePath::kAlcqSimple),
+            EngineAnswer::kNo);
+}
+
+TEST_F(EntailmentTest, AlciInverseParticipation) {
+  // Every B has an incoming r-edge from an A.
+  NormalTBox t = T("B <= exists r-.A");
+  Ucrpq q = U("A(x), r(x, y), B(y)");
+  EXPECT_EQ(Realize(Tau("B"), t, q, EnginePath::kAlciOneway), EngineAnswer::kNo);
+  EXPECT_EQ(Realize(Tau("B"), t, U("C(x)"), EnginePath::kAlciOneway),
+            EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, AlciForwardAndBackward) {
+  // A chain in both directions: A needs a forward r to B, B needs a backward
+  // s from C.
+  NormalTBox t = T("A <= exists r.B\nB <= exists s-.C");
+  EXPECT_EQ(Realize(Tau("A"), t, U("C(x), s(x, y), B(y)"), EnginePath::kAlciOneway),
+            EngineAnswer::kNo);
+  EXPECT_EQ(Realize(Tau("A"), t, U("D(x)"), EnginePath::kAlciOneway),
+            EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, NonSimpleFallsBackToBoundedSearch) {
+  NormalTBox t = T("A <= exists r.B");
+  EntailmentResult result = TypeRealizable(Tau("A"), t, U("(r.r)(x, y)"), &vocab_);
+  EXPECT_EQ(result.path, EnginePath::kBoundedSearch);
+  EXPECT_EQ(result.answer, EngineAnswer::kYes) << "A -> B with single edge refutes r.r";
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(Satisfies(*result.witness, t));
+}
+
+TEST_F(EntailmentTest, FiniteEntailmentWithAbox) {
+  // ABox: a single A-node; TBox forces an r-successor in B. Entailed:
+  // r(x, y). Not entailed: B(y), r(y, x) backwards... r edge from B back.
+  NormalTBox t = T("A <= exists r.B");
+  Graph abox;
+  abox.AddLabel(abox.AddNode(), vocab_.ConceptId("A"));
+
+  EntailmentResult e1 = FiniteEntails(abox, t, U("r(x, y)"), &vocab_);
+  EXPECT_EQ(e1.answer, EngineAnswer::kYes);
+
+  EntailmentResult e2 = FiniteEntails(abox, t, U("r(x, y), r(y, x)"), &vocab_);
+  EXPECT_EQ(e2.answer, EngineAnswer::kNo);
+  ASSERT_TRUE(e2.witness.has_value());
+  EXPECT_TRUE(Satisfies(*e2.witness, t));
+  EXPECT_FALSE(Matches(*e2.witness, U("r(x, y), r(y, x)")));
+}
+
+TEST_F(EntailmentTest, FiniteVsUnrestrictedEntailmentGap) {
+  // The classic finite-model effect: functionality of r⁻ plus B ⊑ ∃r.B
+  // forces, in FINITE models, an r-cycle through B... with A disjoint from
+  // B and A ⊑ ∃r.B, every finite model must close the B-chain into a cycle,
+  // so B(x) ∧ r(x,y) ∧ B(y) is finitely entailed from a B-seed.
+  NormalTBox t = T("B <= exists r.B\nB <= atmost 1 r-.B");
+  Graph abox;
+  abox.AddLabel(abox.AddNode(), vocab_.ConceptId("B"));
+  // In finite models the B-successors must eventually revisit a B node,
+  // giving an edge between two B nodes.
+  EntailmentResult e = FiniteEntails(abox, t, U("B(x), r(x, y), B(y)"), &vocab_);
+  EXPECT_EQ(e.answer, EngineAnswer::kYes);
+}
+
+TEST_F(EntailmentTest, WitnessSearchRespectsTheta) {
+  NormalTBox t = T("A <= exists r.B");
+  std::vector<uint32_t> ids = t.ConceptIds();
+  TypeSpace space{std::move(ids)};
+  WitnessProblem problem;
+  problem.space = &space;
+  problem.tbox = &t;
+  problem.tau = Tau("A");
+  // Θ forbids B entirely: A's witness cannot exist.
+  Type no_b;
+  no_b.AddLiteral(Literal::Negative(vocab_.ConceptId("B")));
+  problem.theta = {no_b};
+  WitnessResult w = FindWitness(problem, EngineLimits{});
+  EXPECT_EQ(w.answer, EngineAnswer::kNo);
+}
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/graph/generators.h"
+#include "src/query/eval.h"
+#include "src/query/factorize.h"
+#include "src/query/parser.h"
+
+namespace gqc {
+namespace {
+
+/// A star-like graph assembled from known parts, for condition (1) checks.
+struct StarLike {
+  Graph whole;
+  std::vector<Graph> parts;  // parts[0] is the central part
+  /// parts[i] node -> whole node, to re-extract parts after relabelling.
+  std::vector<std::vector<NodeId>> node_maps;
+};
+
+/// Glues each peripheral part to the central part at one node; the shared
+/// node is central node (i % central size) merged with peripheral node 0.
+/// Label sets of the glued nodes are unioned so they agree in both parts, and
+/// the part snapshots are taken afterwards so shared labels match.
+StarLike MakeStarLike(Graph central, std::vector<Graph> peripherals) {
+  StarLike out;
+  // First compute the union label sets for shared nodes.
+  for (std::size_t i = 0; i < peripherals.size(); ++i) {
+    NodeId central_node = static_cast<NodeId>(i % central.NodeCount());
+    for (uint32_t l : peripherals[i].Labels(0).ToIds()) {
+      central.AddLabel(central_node, l);
+    }
+    for (uint32_t l : central.Labels(central_node).ToIds()) {
+      peripherals[i].AddLabel(0, l);
+    }
+  }
+  out.whole = central;
+  std::vector<NodeId> central_map(central.NodeCount());
+  for (NodeId v = 0; v < central.NodeCount(); ++v) central_map[v] = v;
+  out.node_maps.push_back(std::move(central_map));
+  for (std::size_t i = 0; i < peripherals.size(); ++i) {
+    NodeId central_node = static_cast<NodeId>(i % central.NodeCount());
+    const Graph& p = peripherals[i];
+    // Append nodes 1..n-1 of the peripheral; node 0 is the shared node.
+    std::vector<NodeId> map(p.NodeCount(), kNoNode);
+    map[0] = central_node;
+    for (NodeId v = 1; v < p.NodeCount(); ++v) {
+      map[v] = out.whole.AddNode(p.Labels(v));
+    }
+    p.ForEachEdge([&](const Edge& e) {
+      out.whole.AddEdge(map[e.from], e.role, map[e.to]);
+    });
+    out.node_maps.push_back(std::move(map));
+  }
+  out.parts = peripherals;
+  out.parts.insert(out.parts.begin(), central);
+  return out;
+}
+
+/// Copies node labels from the (relabelled) whole graph back into the parts.
+void SyncPartLabels(StarLike* star) {
+  for (std::size_t i = 0; i < star->parts.size(); ++i) {
+    for (NodeId v = 0; v < star->parts[i].NodeCount(); ++v) {
+      NodeId w = star->node_maps[i][v];
+      for (uint32_t l : star->whole.Labels(w).ToIds()) {
+        star->parts[i].AddLabel(v, l);
+      }
+    }
+  }
+}
+
+class FactorizeTest : public ::testing::Test {
+ protected:
+  Ucrpq U(const std::string& text) {
+    auto r = ParseUcrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  SimpleFactorization F(const std::string& text) {
+    auto r = FactorizeSimpleUcrpq(U(text), &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return std::move(r.value());
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(FactorizeTest, RejectsNonSimple) {
+  Ucrpq q = U("(r.s)(x, y)");
+  EXPECT_FALSE(FactorizeSimpleUcrpq(q, &vocab_).ok());
+}
+
+TEST_F(FactorizeTest, SingleUnaryAtomQuery) {
+  SimpleFactorization f = F("A(x)");
+  EXPECT_GE(f.factor_count, 1u);
+  ASSERT_FALSE(f.full_query_permissions.empty());
+  // Condition (2), left to right, with the true labelling: a graph with an
+  // A-node gets the full permission, so Q̂ matches every labelling that has
+  // it; and a deficient labelling (no labels at all) is caught by the
+  // deficiency disjunct A(y) ∧ C̄(y).
+  uint32_t a = vocab_.FindConcept("A");
+  Graph g;
+  g.AddLabel(g.AddNode(), a);
+  EXPECT_TRUE(Matches(g, f.q_hat)) << "unlabelled graph has a deficiency";
+  Graph labelled = ApplyTrueLabelling(g, f);
+  EXPECT_TRUE(Matches(labelled, f.q_hat)) << "full permission present";
+  // A graph without A, truly labelled: no match of Q̂.
+  Graph empty;
+  empty.AddNode();
+  EXPECT_FALSE(Matches(ApplyTrueLabelling(empty, f), f.q_hat));
+}
+
+TEST_F(FactorizeTest, FactorsOfStarPathQuery) {
+  // The simple analogue of Example 3.6: A(x), (r*)(x,y), B(y).
+  SimpleFactorization f = F("A(x), (r*)(x, y), B(y)");
+  EXPECT_GE(f.factor_count, 3u);
+  // Expect factors playing the roles of C_A ("A reaches the contact") and
+  // C_B ("the contact reaches B").
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  uint32_t r = vocab_.FindRole("r");
+  bool has_ca_like = false, has_cb_like = false;
+  for (const auto& factor : f.factors) {
+    // C_A-like ("reachable from an A-node", including the A-node itself, as
+    // in Example 3.6): on the path 0 -> 1 with A at node 1, it matches at 1
+    // but not at 0.
+    Graph path = PathGraph(2, r);
+    path.AddLabel(1, a);
+    if (MatchesAt(path, factor.query, factor.point, 1) &&
+        !MatchesAt(path, factor.query, factor.point, 0)) {
+      has_ca_like = true;
+    }
+    // C_B-like ("can reach a B-node"): with B at node 0, matches at 0 but
+    // not at 1.
+    Graph path2 = PathGraph(2, r);
+    path2.AddLabel(0, b);
+    if (MatchesAt(path2, factor.query, factor.point, 0) &&
+        !MatchesAt(path2, factor.query, factor.point, 1)) {
+      has_cb_like = true;
+    }
+  }
+  EXPECT_TRUE(has_ca_like);
+  EXPECT_TRUE(has_cb_like);
+}
+
+TEST_F(FactorizeTest, Condition2TrueLabellingRefutes) {
+  // If G does not satisfy Q, the true labelling must not satisfy Q̂.
+  SimpleFactorization f = F("A(x), (r*)(x, y), B(y)");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  uint32_t r = vocab_.FindRole("r");
+
+  // Path where B is not reachable from A.
+  Graph g = PathGraph(3, r);
+  g.AddLabel(2, a);  // A at the end
+  g.AddLabel(0, b);  // B at the start
+  Ucrpq q = U("A(x), (r*)(x, y), B(y)");
+  ASSERT_FALSE(Matches(g, q));
+  EXPECT_FALSE(Matches(ApplyTrueLabelling(g, f), f.q_hat));
+
+  // Flip the labels: now Q matches and every labelling must satisfy Q̂.
+  Graph h = PathGraph(3, r);
+  h.AddLabel(0, a);
+  h.AddLabel(2, b);
+  ASSERT_TRUE(Matches(h, q));
+  EXPECT_TRUE(Matches(h, f.q_hat)) << "unlabelled";
+  EXPECT_TRUE(Matches(ApplyTrueLabelling(h, f), f.q_hat)) << "true labelling";
+}
+
+TEST_F(FactorizeTest, Condition2RandomLabellings) {
+  // When Q matches G, every random permission labelling satisfies Q̂.
+  SimpleFactorization f = F("A(x), (r*)(x, y), B(y)");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  uint32_t r = vocab_.FindRole("r");
+  Graph g = PathGraph(4, r);
+  g.AddLabel(0, a);
+  g.AddLabel(3, b);
+  ASSERT_TRUE(Matches(g, U("A(x), (r*)(x, y), B(y)")));
+
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph labelled = g;
+    for (NodeId v = 0; v < g.NodeCount(); ++v) {
+      for (uint32_t p : f.permission_concepts) {
+        if (rng() % 2) labelled.AddLabel(v, p);
+      }
+    }
+    EXPECT_TRUE(Matches(labelled, f.q_hat)) << "trial " << trial;
+  }
+}
+
+TEST_F(FactorizeTest, Condition1FactorizedOnStarLike) {
+  // Q̂ holds in a star-like graph iff it holds in one of its parts, for
+  // randomized parts and labellings.
+  SimpleFactorization f = F("A(x), (r*)(x, y), B(y)");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  uint32_t r = vocab_.FindRole("r");
+
+  std::vector<uint32_t> all_labels{a, b};
+  all_labels.insert(all_labels.end(), f.permission_concepts.begin(),
+                    f.permission_concepts.end());
+
+  std::mt19937 rng(13);
+  int star_matches = 0, star_misses = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto random_graph = [&](std::size_t nodes, bool with_permissions) {
+      Graph g;
+      for (std::size_t i = 0; i < nodes; ++i) g.AddNode();
+      for (NodeId u = 0; u < nodes; ++u) {
+        for (NodeId v = 0; v < nodes; ++v) {
+          if (rng() % 4 == 0) g.AddEdge(u, r, v);
+        }
+        if (rng() % 3 == 0) g.AddLabel(u, a);
+        if (rng() % 3 == 0) g.AddLabel(u, b);
+        if (with_permissions) {
+          for (uint32_t l : f.permission_concepts) {
+            if (rng() % 4 == 0) g.AddLabel(u, l);
+          }
+        }
+      }
+      return g;
+    };
+    // Half of the trials use random permission labels; the other half use
+    // the true labelling of the assembled star (which refutes Q̂ whenever Q
+    // does not match, exercising the negative direction).
+    bool random_labels = trial % 2 == 0;
+    StarLike star = MakeStarLike(random_graph(2 + rng() % 2, random_labels),
+                                 {random_graph(2 + rng() % 2, random_labels),
+                                  random_graph(1 + rng() % 2, random_labels)});
+    if (!random_labels) {
+      star.whole = ApplyTrueLabelling(star.whole, f);
+      SyncPartLabels(&star);
+    }
+    bool whole = Matches(star.whole, f.q_hat);
+    bool any_part = false;
+    for (const Graph& part : star.parts) {
+      any_part = any_part || Matches(part, f.q_hat);
+    }
+    EXPECT_EQ(whole, any_part) << "trial " << trial;
+    (whole ? star_matches : star_misses) += 1;
+  }
+  // Sanity: the property must have been exercised in both directions.
+  EXPECT_GT(star_matches, 0);
+  EXPECT_GT(star_misses, 0);
+}
+
+TEST_F(FactorizeTest, ReachabilityAtomDetection) {
+  Ucrpq q = U("((r + s)*)(x, y), r(y, z)");
+  const Crpq& d = q.Disjuncts()[0];
+  uint32_t r = vocab_.FindRole("r");
+  uint32_t s = vocab_.FindRole("s");
+  EXPECT_TRUE(IsReachabilityAtom(d.BinaryAtoms()[0], {r}));
+  EXPECT_TRUE(IsReachabilityAtom(d.BinaryAtoms()[0], {r, s}));
+  EXPECT_FALSE(IsReachabilityAtom(d.BinaryAtoms()[1], {r}));
+  uint32_t t = vocab_.RoleId("t");
+  EXPECT_FALSE(IsReachabilityAtom(d.BinaryAtoms()[0], {r, t}));
+
+  Ucrpq dropped = DropReachabilityAtoms(q, {r, s});
+  EXPECT_EQ(dropped.Disjuncts()[0].BinaryAtoms().size(), 1u);
+}
+
+TEST_F(FactorizeTest, ReachabilityAtomInverseDirection) {
+  Ucrpq q = U("((r- + s-)*)(x, y)");
+  uint32_t r = vocab_.FindRole("r");
+  uint32_t s = vocab_.FindRole("s");
+  EXPECT_TRUE(IsReachabilityAtom(q.Disjuncts()[0].BinaryAtoms()[0], {r, s}))
+      << "backwards closure counts";
+}
+
+TEST_F(FactorizeTest, EdgeAtomQueryFactorization) {
+  // Single-edge query with labels on both sides.
+  SimpleFactorization f = F("A(x), r(x, y), B(y)");
+  uint32_t a = vocab_.FindConcept("A");
+  uint32_t b = vocab_.FindConcept("B");
+  uint32_t r = vocab_.FindRole("r");
+  Ucrpq q = U("A(x), r(x, y), B(y)");
+
+  Graph g;
+  NodeId u = g.AddNode(), v = g.AddNode();
+  g.AddLabel(u, a);
+  g.AddLabel(v, b);
+  g.AddEdge(u, r, v);
+  ASSERT_TRUE(Matches(g, q));
+  EXPECT_TRUE(Matches(ApplyTrueLabelling(g, f), f.q_hat));
+
+  Graph h = g;
+  h.RemoveEdge(u, r, v);
+  ASSERT_FALSE(Matches(h, q));
+  EXPECT_FALSE(Matches(ApplyTrueLabelling(h, f), f.q_hat));
+}
+
+}  // namespace
+}  // namespace gqc

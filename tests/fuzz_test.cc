@@ -1,0 +1,101 @@
+// Deterministic parser robustness tests: random byte soup and mutated valid
+// inputs must never crash the parsers, only return errors (or, for mutations
+// that stay valid, parse successfully). Also checks that parsed objects are
+// usable (evaluation does not crash on parsed queries).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "src/automata/regex_parser.h"
+#include "src/dl/concept_parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+#include "src/schema/schema_parser.h"
+
+namespace gqc {
+namespace {
+
+std::string RandomSoup(std::mt19937_64* rng, std::size_t max_len) {
+  static const char alphabet[] =
+      "abcXYZ013 ._-+*()[]<>=!,;:^#\n\tforall exists atmost";
+  std::size_t len = (*rng)() % max_len;
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += alphabet[(*rng)() % (sizeof(alphabet) - 1)];
+  }
+  return out;
+}
+
+std::string Mutate(std::string text, std::mt19937_64* rng) {
+  if (text.empty()) return text;
+  switch ((*rng)() % 3) {
+    case 0:  // delete a char
+      text.erase((*rng)() % text.size(), 1);
+      break;
+    case 1:  // duplicate a char
+      text.insert((*rng)() % text.size(), 1, text[(*rng)() % text.size()]);
+      break;
+    case 2:  // flip a char
+      text[(*rng)() % text.size()] = "()*+.,"[(*rng)() % 6];
+      break;
+  }
+  return text;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, ParsersNeverCrash) {
+  std::mt19937_64 rng(GetParam());
+  Vocabulary vocab;
+  for (int i = 0; i < 50; ++i) {
+    std::string soup = RandomSoup(&rng, 60);
+    // Any of these may fail; none may crash or corrupt the vocabulary.
+    (void)ParseRegex(soup, &vocab);
+    (void)ParseUcrpq(soup, &vocab);
+    (void)ParseConcept(soup, &vocab);
+    (void)ParseTBox(soup, &vocab);
+    (void)ParseGraph(soup, &vocab);
+    (void)ParseSchema(soup, &vocab);
+  }
+}
+
+TEST_P(FuzzTest, MutatedQueriesParseOrFailCleanly) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  Vocabulary vocab;
+  uint32_t r = vocab.RoleId("r");
+  Graph g = CycleGraph(3, r);
+  std::string base = "A(x), (r . (s + t)*)(x, y), !B(y)";
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = Mutate(base, &rng);
+    auto q = ParseUcrpq(mutated, &vocab);
+    if (q.ok()) {
+      // Whatever parsed must be evaluable.
+      (void)Matches(g, q.value());
+    } else {
+      EXPECT_FALSE(q.error().empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedTBoxesParseOrFailCleanly) {
+  std::mt19937_64 rng(GetParam() * 131 + 3);
+  Vocabulary vocab;
+  std::string base =
+      "Customer <= exists owns.CredCard\nPremCC <= atmost 3 earns.RwrdProg";
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = Mutate(base, &rng);
+    auto t = ParseTBox(mutated, &vocab);
+    if (!t.ok()) {
+      EXPECT_FALSE(t.error().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/core/minimize.h"
+#include "src/dl/concept_parser.h"
+#include "src/dl/model_check.h"
+#include "src/dl/normalize.h"
+#include "src/graph/io.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+#include "src/schema/schema_parser.h"
+
+namespace gqc {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  Vocabulary vocab_;
+};
+
+TEST_F(IoTest, ParseGraphBasics) {
+  auto g = ParseGraph(
+      "# a small instance\n"
+      "node alice Customer Premium\n"
+      "node visa CredCard\n"
+      "edge alice owns visa\n"
+      "edge alice owns amex\n",  // amex implicitly created
+      &vocab_);
+  ASSERT_TRUE(g.ok()) << g.error();
+  EXPECT_EQ(g.value().graph.NodeCount(), 3u);
+  EXPECT_EQ(g.value().graph.EdgeCount(), 2u);
+  NodeId alice = g.value().Find("alice");
+  ASSERT_NE(alice, kNoNode);
+  EXPECT_TRUE(g.value().graph.HasLabel(alice, vocab_.FindConcept("Customer")));
+  EXPECT_TRUE(g.value().graph.HasLabel(alice, vocab_.FindConcept("Premium")));
+  EXPECT_EQ(g.value().Find("nobody"), kNoNode);
+}
+
+TEST_F(IoTest, ParseGraphErrors) {
+  EXPECT_FALSE(ParseGraph("node\n", &vocab_).ok());
+  EXPECT_FALSE(ParseGraph("edge a owns\n", &vocab_).ok());
+  EXPECT_FALSE(ParseGraph("vertex a\n", &vocab_).ok());
+}
+
+TEST_F(IoTest, GraphRoundTrip) {
+  auto g = ParseGraph(
+      "node a A\n"
+      "node b B\n"
+      "edge a r b\n"
+      "edge b s a\n",
+      &vocab_);
+  ASSERT_TRUE(g.ok());
+  std::string text = WriteGraph(g.value().graph, vocab_, &g.value().nodes);
+  auto reparsed = ParseGraph(text, &vocab_);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value().graph.NodeCount(), g.value().graph.NodeCount());
+  EXPECT_EQ(reparsed.value().graph.EdgeCount(), g.value().graph.EdgeCount());
+  // Same queries match.
+  auto q = ParseUcrpq("A(x), r(x, y), s(y, x)", &vocab_);
+  EXPECT_TRUE(Matches(g.value().graph, q.value()));
+  EXPECT_TRUE(Matches(reparsed.value().graph, q.value()));
+}
+
+TEST_F(IoTest, ParseSchemaSurfaceSyntax) {
+  auto schema = ParseSchema(
+      "# credit cards\n"
+      "node Customer\n"
+      "node CredCard\n"
+      "subtype PremCC CredCard\n"
+      "disjoint Customer CredCard\n"
+      "edge owns Customer -> CredCard\n"
+      "participation Customer owns CredCard min 1\n"
+      "cardinality PremCC earns RwrdProg max 3\n"
+      "key owns Customer -> CredCard\n",
+      &vocab_);
+  ASSERT_TRUE(schema.ok()) << schema.error();
+  NormalTBox nf = Normalize(schema.value(), &vocab_);
+  EXPECT_TRUE(nf.HasParticipationConstraints());
+  EXPECT_TRUE(nf.UsesCounting());
+  EXPECT_TRUE(nf.UsesInverse()) << "edge typing and keys use inverse roles";
+
+  // Check the compiled semantics on a concrete instance.
+  Graph g;
+  NodeId alice = g.AddNode();
+  NodeId visa = g.AddNode();
+  g.AddLabel(alice, vocab_.FindConcept("Customer"));
+  g.AddLabel(visa, vocab_.FindConcept("CredCard"));
+  g.AddEdge(alice, vocab_.FindRole("owns"), visa);
+  EXPECT_TRUE(Satisfies(g, schema.value()));
+  // A second owner of the same card violates the key.
+  NodeId bob = g.AddNode();
+  g.AddLabel(bob, vocab_.FindConcept("Customer"));
+  g.AddEdge(bob, vocab_.FindRole("owns"), visa);
+  EXPECT_FALSE(Satisfies(g, schema.value()));
+}
+
+TEST_F(IoTest, ParseSchemaAvoidInverseOption) {
+  auto schema = ParseSchema(
+      "option avoid_inverse\n"
+      "edge owns Customer -> CredCard\n",
+      &vocab_);
+  ASSERT_TRUE(schema.ok()) << schema.error();
+  EXPECT_FALSE(schema.value().UsesInverse());
+}
+
+TEST_F(IoTest, ParseSchemaErrors) {
+  EXPECT_FALSE(ParseSchema("edge owns Customer CredCard\n", &vocab_).ok())
+      << "missing arrow";
+  EXPECT_FALSE(ParseSchema("participation A owns B max 1\n", &vocab_).ok())
+      << "participation uses min";
+  EXPECT_FALSE(ParseSchema("option frobnicate\n", &vocab_).ok());
+  EXPECT_FALSE(ParseSchema("frobnicate A\n", &vocab_).ok());
+}
+
+TEST_F(IoTest, MinimizeCountermodelShrinks) {
+  // A deliberately bloated countermodel for r(x,y) ⊑ r(x,y) ∧ B(y).
+  auto tbox = ParseTBox("A <= A", &vocab_);
+  NormalTBox nf = Normalize(tbox.value(), &vocab_);
+  auto p = ParseUcrpq("r(x, y)", &vocab_);
+  auto q = ParseUcrpq("r(x, y), B(y)", &vocab_);
+
+  Graph bloated;
+  uint32_t r = vocab_.FindRole("r");
+  NodeId a = bloated.AddNode(), b = bloated.AddNode();
+  bloated.AddEdge(a, r, b);
+  // Extra junk: labels, nodes, edges (no B anywhere, so q stays refuted).
+  for (int i = 0; i < 4; ++i) {
+    NodeId extra = bloated.AddNode();
+    bloated.AddLabel(extra, vocab_.ConceptId("Junk" + std::to_string(i)));
+    bloated.AddEdge(a, r, extra);
+  }
+  ASSERT_TRUE(Matches(bloated, p.value()));
+  ASSERT_FALSE(Matches(bloated, q.value()));
+
+  Graph minimal = MinimizeCountermodel(bloated, p.value(), q.value(), nf);
+  EXPECT_EQ(minimal.NodeCount(), 2u);
+  EXPECT_EQ(minimal.EdgeCount(), 1u);
+  EXPECT_TRUE(Matches(minimal, p.value()));
+  EXPECT_FALSE(Matches(minimal, q.value()));
+  std::size_t labels = 0;
+  for (NodeId v = 0; v < minimal.NodeCount(); ++v) {
+    labels += minimal.Labels(v).Count();
+  }
+  EXPECT_EQ(labels, 0u) << "no label is needed for this countermodel";
+}
+
+TEST_F(IoTest, MinimizeKeepsInvariantWitnesses) {
+  // With a schema in play, minimization must not break satisfaction.
+  auto tbox = ParseTBox("A <= exists r.B", &vocab_);
+  NormalTBox nf = Normalize(tbox.value(), &vocab_);
+  auto p = ParseUcrpq("A(x)", &vocab_);
+  auto q = ParseUcrpq("C(x)", &vocab_);
+
+  Graph g;
+  uint32_t r = vocab_.FindRole("r");
+  NodeId a = g.AddNode(), w = g.AddNode(), extra = g.AddNode();
+  g.AddLabel(a, vocab_.FindConcept("A"));
+  g.AddLabel(w, vocab_.FindConcept("B"));
+  g.AddLabel(extra, vocab_.FindConcept("B"));
+  g.AddEdge(a, r, w);
+  g.AddEdge(a, r, extra);
+
+  Graph minimal = MinimizeCountermodel(g, p.value(), q.value(), nf);
+  EXPECT_TRUE(Satisfies(minimal, nf));
+  EXPECT_TRUE(Matches(minimal, p.value()));
+  EXPECT_EQ(minimal.NodeCount(), 2u) << "one witness suffices, the other goes";
+}
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "src/automata/regex_parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/homomorphism.h"
+#include "src/query/canonical.h"
+#include "src/query/containment.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+
+namespace gqc {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  Crpq Q(const std::string& text) {
+    auto r = ParseCrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+  Ucrpq U(const std::string& text) {
+    auto r = ParseUcrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(QueryTest, RegexParserShapes) {
+  auto r = ParseRegex("owns . (earns + partof-)* . [Premium]", &vocab_);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(RegexSize(r.value()), 4u);
+  EXPECT_FALSE(IsOneWay(r.value()));
+  EXPECT_FALSE(IsTestFree(r.value()));
+  EXPECT_FALSE(IsNullable(r.value()));
+
+  auto star = ParseRegex("(a + b-)*", &vocab_);
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(IsNullable(star.value()));
+  auto shape = GetSimpleShape(star.value());
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_TRUE(shape->starred);
+  EXPECT_EQ(shape->roles.size(), 2u);
+
+  auto plus = ParseRegex("r^+", &vocab_);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_FALSE(IsNullable(plus.value()));
+  EXPECT_FALSE(GetSimpleShape(plus.value()).has_value()) << "r+ is not simple";
+}
+
+TEST_F(QueryTest, RegexParserErrors) {
+  EXPECT_FALSE(ParseRegex("a..b", &vocab_).ok());
+  EXPECT_FALSE(ParseRegex("(a", &vocab_).ok());
+  EXPECT_FALSE(ParseRegex("", &vocab_).ok());
+  EXPECT_FALSE(ParseRegex("a b", &vocab_).ok());
+}
+
+TEST_F(QueryTest, ParseCrpqBasics) {
+  Crpq q = Q("q(x, y) :- Customer(x), owns(x, y), !Closed(y)");
+  EXPECT_EQ(q.VarCount(), 2u);
+  EXPECT_EQ(q.UnaryAtoms().size(), 2u);
+  EXPECT_EQ(q.BinaryAtoms().size(), 1u);
+  EXPECT_TRUE(q.IsConnected());
+  EXPECT_TRUE(q.IsSimple());
+  EXPECT_TRUE(q.IsOneWay());
+}
+
+TEST_F(QueryTest, ParseUnionAndClassification) {
+  Ucrpq u = U("a(x, y) ; (r . s)(x, y), B(y)");
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_TRUE(u.IsConnected());
+  EXPECT_FALSE(u.IsSimple()) << "concatenation is not simple";
+  EXPECT_TRUE(u.IsOneWay());
+  EXPECT_TRUE(u.IsTestFree());
+}
+
+TEST_F(QueryTest, DisconnectedQueryDetected) {
+  Crpq q = Q("A(x), B(y)");
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST_F(QueryTest, EvalSingleEdge) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(3, r);
+  EXPECT_TRUE(Matches(g, Q("r(x, y)")));
+  EXPECT_TRUE(Matches(g, Q("(r.r)(x, y)")));
+  EXPECT_FALSE(Matches(g, Q("(r.r.r)(x, y)")));
+}
+
+TEST_F(QueryTest, EvalStarIncludesEmptyPath) {
+  Graph g;
+  g.AddNode();
+  EXPECT_TRUE(Matches(g, Q("(r*)(x, y)"))) << "empty word matches r* on one node";
+  EXPECT_FALSE(Matches(g, Q("(r^+)(x, y)")));
+}
+
+TEST_F(QueryTest, EvalInverseRoles) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(3, r);
+  EXPECT_TRUE(Matches(g, Q("r-(y, x)")));
+  // Forward then backward: x -> y -> x' with shared middle.
+  EXPECT_TRUE(Matches(g, Q("(r . r-)(x, z)")));
+}
+
+TEST_F(QueryTest, EvalNodeTests) {
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t a = vocab_.ConceptId("A");
+  Graph g = PathGraph(3, r);
+  g.AddLabel(1, a);
+  EXPECT_TRUE(Matches(g, Q("(r . [A] . r)(x, y)")));
+  EXPECT_FALSE(Matches(g, Q("([A] . r . [A])(x, y)")));
+  EXPECT_TRUE(Matches(g, Q("([!A] . r . [A])(x, y)")));
+}
+
+TEST_F(QueryTest, EvalConjunctionJoin) {
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t s = vocab_.RoleId("s");
+  Graph g;
+  NodeId n0 = g.AddNode(), n1 = g.AddNode(), n2 = g.AddNode();
+  g.AddEdge(n0, r, n1);
+  g.AddEdge(n1, s, n2);
+  EXPECT_TRUE(Matches(g, Q("r(x, y), s(y, z)")));
+  EXPECT_FALSE(Matches(g, Q("r(x, y), s(x, z)"))) << "s starts only at n1";
+}
+
+TEST_F(QueryTest, EvalUnaryFiltersJoin) {
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t a = vocab_.ConceptId("A");
+  Graph g = PathGraph(4, r);
+  g.AddLabel(2, a);
+  EXPECT_TRUE(Matches(g, Q("A(x), r(x, y)")));
+  EXPECT_FALSE(Matches(g, Q("A(x), r(y, x), A(y)")));
+}
+
+TEST_F(QueryTest, PointedMatch) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(3, r);
+  Crpq q = Q("(r.r)(x, y)");
+  EXPECT_TRUE(MatchesAt(g, q, 0, 0));
+  EXPECT_FALSE(MatchesAt(g, q, 0, 1));
+  EXPECT_EQ(MatchNodes(g, q, 1), std::vector<NodeId>{2});
+}
+
+TEST_F(QueryTest, MatchesOnCycleUnbounded) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = CycleGraph(4, r);
+  EXPECT_TRUE(Matches(g, Q("(r.r.r.r.r.r.r.r.r)(x, y)")))
+      << "paths may wind around the cycle";
+}
+
+TEST_F(QueryTest, HomomorphismPreservesMatches) {
+  // If G -> G' and G |= q (positive q), then G' |= q.
+  uint32_t r = vocab_.RoleId("r");
+  Graph path = PathGraph(4, r);
+  Graph cycle = CycleGraph(4, r);
+  Crpq q = Q("(r.r.r)(x, y)");
+  ASSERT_TRUE(Matches(path, q));
+  ASSERT_TRUE(FindHomomorphism(path, cycle).has_value());
+  EXPECT_TRUE(Matches(cycle, q));
+}
+
+TEST_F(QueryTest, CanonicalExpansionsOfCq) {
+  Crpq q = Q("A(x), r(x, y), s(y, z)");
+  ExpansionSet set = CanonicalExpansions(q, {});
+  ASSERT_EQ(set.expansions.size(), 1u);
+  EXPECT_TRUE(set.exhaustive);
+  const Expansion& e = set.expansions[0];
+  EXPECT_EQ(e.graph.NodeCount(), 3u);
+  EXPECT_TRUE(Matches(e.graph, q));
+}
+
+TEST_F(QueryTest, CanonicalExpansionsOfStarTruncated) {
+  Crpq q = Q("(r*)(x, y)");
+  ExpansionOptions opts;
+  opts.max_word_length = 3;
+  ExpansionSet set = CanonicalExpansions(q, opts);
+  EXPECT_FALSE(set.exhaustive);
+  // Words: eps, r, rr, rrr -> 4 expansions.
+  EXPECT_EQ(set.expansions.size(), 4u);
+  for (const auto& e : set.expansions) EXPECT_TRUE(Matches(e.graph, q));
+}
+
+TEST_F(QueryTest, CanonicalExpansionEmptyWordMergesVars) {
+  Crpq q = Q("A(x), (r*)(x, y), B(y)");
+  ExpansionOptions opts;
+  opts.max_word_length = 1;
+  ExpansionSet set = CanonicalExpansions(q, opts);
+  // eps-expansion: one node with A and B; r-expansion: two nodes.
+  ASSERT_EQ(set.expansions.size(), 2u);
+  EXPECT_EQ(set.expansions[0].graph.NodeCount(), 1u);
+  EXPECT_EQ(set.expansions[1].graph.NodeCount(), 2u);
+}
+
+TEST_F(QueryTest, ClassicalContainmentCqExact) {
+  // r(x,y), s(y,z) is contained in r(x,y') but not vice versa.
+  Ucrpq p = U("r(x, y), s(y, z)");
+  Ucrpq q = U("r(x, y)");
+  EXPECT_EQ(ClassicalContainment(p, q).verdict, Verdict::kContained);
+  auto back = ClassicalContainment(q, p);
+  EXPECT_EQ(back.verdict, Verdict::kNotContained);
+  ASSERT_TRUE(back.counterexample.has_value());
+  EXPECT_TRUE(Matches(*back.counterexample, q));
+  EXPECT_FALSE(Matches(*back.counterexample, p));
+}
+
+TEST_F(QueryTest, ClassicalContainmentWithStars) {
+  // Paper Example 1.1 without schema: q2 ⊆ q1.
+  Ucrpq q1 = U("(owns . earns . partner . (partof-)*)(x, y)");
+  Ucrpq q2 = U("(owns . earns . partner)(x, z), RetailCompany(z), (partof-)*(z, y)");
+  ClassicalContainmentOptions opts;
+  opts.expansion.max_word_length = 5;
+  auto r12 = ClassicalContainment(q2, q1, opts);
+  // Stars make the expansion set non-exhaustive, so the bounded procedure
+  // cannot certify containment outright, but it must find no counterexample.
+  EXPECT_NE(r12.verdict, Verdict::kNotContained);
+  auto r21 = ClassicalContainment(q1, q2, opts);
+  EXPECT_EQ(r21.verdict, Verdict::kNotContained) << "q1 not ⊆ q2 without schema";
+}
+
+TEST_F(QueryTest, ClassicalContainmentUnionOnRight) {
+  Ucrpq p = U("a(x, y)");
+  Ucrpq q = U("a(x, y) ; b(x, y)");
+  EXPECT_EQ(ClassicalContainment(p, q).verdict, Verdict::kContained);
+  EXPECT_EQ(ClassicalContainment(q, p).verdict, Verdict::kNotContained);
+}
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/dl/concept_parser.h"
+#include "src/dl/model_check.h"
+#include "src/dl/normalize.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+#include "src/schema/pg_schema.h"
+#include "src/schema/workload.h"
+
+namespace gqc {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Vocabulary vocab_;
+};
+
+TEST_F(SchemaTest, EdgeTypingBothDirections) {
+  PgSchema pg(&vocab_);
+  pg.EdgeType("owns", "Customer", "CredCard");
+  TBox t = pg.Compile();
+
+  uint32_t owns = vocab_.FindRole("owns");
+  Graph g;
+  NodeId a = g.AddNode(), c = g.AddNode();
+  g.AddEdge(a, owns, c);
+  EXPECT_FALSE(Satisfies(g, t)) << "endpoints lack the required labels";
+  g.AddLabel(a, vocab_.FindConcept("Customer"));
+  g.AddLabel(c, vocab_.FindConcept("CredCard"));
+  EXPECT_TRUE(Satisfies(g, t));
+}
+
+TEST_F(SchemaTest, AvoidInverseEquivalentOnInstances) {
+  // The avoid_inverse compilation must accept/reject the same instances.
+  PgSchema with_inv(&vocab_);
+  with_inv.EdgeType("owns", "Customer", "CredCard");
+  TBox t1 = with_inv.Compile();
+
+  PgSchema without_inv(&vocab_);
+  without_inv.set_avoid_inverse(true);
+  without_inv.EdgeType("owns", "Customer", "CredCard");
+  TBox t2 = without_inv.Compile();
+  EXPECT_FALSE(t2.UsesInverse());
+
+  uint32_t owns = vocab_.FindRole("owns");
+  uint32_t cust = vocab_.FindConcept("Customer");
+  uint32_t card = vocab_.FindConcept("CredCard");
+  for (int labels = 0; labels < 16; ++labels) {
+    Graph g;
+    NodeId u = g.AddNode(), v = g.AddNode();
+    g.AddEdge(u, owns, v);
+    if (labels & 1) g.AddLabel(u, cust);
+    if (labels & 2) g.AddLabel(u, card);
+    if (labels & 4) g.AddLabel(v, cust);
+    if (labels & 8) g.AddLabel(v, card);
+    EXPECT_EQ(Satisfies(g, t1), Satisfies(g, t2)) << "labels=" << labels;
+  }
+}
+
+TEST_F(SchemaTest, KeyConstraintIsInverseFunctionality) {
+  PgSchema pg(&vocab_);
+  pg.Key("Customer", "owns", "CredCard");
+  TBox t = pg.Compile();
+
+  uint32_t owns = vocab_.FindRole("owns");
+  uint32_t cust = vocab_.FindConcept("Customer");
+  uint32_t card = vocab_.FindConcept("CredCard");
+  Graph g;
+  NodeId a = g.AddNode(), b = g.AddNode(), c = g.AddNode();
+  g.AddLabel(a, cust);
+  g.AddLabel(b, cust);
+  g.AddLabel(c, card);
+  g.AddEdge(a, owns, c);
+  EXPECT_TRUE(Satisfies(g, t));
+  g.AddEdge(b, owns, c);
+  EXPECT_FALSE(Satisfies(g, t)) << "two customers own the same card";
+}
+
+TEST_F(SchemaTest, ParticipationMinTwo) {
+  PgSchema pg(&vocab_);
+  pg.Participation("Hub", "links", "Node", 2);
+  TBox t = pg.Compile();
+  uint32_t links = vocab_.FindRole("links");
+  uint32_t hub = vocab_.FindConcept("Hub");
+  uint32_t node = vocab_.FindConcept("Node");
+  Graph g;
+  NodeId h = g.AddNode();
+  g.AddLabel(h, hub);
+  NodeId n1 = g.AddNode();
+  g.AddLabel(n1, node);
+  g.AddEdge(h, links, n1);
+  EXPECT_FALSE(Satisfies(g, t));
+  NodeId n2 = g.AddNode();
+  g.AddLabel(n2, node);
+  g.AddEdge(h, links, n2);
+  EXPECT_TRUE(Satisfies(g, t));
+}
+
+TEST_F(SchemaTest, WorkloadGeneratorDeterministicAndParseable) {
+  WorkloadOptions options;
+  options.seed = 7;
+  auto a = GenerateWorkload(options, 10);
+  auto b = GenerateWorkload(options, 10);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].schema_text, b[i].schema_text) << "determinism";
+    EXPECT_EQ(a[i].p_text, b[i].p_text);
+    // Everything generated must parse.
+    Vocabulary vocab;
+    auto schema = ParseTBox(a[i].schema_text, &vocab);
+    EXPECT_TRUE(schema.ok()) << a[i].schema_text << "\n" << schema.error();
+    auto p = ParseUcrpq(a[i].p_text, &vocab);
+    EXPECT_TRUE(p.ok()) << a[i].p_text << "\n" << p.error();
+    auto q = ParseUcrpq(a[i].q_text, &vocab);
+    EXPECT_TRUE(q.ok()) << a[i].q_text << "\n" << q.error();
+  }
+}
+
+TEST_F(SchemaTest, WorkloadSimpleFlagRespected) {
+  WorkloadOptions options;
+  options.seed = 11;
+  options.simple_queries = true;
+  for (const auto& inst : GenerateWorkload(options, 20)) {
+    Vocabulary vocab;
+    auto p = ParseUcrpq(inst.p_text, &vocab);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p.value().IsSimple()) << inst.p_text;
+  }
+}
+
+}  // namespace
+}  // namespace gqc

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/frames/alternating.h"
+#include "src/frames/span.h"
+#include "src/graph/generators.h"
+
+namespace gqc {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  PointedGraph Node(std::initializer_list<const char*> labels) {
+    PointedGraph p;
+    NodeId v = p.graph.AddNode();
+    for (const char* l : labels) p.graph.AddLabel(v, vocab_.ConceptId(l));
+    p.point = v;
+    return p;
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(SpanTest, InComponentPathsHaveSpanZero) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  frame.AddComponent({CycleGraph(4, r), 0});
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r)}, 5), 0u);
+}
+
+TEST_F(SpanTest, SingleFrameEdgeSpanOne) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  uint32_t f0 = frame.AddComponent(Node({"A"}));
+  uint32_t f1 = frame.AddComponent(Node({"B"}));
+  frame.AddEdge(f0, 0, Role::Forward(r), f1);
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r)}, 5), 1u);
+}
+
+TEST_F(SpanTest, ChainAccumulatesSpan) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  std::vector<uint32_t> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(frame.AddComponent(Node({"A"})));
+  for (int i = 0; i < 3; ++i) {
+    frame.AddEdge(nodes[i], 0, Role::Forward(r), nodes[i + 1]);
+  }
+  // A forward-only walk crosses three frame edges in the same direction.
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r)}, 5), 3u);
+  // Allowing the inverse role does not reduce the maximum.
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r), Role::Inverse(r)}, 5), 3u);
+}
+
+TEST_F(SpanTest, BacktrackingDoesNotInflateSpan) {
+  // Going forward over one frame edge and back has span 1, not 2: the
+  // balance returns to 0 and the maximal infix difference stays 1.
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  uint32_t f0 = frame.AddComponent(Node({"A"}));
+  uint32_t f1 = frame.AddComponent(Node({"B"}));
+  frame.AddEdge(f0, 0, Role::Forward(r), f1);
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r), Role::Inverse(r)}, 5), 1u);
+}
+
+TEST_F(SpanTest, AlternatingFrameBoundsSpanByOne) {
+  // §5: in an alternating frame, every RPQ has span at most 1 — components
+  // have only incoming or only outgoing frame edges, so a path cannot cross
+  // two frame edges in the same direction in a row.
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t fwd = vocab_.ConceptId("Cfwd");
+  ConcreteFrame frame;
+  uint32_t b1 = frame.AddComponent(Node({"B1"}));
+  uint32_t f1 = frame.AddComponent(Node({"F1", "Cfwd"}));
+  uint32_t b2 = frame.AddComponent(Node({"B2"}));
+  frame.AddEdge(b1, 0, Role::Forward(r), f1);
+  frame.AddEdge(b2, 0, Role::Forward(r), f1);
+  ASSERT_TRUE(IsAlternating(frame, fwd));
+  EXPECT_LE(StarAtomSpan(frame, {Role::Forward(r), Role::Inverse(r)}, 5), 1u);
+}
+
+TEST_F(SpanTest, Lemma64RoleAlternatingBound) {
+  // Lemma 6.4: in a role-alternating frame over Σ_T = {r, s}, a simple star
+  // atom that is not a Σ_T-reachability atom (here {r} alone, missing s and
+  // s-) has span at most |Σ_T| = 2, while the full reachability atom
+  // {r, s} can accumulate unbounded span (here: bounded by the chain length).
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t s = vocab_.RoleId("s");
+  ConcreteFrame frame;
+  // Alternating chain: r-banned -> s-banned -> r-banned -> s-banned, with
+  // frame edges carrying the banned role of the source.
+  uint32_t c0 = frame.AddComponent(Node({"Cr"}));
+  uint32_t c1 = frame.AddComponent(Node({"Cs"}));
+  uint32_t c2 = frame.AddComponent(Node({"Cr"}));
+  uint32_t c3 = frame.AddComponent(Node({"Cs"}));
+  frame.AddEdge(c0, 0, Role::Forward(r), c1);
+  frame.AddEdge(c1, 0, Role::Forward(s), c2);
+  frame.AddEdge(c2, 0, Role::Forward(r), c3);
+
+  std::map<uint32_t, uint32_t> markers{{r, vocab_.FindConcept("Cr")},
+                                       {s, vocab_.FindConcept("Cs")}};
+  ASSERT_TRUE(IsRoleAlternating(frame, markers, {r, s}));
+
+  // {r}*: not a Σ_T-reachability atom; span bounded by |Σ_T| = 2.
+  EXPECT_LE(StarAtomSpan(frame, {Role::Forward(r)}, 5), 2u);
+  // {r, s}*: the Σ_T-reachability atom; it runs down the whole chain.
+  EXPECT_EQ(StarAtomSpan(frame, {Role::Forward(r), Role::Forward(s)}, 5), 3u);
+}
+
+TEST_F(SpanTest, FrameCoilPreservesSpanBound) {
+  // Claim 1 inside Lemma 4.3: spans in F_n are bounded by spans in F.
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  uint32_t f0 = frame.AddComponent(Node({"A"}));
+  uint32_t f1 = frame.AddComponent(Node({"B"}));
+  frame.AddEdge(f0, 0, Role::Forward(r), f1);
+  frame.AddEdge(f1, 0, Role::Forward(r), f0);
+
+  std::size_t base = StarAtomSpan(frame, {Role::Forward(r)}, 8);
+  ConcreteFrame coiled = FrameCoil(frame, 3);
+  std::size_t coil_span = StarAtomSpan(coiled, {Role::Forward(r)}, 8);
+  EXPECT_LE(coil_span, base);
+}
+
+}  // namespace
+}  // namespace gqc

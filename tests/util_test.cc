@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/core/containment.h"
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/graph/type.h"
+#include "src/query/parser.h"
+#include "src/util/bitset.h"
+#include "src/util/interner.h"
+
+namespace gqc {
+namespace {
+
+TEST(BitsetTest, SetTestResetAndCount) {
+  DynamicBitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_TRUE(b.Test(64));
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.ToIndices(), (std::vector<std::size_t>{0, 129}));
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_FALSE(a.IsDisjointWith(b));
+  DynamicBitset u = a | b;
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset i = a & b;
+  EXPECT_EQ(i.ToIndices(), std::vector<std::size_t>{65});
+  DynamicBitset d = a - b;
+  EXPECT_EQ(d.ToIndices(), std::vector<std::size_t>{1});
+  EXPECT_TRUE(i.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, FindNextAcrossWords) {
+  DynamicBitset b(200);
+  b.Set(63);
+  b.Set(64);
+  b.Set(191);
+  EXPECT_EQ(b.FindFirst(), 63u);
+  EXPECT_EQ(b.FindNext(64), 64u);
+  EXPECT_EQ(b.FindNext(65), 191u);
+  EXPECT_EQ(b.FindNext(192), 200u);
+}
+
+TEST(BitsetTest, ResizeClearsStaleBits) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Resize(5);
+  b.Resize(10);
+  EXPECT_FALSE(b.Test(9)) << "bits beyond a shrink must not resurface";
+}
+
+TEST(InternerTest, DenseIdsAndLookup) {
+  Interner interner;
+  uint32_t a = interner.Intern("alpha");
+  uint32_t b = interner.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Find("beta"), b);
+  EXPECT_EQ(interner.Find("gamma"), Interner::kNotFound);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+}
+
+TEST(TypeSpaceTest, MaskRoundTrip) {
+  TypeSpace space({5, 2, 9});  // sorted to {2, 5, 9}
+  EXPECT_EQ(space.arity(), 3u);
+  EXPECT_EQ(space.PositionOf(5), 1u);
+  Type t = space.MaterializeType(0b101);
+  EXPECT_TRUE(t.HasPositive(2));
+  EXPECT_TRUE(t.HasNegative(5));
+  EXPECT_TRUE(t.HasPositive(9));
+  EXPECT_EQ(space.MaskOf(t), 0b101u);
+  Type partial;
+  partial.AddLiteral(Literal::Positive(9));
+  EXPECT_TRUE(space.MaskContains(0b101, partial));
+  partial.AddLiteral(Literal::Positive(5));
+  EXPECT_FALSE(space.MaskContains(0b101, partial));
+}
+
+TEST(TypeSpaceTest, VocabularyFreshNamesNeverCollide) {
+  Vocabulary vocab;
+  vocab.ConceptId("perm#0");  // squat on a would-be fresh name
+  uint32_t fresh = vocab.FreshConcept("perm");
+  EXPECT_NE(vocab.ConceptName(fresh), "perm#0");
+}
+
+TEST(EquivalenceApiTest, BothDirectionsChecked) {
+  Vocabulary vocab;
+  auto schema = ParseTBox("top <= forall r.B", &vocab);
+  auto nf = Normalize(schema.value(), &vocab);
+  auto p = ParseUcrpq("r(x, y)", &vocab);
+  auto q = ParseUcrpq("r(x, y), B(y)", &vocab);
+  ContainmentChecker checker(&vocab);
+  // Modulo the typing constraint the queries are equivalent.
+  EXPECT_EQ(checker.DecideEquivalence(p.value(), q.value(), nf).verdict,
+            Verdict::kContained);
+  // Without it, equivalence fails with a countermodel.
+  NormalTBox empty;
+  auto r = checker.DecideEquivalence(p.value(), q.value(), empty);
+  EXPECT_EQ(r.verdict, Verdict::kNotContained);
+  EXPECT_TRUE(r.countermodel.has_value());
+  EXPECT_NE(r.note.find("⋢"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqc
