@@ -21,7 +21,7 @@ void BM_E2_CoilCycle(benchmark::State& state) {
   Graph g = CycleGraph(nodes, r);
   std::size_t coil_nodes = 0;
   for (auto _ : state) {
-    CoilResult coil = Coil(g, window);
+    CoilResult coil = Coil(g, window).value();
     coil_nodes = coil.graph.NodeCount();
     benchmark::DoNotOptimize(coil);
   }
@@ -43,7 +43,7 @@ void BM_E2_CoilRandom(benchmark::State& state) {
   std::size_t coil_nodes = 0;
   bool property1 = true;
   for (auto _ : state) {
-    CoilResult coil = Coil(g, window);
+    CoilResult coil = Coil(g, window).value();
     coil_nodes = coil.graph.NodeCount();
     property1 = property1 && IsHomomorphism(coil.graph, g, coil.base_node);
     benchmark::DoNotOptimize(coil);

@@ -80,4 +80,38 @@ void BM_E6_ParticipationAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_E6_ParticipationAblation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// Checker-level memoization: repeated Decide calls against one schema with
+// the normalized-TBox and Tp-closure caches on vs off. Counters expose the
+// hit rates; verdicts are identical either way.
+void BM_E6_CheckerCaching(benchmark::State& state) {
+  bool caching = state.range(0) == 1;
+  Vocabulary vocab;
+  // Participation constraint + fragment-eligible Q: the §3 reduction (and so
+  // the closure cache) is on the path.
+  auto schema = ParseTBox("A <= exists owns.Card\ntop <= forall owns.Card", &vocab);
+  auto p = ParseUcrpq("A(x), owns(x, y)", &vocab);
+  auto q = ParseUcrpq("owns(x, y), Card(y)", &vocab);
+
+  PipelineStats stats;
+  ContainmentOptions options;
+  options.enable_caching = caching;
+  options.stats = &stats;
+  ContainmentChecker checker(&vocab, options);
+  std::string verdict;
+  for (auto _ : state) {
+    auto r = checker.Decide(p.value(), q.value(), schema.value());
+    verdict = VerdictName(r.verdict);
+    benchmark::DoNotOptimize(r);
+  }
+  auto rate = [](uint64_t hits, uint64_t misses) {
+    return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / (hits + misses);
+  };
+  state.counters["normal_tbox_hit_rate"] = rate(stats.normal_tbox_hits, stats.normal_tbox_misses);
+  state.counters["closure_hit_rate"] = rate(stats.closure_hits, stats.closure_misses);
+  state.counters["normalize_ms_total"] = static_cast<double>(stats.normalize_ns) * 1e-6;
+  state.counters["entailment_ms_total"] = static_cast<double>(stats.entailment_ns) * 1e-6;
+  state.SetLabel(std::string(caching ? "caching on: " : "caching off: ") + verdict);
+}
+BENCHMARK(BM_E6_CheckerCaching)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 }  // namespace

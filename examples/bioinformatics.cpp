@@ -5,13 +5,7 @@
 
 #include <cstdio>
 
-#include "src/core/containment.h"
-#include "src/dl/concept_parser.h"
-#include "src/dl/normalize.h"
-#include "src/dl/transforms.h"
-#include "src/entailment/alcq_simple.h"
-#include "src/query/factorize.h"
-#include "src/query/parser.h"
+#include "src/gqc.h"
 
 int main() {
   using namespace gqc;
@@ -49,28 +43,28 @@ int main() {
   std::printf("cofactor-reachability ⊑_S plain reachability : %s\n",
               VerdictName(r2.verdict));
 
-  // Direct use of the §6 engine on the participation core of the schema:
-  // Tp(T, Q̂) (§3) — the maximal types realizable in finite models of T that
-  // refute Q. (The full schema's type space is over the engine budget; the
-  // core keeps one counting pair, which is what the engine recursion peels.)
+  // Tp(T, Q̂) (§3) on the participation core of the schema — the maximal
+  // types realizable in finite models of T that refute Q. (The full schema's
+  // type space is over the engine budget; the core keeps one counting pair,
+  // which is what the engine recursion peels.)
   auto core_or = ParseTBox(
       "Enzyme <= exists catalyses.Reaction\n"
       "Enzyme and Reaction <= bottom",
       &vocab);
   NormalTBox core = Normalize(core_or.value(), &vocab);
   auto avoid = ParseUcrpq("Deprecated(x)", &vocab);
-  auto f = FactorizeSimpleUcrpq(avoid.value(), &vocab);
-  if (f.ok()) {
-    AlcqSimpleEngine engine(&f.value(), &vocab);
-    auto set = engine.RealizableTypes(core);
+  auto closure_or =
+      ComputeTpClosure(avoid.value(), core, /*alcq_case=*/true, &vocab, {});
+  if (closure_or.ok()) {
+    const TpClosure& c = closure_or.value();
     std::printf("\nTp(T_core, Q̂) for Q = Deprecated(x): %zu realizable maximal "
                 "types over %zu labels%s\n",
-                set.masks.size(), set.space.arity(),
-                engine.hit_cap() ? " (budget hit)" : "");
+                c.engine_masks.size(), c.engine_space.arity(),
+                c.engine_capped ? " (budget hit)" : "");
     // Spot-check: no realizable type may carry Deprecated.
-    std::size_t dep = set.space.PositionOf(vocab.ConceptId("Deprecated"));
+    std::size_t dep = c.engine_space.PositionOf(vocab.ConceptId("Deprecated"));
     std::size_t bad = 0;
-    for (uint64_t m : set.masks) {
+    for (uint64_t m : c.engine_masks) {
       if (dep != TypeSpace::npos && ((m >> dep) & 1)) ++bad;
     }
     std::printf("types carrying Deprecated (must be 0): %zu\n", bad);

@@ -10,11 +10,7 @@
 
 #include <cstdio>
 
-#include "src/core/containment.h"
-#include "src/dl/normalize.h"
-#include "src/graph/dot.h"
-#include "src/query/parser.h"
-#include "src/schema/pg_schema.h"
+#include "src/gqc.h"
 
 int main() {
   using namespace gqc;

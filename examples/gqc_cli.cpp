@@ -1,6 +1,7 @@
 // gqc command-line front end.
 //
 //   example_gqc_cli contain <schema-file> '<p-query>' '<q-query>'
+//   example_gqc_cli batch   [--threads N] [--stats]    (JSON lines on stdin)
 //   example_gqc_cli entail  <schema-file> <graph-file> '<query>'
 //   example_gqc_cli eval    <graph-file> '<query>'
 //
@@ -8,21 +9,21 @@
 // participation/cardinality/key lines) or the concept syntax (lines with
 // '<='); pass "-" for an empty schema. Graph files use the node/edge format
 // (src/graph/io.h). Queries use the UC2RPQ syntax (src/query/parser.h).
+//
+// `batch` decides many pairs in parallel: each stdin line is a JSON object
+//   {"id": "...", "schema": "<schema text>", "p": "<query>", "q": "<query>"}
+// ("id" and "schema" optional; "schema" is inline text, not a file path).
+// One JSON outcome line is written to stdout per item, in input order;
+// --stats writes the engine's pipeline-stats JSON to stderr afterwards.
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "src/core/containment.h"
-#include "src/dl/concept_parser.h"
-#include "src/dl/normalize.h"
-#include "src/entailment/entailment.h"
-#include "src/graph/dot.h"
-#include "src/graph/io.h"
-#include "src/query/eval.h"
-#include "src/query/parser.h"
-#include "src/schema/schema_parser.h"
+#include "src/gqc.h"
 
 namespace {
 
@@ -32,6 +33,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  gqc_cli contain <schema-file|-> '<p-query>' '<q-query>'\n"
+               "  gqc_cli batch   [--threads N] [--stats]  < items.jsonl\n"
                "  gqc_cli entail  <schema-file|-> <graph-file> '<query>'\n"
                "  gqc_cli eval    <graph-file> '<query>'\n");
   return 2;
@@ -88,6 +90,47 @@ int RunContain(const std::string& schema_path, const std::string& p_text,
   return r.verdict == Verdict::kUnknown ? 3 : 0;
 }
 
+int RunBatch(const std::vector<std::string>& args) {
+  EngineOptions options;
+  bool print_stats = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (args[i] == "--stats") {
+      print_stats = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::vector<BatchItem> items;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto item = Engine::ParseBatchItemJson(line);
+    if (!item.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n", line_no, item.error().c_str());
+      return 1;
+    }
+    if (item.value().id.empty()) item.value().id = std::to_string(line_no);
+    items.push_back(std::move(item).value());
+  }
+
+  Engine engine(options);
+  std::vector<BatchOutcome> outcomes = engine.DecideBatch(items);
+  for (const BatchOutcome& out : outcomes) {
+    std::printf("%s\n", Engine::OutcomeToJson(out).c_str());
+  }
+  if (print_stats) {
+    std::fprintf(stderr, "%s\n", engine.StatsJson().c_str());
+  }
+  bool any_error = false;
+  for (const BatchOutcome& out : outcomes) any_error |= !out.ok;
+  return any_error ? 1 : 0;
+}
+
 int RunEntail(const std::string& schema_path, const std::string& graph_path,
               const std::string& q_text) {
   Vocabulary vocab;
@@ -140,6 +183,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (command == "contain" && argc == 5) return RunContain(argv[2], argv[3], argv[4]);
+  if (command == "batch") {
+    return RunBatch(std::vector<std::string>(argv + 2, argv + argc));
+  }
   if (command == "entail" && argc == 5) return RunEntail(argv[2], argv[3], argv[4]);
   if (command == "eval" && argc == 4) return RunEval(argv[2], argv[3]);
   return Usage();

@@ -7,10 +7,7 @@
 
 #include <cstdio>
 
-#include "src/core/containment.h"
-#include "src/dl/concept_parser.h"
-#include "src/graph/dot.h"
-#include "src/query/parser.h"
+#include "src/gqc.h"
 
 int main() {
   using namespace gqc;

@@ -1,0 +1,83 @@
+#include "src/automata/compile_cache.h"
+
+namespace gqc {
+
+namespace {
+
+void AppendKey(const RegexPtr& r, std::string* out) {
+  if (r == nullptr) {
+    out->push_back('0');
+    return;
+  }
+  switch (r->kind) {
+    case RegexKind::kEpsilon:
+      out->push_back('e');
+      return;
+    case RegexKind::kSymbol:
+      out->push_back('s');
+      out->append(std::to_string(r->symbol.code()));
+      out->push_back(';');
+      return;
+    case RegexKind::kConcat:
+      out->push_back('c');
+      break;
+    case RegexKind::kUnion:
+      out->push_back('u');
+      break;
+    case RegexKind::kStar:
+      out->push_back('*');
+      break;
+  }
+  out->append(std::to_string(r->children.size()));
+  out->push_back('(');
+  for (const RegexPtr& child : r->children) AppendKey(child, out);
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string RegexStructuralKey(const RegexPtr& regex) {
+  std::string key;
+  key.reserve(32);
+  AppendKey(regex, &key);
+  return key;
+}
+
+CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
+                                           Semiautomaton* target,
+                                           PipelineStats* stats) {
+  std::string key = RegexStructuralKey(regex);
+  std::shared_ptr<const CompiledRegex> compiled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) compiled = it->second;
+  }
+  if (compiled != nullptr) {
+    if (stats) stats->regex_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (stats) stats->regex_misses.fetch_add(1, std::memory_order_relaxed);
+    compiled = std::make_shared<const CompiledRegex>(CompileRegex(regex));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.emplace(std::move(key), std::move(compiled));
+    compiled = it->second;
+  }
+  uint32_t offset = target->DisjointUnion(compiled->automaton);
+  CompiledRef ref;
+  ref.start = compiled->start + offset;
+  ref.end = compiled->end + offset;
+  ref.nullable = compiled->nullable;
+  return ref;
+}
+
+void RegexCompileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+std::size_t RegexCompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace gqc

@@ -1,0 +1,73 @@
+#include "src/core/caches.h"
+
+#include "src/dl/normalize.h"
+#include "src/util/fingerprint.h"
+
+namespace gqc {
+
+std::shared_ptr<const NormalTBox> ContainmentCaches::GetNormalized(
+    const TBox& tbox, Vocabulary* vocab, PipelineStats* stats) {
+  std::string key = tbox.ToString(*vocab);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = normalized_.find(key);
+    if (it != normalized_.end()) {
+      if (stats) stats->normal_tbox_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  if (stats) stats->normal_tbox_misses.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const NormalTBox> built;
+  {
+    PhaseTimer timer(stats ? &stats->normalize_ns : nullptr);
+    built = std::make_shared<const NormalTBox>(Normalize(tbox, vocab));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = normalized_.emplace(std::move(key), std::move(built));
+  return it->second;
+}
+
+ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
+    const Ucrpq& q, const NormalTBox& tbox, bool alcq_case, Vocabulary* vocab,
+    const ReductionOptions& options) {
+  PipelineStats* stats = options.stats;
+  std::string key = JoinKeyParts(tbox.ToString(*vocab), q.ToString(*vocab),
+                                 alcq_case ? "alcq" : "alci");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = closures_.find(key);
+    if (it != closures_.end()) {
+      if (stats) stats->closure_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  if (stats) stats->closure_misses.fetch_add(1, std::memory_order_relaxed);
+  ClosureEntry entry;
+  auto closure = ComputeTpClosure(q, tbox, alcq_case, vocab, options);
+  if (closure.ok()) {
+    entry.closure = std::make_shared<const TpClosure>(std::move(closure).value());
+  } else {
+    entry.error = closure.error();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = closures_.emplace(std::move(key), std::move(entry));
+  return it->second;
+}
+
+void ContainmentCaches::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  normalized_.clear();
+  closures_.clear();
+}
+
+std::size_t ContainmentCaches::normalized_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return normalized_.size();
+}
+
+std::size_t ContainmentCaches::closure_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closures_.size();
+}
+
+}  // namespace gqc

@@ -1,0 +1,69 @@
+#ifndef GQC_CORE_CACHES_H_
+#define GQC_CORE_CACHES_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/reduction.h"
+#include "src/core/stats.h"
+#include "src/dl/tbox.h"
+
+namespace gqc {
+
+/// Memoized immutable reasoning state shared across containment calls (and,
+/// in the batch engine, across worker threads):
+///
+///  - normalized-TBox cache: canonical TBox serialization -> NormalTBox.
+///    Normalization interns fresh concept names, so every repeated Decide
+///    call on the same schema used to pay the normalization *and* grow the
+///    vocabulary; with the cache both happen once.
+///  - entailment-closure cache: (NormalTBox, Q, engine) -> TpClosure, the
+///    factorization Q̂ plus the realizable-type set Tp(T, Q̂). This is the
+///    dominant reusable cost of the §3 reduction: it is independent of the
+///    left-hand disjunct p, so one closure serves every disjunct of every P
+///    checked against the same (T, Q).
+///
+/// Keys are exact canonical serializations (no fingerprint collisions can
+/// produce wrong verdicts); fingerprints are only reported in stats.
+///
+/// Lookup/insert is mutex-protected and safe from any thread. Values are
+/// computed OUTSIDE the lock; on a miss the builder may intern fresh names
+/// into the vocabulary, so concurrent misses sharing one Vocabulary must be
+/// externally serialized (the checker is single-threaded per vocabulary; the
+/// batch engine builds each context in a private vocabulary before sharing).
+class ContainmentCaches {
+ public:
+  /// Normalized form of `tbox`, computing (and interning into `vocab`) on
+  /// first use. Cached entries are keyed within one vocabulary — do not share
+  /// one ContainmentCaches between checkers on different vocabularies.
+  std::shared_ptr<const NormalTBox> GetNormalized(const TBox& tbox,
+                                                  Vocabulary* vocab,
+                                                  PipelineStats* stats);
+
+  struct ClosureEntry {
+    /// Null when the closure could not be built (factorization failure);
+    /// `error` then carries the reason. Negative results are cached too.
+    std::shared_ptr<const TpClosure> closure;
+    std::string error;
+  };
+
+  /// Tp closure for (tbox, q) under the engine selected by `alcq_case`.
+  ClosureEntry GetClosure(const Ucrpq& q, const NormalTBox& tbox, bool alcq_case,
+                          Vocabulary* vocab, const ReductionOptions& options);
+
+  void Clear();
+
+  std::size_t normalized_count() const;
+  std::size_t closure_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const NormalTBox>> normalized_;
+  std::unordered_map<std::string, ClosureEntry> closures_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_CACHES_H_

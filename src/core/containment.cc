@@ -1,18 +1,93 @@
 #include "src/core/containment.h"
 
-#include "src/core/minimize.h"
-
-#include "src/dl/model_check.h"
 #include <algorithm>
+#include <utility>
 
+#include "src/core/minimize.h"
+#include "src/dl/model_check.h"
 #include "src/dl/normalize.h"
 #include "src/query/eval.h"
 
 namespace gqc {
 
+void TallyPair(PipelineStats* stats, const ContainmentResult& r) {
+  if (stats == nullptr) return;
+  stats->pairs_total.fetch_add(1, std::memory_order_relaxed);
+  switch (r.verdict) {
+    case Verdict::kContained:
+      stats->pairs_contained.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kNotContained:
+      stats->pairs_not_contained.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kUnknown:
+      stats->pairs_unknown.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  switch (r.method) {
+    case ContainmentMethod::kClassical:
+      stats->method_classical.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ContainmentMethod::kDirectSearch:
+      stats->method_direct.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ContainmentMethod::kSparse:
+      stats->method_sparse.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ContainmentMethod::kReduction:
+      stats->method_reduction.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ContainmentMethod::kTrivial:
+      stats->method_trivial.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+namespace {
+
+void RecordRefutation(PipelineStats* stats, const ContainmentResult& r) {
+  if (stats == nullptr || r.verdict != Verdict::kNotContained) return;
+  uint64_t nodes = 0;
+  if (r.countermodel.has_value()) {
+    nodes = r.countermodel->NodeCount();
+  } else if (r.central_part.has_value()) {
+    nodes = r.central_part->NodeCount();
+  }
+  stats->RecordCountermodel(nodes);
+}
+
+/// True if the disjunct matches every graph with at least one node: no unary
+/// atoms and every binary atom admits the empty word (e.g. pure reachability
+/// queries like (r+s)*(x, y)).
+bool MatchesAnyNonEmptyGraph(const Crpq& d) {
+  if (!d.UnaryAtoms().empty() || d.VarCount() == 0) return false;
+  return std::all_of(d.BinaryAtoms().begin(), d.BinaryAtoms().end(),
+                     [](const BinaryAtom& a) { return a.allow_empty; });
+}
+
+}  // namespace
+
+ContainmentChecker::ContainmentChecker(Vocabulary* vocab,
+                                       ContainmentOptions options)
+    : vocab_(vocab),
+      options_(std::move(options)),
+      caches_(std::make_unique<ContainmentCaches>()) {}
+
 ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
                                              const TBox& schema) {
-  return Decide(p, q, Normalize(schema, vocab_));
+  if (options_.enable_caching) {
+    std::shared_ptr<const NormalTBox> normalized =
+        caches_->GetNormalized(schema, vocab_, options_.stats);
+    return Decide(p, q, *normalized);
+  }
+  PipelineStats* stats = options_.stats;
+  if (stats) stats->normal_tbox_misses.fetch_add(1, std::memory_order_relaxed);
+  std::optional<NormalTBox> normalized;
+  {
+    PhaseTimer timer(stats ? &stats->normalize_ns : nullptr);
+    normalized = Normalize(schema, vocab_);
+  }
+  return Decide(p, q, *normalized);
 }
 
 ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
@@ -20,12 +95,24 @@ ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
   // P ⊑_T Q iff every disjunct of P is contained. Report the first
   // counterexample; a kUnknown disjunct makes the overall answer kUnknown
   // unless some other disjunct already refutes.
+  std::vector<ContainmentResult> per_disjunct;
+  per_disjunct.reserve(p.Disjuncts().size());
+  for (const Crpq& disjunct : p.Disjuncts()) {
+    per_disjunct.push_back(DecideDisjunct(disjunct, q, schema));
+    if (per_disjunct.back().verdict == Verdict::kNotContained) break;
+  }
+  ContainmentResult combined = Combine(std::move(per_disjunct));
+  TallyPair(options_.stats, combined);
+  return combined;
+}
+
+ContainmentResult ContainmentChecker::Combine(
+    std::vector<ContainmentResult> per_disjunct) {
   ContainmentResult combined;
   combined.verdict = Verdict::kContained;
   combined.method = ContainmentMethod::kTrivial;
-  for (const Crpq& disjunct : p.Disjuncts()) {
-    ContainmentResult r = DecideDisjunct(disjunct, q, schema);
-    if (r.verdict == Verdict::kNotContained) return r;
+  for (ContainmentResult& r : per_disjunct) {
+    if (r.verdict == Verdict::kNotContained) return std::move(r);
     if (r.verdict == Verdict::kUnknown) {
       combined.verdict = Verdict::kUnknown;
       combined.method = r.method;
@@ -59,39 +146,30 @@ ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p, const Uc
   return combined;
 }
 
-namespace {
-
-/// True if the disjunct matches every graph with at least one node: no unary
-/// atoms and every binary atom admits the empty word (e.g. pure reachability
-/// queries like (r+s)*(x, y)).
-bool MatchesAnyNonEmptyGraph(const Crpq& d) {
-  if (!d.UnaryAtoms().empty() || d.VarCount() == 0) return false;
-  return std::all_of(d.BinaryAtoms().begin(), d.BinaryAtoms().end(),
-                     [](const BinaryAtom& a) { return a.allow_empty; });
-}
-
-}  // namespace
-
 ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq& q,
-                                                     const NormalTBox& schema) {
+                                                     const NormalTBox& schema,
+                                                     const TpClosure* closure) {
+  PipelineStats* stats = options_.stats;
+  if (stats) stats->disjuncts_total.fetch_add(1, std::memory_order_relaxed);
   ContainmentResult result;
 
   // 1. Cheap exact screens. (a) Some disjunct of Q matches every non-empty
   //    graph, and any match of p requires a node.
-  if (p.VarCount() > 0 &&
-      std::any_of(q.Disjuncts().begin(), q.Disjuncts().end(),
-                  MatchesAnyNonEmptyGraph)) {
-    result.verdict = Verdict::kContained;
-    result.method = ContainmentMethod::kTrivial;
-    result.note = "a disjunct of Q matches every non-empty graph";
-    return result;
-  }
-  //    (b) Classical containment (no schema) implies containment modulo any
-  //    schema; the canonical-database test certifies the CQ-shaped cases.
   {
+    PhaseTimer timer(stats ? &stats->screen_ns : nullptr);
+    if (p.VarCount() > 0 &&
+        std::any_of(q.Disjuncts().begin(), q.Disjuncts().end(),
+                    MatchesAnyNonEmptyGraph)) {
+      result.verdict = Verdict::kContained;
+      result.method = ContainmentMethod::kTrivial;
+      result.note = "a disjunct of Q matches every non-empty graph";
+      return result;
+    }
+    //  (b) Classical containment (no schema) implies containment modulo any
+    //  schema; the canonical-database test certifies the CQ-shaped cases.
     Ucrpq p_union;
     p_union.AddDisjunct(p);
-    ClassicalContainmentResult classical = ClassicalContainment(p_union, q);
+    QueryContainmentResult classical = QueryContainment(p_union, q);
     if (classical.verdict == Verdict::kContained) {
       result.verdict = Verdict::kContained;
       result.method = ContainmentMethod::kClassical;
@@ -103,18 +181,24 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
   // 2. Direct bounded countermodel search against the full TBox. Also serves
   //    as the satisfiability screen: if p cannot be satisfied under T at all
   //    the expansion/quotient seeds all die and the answer is kNo.
-  CountermodelSearchResult direct =
-      FindCountermodel(p, q, schema, options_.countermodel);
-  if (direct.answer == EngineAnswer::kYes) {
-    result.verdict = Verdict::kNotContained;
-    result.method = ContainmentMethod::kDirectSearch;
-    if (options_.minimize_countermodels && direct.witness.has_value()) {
-      Ucrpq p_union;
-      p_union.AddDisjunct(p);
-      result.countermodel = MinimizeCountermodel(*direct.witness, p_union, q, schema);
-    } else {
-      result.countermodel = std::move(direct.witness);
+  CountermodelSearchResult direct;
+  {
+    PhaseTimer timer(stats ? &stats->direct_ns : nullptr);
+    direct = FindCountermodel(p, q, schema, options_.countermodel);
+    if (direct.answer == EngineAnswer::kYes) {
+      result.verdict = Verdict::kNotContained;
+      result.method = ContainmentMethod::kDirectSearch;
+      if (options_.minimize_countermodels && direct.witness.has_value()) {
+        Ucrpq p_union;
+        p_union.AddDisjunct(p);
+        result.countermodel = MinimizeCountermodel(*direct.witness, p_union, q, schema);
+      } else {
+        result.countermodel = std::move(direct.witness);
+      }
     }
+  }
+  if (result.verdict == Verdict::kNotContained) {
+    RecordRefutation(stats, result);
     return result;
   }
   bool participation = schema.HasParticipationConstraints();
@@ -127,7 +211,9 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
     return result;
   }
 
-  // 3. §3 reduction for the supported fragments.
+  // 3. §3 reduction for the supported fragments. The (T, Q)-dependent Tp
+  //    closure may be supplied by the caller (batch engine), come from the
+  //    per-checker cache, or be computed inline — same answers either way.
   bool fragment_ok = q.IsSimple() && q.IsConnected() && p.IsConnected();
   bool alcq_case = !schema.UsesInverse();
   bool alci_case = !schema.UsesCounting() && q.IsOneWay();
@@ -136,13 +222,27 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
     ReductionOptions opts;
     opts.countermodel = options_.countermodel;
     opts.factorize = options_.factorize;
-    ReductionResult red =
-        ContainmentViaEntailment(p, q, schema, alcq_case, vocab_, opts);
+    opts.stats = stats;
+    ReductionResult red;
+    if (closure != nullptr) {
+      red = ContainmentViaEntailment(p, q, schema, *closure, opts);
+    } else if (options_.enable_caching) {
+      ContainmentCaches::ClosureEntry entry =
+          caches_->GetClosure(q, schema, alcq_case, vocab_, opts);
+      if (entry.closure != nullptr) {
+        red = ContainmentViaEntailment(p, q, schema, *entry.closure, opts);
+      } else {
+        red.note = entry.error;
+      }
+    } else {
+      red = ContainmentViaEntailment(p, q, schema, alcq_case, vocab_, opts);
+    }
     if (red.countermodel_found == EngineAnswer::kYes) {
       result.verdict = Verdict::kNotContained;
       result.method = ContainmentMethod::kReduction;
       result.central_part = std::move(red.central_part);
       result.note = "countermodel is star-like; central part returned";
+      RecordRefutation(stats, result);
       return result;
     }
     if (red.countermodel_found == EngineAnswer::kNo) {

@@ -1,8 +1,13 @@
 #ifndef GQC_CORE_CONTAINMENT_H_
 #define GQC_CORE_CONTAINMENT_H_
 
+#include <memory>
+#include <vector>
+
+#include "src/core/caches.h"
 #include "src/core/reduction.h"
 #include "src/core/result.h"
+#include "src/core/stats.h"
 #include "src/dl/tbox.h"
 
 namespace gqc {
@@ -16,7 +21,20 @@ struct ContainmentOptions {
   bool disable_reduction = false;
   /// Shrink returned countermodels to 1-minimal witnesses (readability).
   bool minimize_countermodels = true;
+  /// Memoize normalized TBoxes and Tp closures across calls (per checker;
+  /// verdicts are identical with caching on or off — the caches store pure
+  /// functions of their keys). Off = the pre-cache re-normalizing behavior.
+  bool enable_caching = true;
+  /// Optional observability sink: per-phase wall time, cache hit/miss
+  /// counters, verdict/method tallies, countermodel sizes. May be shared by
+  /// several checkers/threads (all counters are atomic).
+  PipelineStats* stats = nullptr;
 };
+
+/// Records one decided pair into `stats` (verdict and method tallies);
+/// no-op on a null sink. Called by Decide; the batch engine, which folds
+/// disjunct results itself, calls it directly.
+void TallyPair(PipelineStats* stats, const ContainmentResult& result);
 
 /// Decides containment modulo schema, P ⊑_T Q over all finite graphs (§3).
 ///
@@ -37,12 +55,17 @@ struct ContainmentOptions {
 ///
 /// Definite answers are exact; kNotContained verdicts carry a re-verified
 /// countermodel (or the central part when found via the reduction).
+///
+/// A checker is bound to one Vocabulary and is not itself thread-safe; the
+/// batch engine (src/engine) runs one checker per worker over cloned
+/// vocabularies and shares the memoized state via precomputed closures.
 class ContainmentChecker {
  public:
-  ContainmentChecker(Vocabulary* vocab, ContainmentOptions options = {})
-      : vocab_(vocab), options_(std::move(options)) {}
+  ContainmentChecker(Vocabulary* vocab, ContainmentOptions options = {});
 
-  /// P, Q: UC2RPQs. `schema`: the TBox (normalized internally).
+  /// P, Q: UC2RPQs. `schema`: the TBox. Normalized on first use and (with
+  /// `enable_caching`) memoized, so repeated calls against one schema pay
+  /// normalization once.
   ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q, const TBox& schema);
 
   /// Same with a pre-normalized TBox.
@@ -55,12 +78,30 @@ class ContainmentChecker {
   ContainmentResult DecideEquivalence(const Ucrpq& p, const Ucrpq& q,
                                       const NormalTBox& schema);
 
- private:
+  /// Decides one connected disjunct p of P (advanced API — the unit of
+  /// parallelism for the batch engine). When `closure` is non-null it must be
+  /// the Tp closure of (schema, q) computed in a vocabulary this checker's
+  /// vocabulary extends; the call is then read-only on the vocabulary and may
+  /// run concurrently with other DecideDisjunct calls sharing it.
   ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,
-                                   const NormalTBox& schema);
+                                   const NormalTBox& schema,
+                                   const TpClosure* closure = nullptr);
 
+  /// Folds per-disjunct results (in disjunct order) into the pair verdict,
+  /// exactly as the sequential Decide loop does: the first kNotContained
+  /// wins; any kUnknown poisons kContained. Exposed so parallel drivers
+  /// reproduce sequential results bit-for-bit.
+  static ContainmentResult Combine(std::vector<ContainmentResult> per_disjunct);
+
+  const ContainmentOptions& options() const { return options_; }
+
+  /// The per-checker memoized state (normalized TBoxes, Tp closures).
+  ContainmentCaches* caches() { return caches_.get(); }
+
+ private:
   Vocabulary* vocab_;
   ContainmentOptions options_;
+  std::unique_ptr<ContainmentCaches> caches_;
 };
 
 }  // namespace gqc

@@ -53,36 +53,46 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
 
 }  // namespace
 
-ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
-                                         const NormalTBox& tbox, bool alcq_case,
-                                         Vocabulary* vocab,
-                                         const ReductionOptions& options) {
-  ReductionResult result;
+Result<TpClosure> ComputeTpClosure(const Ucrpq& q, const NormalTBox& tbox,
+                                   bool alcq_case, Vocabulary* vocab,
+                                   const ReductionOptions& options) {
+  PhaseTimer timer(options.stats ? &options.stats->entailment_ns : nullptr);
 
   auto factorization = FactorizeSimpleUcrpq(q, vocab, options.factorize);
   if (!factorization.ok()) {
-    result.note = "factorization failed: " + factorization.error();
-    return result;
+    return Result<TpClosure>::Error("factorization failed: " +
+                                    factorization.error());
   }
-  const SimpleFactorization& f = factorization.value();
+  TpClosure closure;
+  closure.factorization = std::move(factorization).value();
+  closure.alcq_case = alcq_case;
 
   // Tp(T, Q̂): realizable types, computed by the matching engine.
-  TypeSpace engine_space({});
-  std::vector<uint64_t> engine_masks;
-  bool engine_capped = false;
   if (alcq_case) {
-    AlcqSimpleEngine engine(&f, vocab, options.countermodel.limits);
+    AlcqSimpleEngine engine(&closure.factorization, vocab,
+                            options.countermodel.limits);
     auto set = engine.RealizableTypes(tbox);
-    engine_space = set.space;
-    engine_masks = std::move(set.masks);
-    engine_capped = engine.hit_cap();
+    closure.engine_space = set.space;
+    closure.engine_masks = std::move(set.masks);
+    closure.engine_capped = engine.hit_cap();
   } else {
-    AlciOnewayEngine engine(&f, vocab, options.countermodel.limits);
+    AlciOnewayEngine engine(&closure.factorization, vocab,
+                            options.countermodel.limits);
     auto set = engine.RealizableTypes(tbox);
-    engine_space = set.space;
-    engine_masks = std::move(set.masks);
-    engine_capped = engine.hit_cap();
+    closure.engine_space = set.space;
+    closure.engine_masks = std::move(set.masks);
+    closure.engine_capped = engine.hit_cap();
   }
+  return closure;
+}
+
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+                                         const NormalTBox& tbox,
+                                         const TpClosure& closure,
+                                         const ReductionOptions& options) {
+  PhaseTimer timer(options.stats ? &options.stats->reduction_ns : nullptr);
+  ReductionResult result;
+  const SimpleFactorization& f = closure.factorization;
 
   // H0 search space: T, Q̂ (with permissions), p.
   std::vector<uint32_t> ids = tbox.ConceptIds();
@@ -94,8 +104,9 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
     return result;
   }
 
-  std::set<uint64_t> allowed = ProjectRealizable(engine_space, engine_masks, h0_space);
-  if (allowed.empty() && engine_capped) {
+  std::set<uint64_t> allowed =
+      ProjectRealizable(closure.engine_space, closure.engine_masks, h0_space);
+  if (allowed.empty() && closure.engine_capped) {
     result.note = "Tp computation capped";
     return result;
   }
@@ -104,7 +115,7 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
   // stubs with Tp types), ⊭ Q̂, seeded from expansions of p and quotients.
   ExpansionSet expansions = CanonicalExpansions(p, options.countermodel.expansion);
   bool exhaustive = expansions.exhaustive;
-  bool capped = engine_capped;
+  bool capped = closure.engine_capped;
 
   Ucrpq p_union;
   p_union.AddDisjunct(p);
@@ -125,7 +136,7 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
       problem.seed = &seed;
       WitnessProblem::Deferral deferral;
       deferral.allowed_masks = &allowed;
-      deferral.forbid_outgoing = alcq_case;
+      deferral.forbid_outgoing = closure.alcq_case;
       problem.deferral = deferral;
       WitnessResult w = FindWitness(problem, options.countermodel.limits);
       if (w.answer == EngineAnswer::kYes) {
@@ -139,6 +150,19 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
   result.countermodel_found =
       (exhaustive && !capped) ? EngineAnswer::kNo : EngineAnswer::kUnknown;
   return result;
+}
+
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+                                         const NormalTBox& tbox, bool alcq_case,
+                                         Vocabulary* vocab,
+                                         const ReductionOptions& options) {
+  auto closure = ComputeTpClosure(q, tbox, alcq_case, vocab, options);
+  if (!closure.ok()) {
+    ReductionResult result;
+    result.note = closure.error();
+    return result;
+  }
+  return ContainmentViaEntailment(p, q, tbox, closure.value(), options);
 }
 
 }  // namespace gqc

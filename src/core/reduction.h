@@ -2,7 +2,9 @@
 #define GQC_CORE_REDUCTION_H_
 
 #include "src/core/sparse.h"
+#include "src/core/stats.h"
 #include "src/query/factorize.h"
+#include "src/util/result.h"
 
 namespace gqc {
 
@@ -28,12 +30,52 @@ struct ReductionResult {
 struct ReductionOptions {
   CountermodelOptions countermodel;
   FactorizeOptions factorize;
+  /// Optional stats sink (entailment_ns / reduction_ns phases).
+  PipelineStats* stats = nullptr;
 };
+
+/// The (T, Q)-dependent half of the reduction, independent of the left-hand
+/// disjunct p: the factorization Q̂ of Q and the realizable-type set
+/// Tp(T, Q̂) computed by the matching entailment engine. This is the
+/// expensive, *reusable* part — one closure serves every disjunct of every P
+/// checked against the same (T, Q), which is what the batch engine's
+/// entailment-closure cache exploits.
+///
+/// The closure interns fresh permission/marker concepts into the vocabulary
+/// it was computed with; it is valid in any vocabulary that extends that one
+/// (same ids), which the engine guarantees by cloning vocabularies from the
+/// closure's context.
+struct TpClosure {
+  SimpleFactorization factorization;
+  TypeSpace engine_space{std::vector<uint32_t>{}};
+  std::vector<uint64_t> engine_masks;
+  /// True if the engine hit a resource cap while computing Tp — kNo answers
+  /// downstream then degrade to kUnknown.
+  bool engine_capped = false;
+  /// Which engine computed the closure (stub discipline differs).
+  bool alcq_case = true;
+};
+
+/// Computes the closure for connected simple UC2RPQ `q` against normalized
+/// `tbox`. `alcq_case` selects the engine (§6 ALCQ vs §5 ALCI one-way).
+/// Errors when the factorization fails (query not simple/connected, caps).
+Result<TpClosure> ComputeTpClosure(const Ucrpq& q, const NormalTBox& tbox,
+                                   bool alcq_case, Vocabulary* vocab,
+                                   const ReductionOptions& options);
 
 /// Runs the reduction for one connected disjunct p against connected simple
 /// UC2RPQ q and a normalized TBox in a supported fragment (ALCQ, or ALCI
-/// with one-way q). `alcq_case` selects the stub discipline (no outgoing
-/// edges) and which engine computes Tp.
+/// with one-way q), reusing a precomputed `closure` for (tbox, q). Does not
+/// mutate any vocabulary — safe to call concurrently for different p against
+/// one shared closure.
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+                                         const NormalTBox& tbox,
+                                         const TpClosure& closure,
+                                         const ReductionOptions& options);
+
+/// Convenience form computing the closure inline (the pre-batching entry
+/// point). `alcq_case` selects the stub discipline (no outgoing edges) and
+/// which engine computes Tp.
 ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
                                          const NormalTBox& tbox, bool alcq_case,
                                          Vocabulary* vocab,

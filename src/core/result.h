@@ -5,7 +5,7 @@
 #include <string>
 
 #include "src/graph/graph.h"
-#include "src/query/containment.h"
+#include "src/query/query_containment.h"
 
 namespace gqc {
 

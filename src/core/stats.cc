@@ -1,0 +1,109 @@
+#include "src/core/stats.h"
+
+#include "src/util/json.h"
+
+namespace gqc {
+
+void PipelineStats::RecordCountermodel(uint64_t nodes) {
+  countermodel_count.fetch_add(1, std::memory_order_relaxed);
+  countermodel_nodes_total.fetch_add(nodes, std::memory_order_relaxed);
+  uint64_t prev = countermodel_nodes_max.load(std::memory_order_relaxed);
+  while (prev < nodes && !countermodel_nodes_max.compare_exchange_weak(
+                             prev, nodes, std::memory_order_relaxed)) {
+  }
+}
+
+void PipelineStats::Reset() {
+  for (std::atomic<uint64_t>* a :
+       {&parse_ns, &normalize_ns, &screen_ns, &direct_ns, &entailment_ns,
+        &reduction_ns, &batch_wall_ns, &pairs_total, &pairs_contained,
+        &pairs_not_contained, &pairs_unknown, &pairs_error, &method_classical,
+        &method_direct, &method_sparse, &method_reduction, &method_trivial,
+        &disjuncts_total, &normal_tbox_hits, &normal_tbox_misses, &regex_hits,
+        &regex_misses, &closure_hits, &closure_misses, &schema_ctx_hits,
+        &schema_ctx_misses, &query_ctx_hits, &query_ctx_misses,
+        &countermodel_count, &countermodel_nodes_total, &countermodel_nodes_max}) {
+    a->store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+double Ms(const std::atomic<uint64_t>& ns) {
+  return static_cast<double>(ns.load(std::memory_order_relaxed)) / 1e6;
+}
+
+uint64_t V(const std::atomic<uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+void CacheEntry(JsonWriter* w, const char* name, uint64_t hits, uint64_t misses) {
+  w->Key(name).BeginObject();
+  w->Key("hits").UInt(hits);
+  w->Key("misses").UInt(misses);
+  uint64_t total = hits + misses;
+  w->Key("hit_rate").Double(total == 0 ? 0.0
+                                       : static_cast<double>(hits) /
+                                             static_cast<double>(total));
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string PipelineStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("pairs").BeginObject();
+  w.Key("total").UInt(V(pairs_total));
+  w.Key("contained").UInt(V(pairs_contained));
+  w.Key("not_contained").UInt(V(pairs_not_contained));
+  w.Key("unknown").UInt(V(pairs_unknown));
+  w.Key("errors").UInt(V(pairs_error));
+  w.EndObject();
+
+  w.Key("methods").BeginObject();
+  w.Key("classical").UInt(V(method_classical));
+  w.Key("direct_search").UInt(V(method_direct));
+  w.Key("sparse").UInt(V(method_sparse));
+  w.Key("reduction").UInt(V(method_reduction));
+  w.Key("trivial").UInt(V(method_trivial));
+  w.EndObject();
+
+  w.Key("disjuncts").UInt(V(disjuncts_total));
+
+  w.Key("phases_ms").BeginObject();
+  w.Key("parse").Double(Ms(parse_ns));
+  w.Key("normalize").Double(Ms(normalize_ns));
+  w.Key("screen").Double(Ms(screen_ns));
+  w.Key("direct_search").Double(Ms(direct_ns));
+  w.Key("entailment").Double(Ms(entailment_ns));
+  w.Key("reduction").Double(Ms(reduction_ns));
+  w.Key("batch_wall").Double(Ms(batch_wall_ns));
+  w.EndObject();
+
+  w.Key("caches").BeginObject();
+  CacheEntry(&w, "normal_tbox", V(normal_tbox_hits), V(normal_tbox_misses));
+  CacheEntry(&w, "regex", V(regex_hits), V(regex_misses));
+  CacheEntry(&w, "closure", V(closure_hits), V(closure_misses));
+  CacheEntry(&w, "schema_context", V(schema_ctx_hits), V(schema_ctx_misses));
+  CacheEntry(&w, "query_context", V(query_ctx_hits), V(query_ctx_misses));
+  w.EndObject();
+
+  w.Key("countermodels").BeginObject();
+  w.Key("count").UInt(V(countermodel_count));
+  w.Key("nodes_total").UInt(V(countermodel_nodes_total));
+  w.Key("nodes_max").UInt(V(countermodel_nodes_max));
+  w.EndObject();
+
+  w.Key("throughput").BeginObject();
+  double wall_s = Ms(batch_wall_ns) / 1e3;
+  w.Key("pairs_per_sec")
+      .Double(wall_s > 0 ? static_cast<double>(V(pairs_total)) / wall_s : 0.0);
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace gqc

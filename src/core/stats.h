@@ -1,0 +1,103 @@
+#ifndef GQC_CORE_STATS_H_
+#define GQC_CORE_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gqc {
+
+/// Aggregated observability for the containment pipeline: per-phase wall
+/// time, cache effectiveness, countermodel sizes, and verdict/method tallies.
+///
+/// One PipelineStats instance may be shared by many concurrent workers (the
+/// batch engine threads one through every pair); every field is an atomic
+/// counter updated with relaxed read-modify-writes, so recording is wait-free
+/// and snapshots are approximate only while work is still in flight.
+///
+/// Exported as JSON by ToJson() — the schema is documented in DESIGN.md §
+/// "Batch engine".
+struct PipelineStats {
+  // --- phase wall times (nanoseconds, summed across workers) ---
+  std::atomic<uint64_t> parse_ns{0};        // schema/query text -> AST
+  std::atomic<uint64_t> normalize_ns{0};    // TBox -> NormalTBox
+  std::atomic<uint64_t> screen_ns{0};       // cheap exact screens (step 1)
+  std::atomic<uint64_t> direct_ns{0};       // direct countermodel search (step 2)
+  std::atomic<uint64_t> entailment_ns{0};   // Tp(T, Q̂) closure computation
+  std::atomic<uint64_t> reduction_ns{0};    // §3 reduction H0 search (step 3)
+  std::atomic<uint64_t> batch_wall_ns{0};   // end-to-end batch wall time
+
+  // --- verdict tallies (one per decided pair) ---
+  std::atomic<uint64_t> pairs_total{0};
+  std::atomic<uint64_t> pairs_contained{0};
+  std::atomic<uint64_t> pairs_not_contained{0};
+  std::atomic<uint64_t> pairs_unknown{0};
+  std::atomic<uint64_t> pairs_error{0};  // parse/setup failures
+
+  // --- method tallies (which decision path answered) ---
+  std::atomic<uint64_t> method_classical{0};
+  std::atomic<uint64_t> method_direct{0};
+  std::atomic<uint64_t> method_sparse{0};
+  std::atomic<uint64_t> method_reduction{0};
+  std::atomic<uint64_t> method_trivial{0};
+
+  // --- work volume ---
+  std::atomic<uint64_t> disjuncts_total{0};
+
+  // --- cache effectiveness ---
+  std::atomic<uint64_t> normal_tbox_hits{0};
+  std::atomic<uint64_t> normal_tbox_misses{0};
+  std::atomic<uint64_t> regex_hits{0};
+  std::atomic<uint64_t> regex_misses{0};
+  std::atomic<uint64_t> closure_hits{0};
+  std::atomic<uint64_t> closure_misses{0};
+  std::atomic<uint64_t> schema_ctx_hits{0};
+  std::atomic<uint64_t> schema_ctx_misses{0};
+  std::atomic<uint64_t> query_ctx_hits{0};
+  std::atomic<uint64_t> query_ctx_misses{0};
+
+  // --- countermodel sizes (nodes, over refuted pairs) ---
+  std::atomic<uint64_t> countermodel_count{0};
+  std::atomic<uint64_t> countermodel_nodes_total{0};
+  std::atomic<uint64_t> countermodel_nodes_max{0};
+
+  /// Records a countermodel of `nodes` nodes (updates count/total/max).
+  void RecordCountermodel(uint64_t nodes);
+
+  /// Zeroes every counter.
+  void Reset();
+
+  /// Snapshot as a JSON object (single line). Derived figures included:
+  /// per-phase milliseconds, cache hit rates, pairs/sec over batch_wall_ns.
+  std::string ToJson() const;
+};
+
+/// RAII phase timer: adds the elapsed wall time to `*sink` on destruction.
+/// A null sink makes it a no-op, so instrumented code pays nothing when no
+/// stats are attached.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::atomic<uint64_t>* sink)
+      : sink_(sink),
+        start_(sink ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+  ~PhaseTimer() {
+    if (sink_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::atomic<uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_STATS_H_

@@ -1,0 +1,277 @@
+#include "src/engine/engine.h"
+
+#include <cctype>
+#include <chrono>
+#include <utility>
+
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/query/parser.h"
+#include "src/schema/schema_parser.h"
+#include "src/util/fingerprint.h"
+#include "src/util/json.h"
+
+namespace gqc {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {}
+
+std::shared_ptr<const Engine::SchemaContext> Engine::GetSchemaContext(
+    const std::string& schema_text) {
+  {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    auto it = schema_ctxs_.find(schema_text);
+    if (it != schema_ctxs_.end()) {
+      stats_.schema_ctx_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  stats_.schema_ctx_misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Built outside the lock: on a racing double-miss both threads build the
+  // identical context (it is a pure function of the text) and the first
+  // insert wins, so determinism is unaffected.
+  auto ctx = std::make_shared<SchemaContext>();
+  Result<TBox> parsed = [&] {
+    PhaseTimer timer(&stats_.parse_ns);
+    std::string_view trimmed = Trim(schema_text);
+    if (trimmed.empty() || trimmed == "-") return Result<TBox>(TBox{});
+    // Same auto-detection as the CLI: concept syntax has "<=" inclusions,
+    // the PG-Schema surface syntax does not.
+    if (schema_text.find("<=") != std::string::npos) {
+      return ParseTBox(schema_text, &ctx->vocab);
+    }
+    return ParseSchema(schema_text, &ctx->vocab);
+  }();
+  if (!parsed.ok()) {
+    ctx->error = "schema: " + parsed.error();
+  } else {
+    PhaseTimer timer(&stats_.normalize_ns);
+    ctx->tbox = Normalize(parsed.value(), &ctx->vocab);
+  }
+
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  auto [it, inserted] = schema_ctxs_.emplace(schema_text, std::move(ctx));
+  return it->second;
+}
+
+std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
+    const std::string& schema_text, const std::string& q_text) {
+  std::string key = JoinKeyParts(schema_text, q_text);
+  {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    auto it = query_ctxs_.find(key);
+    if (it != query_ctxs_.end()) {
+      stats_.query_ctx_hits.fetch_add(1, std::memory_order_relaxed);
+      if (it->second->closure != nullptr) {
+        stats_.closure_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+  stats_.query_ctx_misses.fetch_add(1, std::memory_order_relaxed);
+
+  auto schema_ctx = GetSchemaContext(schema_text);
+  auto ctx = std::make_shared<QueryContext>();
+  ctx->schema = schema_ctx;
+  if (!schema_ctx->error.empty()) {
+    ctx->error = schema_ctx->error;
+  } else {
+    // Layer Q's symbols on a private copy of the schema vocabulary; every
+    // pair against this (T, Q) then copies the result, so symbol ids are a
+    // deterministic function of (schema text, Q text) alone.
+    ctx->vocab = schema_ctx->vocab;
+    Result<Ucrpq> q = [&] {
+      PhaseTimer timer(&stats_.parse_ns);
+      return ParseUcrpq(q_text, &ctx->vocab, &regex_cache_, &stats_);
+    }();
+    if (!q.ok()) {
+      ctx->error = "q: " + q.error();
+    } else {
+      ctx->q = std::move(q).value();
+      const NormalTBox& tbox = schema_ctx->tbox;
+      bool alcq_case = !tbox.UsesInverse();
+      bool alci_case = !tbox.UsesCounting() && ctx->q.IsOneWay();
+      ctx->reduction_applicable = !options_.containment.disable_reduction &&
+                                  tbox.HasParticipationConstraints() &&
+                                  ctx->q.IsSimple() && ctx->q.IsConnected() &&
+                                  (alcq_case || alci_case);
+      if (ctx->reduction_applicable) {
+        ReductionOptions ropts;
+        ropts.countermodel = options_.containment.countermodel;
+        ropts.factorize = options_.containment.factorize;
+        ropts.stats = &stats_;
+        stats_.closure_misses.fetch_add(1, std::memory_order_relaxed);
+        auto closure = ComputeTpClosure(ctx->q, tbox, alcq_case, &ctx->vocab, ropts);
+        if (closure.ok()) {
+          ctx->closure =
+              std::make_shared<const TpClosure>(std::move(closure).value());
+        }
+        // On failure the closure stays null; pairs fall back to the checker's
+        // sequential path, which reproduces the same failure note.
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  auto [it, inserted] = query_ctxs_.emplace(std::move(key), std::move(ctx));
+  return it->second;
+}
+
+BatchOutcome Engine::DecidePair(const BatchItem& item) {
+  auto start = std::chrono::steady_clock::now();
+  BatchOutcome out;
+  out.id = item.id;
+
+  std::shared_ptr<const QueryContext> qctx =
+      GetQueryContext(item.schema_text, item.q_text);
+  if (!qctx->error.empty()) {
+    out.error = qctx->error;
+    stats_.pairs_error.fetch_add(1, std::memory_order_relaxed);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  // Per-pair vocabulary: a copy of the (schema, Q) context layer; P's
+  // symbols intern into the copy, never into shared state.
+  Vocabulary vocab = qctx->vocab;
+  Result<Ucrpq> p = [&] {
+    PhaseTimer timer(&stats_.parse_ns);
+    return ParseUcrpq(item.p_text, &vocab, &regex_cache_, &stats_);
+  }();
+  if (!p.ok()) {
+    out.error = "p: " + p.error();
+    stats_.pairs_error.fetch_add(1, std::memory_order_relaxed);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  ContainmentOptions copts = options_.containment;
+  copts.stats = &stats_;
+  ContainmentChecker checker(&vocab, copts);
+  const NormalTBox& tbox = qctx->schema->tbox;
+  const TpClosure* closure = qctx->closure.get();
+  const std::vector<Crpq>& disjuncts = p.value().Disjuncts();
+
+  std::vector<ContainmentResult> per_disjunct;
+  // Disjunct-level parallelism requires every DecideDisjunct call to be
+  // read-only on the shared pair vocabulary, which holds exactly when the
+  // closure is precomputed (or the reduction cannot trigger for this Q).
+  bool parallel = options_.parallel_disjuncts && disjuncts.size() > 1 &&
+                  pool_.concurrency() > 1 &&
+                  (closure != nullptr || !qctx->reduction_applicable);
+  if (parallel) {
+    per_disjunct.resize(disjuncts.size());
+    pool_.ParallelFor(disjuncts.size(), [&](std::size_t i) {
+      per_disjunct[i] = checker.DecideDisjunct(disjuncts[i], qctx->q, tbox, closure);
+    });
+  } else {
+    per_disjunct.reserve(disjuncts.size());
+    for (const Crpq& d : disjuncts) {
+      per_disjunct.push_back(checker.DecideDisjunct(d, qctx->q, tbox, closure));
+      if (per_disjunct.back().verdict == Verdict::kNotContained) break;
+    }
+  }
+  ContainmentResult combined = ContainmentChecker::Combine(std::move(per_disjunct));
+  TallyPair(&stats_, combined);
+
+  out.ok = true;
+  out.verdict = combined.verdict;
+  out.method = combined.method;
+  out.note = combined.note;
+  if (combined.countermodel.has_value()) {
+    out.countermodel_nodes = combined.countermodel->NodeCount();
+  } else if (combined.central_part.has_value()) {
+    out.countermodel_nodes = combined.central_part->NodeCount();
+  }
+  out.wall_ms = MsSince(start);
+  return out;
+}
+
+BatchOutcome Engine::DecideOne(const BatchItem& item) { return DecidePair(item); }
+
+std::vector<BatchOutcome> Engine::DecideBatch(const std::vector<BatchItem>& items) {
+  PhaseTimer timer(&stats_.batch_wall_ns);
+  std::vector<BatchOutcome> outcomes(items.size());
+  pool_.ParallelFor(items.size(),
+                    [&](std::size_t i) { outcomes[i] = DecidePair(items[i]); });
+  return outcomes;
+}
+
+void Engine::ResetState() {
+  {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    schema_ctxs_.clear();
+    query_ctxs_.clear();
+  }
+  regex_cache_.Clear();
+  stats_.Reset();
+}
+
+Result<BatchItem> Engine::ParseBatchItemJson(std::string_view json_line) {
+  auto fields = ParseFlatJsonObject(json_line);
+  if (!fields.ok()) return Result<BatchItem>::Error("batch item: " + fields.error());
+  BatchItem item;
+  bool have_p = false;
+  bool have_q = false;
+  for (const JsonField& f : fields.value()) {
+    if (f.key == "id") {
+      item.id = f.value;
+    } else if (f.key == "schema") {
+      item.schema_text = f.value;
+    } else if (f.key == "p") {
+      item.p_text = f.value;
+      have_p = true;
+    } else if (f.key == "q") {
+      item.q_text = f.value;
+      have_q = true;
+    } else {
+      return Result<BatchItem>::Error("batch item: unknown field \"" + f.key + "\"");
+    }
+  }
+  if (!have_p || !have_q) {
+    return Result<BatchItem>::Error("batch item: fields \"p\" and \"q\" are required");
+  }
+  return item;
+}
+
+std::string Engine::OutcomeToJson(const BatchOutcome& outcome) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").String(outcome.id);
+  w.Key("ok").Bool(outcome.ok);
+  if (!outcome.ok) {
+    w.Key("error").String(outcome.error);
+  } else {
+    w.Key("verdict").String(VerdictName(outcome.verdict));
+    w.Key("method").String(ContainmentMethodName(outcome.method));
+    if (!outcome.note.empty()) w.Key("note").String(outcome.note);
+    if (outcome.countermodel_nodes > 0) {
+      w.Key("countermodel_nodes").UInt(outcome.countermodel_nodes);
+    }
+  }
+  w.Key("wall_ms").Double(outcome.wall_ms);
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace gqc

@@ -1,0 +1,145 @@
+#ifndef GQC_ENGINE_ENGINE_H_
+#define GQC_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/automata/compile_cache.h"
+#include "src/core/containment.h"
+#include "src/util/thread_pool.h"
+
+namespace gqc {
+
+/// Options for the batch containment engine.
+struct EngineOptions {
+  /// Total threads deciding pairs (callers included); 0 means
+  /// hardware_concurrency, 1 means fully sequential (no pool overhead).
+  std::size_t threads = 1;
+  /// Per-pair pipeline options. The `stats` field is ignored — the engine
+  /// threads its own PipelineStats through every phase.
+  ContainmentOptions containment;
+  /// Also parallelize across the disjuncts of one P (when its Tp closure is
+  /// precomputed, so disjunct decisions are read-only on the pair state).
+  bool parallel_disjuncts = true;
+};
+
+/// One containment question, as text. `schema_text` uses the concept syntax
+/// (lines with "<=") or the PG-Schema surface syntax, auto-detected; empty
+/// means the empty schema. Queries use the UC2RPQ syntax (src/query/parser.h).
+struct BatchItem {
+  std::string id;
+  std::string schema_text;
+  std::string p_text;
+  std::string q_text;
+};
+
+/// The engine's answer for one item. `ok` is false on parse/setup failures
+/// (`error` says why); otherwise verdict/method/note mirror ContainmentResult,
+/// and `countermodel_nodes` is the size of the returned countermodel (or
+/// central part), 0 when there is none.
+struct BatchOutcome {
+  std::string id;
+  bool ok = false;
+  std::string error;
+  Verdict verdict = Verdict::kUnknown;
+  ContainmentMethod method = ContainmentMethod::kDirectSearch;
+  std::string note;
+  uint64_t countermodel_nodes = 0;
+  double wall_ms = 0.0;
+};
+
+/// Batch containment service: decides many (P, Q) pairs against their
+/// schemas, in parallel, with shared memoized state and pipeline metrics.
+///
+/// Parallelism: pair-level across the batch on a work-stealing pool, plus
+/// disjunct-level inside a pair (a nested ParallelFor; the waiting thread
+/// helps run other tasks, so nesting cannot deadlock).
+///
+/// Shared immutable state, all keyed by exact input text (or exact canonical
+/// serializations below the text level):
+///   - schema contexts: schema text -> (vocabulary, normalized TBox)
+///   - query contexts: (schema text, Q text) -> (vocabulary, parsed Q, and —
+///     when the §3 reduction applies to (T, Q) — the Tp(T, Q̂) closure)
+///   - a regex -> semiautomaton compile cache shared across all parses
+///
+/// Determinism: each pair's decision is a pure function of its three texts.
+/// Vocabularies are layered — schema symbols first, then Q's, then the
+/// closure's fresh concepts, then P's, each layer built once per distinct
+/// text and copied, never mutated concurrently — so verdicts are identical
+/// for any thread count and any interleaving (1-thread and N-thread runs of
+/// the same batch agree bit for bit).
+///
+/// The engine's PipelineStats aggregates per-phase wall times, cache hit
+/// rates, verdict/method tallies, and countermodel sizes across the batch;
+/// StatsJson() exports the snapshot (schema documented in DESIGN.md).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// Decides one item (callable concurrently with itself).
+  BatchOutcome DecideOne(const BatchItem& item);
+
+  /// Decides a batch; outcomes are returned in input order. Adds the
+  /// end-to-end wall time to stats().batch_wall_ns.
+  std::vector<BatchOutcome> DecideBatch(const std::vector<BatchItem>& items);
+
+  /// Total threads the engine decides pairs with.
+  std::size_t threads() const { return pool_.concurrency(); }
+
+  PipelineStats& stats() { return stats_; }
+  const PipelineStats& stats() const { return stats_; }
+  std::string StatsJson() const { return stats_.ToJson(); }
+
+  /// Drops memoized contexts and zeroes the stats (for measurement runs).
+  void ResetState();
+
+  /// Parses one JSON-lines batch item: a flat object with string fields
+  /// "id", "schema", "p", "q" ("id" and "schema" optional).
+  static Result<BatchItem> ParseBatchItemJson(std::string_view json_line);
+
+  /// Serializes an outcome as one JSON line (no trailing newline).
+  static std::string OutcomeToJson(const BatchOutcome& outcome);
+
+ private:
+  /// Schema text -> parsed + normalized schema in its own vocabulary.
+  struct SchemaContext {
+    Vocabulary vocab;
+    NormalTBox tbox;
+    std::string error;  // non-empty: parse failed, other fields invalid
+  };
+
+  /// (schema text, Q text) -> Q parsed in a copy of the schema vocabulary,
+  /// plus the precomputed Tp closure when the reduction applies to (T, Q).
+  struct QueryContext {
+    std::shared_ptr<const SchemaContext> schema;
+    Vocabulary vocab;
+    Ucrpq q;
+    /// Reduction would run for some disjunct of some P (participation
+    /// constraints present, Q in a supported fragment).
+    bool reduction_applicable = false;
+    std::shared_ptr<const TpClosure> closure;  // null if N/A or failed
+    std::string error;  // non-empty: parse failed, other fields invalid
+  };
+
+  std::shared_ptr<const SchemaContext> GetSchemaContext(const std::string& schema_text);
+  std::shared_ptr<const QueryContext> GetQueryContext(const std::string& schema_text,
+                                                      const std::string& q_text);
+  BatchOutcome DecidePair(const BatchItem& item);
+
+  EngineOptions options_;
+  PipelineStats stats_;
+  ThreadPool pool_;
+  RegexCompileCache regex_cache_;
+
+  std::mutex ctx_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SchemaContext>> schema_ctxs_;
+  std::unordered_map<std::string, std::shared_ptr<const QueryContext>> query_ctxs_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_ENGINE_ENGINE_H_

@@ -119,9 +119,11 @@ std::string ConcreteFrame::LocalSignature() const {
   return out;
 }
 
-ConcreteFrame FrameCoil(const ConcreteFrame& frame, std::size_t n) {
+Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n) {
   Graph shape = frame.ShapeGraph();
-  CoilResult coil = Coil(shape, n);
+  Result<CoilResult> coil_or = Coil(shape, n);
+  if (!coil_or.ok()) return Result<ConcreteFrame>::Error(coil_or.error());
+  const CoilResult& coil = coil_or.value();
 
   ConcreteFrame out;
   // Each coil node becomes a fresh copy of the base component.

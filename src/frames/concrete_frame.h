@@ -7,6 +7,7 @@
 
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/result.h"
 
 namespace gqc {
 
@@ -78,8 +79,9 @@ class ConcreteFrame {
 
 /// The frame coil F_n (Lemma 4.3): Coil(F, n) with every coil node holding a
 /// fresh copy of its component, locally isomorphic to F. Window `n` should
-/// exceed (span bound) * (largest disjunct size) per Lemma 4.3.
-ConcreteFrame FrameCoil(const ConcreteFrame& frame, std::size_t n);
+/// exceed (span bound) * (largest disjunct size) per Lemma 4.3. Errors when
+/// n = 0 (see Coil).
+Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n);
 
 }  // namespace gqc
 

@@ -26,8 +26,10 @@ struct PathKeyHash {
 
 }  // namespace
 
-CoilResult Coil(const Graph& g, std::size_t n) {
-  assert(n > 0);
+Result<CoilResult> Coil(const Graph& g, std::size_t n) {
+  if (n == 0) {
+    return Result<CoilResult>::Error("coil: window size n must be positive");
+  }
   CoilResult result;
   result.n = n;
 

@@ -6,6 +6,7 @@
 
 #include "src/graph/graph.h"
 #include "src/graph/unravel.h"
+#include "src/util/result.h"
 
 namespace gqc {
 
@@ -26,9 +27,10 @@ struct CoilResult {
   std::size_t n = 0;
 };
 
-/// Builds Coil(G, n). Requires n > 0. The number of coil nodes is
-/// |Paths(G, n)| * (n + 1), which grows quickly with n; callers control n.
-CoilResult Coil(const Graph& g, std::size_t n);
+/// Builds Coil(G, n). Errors when n = 0 (the construction needs a positive
+/// window). The number of coil nodes is |Paths(G, n)| * (n + 1), which grows
+/// quickly with n; callers control n.
+Result<CoilResult> Coil(const Graph& g, std::size_t n);
 
 }  // namespace gqc
 

@@ -11,7 +11,9 @@ namespace {
 
 class QueryParser {
  public:
-  QueryParser(std::string_view text, Vocabulary* vocab) : text_(text), vocab_(vocab) {}
+  QueryParser(std::string_view text, Vocabulary* vocab,
+              RegexCompileCache* regex_cache, PipelineStats* stats)
+      : text_(text), vocab_(vocab), regex_cache_(regex_cache), stats_(stats) {}
 
   Result<Ucrpq> Parse() {
     auto automaton = std::make_shared<Semiautomaton>();
@@ -204,7 +206,9 @@ class QueryParser {
 
   void AddRegexAtom(Crpq* q, Semiautomaton* automaton, const RegexPtr& regex,
                     uint32_t y, uint32_t z) {
-    CompiledRef ref = CompileRegexInto(regex, automaton);
+    CompiledRef ref = regex_cache_ != nullptr
+                          ? regex_cache_->CompileInto(regex, automaton, stats_)
+                          : CompileRegexInto(regex, automaton);
     BinaryAtom atom;
     atom.y = y;
     atom.z = z;
@@ -218,17 +222,21 @@ class QueryParser {
 
   std::string_view text_;
   Vocabulary* vocab_;
+  RegexCompileCache* regex_cache_;
+  PipelineStats* stats_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab) {
-  return QueryParser(text, vocab).Parse();
+Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab,
+                         RegexCompileCache* regex_cache, PipelineStats* stats) {
+  return QueryParser(text, vocab, regex_cache, stats).Parse();
 }
 
-Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab) {
-  auto u = ParseUcrpq(text, vocab);
+Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab,
+                       RegexCompileCache* regex_cache, PipelineStats* stats) {
+  auto u = ParseUcrpq(text, vocab, regex_cache, stats);
   if (!u.ok()) return Result<Crpq>::Error(u.error());
   if (u.value().size() != 1) {
     return Result<Crpq>::Error("query: expected a single C2RPQ, got a union");

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "src/automata/compile_cache.h"
 #include "src/query/ucrpq.h"
 #include "src/util/result.h"
 
@@ -22,10 +23,19 @@ namespace gqc {
 ///             (partof*)(z, y)
 ///
 /// All disjuncts share one semiautomaton, as in the paper's representation.
-Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab);
+///
+/// `regex_cache`, when non-null, memoizes regex -> semiautomaton compilation
+/// across parses (workloads reuse a small set of path expressions); `stats`
+/// receives its hit/miss counters. Parsed queries are identical with or
+/// without a cache.
+Result<Ucrpq> ParseUcrpq(std::string_view text, Vocabulary* vocab,
+                         RegexCompileCache* regex_cache = nullptr,
+                         PipelineStats* stats = nullptr);
 
 /// Convenience: parses a query expected to be a single C2RPQ.
-Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab);
+Result<Crpq> ParseCrpq(std::string_view text, Vocabulary* vocab,
+                       RegexCompileCache* regex_cache = nullptr,
+                       PipelineStats* stats = nullptr);
 
 }  // namespace gqc
 

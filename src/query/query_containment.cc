@@ -1,4 +1,4 @@
-#include "src/query/containment.h"
+#include "src/query/query_containment.h"
 
 #include "src/query/eval.h"
 
@@ -16,9 +16,9 @@ const char* VerdictName(Verdict v) {
   return "?";
 }
 
-ClassicalContainmentResult ClassicalContainment(
-    const Ucrpq& p, const Ucrpq& q, const ClassicalContainmentOptions& options) {
-  ClassicalContainmentResult result;
+QueryContainmentResult QueryContainment(
+    const Ucrpq& p, const Ucrpq& q, const QueryContainmentOptions& options) {
+  QueryContainmentResult result;
   bool exhaustive = true;
   for (const Crpq& disjunct : p.Disjuncts()) {
     ExpansionSet set = CanonicalExpansions(disjunct, options.expansion);

@@ -1,0 +1,65 @@
+#include "src/util/fingerprint.h"
+
+namespace gqc {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) { return Fnv1a64Extend(kFnvOffset, bytes); }
+
+uint64_t Fnv1a64Extend(uint64_t seed, std::string_view bytes) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64ExtendInt(uint64_t seed, uint64_t value) {
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+namespace {
+void AppendPart(std::string* out, std::string_view part) {
+  out->append(std::to_string(part.size()));
+  out->push_back(':');
+  out->append(part);
+}
+}  // namespace
+
+std::string JoinKeyParts(std::string_view a, std::string_view b) {
+  std::string out;
+  out.reserve(a.size() + b.size() + 16);
+  AppendPart(&out, a);
+  AppendPart(&out, b);
+  return out;
+}
+
+std::string JoinKeyParts(std::string_view a, std::string_view b, std::string_view c) {
+  std::string out;
+  out.reserve(a.size() + b.size() + c.size() + 24);
+  AppendPart(&out, a);
+  AppendPart(&out, b);
+  AppendPart(&out, c);
+  return out;
+}
+
+std::string FingerprintHex(uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+}  // namespace gqc

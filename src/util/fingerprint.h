@@ -1,0 +1,35 @@
+#ifndef GQC_UTIL_FINGERPRINT_H_
+#define GQC_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gqc {
+
+/// Stable 64-bit content fingerprints for cache keys and stats reporting.
+///
+/// The shared caches (normalized TBoxes, Tp closures, compiled regexes) key
+/// on *canonical serializations* so equality is exact; the fingerprint is the
+/// compact digest reported alongside (JSON stats, logs). FNV-1a is stable
+/// across platforms and runs — unlike std::hash, which may be seeded.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Incrementally extends a fingerprint with more bytes (order-sensitive).
+uint64_t Fnv1a64Extend(uint64_t seed, std::string_view bytes);
+
+/// Mixes a raw integer into a fingerprint (order-sensitive).
+uint64_t Fnv1a64ExtendInt(uint64_t seed, uint64_t value);
+
+/// Joins two serialized cache-key parts unambiguously (length-prefixed), so
+/// ("ab", "c") and ("a", "bc") never collide as composite keys.
+std::string JoinKeyParts(std::string_view a, std::string_view b);
+std::string JoinKeyParts(std::string_view a, std::string_view b, std::string_view c);
+
+/// Renders a fingerprint as fixed-width lowercase hex (for stable report
+/// output).
+std::string FingerprintHex(uint64_t fp);
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_FINGERPRINT_H_

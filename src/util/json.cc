@@ -1,0 +1,277 @@
+#include "src/util/json.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace gqc {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_.push_back(',');
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(has_element_.size() > 1);
+  has_element_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(has_element_.size() > 1);
+  has_element_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Comma();
+  AppendJsonString(&out_, k);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  Comma();
+  AppendJsonString(&out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  Comma();
+  out_.append(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  Comma();
+  out_.append(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  Comma();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  Comma();
+  out_.append(v ? "true" : "false");
+  return *this;
+}
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view text) : text_(text) {}
+
+  Result<std::vector<JsonField>> Parse() {
+    using R = Result<std::vector<JsonField>>;
+    SkipSpace();
+    if (!Consume('{')) return R::Error("json: expected '{'");
+    std::vector<JsonField> fields;
+    SkipSpace();
+    if (Consume('}')) {
+      SkipSpace();
+      return TrailOk() ? R(std::move(fields)) : R::Error("json: trailing data");
+    }
+    while (true) {
+      SkipSpace();
+      JsonField f;
+      auto key = ParseString();
+      if (!key.ok()) return R::Error(key.error());
+      f.key = key.value();
+      SkipSpace();
+      if (!Consume(':')) return R::Error("json: expected ':'");
+      SkipSpace();
+      if (Peek() == '"') {
+        auto v = ParseString();
+        if (!v.ok()) return R::Error(v.error());
+        f.value = v.value();
+        f.was_string = true;
+      } else if (Peek() == '{' || Peek() == '[') {
+        return R::Error("json: nested values are not supported here");
+      } else {
+        auto v = ParseScalarToken();
+        if (!v.ok()) return R::Error(v.error());
+        f.value = v.value();
+      }
+      fields.push_back(std::move(f));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return R::Error("json: expected ',' or '}'");
+    }
+    SkipSpace();
+    return TrailOk() ? R(std::move(fields)) : R::Error("json: trailing data");
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool TrailOk() const { return pos_ == text_.size(); }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    using R = Result<uint32_t>;
+    if (pos_ + 4 > text_.size()) return R::Error("json: truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return R::Error("json: bad \\u escape");
+    }
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    using R = Result<std::string>;
+    if (!Consume('"')) return R::Error("json: expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return R::Error("json: unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return R::Error("json: dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          auto cp = ParseHex4();
+          if (!cp.ok()) return R::Error(cp.error());
+          uint32_t code = cp.value();
+          // Surrogate pair?
+          if (code >= 0xd800 && code <= 0xdbff && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            auto lo = ParseHex4();
+            if (!lo.ok()) return R::Error(lo.error());
+            if (lo.value() >= 0xdc00 && lo.value() <= 0xdfff) {
+              code = 0x10000 + ((code - 0xd800) << 10) + (lo.value() - 0xdc00);
+            } else {
+              return R::Error("json: bad surrogate pair");
+            }
+          }
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          return R::Error("json: unknown escape");
+      }
+    }
+  }
+
+  Result<std::string> ParseScalarToken() {
+    using R = Result<std::string>;
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return R::Error("json: expected a value");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<JsonField>> ParseFlatJsonObject(std::string_view text) {
+  return FlatParser(text).Parse();
+}
+
+}  // namespace gqc

@@ -1,0 +1,64 @@
+#ifndef GQC_UTIL_JSON_H_
+#define GQC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Minimal JSON emission + flat-object parsing for the batch engine's
+/// JSON-lines protocol and the stats report. No external dependencies; the
+/// writer produces deterministic field order (insertion order).
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Builder for one JSON value tree; keeps nesting explicit so the emitted
+/// text is always well-formed.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object key (must be followed by exactly one value).
+  JsonWriter& Key(std::string_view k);
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+  std::string out_;
+  /// Per nesting level: whether a first element was already written.
+  std::vector<bool> has_element_{false};
+  bool after_key_ = false;
+};
+
+/// One parsed field of a flat JSON object; values of non-string scalar types
+/// (numbers, booleans, null) are returned as their literal text.
+struct JsonField {
+  std::string key;
+  std::string value;
+  bool was_string = false;
+};
+
+/// Parses a single flat JSON object — string/number/bool/null fields only,
+/// no nesting — which is all the batch JSONL input format needs. Full string
+/// escape handling (\", \\, \/, \b, \f, \n, \r, \t, \uXXXX with surrogate
+/// pairs encoded as UTF-8).
+Result<std::vector<JsonField>> ParseFlatJsonObject(std::string_view text);
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_JSON_H_

@@ -1,0 +1,149 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+
+namespace gqc {
+
+namespace {
+/// Index of the current thread's own deque, or SIZE_MAX for non-pool threads.
+/// thread_local so nested ParallelFor calls from a worker keep pushing to the
+/// worker's deque.
+thread_local std::size_t tls_worker_index = SIZE_MAX;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t concurrency) {
+  if (concurrency == 0) concurrency = std::thread::hardware_concurrency();
+  if (concurrency == 0) concurrency = 1;
+  std::size_t worker_count = concurrency - 1;
+  queue_mus_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    queue_mus_.push_back(std::make_unique<std::mutex>());
+  }
+  queues_.resize(worker_count);
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  std::size_t target = tls_worker_index;
+  if (target >= queues_.size()) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    target = rr_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(*queue_mus_[target]);
+    queues_[target].push_back(std::move(fn));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopFrom(std::size_t queue, bool lifo, std::function<void()>* out) {
+  std::lock_guard<std::mutex> lock(*queue_mus_[queue]);
+  if (queues_[queue].empty()) return false;
+  if (lifo) {
+    *out = std::move(queues_[queue].back());
+    queues_[queue].pop_back();
+  } else {
+    *out = std::move(queues_[queue].front());
+    queues_[queue].pop_front();
+  }
+  return true;
+}
+
+bool ThreadPool::RunOneTask(std::size_t home) {
+  if (queues_.empty()) return false;
+  std::function<void()> task;
+  std::size_t n = queues_.size();
+  std::size_t start = home < n ? home : 0;
+  // Own deque LIFO first (recent = cache-hot), then steal FIFO from siblings.
+  if (home < n && PopFrom(home, /*lifo=*/true, &task)) {
+    task();
+    return true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t victim = (start + i) % n;
+    if (victim == home) continue;
+    if (PopFrom(victim, /*lifo=*/false, &task)) {
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  tls_worker_index = self;
+  while (true) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    // Re-check under the wake lock: a Submit between our scan and here would
+    // have notified before we started waiting only if we hold the lock.
+    bool any = false;
+    for (std::size_t i = 0; i < queues_.size() && !any; ++i) {
+      std::lock_guard<std::mutex> qlock(*queue_mus_[i]);
+      any = !queues_[i].empty();
+    }
+    if (any) continue;
+    wake_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> exited{0};
+  };
+  auto state = std::make_shared<State>();
+  auto runner = [state, n, &fn] {
+    std::size_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(i);
+      state->done.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state, runner] {
+      runner();
+      state->exited.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  runner();  // the caller participates
+
+  // Wait for all iterations AND all helper tasks to finish (a helper may
+  // still hold a reference to `fn` until it exits). While waiting, help run
+  // other pool tasks so nested ParallelFor calls cannot deadlock.
+  std::size_t home = tls_worker_index;
+  while (state->done.load(std::memory_order_acquire) < n ||
+         state->exited.load(std::memory_order_acquire) < helpers) {
+    if (!RunOneTask(home)) std::this_thread::yield();
+  }
+}
+
+}  // namespace gqc

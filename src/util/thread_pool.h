@@ -1,0 +1,73 @@
+#ifndef GQC_UTIL_THREAD_POOL_H_
+#define GQC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gqc {
+
+/// A work-stealing thread pool for the batch containment engine.
+///
+/// Each worker owns a deque: it pushes and pops its own work LIFO (hot
+/// caches) and steals FIFO from siblings when idle (oldest tasks first, the
+/// classic stealing discipline). Tasks submitted from outside the pool are
+/// distributed round-robin.
+///
+/// A pool constructed with `concurrency` threads runs `concurrency - 1`
+/// workers: the thread calling ParallelFor always participates, so total
+/// parallelism equals `concurrency`. `concurrency <= 1` means no workers —
+/// ParallelFor degrades to an inline loop, which keeps single-threaded runs
+/// free of any synchronization and makes 1-thread vs N-thread comparisons
+/// honest.
+///
+/// ParallelFor may be nested (a pair-level loop spawning a disjunct-level
+/// loop): while waiting, the caller executes other pool tasks instead of
+/// blocking, so workers never deadlock on their own subtasks.
+class ThreadPool {
+ public:
+  /// `concurrency` = total threads that can run tasks (callers included).
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller).
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete. The calling thread
+  /// participates; iterations are claimed from a shared atomic counter, so
+  /// scheduling is dynamic but the set of executed iterations is exact.
+  /// `fn` must not throw.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueues one fire-and-forget task (used by ParallelFor internally;
+  /// exposed for irregular work). `fn` must not throw.
+  void Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop(std::size_t self);
+  /// Runs one queued task if any is available; `home` is the deque tried
+  /// first (own deque for workers, round-robin start for callers).
+  bool RunOneTask(std::size_t home);
+  bool PopFrom(std::size_t queue, bool lifo, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<std::mutex>> queue_mus_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  std::size_t rr_ = 0;  // round-robin cursor for external submissions
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_THREAD_POOL_H_

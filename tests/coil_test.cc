@@ -50,7 +50,7 @@ class CoilPropertyTest
 TEST_P(CoilPropertyTest, Property1SurjectiveHomomorphism) {
   auto [shape, n] = GetParam();
   Graph g = MakeShape(shape, 4, &vocab_);
-  CoilResult coil = Coil(g, n);
+  CoilResult coil = Coil(g, n).value();
 
   // h_G is a homomorphism ...
   EXPECT_TRUE(IsHomomorphism(coil.graph, g, coil.base_node));
@@ -66,7 +66,7 @@ TEST_P(CoilPropertyTest, Property2LocalUnravelling) {
   auto [shape, n] = GetParam();
   if (n < 2) GTEST_SKIP() << "needs n >= 2 for a nontrivial ball";
   Graph g = MakeShape(shape, 4, &vocab_);
-  CoilResult coil = Coil(g, n);
+  CoilResult coil = Coil(g, n).value();
 
   // For a sample of coil nodes: the subgraph induced by nodes reachable
   // within n-1 steps is isomorphic to Unravel(G, n-1, h(u)). We check the
@@ -91,7 +91,7 @@ TEST_P(CoilPropertyTest, Property2LocalUnravelling) {
 TEST_P(CoilPropertyTest, Property3LevelsBoundSubgraphs) {
   auto [shape, n] = GetParam();
   Graph g = MakeShape(shape, 4, &vocab_);
-  CoilResult coil = Coil(g, n);
+  CoilResult coil = Coil(g, n).value();
 
   // A connected subgraph visiting k <= n levels maps into an unravelling.
   // Sample: directed paths of length < n in the coil (they visit at most n
@@ -111,7 +111,7 @@ TEST_P(CoilPropertyTest, Property3LevelsBoundSubgraphs) {
 TEST_P(CoilPropertyTest, LevelsAdvanceCyclically) {
   auto [shape, n] = GetParam();
   Graph g = MakeShape(shape, 4, &vocab_);
-  CoilResult coil = Coil(g, n);
+  CoilResult coil = Coil(g, n).value();
   coil.graph.ForEachEdge([&](const Edge& e) {
     EXPECT_EQ((coil.level[e.from] + 1) % (n + 1), coil.level[e.to]);
   });
@@ -160,7 +160,7 @@ TEST(UnravelTest, CoilSizeFormula) {
   uint32_t r = vocab.RoleId("r");
   Graph cycle = CycleGraph(3, r);
   for (std::size_t n = 1; n <= 4; ++n) {
-    CoilResult coil = Coil(cycle, n);
+    CoilResult coil = Coil(cycle, n).value();
     std::size_t paths = PathsUpTo(cycle, n).size();
     EXPECT_EQ(coil.graph.NodeCount(), paths * (n + 1));
   }

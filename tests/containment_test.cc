@@ -7,6 +7,7 @@
 #include "src/query/eval.h"
 #include "src/query/parser.h"
 #include "src/schema/pg_schema.h"
+#include "src/schema/workload.h"
 
 namespace gqc {
 namespace {
@@ -208,6 +209,100 @@ TEST_F(ContainmentTest, CardinalityConstraintInteraction) {
   TBox loose = T("A <= exists r.B");
   auto r = checker.Decide(p, q, loose);
   VerifyCountermodel(r, p, q, loose);
+}
+
+TEST_F(ContainmentTest, DecideEquivalenceEquivalentPair) {
+  // Forced label (as in TypingConstraintMakesContainmentHold): the extra
+  // RetailCompany(y) atom does not restrict, so both directions hold.
+  TBox schema = T("top <= forall partner.RetailCompany");
+  NormalTBox normal = Normalize(schema, &vocab_);
+  ContainmentChecker checker(&vocab_);
+  auto r = checker.DecideEquivalence(U("partner(x, y)"),
+                                     U("partner(x, y), RetailCompany(y)"), normal);
+  EXPECT_EQ(r.verdict, Verdict::kContained);
+}
+
+TEST_F(ContainmentTest, DecideEquivalenceOneDirectionFails) {
+  TBox empty;
+  NormalTBox normal = Normalize(empty, &vocab_);
+  ContainmentChecker checker(&vocab_);
+  Ucrpq p = U("r(x, y)");
+  Ucrpq q = U("r(x, y), s(y, z)");
+
+  // P ⊋ Q: the forward direction P ⊑ Q fails, with a countermodel.
+  auto forward = checker.DecideEquivalence(p, q, normal);
+  ASSERT_EQ(forward.verdict, Verdict::kNotContained);
+  ASSERT_TRUE(forward.countermodel.has_value());
+  EXPECT_TRUE(Matches(*forward.countermodel, p));
+  EXPECT_FALSE(Matches(*forward.countermodel, q));
+  EXPECT_TRUE(forward.note.rfind("P ⋢_T Q", 0) == 0) << forward.note;
+
+  // Swapping the arguments makes the *backward* direction the failing one.
+  auto backward = checker.DecideEquivalence(q, p, normal);
+  ASSERT_EQ(backward.verdict, Verdict::kNotContained);
+  ASSERT_TRUE(backward.countermodel.has_value());
+  EXPECT_TRUE(backward.note.rfind("Q ⋢_T P", 0) == 0) << backward.note;
+}
+
+TEST_F(ContainmentTest, DecideEquivalenceBothDirectionsFail) {
+  TBox empty;
+  NormalTBox normal = Normalize(empty, &vocab_);
+  ContainmentChecker checker(&vocab_);
+  Ucrpq p = U("r(x, y)");
+  Ucrpq q = U("s(x, y)");
+  // Incomparable queries: the first failing direction (forward) is reported.
+  auto r = checker.DecideEquivalence(p, q, normal);
+  ASSERT_EQ(r.verdict, Verdict::kNotContained);
+  ASSERT_TRUE(r.countermodel.has_value());
+  EXPECT_TRUE(Matches(*r.countermodel, p));
+  EXPECT_FALSE(Matches(*r.countermodel, q));
+}
+
+TEST(ContainmentCachingTest, CachingOnAndOffAgreeAcrossWorkload) {
+  // The memoized state must be invisible in the answers: deciding 50
+  // generated instances with caching on and off (same order, one vocabulary
+  // per run) yields identical verdicts and methods.
+  WorkloadOptions wopts;
+  wopts.seed = 7;
+  std::vector<WorkloadInstance> instances = GenerateWorkload(wopts, 50);
+  ASSERT_EQ(instances.size(), 50u);
+
+  std::vector<std::vector<std::pair<Verdict, ContainmentMethod>>> results_;
+
+  auto run = [&](bool enable_caching, PipelineStats* stats) {
+    Vocabulary vocab;
+    ContainmentOptions options;
+    options.enable_caching = enable_caching;
+    options.stats = stats;
+    ContainmentChecker checker(&vocab, options);
+    std::vector<std::pair<Verdict, ContainmentMethod>> out;
+    for (const WorkloadInstance& inst : instances) {
+      auto schema = ParseTBox(inst.schema_text, &vocab);
+      auto p = ParseUcrpq(inst.p_text, &vocab);
+      auto q = ParseUcrpq(inst.q_text, &vocab);
+      ASSERT_TRUE(schema.ok() && p.ok() && q.ok());
+      ContainmentResult r = checker.Decide(p.value(), q.value(), schema.value());
+      out.emplace_back(r.verdict, r.method);
+    }
+    ASSERT_EQ(out.size(), instances.size());
+    if (enable_caching) {
+      EXPECT_GT(checker.caches()->normalized_count(), 0u);
+    }
+    results_.push_back(std::move(out));
+  };
+
+  PipelineStats cached_stats;
+  run(/*enable_caching=*/true, &cached_stats);
+  run(/*enable_caching=*/false, nullptr);
+  ASSERT_EQ(results_.size(), 2u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(results_[0][i].first, results_[1][i].first) << "instance " << i;
+    EXPECT_EQ(results_[0][i].second, results_[1][i].second) << "instance " << i;
+  }
+  EXPECT_EQ(cached_stats.pairs_total.load(), 50u);
+  EXPECT_EQ(cached_stats.normal_tbox_hits.load() +
+                cached_stats.normal_tbox_misses.load(),
+            50u);
 }
 
 }  // namespace

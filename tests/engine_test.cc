@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/schema/workload.h"
+#include "src/util/json.h"
+#include "src/util/thread_pool.h"
+
+namespace gqc {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(5, [&](std::size_t i) { order.push_back(i); });
+  // No workers: the caller runs all iterations, in order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 16;
+  std::atomic<int> total{0};
+  pool.ParallelFor(kOuter, [&](std::size_t) {
+    pool.ParallelFor(kInner, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+// -------------------------------------------------------------------- Engine
+
+/// Batch size for the workload-driven tests, clamped by GQC_ENGINE_TEST_ITEMS
+/// when set. Sanitizer runs (tools/sanitize.sh) shrink the batches this way —
+/// TSan's ~10x slowdown makes the full batches blow the ctest timeout, and
+/// race coverage needs many threads, not many items.
+std::size_t TestBatchSize(std::size_t full) {
+  const char* env = std::getenv("GQC_ENGINE_TEST_ITEMS");
+  if (env == nullptr) return full;
+  std::size_t cap = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  return cap == 0 ? full : std::min(cap, full);
+}
+
+std::vector<BatchItem> WorkloadItems(std::size_t count, uint64_t seed) {
+  WorkloadOptions wopts;
+  wopts.seed = seed;
+  std::vector<WorkloadInstance> instances = GenerateWorkload(wopts, count);
+  std::vector<BatchItem> items;
+  items.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    BatchItem item;
+    item.id = std::to_string(i);
+    item.schema_text = instances[i].schema_text;
+    item.p_text = instances[i].p_text;
+    item.q_text = instances[i].q_text;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TEST(EngineTest, OneAndEightThreadsAgreeBitForBit) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(60), 11);
+
+  EngineOptions opts1;
+  opts1.threads = 1;
+  Engine sequential(opts1);
+  std::vector<BatchOutcome> base = sequential.DecideBatch(items);
+
+  EngineOptions opts8;
+  opts8.threads = 8;
+  Engine parallel(opts8);
+  std::vector<BatchOutcome> out = parallel.DecideBatch(items);
+
+  ASSERT_EQ(base.size(), out.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].id, out[i].id);
+    EXPECT_EQ(base[i].ok, out[i].ok) << "item " << i;
+    EXPECT_EQ(base[i].error, out[i].error) << "item " << i;
+    EXPECT_EQ(base[i].verdict, out[i].verdict) << "item " << i;
+    EXPECT_EQ(base[i].method, out[i].method) << "item " << i;
+    EXPECT_EQ(base[i].note, out[i].note) << "item " << i;
+    EXPECT_EQ(base[i].countermodel_nodes, out[i].countermodel_nodes)
+        << "item " << i;
+  }
+  EXPECT_EQ(sequential.stats().pairs_total.load(),
+            parallel.stats().pairs_total.load());
+}
+
+TEST(EngineTest, RepeatedSchemasAndQueriesHitTheCaches) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(20), 3);
+  // Duplicate the batch: every second copy must hit the (schema, Q) context
+  // caches instead of re-parsing and re-normalizing.
+  std::vector<BatchItem> doubled = items;
+  doubled.insert(doubled.end(), items.begin(), items.end());
+
+  EngineOptions opts;
+  opts.threads = 1;
+  Engine engine(opts);
+  std::vector<BatchOutcome> out = engine.DecideBatch(doubled);
+  ASSERT_EQ(out.size(), doubled.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(out[i].verdict, out[items.size() + i].verdict) << "item " << i;
+  }
+
+  const PipelineStats& stats = engine.stats();
+  EXPECT_GE(stats.query_ctx_hits.load(), items.size());
+  EXPECT_EQ(stats.query_ctx_misses.load(), items.size());
+  // Workload queries reuse a small pool of path regexes.
+  EXPECT_GT(stats.regex_hits.load(), 0u);
+}
+
+TEST(EngineTest, DistinctQueriesAgainstOneSchemaShareTheSchemaContext) {
+  const std::string schema = "A <= exists r.B\ntop <= forall r.B";
+  std::vector<BatchItem> items;
+  for (const char* q : {"A(x)", "B(x)", "r(x, y)"}) {
+    BatchItem item;
+    item.id = q;
+    item.schema_text = schema;
+    item.p_text = "A(x), r(x, y), B(y)";
+    item.q_text = q;
+    items.push_back(std::move(item));
+  }
+  Engine engine;
+  engine.DecideBatch(items);
+  const PipelineStats& stats = engine.stats();
+  // Three distinct (schema, Q) contexts, but the schema parsed once.
+  EXPECT_EQ(stats.query_ctx_misses.load(), 3u);
+  EXPECT_EQ(stats.schema_ctx_misses.load(), 1u);
+  EXPECT_EQ(stats.schema_ctx_hits.load(), 2u);
+}
+
+TEST(EngineTest, ResetStateClearsCachesAndStats) {
+  std::vector<BatchItem> items = WorkloadItems(5, 19);
+  Engine engine;
+  engine.DecideBatch(items);
+  ASSERT_GT(engine.stats().pairs_total.load(), 0u);
+  engine.ResetState();
+  EXPECT_EQ(engine.stats().pairs_total.load(), 0u);
+  EXPECT_EQ(engine.stats().schema_ctx_hits.load(), 0u);
+  // After reset, the same batch repopulates from scratch (all misses again).
+  engine.DecideBatch(items);
+  EXPECT_EQ(engine.stats().query_ctx_misses.load(), items.size());
+}
+
+TEST(EngineTest, ErrorItemsAreReportedNotFatal) {
+  BatchItem bad;
+  bad.id = "bad";
+  bad.schema_text = "A <= exists r.";  // malformed concept syntax
+  bad.p_text = "A(x)";
+  bad.q_text = "A(x)";
+  BatchItem good;
+  good.id = "good";
+  good.p_text = "r(x, y)";
+  good.q_text = "r(x, y); s(x, y)";
+
+  Engine engine;
+  std::vector<BatchOutcome> out = engine.DecideBatch({bad, good});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].ok);
+  EXPECT_FALSE(out[0].error.empty());
+  EXPECT_TRUE(out[1].ok);
+  EXPECT_EQ(out[1].verdict, Verdict::kContained);
+  EXPECT_EQ(engine.stats().pairs_error.load(), 1u);
+}
+
+TEST(EngineTest, BatchItemJsonRoundTrip) {
+  auto item = Engine::ParseBatchItemJson(
+      R"js({"id": "i-1", "schema": "A <= exists r.B\ntop <= forall r.B",)js"
+      R"js( "p": "A(x), r(x, y)", "q": "r(x, \"y\")"})js");
+  ASSERT_TRUE(item.ok()) << item.error();
+  EXPECT_EQ(item.value().id, "i-1");
+  EXPECT_EQ(item.value().schema_text, "A <= exists r.B\ntop <= forall r.B");
+  EXPECT_EQ(item.value().p_text, "A(x), r(x, y)");
+  EXPECT_EQ(item.value().q_text, "r(x, \"y\")");
+
+  EXPECT_FALSE(Engine::ParseBatchItemJson(R"js({"id": "x"})js").ok());
+  EXPECT_FALSE(
+      Engine::ParseBatchItemJson(R"js({"p": "A(x)", "q": "B(x)", "zz": 1})js").ok());
+  EXPECT_FALSE(Engine::ParseBatchItemJson("not json").ok());
+}
+
+TEST(EngineTest, OutcomeJsonIsParseableAndComplete) {
+  BatchOutcome outcome;
+  outcome.id = "pair \"7\"";
+  outcome.ok = true;
+  outcome.verdict = Verdict::kNotContained;
+  outcome.method = ContainmentMethod::kDirectSearch;
+  outcome.note = "line1\nline2";
+  outcome.countermodel_nodes = 3;
+  outcome.wall_ms = 1.5;
+
+  std::string json = Engine::OutcomeToJson(outcome);
+  auto fields = ParseFlatJsonObject(json);
+  ASSERT_TRUE(fields.ok()) << fields.error() << "\n" << json;
+  std::string id, verdict, note, nodes;
+  for (const JsonField& f : fields.value()) {
+    if (f.key == "id") id = f.value;
+    if (f.key == "verdict") verdict = f.value;
+    if (f.key == "note") note = f.value;
+    if (f.key == "countermodel_nodes") nodes = f.value;
+  }
+  EXPECT_EQ(id, "pair \"7\"");
+  EXPECT_EQ(verdict, VerdictName(Verdict::kNotContained));
+  EXPECT_EQ(note, "line1\nline2");
+  EXPECT_EQ(nodes, "3");
+}
+
+TEST(EngineTest, StatsJsonExports) {
+  std::vector<BatchItem> items = WorkloadItems(4, 23);
+  Engine engine;
+  engine.DecideBatch(items);
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"pairs\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"caches\""), std::string::npos);
+  EXPECT_NE(json.find("\"throughput\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqc

@@ -105,7 +105,7 @@ TEST_F(FramesTest, FrameCoilLocallyIsomorphic) {
   frame.AddEdge(f0, 0, Role::Forward(r), f1);
   frame.AddEdge(f1, 0, Role::Forward(r), f0);  // 2-cycle of components
 
-  ConcreteFrame coiled = FrameCoil(frame, 3);
+  ConcreteFrame coiled = FrameCoil(frame, 3).value();
   EXPECT_GT(coiled.ComponentCount(), frame.ComponentCount());
   EXPECT_EQ(coiled.LocalSignature(), frame.LocalSignature())
       << "Lemma 4.3: the coil is locally isomorphic to the frame";
@@ -129,7 +129,7 @@ TEST_F(FramesTest, CoilBreaksShortCycles) {
   frame.AddEdge(f0, 0, Role::Forward(r), f1);
   frame.AddEdge(f1, 0, Role::Forward(r), f0);
 
-  ConcreteFrame coiled = FrameCoil(frame, 2);
+  ConcreteFrame coiled = FrameCoil(frame, 2).value();
   Graph g = coiled.Assemble();
   // Every node still has an outgoing r-edge (Property 1: h is a surjective
   // homomorphism and the construction preserves out-degrees).

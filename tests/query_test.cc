@@ -4,7 +4,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/homomorphism.h"
 #include "src/query/canonical.h"
-#include "src/query/containment.h"
+#include "src/query/query_containment.h"
 #include "src/query/eval.h"
 #include "src/query/parser.h"
 
@@ -192,37 +192,37 @@ TEST_F(QueryTest, CanonicalExpansionEmptyWordMergesVars) {
   EXPECT_EQ(set.expansions[1].graph.NodeCount(), 2u);
 }
 
-TEST_F(QueryTest, ClassicalContainmentCqExact) {
+TEST_F(QueryTest, QueryContainmentCqExact) {
   // r(x,y), s(y,z) is contained in r(x,y') but not vice versa.
   Ucrpq p = U("r(x, y), s(y, z)");
   Ucrpq q = U("r(x, y)");
-  EXPECT_EQ(ClassicalContainment(p, q).verdict, Verdict::kContained);
-  auto back = ClassicalContainment(q, p);
+  EXPECT_EQ(QueryContainment(p, q).verdict, Verdict::kContained);
+  auto back = QueryContainment(q, p);
   EXPECT_EQ(back.verdict, Verdict::kNotContained);
   ASSERT_TRUE(back.counterexample.has_value());
   EXPECT_TRUE(Matches(*back.counterexample, q));
   EXPECT_FALSE(Matches(*back.counterexample, p));
 }
 
-TEST_F(QueryTest, ClassicalContainmentWithStars) {
+TEST_F(QueryTest, QueryContainmentWithStars) {
   // Paper Example 1.1 without schema: q2 ⊆ q1.
   Ucrpq q1 = U("(owns . earns . partner . (partof-)*)(x, y)");
   Ucrpq q2 = U("(owns . earns . partner)(x, z), RetailCompany(z), (partof-)*(z, y)");
-  ClassicalContainmentOptions opts;
+  QueryContainmentOptions opts;
   opts.expansion.max_word_length = 5;
-  auto r12 = ClassicalContainment(q2, q1, opts);
+  auto r12 = QueryContainment(q2, q1, opts);
   // Stars make the expansion set non-exhaustive, so the bounded procedure
   // cannot certify containment outright, but it must find no counterexample.
   EXPECT_NE(r12.verdict, Verdict::kNotContained);
-  auto r21 = ClassicalContainment(q1, q2, opts);
+  auto r21 = QueryContainment(q1, q2, opts);
   EXPECT_EQ(r21.verdict, Verdict::kNotContained) << "q1 not ⊆ q2 without schema";
 }
 
-TEST_F(QueryTest, ClassicalContainmentUnionOnRight) {
+TEST_F(QueryTest, QueryContainmentUnionOnRight) {
   Ucrpq p = U("a(x, y)");
   Ucrpq q = U("a(x, y) ; b(x, y)");
-  EXPECT_EQ(ClassicalContainment(p, q).verdict, Verdict::kContained);
-  EXPECT_EQ(ClassicalContainment(q, p).verdict, Verdict::kNotContained);
+  EXPECT_EQ(QueryContainment(p, q).verdict, Verdict::kContained);
+  EXPECT_EQ(QueryContainment(q, p).verdict, Verdict::kNotContained);
 }
 
 }  // namespace

@@ -115,7 +115,7 @@ TEST_F(SpanTest, FrameCoilPreservesSpanBound) {
   frame.AddEdge(f1, 0, Role::Forward(r), f0);
 
   std::size_t base = StarAtomSpan(frame, {Role::Forward(r)}, 8);
-  ConcreteFrame coiled = FrameCoil(frame, 3);
+  ConcreteFrame coiled = FrameCoil(frame, 3).value();
   std::size_t coil_span = StarAtomSpan(coiled, {Role::Forward(r)}, 8);
   EXPECT_LE(coil_span, base);
 }

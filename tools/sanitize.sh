@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the engine / thread-pool tests under ThreadSanitizer.
+#
+# The batch engine (src/engine) is the one concurrent subsystem: a
+# work-stealing thread pool plus mutex-guarded context caches shared across
+# worker threads. This script builds the tsan preset and runs every
+# EngineTest.* / ThreadPoolTest.* case under it, so data races in the pool,
+# the caches, or the atomic stats counters surface as hard failures.
+#
+# Usage:
+#   tools/sanitize.sh            # TSan over the engine tests (the default)
+#   tools/sanitize.sh --all      # TSan over the full suite (slow)
+#   tools/sanitize.sh --asan     # ASan+UBSan over the full suite instead
+#
+# Exits non-zero on any sanitizer report or test failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=tsan
+filter='^(EngineTest|ThreadPoolTest)\.'
+for arg in "$@"; do
+  case "$arg" in
+    --all) filter='.*' ;;
+    --asan) preset=asan-ubsan; filter='.*' ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+
+# halt_on_error makes the first race fail the test instead of just logging.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+# Shrink the workload-driven engine batches: race coverage needs many threads,
+# not many items, and the full batches blow the ctest timeout under TSan's
+# ~10x slowdown. Override by exporting a different value (0 = full size).
+export GQC_ENGINE_TEST_ITEMS="${GQC_ENGINE_TEST_ITEMS:-6}"
+
+ctest --preset "$preset" -R "$filter" --timeout 3600
