@@ -15,8 +15,16 @@
 // ("id" and "schema" optional; "schema" is inline text, not a file path).
 // One JSON outcome line is written to stdout per item, in input order;
 // --stats writes the engine's pipeline-stats JSON to stderr afterwards.
+//
+// Resource governance: --timeout-ms is a per-pair wall-clock deadline,
+// --step-budget a per-disjunct search-step budget (deterministic at any
+// thread count), --batch-timeout-ms a deadline for the whole batch. A pair
+// that runs out of budget gets verdict "unknown" with "unknown_reason" /
+// "unknown_phase" fields saying which resource gave out and where — never a
+// wrong definite verdict.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,10 +41,37 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  gqc_cli contain <schema-file|-> '<p-query>' '<q-query>'\n"
-               "  gqc_cli batch   [--threads N] [--stats]  < items.jsonl\n"
+               "  gqc_cli batch   [--threads N] [--stats] [--timeout-ms MS]\n"
+               "                  [--step-budget N] [--batch-timeout-ms MS]\n"
+               "                  < items.jsonl\n"
                "  gqc_cli entail  <schema-file|-> <graph-file> '<query>'\n"
                "  gqc_cli eval    <graph-file> '<query>'\n");
   return 2;
+}
+
+/// Strict numeric flag parsing: the whole argument must be a non-negative
+/// number, else the caller falls through to Usage() instead of std::sto*
+/// throwing out of main.
+bool ParseCount(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseMillis(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!(value >= 0)) return false;  // rejects negatives and NaN
+  *out = value;
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -94,10 +129,22 @@ int RunBatch(const std::vector<std::string>& args) {
   EngineOptions options;
   bool print_stats = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--threads" && i + 1 < args.size()) {
-      options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    uint64_t count = 0;
+    if (args[i] == "--threads" && i + 1 < args.size() &&
+        ParseCount(args[i + 1], &count)) {
+      options.threads = static_cast<std::size_t>(count);
+      ++i;
     } else if (args[i] == "--stats") {
       print_stats = true;
+    } else if (args[i] == "--timeout-ms" && i + 1 < args.size() &&
+               ParseMillis(args[i + 1], &options.containment.resources.deadline_ms)) {
+      ++i;
+    } else if (args[i] == "--step-budget" && i + 1 < args.size() &&
+               ParseCount(args[i + 1], &options.containment.resources.max_steps)) {
+      ++i;
+    } else if (args[i] == "--batch-timeout-ms" && i + 1 < args.size() &&
+               ParseMillis(args[i + 1], &options.batch_timeout_ms)) {
+      ++i;
     } else {
       return Usage();
     }

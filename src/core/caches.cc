@@ -49,6 +49,11 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
   } else {
     entry.error = closure.error();
   }
+  // A closure whose build tripped a resource guard reflects the caller's
+  // budget (or wall clock), not (T, Q) — caching it would degrade later,
+  // better-funded calls. Return it uncached.
+  const ResourceGuard* guard = options.countermodel.limits.guard;
+  if (guard != nullptr && guard->exhausted()) return entry;
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = closures_.emplace(std::move(key), std::move(entry));
   return it->second;

@@ -65,6 +65,20 @@ bool MatchesAnyNonEmptyGraph(const Crpq& d) {
                      [](const BinaryAtom& a) { return a.allow_empty; });
 }
 
+/// Trip details for a kUnknown verdict. "caps" means a structural search cap
+/// gave up, not a resource budget.
+UnknownInfo MakeUnknownInfo(const ResourceGuard* guard) {
+  UnknownInfo info;
+  if (guard != nullptr && guard->exhausted()) {
+    info.reason = GuardResourceName(guard->reason());
+    info.phase = GuardPhaseName(guard->trip_phase());
+  } else {
+    info.reason = "caps";
+  }
+  if (guard != nullptr) info.steps = guard->steps_spent();
+  return info;
+}
+
 }  // namespace
 
 ContainmentChecker::ContainmentChecker(Vocabulary* vocab,
@@ -95,10 +109,26 @@ ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
   // P ⊑_T Q iff every disjunct of P is contained. Report the first
   // counterexample; a kUnknown disjunct makes the overall answer kUnknown
   // unless some other disjunct already refutes.
+  //
+  // The pair deadline is pinned once here and shared by every disjunct's
+  // guard; step/memory budgets are per disjunct (fresh guard each) so budget
+  // verdicts do not depend on how disjuncts are scheduled.
+  const ResourceBudget& budget = options_.resources;
+  bool has_deadline = budget.deadline_ms > 0;
+  auto deadline = has_deadline
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    budget.deadline_ms))
+                      : std::chrono::steady_clock::time_point{};
   std::vector<ContainmentResult> per_disjunct;
   per_disjunct.reserve(p.Disjuncts().size());
   for (const Crpq& disjunct : p.Disjuncts()) {
-    per_disjunct.push_back(DecideDisjunct(disjunct, q, schema));
+    ResourceGuard guard(budget, has_deadline, deadline);
+    per_disjunct.push_back(
+        DecideDisjunct(disjunct, q, schema, /*closure=*/nullptr, &guard));
+    if (options_.stats != nullptr) options_.stats->RecordGuard(guard);
     if (per_disjunct.back().verdict == Verdict::kNotContained) break;
   }
   ContainmentResult combined = Combine(std::move(per_disjunct));
@@ -117,6 +147,7 @@ ContainmentResult ContainmentChecker::Combine(
       combined.verdict = Verdict::kUnknown;
       combined.method = r.method;
       combined.note = r.note;
+      combined.unknown = std::move(r.unknown);
     } else if (combined.verdict == Verdict::kContained) {
       combined.method = r.method;
       if (combined.note.empty()) combined.note = r.note;
@@ -148,10 +179,20 @@ ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p, const Uc
 
 ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq& q,
                                                      const NormalTBox& schema,
-                                                     const TpClosure* closure) {
+                                                     const TpClosure* closure,
+                                                     ResourceGuard* guard) {
   PipelineStats* stats = options_.stats;
   if (stats) stats->disjuncts_total.fetch_add(1, std::memory_order_relaxed);
   ContainmentResult result;
+
+  // 0. Preemption: an already-expired deadline or a cancelled batch skips
+  //    every phase — no searches run at all.
+  if (guard != nullptr && guard->Recheck(GuardPhase::kSetup)) {
+    result.verdict = Verdict::kUnknown;
+    result.unknown = MakeUnknownInfo(guard);
+    result.note = guard->Describe();
+    return result;
+  }
 
   // 1. Cheap exact screens. (a) Some disjunct of Q matches every non-empty
   //    graph, and any match of p requires a node.
@@ -181,10 +222,15 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
   // 2. Direct bounded countermodel search against the full TBox. Also serves
   //    as the satisfiability screen: if p cannot be satisfied under T at all
   //    the expansion/quotient seeds all die and the answer is kNo.
+  CountermodelOptions guarded = options_.countermodel;
+  guarded.limits.guard = guard;
+  guarded.limits.guard_phase = GuardPhase::kDirect;
+  guarded.expansion.guard = guard;
+  guarded.expansion.guard_phase = GuardPhase::kDirect;
   CountermodelSearchResult direct;
   {
     PhaseTimer timer(stats ? &stats->direct_ns : nullptr);
-    direct = FindCountermodel(p, q, schema, options_.countermodel);
+    direct = FindCountermodel(p, q, schema, guarded);
     if (direct.answer == EngineAnswer::kYes) {
       result.verdict = Verdict::kNotContained;
       result.method = ContainmentMethod::kDirectSearch;
@@ -220,8 +266,12 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
   if (!options_.disable_reduction && participation && fragment_ok &&
       (alcq_case || alci_case)) {
     ReductionOptions opts;
-    opts.countermodel = options_.countermodel;
+    opts.countermodel = guarded;
+    // The reduction's own expansion enumeration bills under kReduction; the
+    // witness/entailment phases re-attribute themselves (see reduction.cc).
+    opts.countermodel.expansion.guard_phase = GuardPhase::kReduction;
     opts.factorize = options_.factorize;
+    opts.factorize.guard = guard;
     opts.stats = stats;
     ReductionResult red;
     if (closure != nullptr) {
@@ -255,7 +305,10 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
 
   result.verdict = Verdict::kUnknown;
   result.method = ContainmentMethod::kDirectSearch;
-  if (result.note.empty()) {
+  result.unknown = MakeUnknownInfo(guard);
+  if (guard != nullptr && guard->exhausted()) {
+    result.note = guard->Describe();
+  } else if (result.note.empty()) {
     result.note = "no countermodel within budget; containment not certified";
   }
   return result;

@@ -16,6 +16,12 @@ namespace gqc {
 struct ContainmentOptions {
   CountermodelOptions countermodel;
   FactorizeOptions factorize;
+  /// Resource budget per decision. Step/memory budgets apply to each
+  /// disjunct decision independently (so budget verdicts are deterministic
+  /// at any thread count); the deadline is pinned once per pair and shared
+  /// by every disjunct; the cancellation token may be shared wider (the
+  /// batch engine shares one per batch). Default: unlimited.
+  ResourceBudget resources;
   /// Skip the (potentially expensive) §3 reduction and only run the direct
   /// bounded searches.
   bool disable_reduction = false;
@@ -83,9 +89,16 @@ class ContainmentChecker {
   /// the Tp closure of (schema, q) computed in a vocabulary this checker's
   /// vocabulary extends; the call is then read-only on the vocabulary and may
   /// run concurrently with other DecideDisjunct calls sharing it.
+  ///
+  /// `guard` (optional) governs this one decision: every potentially-
+  /// exponential phase polls it, and a trip unwinds to Verdict::kUnknown with
+  /// the trip details in `ContainmentResult::unknown` — never to an abort or
+  /// a wrong definite verdict. Callers that want per-pair deadlines construct
+  /// one guard per disjunct against a shared absolute deadline (see Decide).
   ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,
                                    const NormalTBox& schema,
-                                   const TpClosure* closure = nullptr);
+                                   const TpClosure* closure = nullptr,
+                                   ResourceGuard* guard = nullptr);
 
   /// Folds per-disjunct results (in disjunct order) into the pair verdict,
   /// exactly as the sequential Decide loop does: the first kNotContained

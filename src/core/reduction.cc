@@ -67,17 +67,18 @@ Result<TpClosure> ComputeTpClosure(const Ucrpq& q, const NormalTBox& tbox,
   closure.factorization = std::move(factorization).value();
   closure.alcq_case = alcq_case;
 
-  // Tp(T, Q̂): realizable types, computed by the matching engine.
+  // Tp(T, Q̂): realizable types, computed by the matching engine. The
+  // type-elimination fixpoints bill the shared guard under kEntailment.
+  EngineLimits limits = options.countermodel.limits;
+  limits.guard_phase = GuardPhase::kEntailment;
   if (alcq_case) {
-    AlcqSimpleEngine engine(&closure.factorization, vocab,
-                            options.countermodel.limits);
+    AlcqSimpleEngine engine(&closure.factorization, vocab, limits);
     auto set = engine.RealizableTypes(tbox);
     closure.engine_space = set.space;
     closure.engine_masks = std::move(set.masks);
     closure.engine_capped = engine.hit_cap();
   } else {
-    AlciOnewayEngine engine(&closure.factorization, vocab,
-                            options.countermodel.limits);
+    AlciOnewayEngine engine(&closure.factorization, vocab, limits);
     auto set = engine.RealizableTypes(tbox);
     closure.engine_space = set.space;
     closure.engine_masks = std::move(set.masks);
@@ -120,7 +121,15 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
   Ucrpq p_union;
   p_union.AddDisjunct(p);
 
+  // The H0 central-part search bills the shared guard under kReduction.
+  EngineLimits limits = options.countermodel.limits;
+  limits.guard_phase = GuardPhase::kReduction;
+
   for (const Expansion& exp : expansions.expansions) {
+    if (GuardExhausted(limits)) {
+      capped = true;
+      break;
+    }
     std::vector<Graph> seeds =
         SatisfyingQuotients(exp.graph, p, options.countermodel.max_quotients);
     if (seeds.size() >= options.countermodel.max_quotients ||
@@ -138,7 +147,7 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
       deferral.allowed_masks = &allowed;
       deferral.forbid_outgoing = closure.alcq_case;
       problem.deferral = deferral;
-      WitnessResult w = FindWitness(problem, options.countermodel.limits);
+      WitnessResult w = FindWitness(problem, limits);
       if (w.answer == EngineAnswer::kYes) {
         result.countermodel_found = EngineAnswer::kYes;
         result.central_part = std::move(w.witness);

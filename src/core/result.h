@@ -1,6 +1,7 @@
 #ifndef GQC_CORE_RESULT_H_
 #define GQC_CORE_RESULT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -20,10 +21,27 @@ enum class ContainmentMethod {
 
 const char* ContainmentMethodName(ContainmentMethod m);
 
+/// Why a verdict is kUnknown: which resource ran out (or which structural
+/// cap was hit), in which pipeline phase, after how many charged steps.
+/// This is the payload of the three-valued outcome — definite verdicts never
+/// carry one.
+struct UnknownInfo {
+  /// "deadline" / "steps" / "memory" / "cancelled" for guard trips, "caps"
+  /// when a structural search cap (not a resource budget) was the cause.
+  std::string reason;
+  /// Pipeline phase that spent the tripping step (GuardPhaseName).
+  std::string phase;
+  /// Guard steps charged by this decision when it gave up.
+  uint64_t steps = 0;
+};
+
 /// The outcome of a containment-modulo-schema query P ⊑_T Q.
 struct ContainmentResult {
   Verdict verdict = Verdict::kUnknown;
   ContainmentMethod method = ContainmentMethod::kDirectSearch;
+
+  /// Present exactly when `verdict == kUnknown`: why the pipeline gave up.
+  std::optional<UnknownInfo> unknown;
 
   /// For kNotContained via direct/sparse search: a finite graph G with
   /// G ⊨ T, G ⊨ P, G ⊭ Q, re-verified before being returned.

@@ -78,6 +78,10 @@ CountermodelSearchResult FindCountermodel(const Crpq& p, const Ucrpq& q,
 
   bool capped = false;
   for (const Expansion& exp : expansions.expansions) {
+    if (GuardExhausted(options.limits)) {
+      capped = true;
+      break;
+    }
     std::vector<Graph> seeds =
         SatisfyingQuotients(exp.graph, p, options.max_quotients);
     if (seeds.size() >= options.max_quotients || exp.graph.NodeCount() > 8) {

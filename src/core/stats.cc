@@ -13,6 +13,38 @@ void PipelineStats::RecordCountermodel(uint64_t nodes) {
   }
 }
 
+void PipelineStats::RecordGuard(const ResourceGuard& guard) {
+  guards_total.fetch_add(1, std::memory_order_relaxed);
+  switch (guard.reason()) {
+    case GuardResource::kNone:
+      break;
+    case GuardResource::kDeadline:
+      budget_deadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GuardResource::kSteps:
+      budget_steps.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GuardResource::kMemory:
+      budget_memory.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GuardResource::kCancelled:
+      budget_cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  for (std::size_t p = 0; p < kGuardPhaseCount; ++p) {
+    uint64_t steps = guard.steps_spent(static_cast<GuardPhase>(p));
+    std::size_t bucket = 0;
+    for (uint64_t s = steps; s > 0 && bucket + 1 < kSpendBuckets; s /= 10) {
+      ++bucket;
+    }
+    spend_hist[p][bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PipelineStats::RecordPreempted() {
+  pairs_preempted.fetch_add(1, std::memory_order_relaxed);
+}
+
 void PipelineStats::Reset() {
   for (std::atomic<uint64_t>* a :
        {&parse_ns, &normalize_ns, &screen_ns, &direct_ns, &entailment_ns,
@@ -22,8 +54,13 @@ void PipelineStats::Reset() {
         &disjuncts_total, &normal_tbox_hits, &normal_tbox_misses, &regex_hits,
         &regex_misses, &closure_hits, &closure_misses, &schema_ctx_hits,
         &schema_ctx_misses, &query_ctx_hits, &query_ctx_misses,
-        &countermodel_count, &countermodel_nodes_total, &countermodel_nodes_max}) {
+        &countermodel_count, &countermodel_nodes_total, &countermodel_nodes_max,
+        &guards_total, &budget_deadline, &budget_steps, &budget_memory,
+        &budget_cancelled, &pairs_preempted}) {
     a->store(0, std::memory_order_relaxed);
+  }
+  for (auto& phase : spend_hist) {
+    for (auto& bucket : phase) bucket.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -94,6 +131,27 @@ std::string PipelineStats::ToJson() const {
   w.Key("count").UInt(V(countermodel_count));
   w.Key("nodes_total").UInt(V(countermodel_nodes_total));
   w.Key("nodes_max").UInt(V(countermodel_nodes_max));
+  w.EndObject();
+
+  w.Key("resource_governance").BeginObject();
+  w.Key("guards_total").UInt(V(guards_total));
+  w.Key("budget_exhausted").BeginObject();
+  w.Key("deadline").UInt(V(budget_deadline));
+  w.Key("steps").UInt(V(budget_steps));
+  w.Key("memory").UInt(V(budget_memory));
+  w.Key("cancelled").UInt(V(budget_cancelled));
+  w.EndObject();
+  w.Key("pairs_preempted").UInt(V(pairs_preempted));
+  // spend_hist buckets: [0, 1-9, 10-99, ..., >= 10^6] guard steps.
+  w.Key("phase_spend_hist").BeginObject();
+  for (std::size_t p = 0; p < kGuardPhaseCount; ++p) {
+    w.Key(GuardPhaseName(static_cast<GuardPhase>(p))).BeginArray();
+    for (std::size_t b = 0; b < kSpendBuckets; ++b) {
+      w.UInt(V(spend_hist[p][b]));
+    }
+    w.EndArray();
+  }
+  w.EndObject();
   w.EndObject();
 
   w.Key("throughput").BeginObject();

@@ -1,10 +1,13 @@
 #ifndef GQC_CORE_STATS_H_
 #define GQC_CORE_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "src/util/guard.h"
 
 namespace gqc {
 
@@ -62,8 +65,30 @@ struct PipelineStats {
   std::atomic<uint64_t> countermodel_nodes_total{0};
   std::atomic<uint64_t> countermodel_nodes_max{0};
 
+  // --- resource governance (one RecordGuard per guarded decision) ---
+  std::atomic<uint64_t> guards_total{0};        // guarded decisions recorded
+  std::atomic<uint64_t> budget_deadline{0};     // trips by resource
+  std::atomic<uint64_t> budget_steps{0};
+  std::atomic<uint64_t> budget_memory{0};
+  std::atomic<uint64_t> budget_cancelled{0};
+  std::atomic<uint64_t> pairs_preempted{0};     // skipped before any search ran
+  /// Per-phase guard-step spend histogram: spend_hist[phase][b] counts
+  /// decisions whose phase spend fell in bucket b = floor(log10(steps)) + 1
+  /// (bucket 0 = zero steps), saturating at the last bucket (>= 10^6).
+  static constexpr std::size_t kSpendBuckets = 8;
+  std::array<std::array<std::atomic<uint64_t>, kSpendBuckets>, kGuardPhaseCount>
+      spend_hist{};
+
   /// Records a countermodel of `nodes` nodes (updates count/total/max).
   void RecordCountermodel(uint64_t nodes);
+
+  /// Records one finished guarded decision: budget-exhaustion tallies by trip
+  /// reason plus the per-phase spend histogram.
+  void RecordGuard(const ResourceGuard& guard);
+
+  /// Tallies a pair that was preempted (deadline already past / batch
+  /// cancelled before its first search).
+  void RecordPreempted();
 
   /// Zeroes every counter.
   void Reset();

@@ -75,7 +75,8 @@ std::shared_ptr<const Engine::SchemaContext> Engine::GetSchemaContext(
 }
 
 std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
-    const std::string& schema_text, const std::string& q_text) {
+    const std::string& schema_text, const std::string& q_text,
+    ResourceGuard* guard) {
   std::string key = JoinKeyParts(schema_text, q_text);
   {
     std::lock_guard<std::mutex> lock(ctx_mu_);
@@ -118,7 +119,9 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
       if (ctx->reduction_applicable) {
         ReductionOptions ropts;
         ropts.countermodel = options_.containment.countermodel;
+        ropts.countermodel.limits.guard = guard;
         ropts.factorize = options_.containment.factorize;
+        ropts.factorize.guard = guard;
         ropts.stats = &stats_;
         stats_.closure_misses.fetch_add(1, std::memory_order_relaxed);
         auto closure = ComputeTpClosure(ctx->q, tbox, alcq_case, &ctx->vocab, ropts);
@@ -132,18 +135,63 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
     }
   }
 
+  // A context whose closure build tripped the caller's guard reflects that
+  // caller's budget (or the batch deadline), not (schema, Q); caching it
+  // would degrade later, better-funded pairs. Return it uncached.
+  if (guard != nullptr && guard->exhausted()) return ctx;
+
   std::lock_guard<std::mutex> lock(ctx_mu_);
   auto [it, inserted] = query_ctxs_.emplace(std::move(key), std::move(ctx));
   return it->second;
 }
 
-BatchOutcome Engine::DecidePair(const BatchItem& item) {
+BatchOutcome Engine::DecidePair(const BatchItem& item,
+                                const BatchControl& control) {
   auto start = std::chrono::steady_clock::now();
   BatchOutcome out;
   out.id = item.id;
 
+  // Effective pair deadline: the tighter of the per-pair budget deadline
+  // (relative to now) and the batch deadline (absolute, pinned at batch
+  // start). Pinned once here and shared by every guard of this pair; step
+  // and memory budgets stay per disjunct.
+  ResourceBudget budget = options_.containment.resources;
+  budget.cancel = control.cancel;
+  bool has_deadline = control.has_deadline;
+  auto deadline = control.deadline;
+  if (budget.deadline_ms > 0) {
+    auto pair_deadline =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget.deadline_ms));
+    if (!has_deadline || pair_deadline < deadline) deadline = pair_deadline;
+    has_deadline = true;
+  }
+
+  // Preemption: a cancelled batch or an already-passed deadline skips the
+  // pair entirely — no parsing, no searches — but still yields a (tallied)
+  // Unknown outcome so completed batches always account for every item.
+  bool cancelled = control.cancel.cancelled();
+  if (cancelled || (has_deadline && start >= deadline)) {
+    out.ok = true;
+    out.verdict = Verdict::kUnknown;
+    out.unknown_reason = cancelled ? "cancelled" : "deadline";
+    out.unknown_phase = GuardPhaseName(GuardPhase::kSetup);
+    out.note = cancelled ? "preempted: batch cancelled before decision"
+                         : "preempted: deadline passed before decision";
+    stats_.RecordPreempted();
+    ContainmentResult preempted;
+    preempted.verdict = Verdict::kUnknown;
+    TallyPair(&stats_, preempted);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  // The setup guard spans context assembly (including a Tp-closure build on
+  // a context miss); each disjunct decision below gets its own fresh guard.
+  ResourceGuard setup_guard(budget, has_deadline, deadline);
   std::shared_ptr<const QueryContext> qctx =
-      GetQueryContext(item.schema_text, item.q_text);
+      GetQueryContext(item.schema_text, item.q_text, &setup_guard);
+  if (setup_guard.exhausted()) stats_.RecordGuard(setup_guard);
   if (!qctx->error.empty()) {
     out.error = qctx->error;
     stats_.pairs_error.fetch_add(1, std::memory_order_relaxed);
@@ -181,13 +229,26 @@ BatchOutcome Engine::DecidePair(const BatchItem& item) {
                   (closure != nullptr || !qctx->reduction_applicable);
   if (parallel) {
     per_disjunct.resize(disjuncts.size());
+    // One guard per disjunct (fresh step/memory counters, shared absolute
+    // deadline + token) keeps budget verdicts independent of scheduling.
+    std::vector<std::unique_ptr<ResourceGuard>> guards;
+    guards.reserve(disjuncts.size());
+    for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+      guards.push_back(
+          std::make_unique<ResourceGuard>(budget, has_deadline, deadline));
+    }
     pool_.ParallelFor(disjuncts.size(), [&](std::size_t i) {
-      per_disjunct[i] = checker.DecideDisjunct(disjuncts[i], qctx->q, tbox, closure);
+      per_disjunct[i] = checker.DecideDisjunct(disjuncts[i], qctx->q, tbox,
+                                               closure, guards[i].get());
     });
+    for (const auto& guard : guards) stats_.RecordGuard(*guard);
   } else {
     per_disjunct.reserve(disjuncts.size());
     for (const Crpq& d : disjuncts) {
-      per_disjunct.push_back(checker.DecideDisjunct(d, qctx->q, tbox, closure));
+      ResourceGuard guard(budget, has_deadline, deadline);
+      per_disjunct.push_back(
+          checker.DecideDisjunct(d, qctx->q, tbox, closure, &guard));
+      stats_.RecordGuard(guard);
       if (per_disjunct.back().verdict == Verdict::kNotContained) break;
     }
   }
@@ -198,6 +259,10 @@ BatchOutcome Engine::DecidePair(const BatchItem& item) {
   out.verdict = combined.verdict;
   out.method = combined.method;
   out.note = combined.note;
+  if (combined.verdict == Verdict::kUnknown && combined.unknown.has_value()) {
+    out.unknown_reason = combined.unknown->reason;
+    out.unknown_phase = combined.unknown->phase;
+  }
   if (combined.countermodel.has_value()) {
     out.countermodel_nodes = combined.countermodel->NodeCount();
   } else if (combined.central_part.has_value()) {
@@ -207,13 +272,48 @@ BatchOutcome Engine::DecidePair(const BatchItem& item) {
   return out;
 }
 
-BatchOutcome Engine::DecideOne(const BatchItem& item) { return DecidePair(item); }
+Engine::BatchControl Engine::StartControl(
+    std::list<CancellationToken>::iterator* handle) {
+  BatchControl control;
+  if (options_.batch_timeout_ms > 0) {
+    control.has_deadline = true;
+    control.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.batch_timeout_ms));
+  }
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  *handle = active_controls_.insert(active_controls_.end(), control.cancel);
+  return control;
+}
+
+void Engine::FinishControl(std::list<CancellationToken>::iterator handle) {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  active_controls_.erase(handle);
+}
+
+void Engine::CancelAll() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  for (CancellationToken& token : active_controls_) token.Cancel();
+}
+
+BatchOutcome Engine::DecideOne(const BatchItem& item) {
+  std::list<CancellationToken>::iterator handle;
+  BatchControl control = StartControl(&handle);
+  BatchOutcome outcome = DecidePair(item, control);
+  FinishControl(handle);
+  return outcome;
+}
 
 std::vector<BatchOutcome> Engine::DecideBatch(const std::vector<BatchItem>& items) {
   PhaseTimer timer(&stats_.batch_wall_ns);
+  std::list<CancellationToken>::iterator handle;
+  BatchControl control = StartControl(&handle);
   std::vector<BatchOutcome> outcomes(items.size());
-  pool_.ParallelFor(items.size(),
-                    [&](std::size_t i) { outcomes[i] = DecidePair(items[i]); });
+  pool_.ParallelFor(items.size(), [&](std::size_t i) {
+    outcomes[i] = DecidePair(items[i], control);
+  });
+  FinishControl(handle);
   return outcomes;
 }
 
@@ -265,6 +365,12 @@ std::string Engine::OutcomeToJson(const BatchOutcome& outcome) {
     w.Key("verdict").String(VerdictName(outcome.verdict));
     w.Key("method").String(ContainmentMethodName(outcome.method));
     if (!outcome.note.empty()) w.Key("note").String(outcome.note);
+    if (!outcome.unknown_reason.empty()) {
+      w.Key("unknown_reason").String(outcome.unknown_reason);
+    }
+    if (!outcome.unknown_phase.empty()) {
+      w.Key("unknown_phase").String(outcome.unknown_phase);
+    }
     if (outcome.countermodel_nodes > 0) {
       w.Key("countermodel_nodes").UInt(outcome.countermodel_nodes);
     }

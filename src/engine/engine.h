@@ -1,6 +1,8 @@
 #ifndef GQC_ENGINE_ENGINE_H_
 #define GQC_ENGINE_ENGINE_H_
 
+#include <chrono>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +27,11 @@ struct EngineOptions {
   /// Also parallelize across the disjuncts of one P (when its Tp closure is
   /// precomputed, so disjunct decisions are read-only on the pair state).
   bool parallel_disjuncts = true;
+  /// Wall-clock deadline for one whole DecideBatch call (0 = none). Pinned
+  /// when the batch starts; pairs reaching the front of the queue after it
+  /// passes are preempted (Unknown, no searches run). Each pair's effective
+  /// deadline is the tighter of this and `containment.resources.deadline_ms`.
+  double batch_timeout_ms = 0;
 };
 
 /// One containment question, as text. `schema_text` uses the concept syntax
@@ -48,6 +55,12 @@ struct BatchOutcome {
   Verdict verdict = Verdict::kUnknown;
   ContainmentMethod method = ContainmentMethod::kDirectSearch;
   std::string note;
+  /// For kUnknown verdicts: which resource gave out ("deadline", "steps",
+  /// "memory", "cancelled") or "caps" when a structural search cap — not a
+  /// budget — stopped short, plus the pipeline phase that spent the tripping
+  /// step. Empty for definite verdicts.
+  std::string unknown_reason;
+  std::string unknown_phase;
   uint64_t countermodel_nodes = 0;
   double wall_ms = 0.0;
 };
@@ -84,8 +97,17 @@ class Engine {
   BatchOutcome DecideOne(const BatchItem& item);
 
   /// Decides a batch; outcomes are returned in input order. Adds the
-  /// end-to-end wall time to stats().batch_wall_ns.
+  /// end-to-end wall time to stats().batch_wall_ns. With `batch_timeout_ms`
+  /// (or after CancelAll) pairs not yet started are preempted and in-flight
+  /// pairs unwind at their next guard poll — every item still gets an
+  /// outcome, and already-completed verdicts are unaffected.
   std::vector<BatchOutcome> DecideBatch(const std::vector<BatchItem>& items);
+
+  /// Cancels every in-flight DecideBatch (and DecideOne) on this engine:
+  /// their pairs unwind to Unknown("cancelled") at the next guard poll.
+  /// Sticky per batch only — batches started after the call are unaffected.
+  /// Safe from any thread.
+  void CancelAll();
 
   /// Total threads the engine decides pairs with.
   std::size_t threads() const { return pool_.concurrency(); }
@@ -125,10 +147,26 @@ class Engine {
     std::string error;  // non-empty: parse failed, other fields invalid
   };
 
+  /// Per-DecideBatch (or DecideOne) resource control: the batch deadline
+  /// pinned at start plus the cancellation token CancelAll reaches.
+  struct BatchControl {
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    CancellationToken cancel;
+  };
+
   std::shared_ptr<const SchemaContext> GetSchemaContext(const std::string& schema_text);
+  /// `guard` (optional) governs the closure build on a context miss; a
+  /// context whose closure build tripped the guard reflects that caller's
+  /// budget, not (schema, Q), and is returned uncached.
   std::shared_ptr<const QueryContext> GetQueryContext(const std::string& schema_text,
-                                                      const std::string& q_text);
-  BatchOutcome DecidePair(const BatchItem& item);
+                                                      const std::string& q_text,
+                                                      ResourceGuard* guard);
+  BatchOutcome DecidePair(const BatchItem& item, const BatchControl& control);
+  /// Pins the batch deadline and registers the control's token with
+  /// CancelAll; `handle` receives the registration to pass to FinishControl.
+  BatchControl StartControl(std::list<CancellationToken>::iterator* handle);
+  void FinishControl(std::list<CancellationToken>::iterator handle);
 
   EngineOptions options_;
   PipelineStats stats_;
@@ -138,6 +176,9 @@ class Engine {
   std::mutex ctx_mu_;
   std::unordered_map<std::string, std::shared_ptr<const SchemaContext>> schema_ctxs_;
   std::unordered_map<std::string, std::shared_ptr<const QueryContext>> query_ctxs_;
+
+  std::mutex cancel_mu_;
+  std::list<CancellationToken> active_controls_;
 };
 
 }  // namespace gqc

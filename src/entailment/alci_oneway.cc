@@ -56,7 +56,8 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
   for (uint32_t id : f_->q_hat.MentionedConcepts()) ids.push_back(id);
   ids.push_back(c_fwd);
   TypeSpace space{std::move(ids)};
-  if (space.arity() > limits_.max_support_bits) {
+  if (space.arity() > limits_.max_support_bits ||
+      GuardCharge(limits_, space.mask_count())) {
     hit_cap_ = true;
     return {};
   }
@@ -101,7 +102,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     std::size_t steps = 0;
     std::vector<uint64_t> picks(obligations.size());
     std::function<bool(std::size_t)> choose = [&](std::size_t i) -> bool {
-      if (++steps > limits_.max_search_steps) {
+      if (++steps > limits_.max_search_steps || GuardCharge(limits_)) {
         hit_cap_ = true;
         return false;
       }
@@ -151,6 +152,15 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
 
   bool changed = true;
   while (changed) {
+    // A tripped guard must not surface the partially-eliminated member set
+    // (an over-approximation would allow a wrong definite kYes); unwind with
+    // the empty set and let hit_cap_ turn kNo into kUnknown.
+    if (GuardCharge(limits_)) {
+      hit_cap_ = true;
+      RealizableSet empty;
+      empty.space = space;
+      return empty;
+    }
     changed = false;
     std::vector<uint64_t> fwd_alive, bwd_alive;
     for (std::size_t i = 0; i < members.size(); ++i) {

@@ -99,7 +99,7 @@ class AlcqSimpleEngineImpl {
   std::vector<uint64_t> SolveSet(const NormalTBox& tbox, const MaskTheta& theta,
                                  const std::vector<uint32_t>& sigma0,
                                  std::size_t depth, TypeSpace* out_space) {
-    if (depth > limits_.max_depth) {
+    if (depth > limits_.max_depth || GuardCharge(limits_)) {
       hit_cap_ = true;
       *out_space = TypeSpace({});
       return {};
@@ -133,6 +133,13 @@ class AlcqSimpleEngineImpl {
     std::vector<uint64_t> psi;
     for (std::size_t iteration = 0; iteration < 64; ++iteration) {
       ++stats_.fixpoint_iterations;
+      // Guard trips return the empty (under-approximating) set: a definite
+      // kYes needs membership, so under-approximation plus hit_cap_ (which
+      // turns kNo into kUnknown) can never yield a wrong definite answer.
+      if (GuardCharge(limits_)) {
+        hit_cap_ = true;
+        return {};
+      }
       // Connector-feasible candidates over the current psi.
       std::vector<uint64_t> feasible;
       for (uint64_t sigma : candidates) {
@@ -163,7 +170,7 @@ class AlcqSimpleEngineImpl {
   std::vector<uint64_t> SolveSetStepB(const NormalTBox& tbox, const MaskTheta& theta,
                                       const std::vector<uint32_t>& sigma_mod,
                                       std::size_t depth, TypeSpace* out_space) {
-    if (depth > limits_.max_depth) {
+    if (depth > limits_.max_depth || GuardCharge(limits_)) {
       hit_cap_ = true;
       *out_space = TypeSpace({});
       return {};
@@ -228,6 +235,12 @@ class AlcqSimpleEngineImpl {
     std::size_t sweeps = 0;
     while (changed) {
       ++stats_.fixpoint_iterations;
+      // Guard trips must not surface the partially-eliminated (i.e.
+      // over-approximating) member set — return empty, as in SolveSet.
+      if (GuardCharge(limits_)) {
+        hit_cap_ = true;
+        return {};
+      }
       if (++sweeps > 64) {
         hit_cap_ = true;
         break;
@@ -294,7 +307,8 @@ class AlcqSimpleEngineImpl {
                                     const Ucrpq& q_mod, TypeSpace* out_space) {
     TypeSpace space = MakeLevelSupport(Type{}, tbox, theta, f_->q_hat, {});
     *out_space = space;
-    if (space.arity() > limits_.max_support_bits) {
+    if (space.arity() > limits_.max_support_bits ||
+        GuardCharge(limits_, space.mask_count())) {
       hit_cap_ = true;
       return {};
     }
@@ -336,6 +350,11 @@ class AlcqSimpleEngineImpl {
                                          const Ucrpq& q_component) {
     stats_.types_enumerated += level.space.mask_count();
     stats_.max_support_bits = std::max(stats_.max_support_bits, level.space.arity());
+    // Enumerating the level's type space is 2^arity work; charge it in bulk.
+    if (GuardCharge(limits_, level.space.mask_count())) {
+      hit_cap_ = true;
+      return {};
+    }
     std::vector<uint64_t> out;
     std::vector<std::size_t> positions;
     if (theta.space != nullptr) {
@@ -431,7 +450,7 @@ class AlcqSimpleEngineImpl {
     std::size_t steps = 0;
     std::function<bool(std::size_t, std::size_t)> search =
         [&](std::size_t role_idx, std::size_t min_mask_idx) -> bool {
-      if (++steps > limits_.max_search_steps) {
+      if (++steps > limits_.max_search_steps || GuardCharge(limits_)) {
         hit_cap_ = true;
         return false;
       }

@@ -9,6 +9,7 @@
 #include "src/graph/graph.h"
 #include "src/graph/type.h"
 #include "src/query/ucrpq.h"
+#include "src/util/guard.h"
 
 namespace gqc {
 
@@ -31,7 +32,26 @@ struct EngineLimits {
   std::size_t max_search_steps = 200000;
   /// Recursion depth guard.
   std::size_t max_depth = 16;
+  /// Optional resource guard (deadline / step budget / memory estimate /
+  /// cancellation) shared with the surrounding decision. Null = ungoverned.
+  /// When the guard trips, searches unwind with kUnknown exactly as if a
+  /// structural cap above had been hit — never with a wrong definite answer.
+  ResourceGuard* guard = nullptr;
+  /// Phase the guarded work is attributed to (set by the caller that owns
+  /// the pipeline phase, e.g. kDirect for the countermodel search and
+  /// kEntailment for the Tp fixpoints).
+  GuardPhase guard_phase = GuardPhase::kDirect;
 };
+
+/// True iff `limits.guard` exists and has tripped (or trips right now after
+/// charging `steps`). The helper keeps per-step instrumentation one-liners.
+inline bool GuardCharge(const EngineLimits& limits, uint64_t steps = 1) {
+  return limits.guard != nullptr && limits.guard->Charge(limits.guard_phase, steps);
+}
+
+inline bool GuardExhausted(const EngineLimits& limits) {
+  return limits.guard != nullptr && limits.guard->exhausted();
+}
 
 /// Materializes a single node whose labels are the positive bits of `mask`
 /// over `space`.

@@ -21,7 +21,11 @@ class WitnessSearch {
     }
     roles_ = p_.roles.empty() ? p_.tbox->RoleIds() : p_.roles;
 
-    // Enumerate admissible masks once.
+    // Enumerate admissible masks once. This scan is 2^arity work, so it is
+    // charged in bulk up front.
+    if (GuardCharge(limits_, space_.mask_count())) {
+      return {EngineAnswer::kUnknown, std::nullopt};
+    }
     for (uint64_t mask = 0; mask < space_.mask_count(); ++mask) {
       if (!MaskSatisfiesBooleanCis(space_, mask, *p_.tbox)) continue;
       if (!MaskRespectsTheta(space_, mask, p_.theta)) continue;
@@ -50,7 +54,7 @@ class WitnessSearch {
 
  private:
   bool OutOfBudget() {
-    if (steps_ > limits_.max_search_steps) {
+    if (steps_ > limits_.max_search_steps || GuardExhausted(limits_)) {
       hit_cap_ = true;
       return true;
     }
@@ -169,6 +173,10 @@ class WitnessSearch {
   bool Search(Graph& g, std::vector<uint64_t>& node_masks) {
     if (OutOfBudget()) return false;
     ++steps_;
+    if (GuardCharge(limits_)) {
+      hit_cap_ = true;
+      return false;
+    }
     if (p_.forbid != nullptr && Matches(g, *p_.forbid)) return false;
 
     // Memoize visited states (approximate canonical form).
@@ -179,6 +187,14 @@ class WitnessSearch {
       key.push_back((uint64_t{e.from} << 40) | (uint64_t{e.role} << 20) | e.to);
     }
     if (!visited_.insert(key).second) return false;
+    // The memo set is the one structure that grows without bound with the
+    // search; its keys carry the memory estimate.
+    if (limits_.guard != nullptr &&
+        limits_.guard->ChargeMemory(limits_.guard_phase,
+                                    key.size() * sizeof(uint64_t))) {
+      hit_cap_ = true;
+      return false;
+    }
 
     auto obligation = FirstObligation(g, node_masks);
     if (!obligation.has_value()) {

@@ -119,9 +119,10 @@ std::string ConcreteFrame::LocalSignature() const {
   return out;
 }
 
-Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n) {
+Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n,
+                                ResourceGuard* guard) {
   Graph shape = frame.ShapeGraph();
-  Result<CoilResult> coil_or = Coil(shape, n);
+  Result<CoilResult> coil_or = Coil(shape, n, guard);
   if (!coil_or.ok()) return Result<ConcreteFrame>::Error(coil_or.error());
   const CoilResult& coil = coil_or.value();
 

@@ -7,6 +7,7 @@
 
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/guard.h"
 #include "src/util/result.h"
 
 namespace gqc {
@@ -80,8 +81,10 @@ class ConcreteFrame {
 /// The frame coil F_n (Lemma 4.3): Coil(F, n) with every coil node holding a
 /// fresh copy of its component, locally isomorphic to F. Window `n` should
 /// exceed (span bound) * (largest disjunct size) per Lemma 4.3. Errors when
-/// n = 0 (see Coil).
-Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n);
+/// n = 0 (see Coil). An optional `guard` (billed under kFrames) bounds the
+/// construction; a trip yields an error, never a partial frame.
+Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n,
+                                ResourceGuard* guard = nullptr);
 
 }  // namespace gqc
 

@@ -79,7 +79,7 @@ std::vector<std::vector<Move>> BuildMoves(const ConcreteFrame& frame,
 }  // namespace
 
 bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& roles,
-                         std::size_t k) {
+                         std::size_t k, ResourceGuard* guard) {
   std::vector<Position> positions;
   auto moves = BuildMoves(frame, roles, &positions);
   std::vector<std::size_t> offset(frame.ComponentCount() + 1, 0);
@@ -106,6 +106,9 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
     queue.push_back(s);
   }
   while (!queue.empty()) {
+    // A guard trip returns true — "may exceed" is the conservative answer
+    // (callers widen windows or refuse, never shrink them).
+    if (guard != nullptr && guard->Charge(GuardPhase::kFrames)) return true;
     State s = queue.front();
     queue.pop_front();
     for (const Move& m : moves[s.pos]) {
@@ -122,9 +125,9 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
 }
 
 std::size_t StarAtomSpan(const ConcreteFrame& frame, const std::vector<Role>& roles,
-                         std::size_t cap) {
+                         std::size_t cap, ResourceGuard* guard) {
   for (std::size_t k = 0; k <= cap; ++k) {
-    if (!StarAtomSpanExceeds(frame, roles, k)) return k;
+    if (!StarAtomSpanExceeds(frame, roles, k, guard)) return k;
   }
   return cap + 1;
 }

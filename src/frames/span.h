@@ -18,13 +18,16 @@ namespace gqc {
 /// R = `roles`, possibly containing inverse roles) in G_F has span
 /// exceeding `k`. Exact: explores (position, balance-window) states, whose
 /// count is bounded because windows wider than k+1 terminate the search.
+/// An optional `guard` (billed under kFrames) bounds the exploration; a trip
+/// returns true — the conservative "may exceed" answer.
 bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& roles,
-                         std::size_t k);
+                         std::size_t k, ResourceGuard* guard = nullptr);
 
 /// The exact maximal span of R*-witnessing paths in the frame, capped at
-/// `cap` (returns cap + 1 if exceeded).
+/// `cap` (returns cap + 1 if exceeded, and also on a guard trip — the
+/// conservative over-estimate).
 std::size_t StarAtomSpan(const ConcreteFrame& frame, const std::vector<Role>& roles,
-                         std::size_t cap);
+                         std::size_t cap, ResourceGuard* guard = nullptr);
 
 }  // namespace gqc
 

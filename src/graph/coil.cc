@@ -26,7 +26,7 @@ struct PathKeyHash {
 
 }  // namespace
 
-Result<CoilResult> Coil(const Graph& g, std::size_t n) {
+Result<CoilResult> Coil(const Graph& g, std::size_t n, ResourceGuard* guard) {
   if (n == 0) {
     return Result<CoilResult>::Error("coil: window size n must be positive");
   }
@@ -34,6 +34,12 @@ Result<CoilResult> Coil(const Graph& g, std::size_t n) {
   result.n = n;
 
   std::vector<GraphPath> paths = PathsUpTo(g, n);
+  // The coil has |Paths(G, n)| * (n + 1) nodes; charge the whole construction
+  // up front so a trip never leaves a partial coil behind.
+  if (guard != nullptr &&
+      guard->Charge(GuardPhase::kFrames, paths.size() * (n + 1))) {
+    return Result<CoilResult>::Error("coil: resource budget exhausted");
+  }
   std::unordered_map<PathKey, std::size_t, PathKeyHash> path_index;
   path_index.reserve(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {

@@ -6,6 +6,7 @@
 
 #include "src/graph/graph.h"
 #include "src/graph/unravel.h"
+#include "src/util/guard.h"
 #include "src/util/result.h"
 
 namespace gqc {
@@ -29,8 +30,11 @@ struct CoilResult {
 
 /// Builds Coil(G, n). Errors when n = 0 (the construction needs a positive
 /// window). The number of coil nodes is |Paths(G, n)| * (n + 1), which grows
-/// quickly with n; callers control n.
-Result<CoilResult> Coil(const Graph& g, std::size_t n);
+/// quickly with n; callers control n. An optional `guard` (billed under
+/// kFrames) bounds the construction: a trip yields an error, never a partial
+/// coil.
+Result<CoilResult> Coil(const Graph& g, std::size_t n,
+                        ResourceGuard* guard = nullptr);
 
 }  // namespace gqc
 

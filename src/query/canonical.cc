@@ -109,6 +109,12 @@ ExpansionSet CanonicalExpansions(const Crpq& q, const ExpansionOptions& options)
       result.exhaustive = false;
       break;
     }
+    // One guard step per expansion built; a trip degrades to a non-exhaustive
+    // set, which downstream folds into kUnknown rather than a wrong kNo.
+    if (options.guard != nullptr && options.guard->Charge(options.guard_phase)) {
+      result.exhaustive = false;
+      break;
+    }
     // Build the expansion for the current choice vector.
     UnionFind uf(q.VarCount());
     for (std::size_t i = 0; i < atom_words.size(); ++i) {

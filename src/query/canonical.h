@@ -6,6 +6,7 @@
 
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/guard.h"
 
 namespace gqc {
 
@@ -25,6 +26,10 @@ struct ExpansionOptions {
   std::size_t max_word_length = 4;
   /// Global cap on the number of expansions generated.
   std::size_t max_expansions = 512;
+  /// Optional resource guard; a trip stops enumeration with exhaustive=false
+  /// (never a wrong "exhaustive"). Null = ungoverned.
+  ResourceGuard* guard = nullptr;
+  GuardPhase guard_phase = GuardPhase::kDirect;
 };
 
 struct ExpansionSet {

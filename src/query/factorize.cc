@@ -213,9 +213,7 @@ class Factorizer {
         SPointed seed = sq.value();
         seed.point = x;
         if (!EnumeratePeripheralFactors(seed, /*mark_full=*/true)) {
-          return Result<SimpleFactorization>::Error(
-              "factorize: factor cap exceeded (" +
-              std::to_string(options_.max_factors) + ")");
+          return CapError();
         }
       }
     }
@@ -226,15 +224,14 @@ class Factorizer {
       worklist_.pop_front();
       SPointed factor = factors_[idx];
       if (!EnumeratePeripheralFactors(factor, /*mark_full=*/false)) {
-        return Result<SimpleFactorization>::Error(
-            "factorize: factor cap exceeded (" +
-            std::to_string(options_.max_factors) + ")");
+        return CapError();
       }
     }
 
     // Central factors and disjunct emission.
     for (std::size_t idx = 0; idx < factors_.size(); ++idx) {
       EnumerateCentralFactors(idx);
+      if (guard_tripped_) return CapError();
       if (disjuncts_.size() > options_.max_disjuncts) {
         return Result<SimpleFactorization>::Error("factorize: disjunct cap exceeded");
       }
@@ -244,6 +241,26 @@ class Factorizer {
   }
 
  private:
+  /// Charges one guard step; remembers the trip so Run can surface it as a
+  /// budget error rather than a structural-cap error.
+  bool ChargeGuard() {
+    if (options_.guard != nullptr && options_.guard->Charge(options_.guard_phase)) {
+      guard_tripped_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  Result<SimpleFactorization> CapError() const {
+    if (guard_tripped_) {
+      return Result<SimpleFactorization>::Error(
+          "factorize: resource budget exhausted");
+    }
+    return Result<SimpleFactorization>::Error(
+        "factorize: factor cap exceeded (" +
+        std::to_string(options_.max_factors) + ")");
+  }
+
   // --- conversion ---------------------------------------------------------
 
   Result<SPointed> Convert(const Crpq& q) {
@@ -353,6 +370,7 @@ class Factorizer {
 
     const std::size_t combos = std::size_t{1} << (choice_edges.size() + choice_stars.size());
     for (std::size_t combo = 0; combo < combos; ++combo) {
+      if (ChargeGuard()) return false;
       SPointed f;
       f.var_count = next;
       f.point = 0;
@@ -437,6 +455,7 @@ class Factorizer {
                       std::size_t factor_idx) {
     const SPointed& f = factors_[factor_idx];
     if (disjuncts_.size() > options_.max_disjuncts) return;
+    if (guard_tripped_ || ChargeGuard()) return;
     if (v == f.var_count) {
       RealizeCentral(place, parts_used, factor_idx);
       return;
@@ -699,6 +718,7 @@ class Factorizer {
 
   std::vector<SPointed> disjuncts_;
   std::set<CanonicalKey> disjunct_keys_;
+  bool guard_tripped_ = false;
 };
 
 }  // namespace

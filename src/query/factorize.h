@@ -6,6 +6,7 @@
 
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/guard.h"
 #include "src/util/result.h"
 
 namespace gqc {
@@ -67,6 +68,10 @@ struct FactorizeOptions {
   std::size_t max_factors = 24;
   /// Cap on generated Q̂ disjuncts.
   std::size_t max_disjuncts = 4096;
+  /// Optional resource guard; a trip makes factorization return an error
+  /// (folded into kUnknown downstream). Null = ungoverned.
+  ResourceGuard* guard = nullptr;
+  GuardPhase guard_phase = GuardPhase::kFactorize;
 };
 
 /// Factorizes a connected simple UC2RPQ. Errors if the query is not simple,

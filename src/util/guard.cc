@@ -1,0 +1,138 @@
+#include "src/util/guard.h"
+
+namespace gqc {
+
+const char* GuardPhaseName(GuardPhase p) {
+  switch (p) {
+    case GuardPhase::kSetup:
+      return "setup";
+    case GuardPhase::kScreen:
+      return "screen";
+    case GuardPhase::kDirect:
+      return "direct-search";
+    case GuardPhase::kEntailment:
+      return "entailment";
+    case GuardPhase::kReduction:
+      return "reduction";
+    case GuardPhase::kFactorize:
+      return "factorize";
+    case GuardPhase::kFrames:
+      return "frames";
+  }
+  return "?";
+}
+
+const char* GuardResourceName(GuardResource r) {
+  switch (r) {
+    case GuardResource::kNone:
+      return "none";
+    case GuardResource::kDeadline:
+      return "deadline";
+    case GuardResource::kSteps:
+      return "steps";
+    case GuardResource::kMemory:
+      return "memory";
+    case GuardResource::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+ResourceGuard::ResourceGuard(const ResourceBudget& budget)
+    : ResourceGuard(budget, budget.deadline_ms > 0,
+                    budget.deadline_ms > 0
+                        ? std::chrono::steady_clock::now() +
+                              std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double, std::milli>(
+                                      budget.deadline_ms))
+                        : std::chrono::steady_clock::time_point{}) {}
+
+ResourceGuard::ResourceGuard(const ResourceBudget& budget, bool has_deadline,
+                             std::chrono::steady_clock::time_point deadline)
+    : has_deadline_(has_deadline),
+      deadline_(deadline),
+      max_steps_(budget.max_steps),
+      max_memory_(budget.max_memory_bytes),
+      cancel_(budget.cancel) {}
+
+void ResourceGuard::Trip(GuardResource r, GuardPhase p) {
+  // First trip wins; later trips (other threads, other resources) are noise.
+  uint8_t expected = static_cast<uint8_t>(GuardResource::kNone);
+  if (tripped_.compare_exchange_strong(expected, static_cast<uint8_t>(r),
+                                       std::memory_order_acq_rel)) {
+    trip_phase_.store(static_cast<uint8_t>(p), std::memory_order_release);
+  }
+}
+
+bool ResourceGuard::CheckClockAndToken(GuardPhase phase) {
+  if (cancel_.cancelled()) {
+    Trip(GuardResource::kCancelled, phase);
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    Trip(GuardResource::kDeadline, phase);
+    return true;
+  }
+  return false;
+}
+
+bool ResourceGuard::Charge(GuardPhase phase, uint64_t steps) {
+  if (exhausted()) return true;
+  uint64_t prev = steps_.fetch_add(steps, std::memory_order_relaxed);
+  phase_steps_[static_cast<std::size_t>(phase)].fetch_add(
+      steps, std::memory_order_relaxed);
+  if (max_steps_ != 0 && prev + steps > max_steps_) {
+    Trip(GuardResource::kSteps, phase);
+    return true;
+  }
+  // Amortized clock/token poll: whenever the total crosses a stride boundary
+  // (always true for bulk charges of at least one stride).
+  if ((prev / kClockStride) != ((prev + steps) / kClockStride)) {
+    return CheckClockAndToken(phase);
+  }
+  return false;
+}
+
+bool ResourceGuard::ChargeMemory(GuardPhase phase, uint64_t bytes) {
+  if (exhausted()) return true;
+  uint64_t prev = memory_.fetch_add(bytes, std::memory_order_relaxed);
+  if (max_memory_ != 0 && prev + bytes > max_memory_) {
+    Trip(GuardResource::kMemory, phase);
+    return true;
+  }
+  return false;
+}
+
+bool ResourceGuard::Recheck(GuardPhase phase) {
+  if (exhausted()) return true;
+  return CheckClockAndToken(phase);
+}
+
+std::string ResourceGuard::Describe() const {
+  GuardResource r = reason();
+  if (r == GuardResource::kNone) return "";
+  std::string out;
+  switch (r) {
+    case GuardResource::kDeadline:
+      out = "deadline exceeded";
+      break;
+    case GuardResource::kSteps:
+      out = "step budget exhausted";
+      break;
+    case GuardResource::kMemory:
+      out = "memory budget exhausted";
+      break;
+    case GuardResource::kCancelled:
+      out = "cancelled";
+      break;
+    case GuardResource::kNone:
+      break;
+  }
+  out += " in ";
+  out += GuardPhaseName(trip_phase());
+  out += " after " + std::to_string(steps_spent()) + " steps";
+  return out;
+}
+
+}  // namespace gqc

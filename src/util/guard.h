@@ -1,0 +1,175 @@
+#ifndef GQC_UTIL_GUARD_H_
+#define GQC_UTIL_GUARD_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gqc {
+
+/// Cooperative cancellation handle: a copyable reference to a shared flag.
+/// Cancel() is sticky — once set, every copy observes it. All operations are
+/// wait-free and safe from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The potentially-exponential phases of the containment pipeline; a
+/// ResourceGuard attributes every charged step to the phase that spent it,
+/// so exhaustion reports (and the PipelineStats spend histograms) say where
+/// the budget went.
+enum class GuardPhase : uint8_t {
+  kSetup = 0,       // parsing / context assembly before any search
+  kScreen,          // cheap exact screens (classical containment)
+  kDirect,          // direct bounded countermodel search
+  kEntailment,      // Tp(T, Q̂) type-elimination fixpoints
+  kReduction,       // §3 reduction H0 search
+  kFactorize,       // query factorization closure
+  kFrames,          // frame factorization / coil construction
+};
+inline constexpr std::size_t kGuardPhaseCount = 7;
+
+const char* GuardPhaseName(GuardPhase p);
+
+/// Which resource tripped a guard. kNone means the guard is still live.
+enum class GuardResource : uint8_t {
+  kNone = 0,
+  kDeadline,   // wall-clock deadline passed
+  kSteps,      // step budget exhausted
+  kMemory,     // memory estimate exceeded the budget
+  kCancelled,  // cooperative cancellation requested
+};
+
+const char* GuardResourceName(GuardResource r);
+
+/// Resource limits for one decision. Zero means "unlimited" for every
+/// numeric field; a default-constructed budget never trips (beyond explicit
+/// cancellation through `cancel`).
+///
+/// Granularity: the step and memory budgets apply to one *disjunct decision*
+/// (the unit of parallelism), which keeps budget-exhaustion verdicts a pure
+/// function of (input, budget) at any thread count. The deadline and the
+/// cancellation token span the whole pair (or batch): deadline-driven
+/// verdicts are wall-clock dependent and therefore not reproducible, which
+/// is why the adversarial tests pin step budgets instead.
+struct ResourceBudget {
+  /// Wall-clock deadline relative to guard construction (0 = none).
+  double deadline_ms = 0;
+  /// Total search steps a guard may charge (0 = unlimited).
+  uint64_t max_steps = 0;
+  /// Estimated bytes of search state a guard may charge (0 = unlimited).
+  uint64_t max_memory_bytes = 0;
+  /// Cooperative cancellation; shared by every guard built from this budget.
+  CancellationToken cancel;
+
+  bool unlimited() const {
+    return deadline_ms <= 0 && max_steps == 0 && max_memory_bytes == 0;
+  }
+};
+
+/// Deadline + step budget + memory estimate + cancellation, threaded through
+/// every potentially-exponential phase of the pipeline. Exhausting a budget
+/// never aborts and never produces a wrong definite verdict: search code
+/// polls Charge()/Recheck() and unwinds to a three-valued Unknown outcome
+/// when the guard trips.
+///
+/// One guard may be polled by several threads at once (the engine's
+/// disjunct-level parallelism); every counter is atomic and Charge() is
+/// wait-free. The first trip wins: reason/phase record where the budget ran
+/// out and are immutable afterwards.
+///
+/// Cost discipline: with no deadline, Charge() is one relaxed fetch_add plus
+/// one relaxed load; the clock is only read every kClockStride charged steps
+/// (and on Recheck), so instrumenting per-step hot loops is affordable.
+class ResourceGuard {
+ public:
+  /// Unlimited guard (still cancellable through its own token).
+  ResourceGuard() : ResourceGuard(ResourceBudget{}) {}
+
+  /// Pins `budget.deadline_ms` relative to now.
+  explicit ResourceGuard(const ResourceBudget& budget);
+
+  /// Same budget, but with an externally pinned absolute deadline (the pair
+  /// deadline, computed once, shared by every disjunct guard of the pair).
+  /// `deadline` is ignored unless `has_deadline`.
+  ResourceGuard(const ResourceBudget& budget, bool has_deadline,
+                std::chrono::steady_clock::time_point deadline);
+
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+
+  /// Charges `steps` to `phase` and returns true iff the guard has tripped
+  /// (now or earlier). Search loops call this once per expanded state.
+  bool Charge(GuardPhase phase, uint64_t steps = 1);
+
+  /// Charges an estimate of allocated search state. Returns true iff tripped.
+  bool ChargeMemory(GuardPhase phase, uint64_t bytes);
+
+  /// Checks deadline and cancellation without charging steps (entry points,
+  /// loop boundaries). Returns true iff tripped.
+  bool Recheck(GuardPhase phase);
+
+  /// True iff some budget ran out (sticky).
+  bool exhausted() const {
+    return tripped_.load(std::memory_order_acquire) !=
+           static_cast<uint8_t>(GuardResource::kNone);
+  }
+
+  /// Which resource tripped first (kNone if live).
+  GuardResource reason() const {
+    return static_cast<GuardResource>(tripped_.load(std::memory_order_acquire));
+  }
+
+  /// The phase that charged the tripping step (meaningless if live).
+  GuardPhase trip_phase() const {
+    return static_cast<GuardPhase>(trip_phase_.load(std::memory_order_acquire));
+  }
+
+  uint64_t steps_spent() const { return steps_.load(std::memory_order_relaxed); }
+  uint64_t steps_spent(GuardPhase phase) const {
+    return phase_steps_[static_cast<std::size_t>(phase)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t memory_charged() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable exhaustion summary, e.g.
+  /// "step budget exhausted in direct-search after 200000 steps".
+  /// Empty when the guard is live.
+  std::string Describe() const;
+
+ private:
+  // Clock reads are amortized: only when the total step counter crosses a
+  // multiple of this stride (must be a power of two).
+  static constexpr uint64_t kClockStride = 1024;
+
+  void Trip(GuardResource r, GuardPhase p);
+  bool CheckClockAndToken(GuardPhase phase);
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t max_steps_ = 0;
+  uint64_t max_memory_ = 0;
+  CancellationToken cancel_;
+
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> memory_{0};
+  std::array<std::atomic<uint64_t>, kGuardPhaseCount> phase_steps_{};
+  std::atomic<uint8_t> tripped_{static_cast<uint8_t>(GuardResource::kNone)};
+  std::atomic<uint8_t> trip_phase_{0};
+};
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_GUARD_H_

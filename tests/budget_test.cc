@@ -1,0 +1,224 @@
+// Resource-budget soundness suite (tentpole acceptance tests):
+//   (a) tiny budgets yield Unknown — never a crash, never a wrong definite
+//       verdict (checked against an unlimited-budget reference run),
+//   (b) verdicts for a fixed (seed, budget) are deterministic across runs
+//       and thread counts,
+//   (c) growing the budget never flips a definite verdict: definite at B
+//       implies the same definite at 2B (Unknown at B may stay Unknown or
+//       become definite at 2B).
+// Suite name "BudgetTest" is load-bearing: tools/sanitize.sh runs it under
+// TSan by that filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/containment.h"
+#include "src/dl/concept_parser.h"
+#include "src/engine/engine.h"
+#include "src/query/parser.h"
+#include "src/schema/workload.h"
+
+namespace gqc {
+namespace {
+
+std::size_t TestBatchSize(std::size_t full) {
+  const char* env = std::getenv("GQC_ENGINE_TEST_ITEMS");
+  if (env == nullptr) return full;
+  std::size_t cap = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  return cap == 0 ? full : std::min(cap, full);
+}
+
+std::vector<BatchItem> WorkloadItems(std::size_t count, uint64_t seed,
+                                     const WorkloadOptions& base = {}) {
+  WorkloadOptions wopts = base;
+  wopts.seed = seed;
+  std::vector<WorkloadInstance> instances = GenerateWorkload(wopts, count);
+  std::vector<BatchItem> items;
+  items.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    BatchItem item;
+    item.id = std::to_string(i);
+    item.schema_text = instances[i].schema_text;
+    item.p_text = instances[i].p_text;
+    item.q_text = instances[i].q_text;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<BatchOutcome> RunWithBudget(const std::vector<BatchItem>& items,
+                                        uint64_t max_steps,
+                                        std::size_t threads = 1) {
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.containment.resources.max_steps = max_steps;
+  Engine engine(opts);
+  return engine.DecideBatch(items);
+}
+
+// (a) Tiny budgets degrade soundly: every definite verdict under any budget
+// matches the unlimited-budget reference; the rest are Unknown.
+TEST(BudgetTest, TinyBudgetsNeverMisanswer) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(40), 11);
+  std::vector<BatchOutcome> reference = RunWithBudget(items, /*max_steps=*/0);
+
+  for (uint64_t budget : {uint64_t{1}, uint64_t{16}, uint64_t{256},
+                          uint64_t{4096}, uint64_t{65536}}) {
+    std::vector<BatchOutcome> out = RunWithBudget(items, budget);
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      SCOPED_TRACE("budget " + std::to_string(budget) + " item " +
+                   items[i].id);
+      EXPECT_EQ(out[i].ok, reference[i].ok);
+      if (!out[i].ok) continue;
+      if (out[i].verdict != Verdict::kUnknown) {
+        // A definite verdict under a starvation budget must be the true one.
+        EXPECT_EQ(out[i].verdict, reference[i].verdict);
+      } else {
+        EXPECT_FALSE(out[i].unknown_reason.empty());
+      }
+    }
+  }
+
+  // The smallest budget must actually bite on this workload: at least one
+  // pair gives up with a step-budget trip (otherwise the test tests nothing).
+  std::vector<BatchOutcome> starved = RunWithBudget(items, 1);
+  EXPECT_TRUE(std::any_of(starved.begin(), starved.end(),
+                          [](const BatchOutcome& o) {
+                            return o.unknown_reason == "steps";
+                          }));
+}
+
+// (b) Fixed seed + fixed step budget => identical outcomes, across repeated
+// runs and across thread counts (step budgets are per disjunct decision, so
+// scheduling cannot change where they trip).
+TEST(BudgetTest, FixedSeedAndBudgetIsDeterministic) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(30), 7);
+  for (uint64_t budget : {uint64_t{64}, uint64_t{4096}}) {
+    std::vector<BatchOutcome> first = RunWithBudget(items, budget, 1);
+    std::vector<BatchOutcome> again = RunWithBudget(items, budget, 1);
+    std::vector<BatchOutcome> threaded = RunWithBudget(items, budget, 8);
+    ASSERT_EQ(first.size(), again.size());
+    ASSERT_EQ(first.size(), threaded.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      SCOPED_TRACE("budget " + std::to_string(budget) + " item " +
+                   items[i].id);
+      for (const std::vector<BatchOutcome>* other : {&again, &threaded}) {
+        EXPECT_EQ(first[i].verdict, (*other)[i].verdict);
+        EXPECT_EQ(first[i].note, (*other)[i].note);
+        EXPECT_EQ(first[i].unknown_reason, (*other)[i].unknown_reason);
+        EXPECT_EQ(first[i].unknown_phase, (*other)[i].unknown_phase);
+        EXPECT_EQ(first[i].countermodel_nodes, (*other)[i].countermodel_nodes);
+      }
+    }
+  }
+}
+
+// (c) Budget monotonicity: a definite verdict at budget B is reproduced at
+// 2B — the guard trips no earlier, so the (deterministic) search runs the
+// identical step sequence to the same conclusion. Unknown at B may stay
+// Unknown or turn definite, never "definite at B, different definite at 2B".
+TEST(BudgetTest, DoublingBudgetNeverFlipsDefiniteVerdicts) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(30), 13);
+  uint64_t budget = 32;
+  std::vector<BatchOutcome> prev = RunWithBudget(items, budget);
+  for (int round = 0; round < 6; ++round) {
+    budget *= 2;
+    std::vector<BatchOutcome> next = RunWithBudget(items, budget);
+    ASSERT_EQ(prev.size(), next.size());
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      SCOPED_TRACE("budget " + std::to_string(budget) + " item " +
+                   items[i].id);
+      if (prev[i].ok && prev[i].verdict != Verdict::kUnknown) {
+        EXPECT_EQ(next[i].verdict, prev[i].verdict);
+      }
+    }
+    prev = std::move(next);
+  }
+}
+
+// Blow-up instances (larger type pool, more constraints and atoms) finish
+// promptly under a finite step budget instead of running for minutes, and
+// the budget trips are visible in the pipeline stats JSON.
+TEST(BudgetTest, BlowUpInstancesReturnPromptlyUnderBudget) {
+  WorkloadOptions heavy;
+  heavy.node_types = 4;
+  heavy.roles = 3;
+  heavy.schema_constraints = 6;
+  heavy.query_atoms = 4;
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(12), 5, heavy);
+
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.containment.resources.max_steps = 20000;
+  Engine engine(opts);
+  std::vector<BatchOutcome> out = engine.DecideBatch(items);
+  ASSERT_EQ(out.size(), items.size());
+  for (const BatchOutcome& o : out) {
+    if (!o.ok) continue;  // parse failures are not this test's concern
+    if (o.verdict == Verdict::kUnknown) {
+      EXPECT_FALSE(o.unknown_reason.empty()) << o.id;
+    }
+  }
+  EXPECT_EQ(engine.stats().pairs_total.load(), items.size());
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"resource_governance\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget_exhausted\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_spend_hist\""), std::string::npos);
+}
+
+// The checker-level API (no engine) honors the same budget contract and
+// reports the trip through ContainmentResult::unknown.
+TEST(BudgetTest, CheckerLevelBudgetReportsTripDetails) {
+  Vocabulary vocab;
+  auto tbox = ParseTBox(
+      "A <= exists r.A\nA <= exists s.B\nB <= exists r.A\n"
+      "top <= forall r.A\n",
+      &vocab);
+  ASSERT_TRUE(tbox.ok()) << tbox.error();
+  auto p = ParseUcrpq("A(x), ((r + s)*)(x, y), B(y)", &vocab);
+  auto q = ParseUcrpq("B(x), (r*)(x, y), A(y)", &vocab);
+  ASSERT_TRUE(p.ok() && q.ok());
+
+  ContainmentOptions options;
+  options.resources.max_steps = 5;
+  ContainmentChecker checker(&vocab, options);
+  ContainmentResult r = checker.Decide(p.value(), q.value(), tbox.value());
+  if (r.verdict == Verdict::kUnknown) {
+    ASSERT_TRUE(r.unknown.has_value());
+    EXPECT_FALSE(r.unknown->reason.empty());
+    if (r.unknown->reason == "steps") {
+      EXPECT_FALSE(r.unknown->phase.empty());
+      EXPECT_FALSE(r.note.empty());
+    }
+  }
+}
+
+// Cancellation through the budget's token is honored at the checker level:
+// a pre-cancelled decision is preempted without searching.
+TEST(BudgetTest, PreCancelledTokenPreemptsDecision) {
+  Vocabulary vocab;
+  auto tbox = ParseTBox("A <= exists r.B\n", &vocab);
+  ASSERT_TRUE(tbox.ok());
+  auto p = ParseUcrpq("A(x), r(x, y)", &vocab);
+  auto q = ParseUcrpq("B(x)", &vocab);
+  ASSERT_TRUE(p.ok() && q.ok());
+
+  ContainmentOptions options;
+  options.resources.cancel.Cancel();
+  PipelineStats stats;
+  options.stats = &stats;
+  ContainmentChecker checker(&vocab, options);
+  ContainmentResult r = checker.Decide(p.value(), q.value(), tbox.value());
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  ASSERT_TRUE(r.unknown.has_value());
+  EXPECT_EQ(r.unknown->reason, "cancelled");
+  EXPECT_EQ(stats.budget_cancelled.load(), stats.guards_total.load());
+}
+
+}  // namespace
+}  // namespace gqc

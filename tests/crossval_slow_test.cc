@@ -1,15 +1,9 @@
-// Randomized cross-validation of three INDEPENDENT oracles for "is τ
-// realized in a finite model of T refuting Q":
-//   1. the §6 type-elimination engine (AlcqSimpleEngine),
-//   2. the bounded witness search (chase-style completion),
-//   3. a brute-force enumerator of ALL labeled graphs up to a node bound
-//      (tests/brute_oracle.h — it shares no search code with 1 or 2).
-// Whenever two oracles are definite about the same claim they must agree;
-// any disagreement exposes a bug in the type-elimination fixpoints, the
-// chase, or the model checker — this is the strongest internal consistency
-// check the suite has. The brute-force oracle's NO answers are size-bounded
-// ("no model with <= N nodes"), so they are only compared against witnesses
-// that fit the bound.
+// Deep differential-oracle sweep (ctest label: slow): the same three-oracle
+// cross-validation as crossval_test.cc, but with the brute-force enumerator
+// bound raised to 3 nodes — 8^3 labelings x 2^9 edge sets = 262144 candidate
+// graphs per instance, which is why this lives in the slow suite. The larger
+// bound catches refutation bugs that only 3-node models expose (e.g. a
+// counting constraint forcing two distinct successors).
 
 #include <gtest/gtest.h>
 
@@ -33,14 +27,11 @@ using testing_oracle::Generate;
 using testing_oracle::GeneratedInstance;
 using testing_oracle::IsValidWitness;
 
-/// Node bound for the fast suite's brute-force sweep: 2 nodes x 3 concepts
-/// x 4 edge slots = 1024 graphs per instance. The slow suite
-/// (crossval_slow_test.cc) re-runs a prefix of the seeds at bound 3.
-constexpr std::size_t kFastNodeBound = 2;
+constexpr std::size_t kDeepNodeBound = 3;
 
-class CrossValidationTest : public ::testing::TestWithParam<uint64_t> {};
+class DeepCrossValidationTest : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(CrossValidationTest, ThreeOraclesAgreeOnDefiniteAnswers) {
+TEST_P(DeepCrossValidationTest, BruteForceAgreesAtBoundThree) {
   GeneratedInstance inst = Generate(GetParam());
   SCOPED_TRACE("tbox:\n" + inst.tbox_text + "query: " + inst.query_text +
                "\ntau: " + inst.tau_concept);
@@ -55,13 +46,11 @@ TEST_P(CrossValidationTest, ThreeOraclesAgreeOnDefiniteAnswers) {
   Type tau;
   tau.AddLiteral(Literal::Positive(vocab.ConceptId(inst.tau_concept)));
 
-  // Oracle 1: the §6 engine.
   auto f = FactorizeSimpleUcrpq(q.value(), &vocab);
   ASSERT_TRUE(f.ok()) << f.error();
   AlcqSimpleEngine engine(&f.value(), &vocab);
   EngineAnswer by_engine = engine.TypeRealizable(tau, tbox);
 
-  // Oracle 2: the bounded witness search.
   std::vector<uint32_t> ids = tbox.ConceptIds();
   for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
   for (uint32_t id : q.value().MentionedConcepts()) ids.push_back(id);
@@ -73,39 +62,25 @@ TEST_P(CrossValidationTest, ThreeOraclesAgreeOnDefiniteAnswers) {
   problem.forbid = &q.value();
   WitnessResult by_search = FindWitness(problem, EngineLimits{});
 
-  // Oracle 3: brute-force enumeration over the original (unnormalized)
-  // TBox and the original concept alphabet, up to kFastNodeBound nodes.
   std::vector<uint32_t> alphabet = {vocab.ConceptId("A"), vocab.ConceptId("B"),
                                     vocab.ConceptId("C")};
   BruteForceAnswer by_brute =
       BruteForceRealizable(tau, tbox_or.value(), q.value(), alphabet,
-                           vocab.RoleId("r"), kFastNodeBound);
+                           vocab.RoleId("r"), kDeepNodeBound);
 
-  // Pairwise agreement of definite answers.
-  if (by_engine != EngineAnswer::kUnknown && by_search.answer != EngineAnswer::kUnknown) {
-    EXPECT_EQ(by_engine, by_search.answer);
-  }
   if (by_brute.found) {
-    // The brute-force model IS a countermodel to non-realizability; a
-    // definite NO from either search-based oracle is a bug.
     EXPECT_NE(by_engine, EngineAnswer::kNo)
         << "engine says unrealizable but a " << by_brute.model->NodeCount()
         << "-node model realizes tau";
     EXPECT_NE(by_search.answer, EngineAnswer::kNo)
         << "witness search says unrealizable but a "
         << by_brute.model->NodeCount() << "-node model realizes tau";
-    // Self-check of the enumerator with the independent validity predicate.
     EXPECT_TRUE(IsValidWitness(*by_brute.model, tau, tbox_or.value(), q.value()));
   }
   if (by_search.answer == EngineAnswer::kYes) {
-    // Definite yes from the search always carries a witness; verify it with
-    // the brute-force oracle's independent checker (against the normalized
-    // TBox the search completed against).
     ASSERT_TRUE(by_search.witness.has_value());
     EXPECT_TRUE(IsValidWitness(*by_search.witness, tau, tbox, q.value()));
-    // A witness small enough for the brute-force sweep must have been found
-    // by it — otherwise the enumerator (or the model checker) is broken.
-    if (by_search.witness->NodeCount() <= kFastNodeBound) {
+    if (by_search.witness->NodeCount() <= kDeepNodeBound) {
       EXPECT_TRUE(by_brute.found)
           << "search found a " << by_search.witness->NodeCount()
           << "-node witness the exhaustive enumeration missed";
@@ -113,8 +88,8 @@ TEST_P(CrossValidationTest, ThreeOraclesAgreeOnDefiniteAnswers) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationTest,
-                         ::testing::Range(uint64_t{1}, uint64_t{201}));
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepCrossValidationTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{41}));
 
 }  // namespace
 }  // namespace gqc

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -233,6 +235,101 @@ TEST(EngineTest, OutcomeJsonIsParseableAndComplete) {
   EXPECT_EQ(verdict, VerdictName(Verdict::kNotContained));
   EXPECT_EQ(note, "line1\nline2");
   EXPECT_EQ(nodes, "3");
+}
+
+// ------------------------------------------------- deadlines / cancellation
+
+// A batch whose deadline has already passed when pairs reach the front of
+// the queue yields all-Unknown outcomes without running a single search, at
+// 1 and at 8 threads, and the stats still account for every item.
+TEST(EngineTest, ExpiredBatchDeadlinePreemptsEveryPair) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(12), 31);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EngineOptions opts;
+    opts.threads = threads;
+    // One nanosecond: pinned at batch start, guaranteed past by the time any
+    // pair begins.
+    opts.batch_timeout_ms = 1e-6;
+    Engine engine(opts);
+    std::vector<BatchOutcome> out = engine.DecideBatch(items);
+    ASSERT_EQ(out.size(), items.size());
+    for (const BatchOutcome& o : out) {
+      EXPECT_TRUE(o.ok) << o.id;
+      EXPECT_EQ(o.verdict, Verdict::kUnknown) << o.id;
+      EXPECT_EQ(o.unknown_reason, "deadline") << o.id;
+      EXPECT_NE(o.note.find("preempted"), std::string::npos) << o.id;
+    }
+    const PipelineStats& stats = engine.stats();
+    EXPECT_EQ(stats.pairs_preempted.load(), items.size());
+    EXPECT_EQ(stats.pairs_total.load(), items.size());
+    EXPECT_EQ(stats.pairs_unknown.load(), items.size());
+    // No guarded decision ever started — nothing was parsed or searched.
+    EXPECT_EQ(stats.guards_total.load(), 0u);
+    EXPECT_EQ(stats.disjuncts_total.load(), 0u);
+  }
+}
+
+// CancelAll during a running batch: every item still gets an outcome, every
+// definite verdict matches an uncancelled reference run (completed work is
+// never thrown away or corrupted), and the verdict tallies sum to the item
+// count. Exercised at 1 and 8 threads.
+TEST(EngineTest, CancelAllMidBatchLeavesCompletedVerdictsIntact) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(40), 11);
+
+  EngineOptions ref_opts;
+  ref_opts.threads = 1;
+  Engine reference(ref_opts);
+  std::vector<BatchOutcome> ref = reference.DecideBatch(items);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EngineOptions opts;
+    opts.threads = threads;
+    Engine engine(opts);
+    std::vector<BatchOutcome> out;
+    std::thread worker(
+        [&] { out = engine.DecideBatch(items); });
+    // Let some pairs complete, then cancel mid-flight. If the batch already
+    // finished, the assertions below still hold (just with no cancellations).
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    engine.CancelAll();
+    worker.join();
+
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      SCOPED_TRACE("item " + items[i].id);
+      EXPECT_EQ(out[i].ok, ref[i].ok);
+      if (!out[i].ok) continue;
+      if (out[i].verdict != Verdict::kUnknown) {
+        // Completed before the cancellation: must be the true verdict. (The
+        // note may legitimately differ — with several disjuncts, the first
+        // refuting disjunct in disjunct order can change when an earlier one
+        // was cancelled mid-decision.)
+        EXPECT_EQ(out[i].verdict, ref[i].verdict);
+      } else if (out[i].unknown_reason != "cancelled") {
+        // Unknown for a non-cancellation reason must be Unknown in the
+        // reference too (cancellation never invents other Unknowns).
+        EXPECT_EQ(ref[i].verdict, Verdict::kUnknown);
+      }
+    }
+    const PipelineStats& stats = engine.stats();
+    EXPECT_EQ(stats.pairs_total.load() + stats.pairs_error.load(),
+              items.size());
+    EXPECT_EQ(stats.pairs_contained.load() + stats.pairs_not_contained.load() +
+                  stats.pairs_unknown.load(),
+              stats.pairs_total.load());
+
+    // A batch started after CancelAll is unaffected (tokens are per batch).
+    std::vector<BatchOutcome> fresh = engine.DecideBatch(items);
+    ASSERT_EQ(fresh.size(), items.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (!fresh[i].ok) continue;
+      if (fresh[i].verdict != Verdict::kUnknown) {
+        EXPECT_EQ(fresh[i].verdict, ref[i].verdict) << "item " << items[i].id;
+      }
+    }
+  }
 }
 
 TEST(EngineTest, StatsJsonExports) {

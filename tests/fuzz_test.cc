@@ -20,12 +20,33 @@ namespace gqc {
 namespace {
 
 std::string RandomSoup(std::mt19937_64* rng, std::size_t max_len) {
-  static const char alphabet[] =
+  // Printable syntax fragments plus hostile bytes: embedded NULs, stray
+  // UTF-8 continuation bytes, multi-byte sequences split mid-character,
+  // 0xFF/0xFE (never valid in UTF-8), and a DEL. Parsers must treat all of
+  // these as ordinary (rejectable) input — never crash, hang, or read past
+  // the buffer. std::string carries NULs fine; the parsers must not assume
+  // C-string termination.
+  static const char printable[] =
       "abcXYZ013 ._-+*()[]<>=!,;:^#\n\tforall exists atmost";
+  static const char hostile[] = {
+      '\0',                              // embedded NUL
+      '\x80', '\xbf',                    // lone continuation bytes
+      '\xc3', '\xa9',                    // U+00E9 as two bytes (valid pair)
+      '\xc3',                            // truncated 2-byte sequence
+      '\xe2', '\x82',                    // truncated 3-byte sequence (of €)
+      '\xf0', '\x9f', '\x92', '\xa9',    // U+1F4A9, full 4-byte sequence
+      '\xff', '\xfe',                    // bytes never valid in UTF-8
+      '\x7f',                            // DEL
+  };
   std::size_t len = (*rng)() % max_len;
   std::string out;
   for (std::size_t i = 0; i < len; ++i) {
-    out += alphabet[(*rng)() % (sizeof(alphabet) - 1)];
+    // ~1 in 4 bytes hostile, the rest printable syntax fragments.
+    if ((*rng)() % 4 == 0) {
+      out += hostile[(*rng)() % sizeof(hostile)];
+    } else {
+      out += printable[(*rng)() % (sizeof(printable) - 1)];
+    }
   }
   return out;
 }
@@ -77,6 +98,42 @@ TEST_P(FuzzTest, MutatedQueriesParseOrFailCleanly) {
       (void)Matches(g, q.value());
     } else {
       EXPECT_FALSE(q.error().empty());
+    }
+  }
+}
+
+// Valid inputs with hostile bytes spliced into the middle: the parsers must
+// fail cleanly (or parse, if the splice landed in a skippable position) and
+// never crash — in particular an embedded NUL must not truncate the scan.
+TEST_P(FuzzTest, SplicedHostileBytesFailCleanly) {
+  std::mt19937_64 rng(GetParam() * 257 + 11);
+  Vocabulary vocab;
+  const std::string bases[] = {
+      "A(x), (r . (s + t)*)(x, y), !B(y)",
+      "Customer <= exists owns.CredCard",
+      "node 0 A B\nnode 1\nedge 0 r 1",
+  };
+  const std::string splices[] = {
+      std::string(1, '\0'),              // NUL
+      std::string("\xc3\xa9"),           // é
+      std::string("\xf0\x9f\x92\xa9"),   // 4-byte emoji
+      std::string("\xff"),               // invalid byte
+      std::string(1, '\0') + "B(x)",     // NUL followed by more syntax
+  };
+  for (const std::string& base : bases) {
+    for (const std::string& splice : splices) {
+      for (int i = 0; i < 8; ++i) {
+        std::string text = base;
+        text.insert(rng() % (text.size() + 1), splice);
+        auto q = ParseUcrpq(text, &vocab);
+        if (!q.ok()) EXPECT_FALSE(q.error().empty());
+        auto t = ParseTBox(text, &vocab);
+        if (!t.ok()) EXPECT_FALSE(t.error().empty());
+        auto g = ParseGraph(text, &vocab);
+        if (!g.ok()) EXPECT_FALSE(g.error().empty());
+        auto s = ParseSchema(text, &vocab);
+        if (!s.ok()) EXPECT_FALSE(s.error().empty());
+      }
     }
   }
 }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Run the engine / thread-pool tests under ThreadSanitizer.
+# Run the engine / thread-pool / budget tests under ThreadSanitizer.
 #
 # The batch engine (src/engine) is the one concurrent subsystem: a
 # work-stealing thread pool plus mutex-guarded context caches shared across
-# worker threads. This script builds the tsan preset and runs every
-# EngineTest.* / ThreadPoolTest.* case under it, so data races in the pool,
-# the caches, or the atomic stats counters surface as hard failures.
+# worker threads, and resource guards (deadlines, step budgets, cancellation
+# tokens) polled concurrently by disjunct-level workers. This script builds
+# the tsan preset and runs every EngineTest.* / ThreadPoolTest.* /
+# BudgetTest.* case under it, so data races in the pool, the caches, the
+# guards, or the atomic stats counters surface as hard failures.
 #
 # Usage:
 #   tools/sanitize.sh            # TSan over the engine tests (the default)
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=tsan
-filter='^(EngineTest|ThreadPoolTest)\.'
+filter='^(EngineTest|ThreadPoolTest|BudgetTest)\.'
 for arg in "$@"; do
   case "$arg" in
     --all) filter='.*' ;;
@@ -39,4 +41,7 @@ export UBSAN_OPTIONS="print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 # ~10x slowdown. Override by exporting a different value (0 = full size).
 export GQC_ENGINE_TEST_ITEMS="${GQC_ENGINE_TEST_ITEMS:-6}"
 
-ctest --preset "$preset" -R "$filter" --timeout 3600
+# The slow label (exhaustive brute-force sweeps) is excluded: those tests
+# are single-threaded enumeration loops with nothing for a sanitizer to
+# find, and TSan's slowdown would multiply their already-long runtime.
+ctest --preset "$preset" -R "$filter" -LE slow --timeout 3600
