@@ -4,6 +4,9 @@
 #include <deque>
 #include <set>
 
+#include "src/automata/validate.h"
+#include "src/util/invariant.h"
+
 namespace gqc {
 
 uint32_t Semiautomaton::AddState() {
@@ -184,6 +187,7 @@ CompiledRegex CompileRegex(const RegexPtr& regex) {
   result.start = ref.start;
   result.end = ref.end;
   result.nullable = ref.nullable;
+  GQC_AUDIT(ValidateCompiledRegex(result));
   return result;
 }
 

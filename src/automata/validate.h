@@ -1,0 +1,32 @@
+#ifndef GQC_AUTOMATA_VALIDATE_H_
+#define GQC_AUTOMATA_VALIDATE_H_
+
+#include <vector>
+
+#include "src/automata/semiautomaton.h"
+#include "src/automata/symbol.h"
+#include "src/util/invariant.h"
+
+namespace gqc {
+
+/// Structural sanity of a semiautomaton: every transition endpoint is a live
+/// state (no dangling states), the out-/in-transition mirrors agree, no
+/// duplicate transitions, and the cached transition count matches.
+AuditResult ValidateSemiautomaton(const Semiautomaton& a);
+
+/// ValidateSemiautomaton plus an alphabet bound: every transition symbol is
+/// drawn from `alphabet` (the paper's Γ± ∪ Σ± for the task at hand).
+AuditResult ValidateSemiautomaton(const Semiautomaton& a,
+                                  const std::vector<Symbol>& alphabet);
+
+/// ValidateSemiautomaton plus vocabulary bounds: every transition symbol's
+/// role / concept id is interned.
+AuditResult ValidateSemiautomaton(const Semiautomaton& a,
+                                  const Vocabulary& vocab);
+
+/// CompileRegex output: well-formed automaton with live start/end states.
+AuditResult ValidateCompiledRegex(const CompiledRegex& cr);
+
+}  // namespace gqc
+
+#endif  // GQC_AUTOMATA_VALIDATE_H_

@@ -1,7 +1,9 @@
 #include "src/core/caches.h"
 
+#include "src/core/validate.h"
 #include "src/dl/normalize.h"
 #include "src/util/fingerprint.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -31,8 +33,13 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
     const Ucrpq& q, const NormalTBox& tbox, bool alcq_case, Vocabulary* vocab,
     const ReductionOptions& options) {
   PipelineStats* stats = options.stats;
-  std::string key = JoinKeyParts(tbox.ToString(*vocab), q.ToString(*vocab),
-                                 alcq_case ? "alcq" : "alci");
+  const std::string tbox_part = tbox.ToString(*vocab);
+  const std::string q_part = q.ToString(*vocab);
+  const std::string_view engine_part = alcq_case ? "alcq" : "alci";
+  std::string key = JoinKeyParts(tbox_part, q_part, engine_part);
+  // Closure verdicts are a pure function of (T, Q, engine); a key that does
+  // not round-trip to exactly those parts could alias distinct inputs.
+  GQC_AUDIT(ValidateCacheKey(key, {tbox_part, q_part, engine_part}));
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = closures_.find(key);

@@ -4,9 +4,12 @@
 #include <utility>
 
 #include "src/core/minimize.h"
+#include "src/core/validate.h"
+#include "src/graph/validate.h"
 #include "src/dl/model_check.h"
 #include "src/dl/normalize.h"
 #include "src/query/eval.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -244,6 +247,11 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
     }
   }
   if (result.verdict == Verdict::kNotContained) {
+    // A kNotContained verdict must never escape with a witness that does not
+    // actually refute containment (minimization included).
+    if (result.countermodel.has_value()) {
+      GQC_AUDIT(ValidateCountermodel(*result.countermodel, p, q, schema));
+    }
     RecordRefutation(stats, result);
     return result;
   }
@@ -291,6 +299,12 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
       result.verdict = Verdict::kNotContained;
       result.method = ContainmentMethod::kReduction;
       result.central_part = std::move(red.central_part);
+      // The central part is not a full countermodel (stubs defer their
+      // participation constraints; the semantic re-verification happens
+      // inside the reduction), but it must at least be a well-formed graph.
+      if (result.central_part.has_value()) {
+        GQC_AUDIT(ValidateGraph(*result.central_part));
+      }
       result.note = "countermodel is star-like; central part returned";
       RecordRefutation(stats, result);
       return result;

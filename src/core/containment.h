@@ -72,17 +72,20 @@ class ContainmentChecker {
   /// P, Q: UC2RPQs. `schema`: the TBox. Normalized on first use and (with
   /// `enable_caching`) memoized, so repeated calls against one schema pay
   /// normalization once.
-  ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q, const TBox& schema);
+  [[nodiscard]] ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q,
+                                         const TBox& schema);
 
   /// Same with a pre-normalized TBox.
-  ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q, const NormalTBox& schema);
+  [[nodiscard]] ContainmentResult Decide(const Ucrpq& p, const Ucrpq& q,
+                                         const NormalTBox& schema);
 
   /// Equivalence modulo schema: containment in both directions. Useful for
   /// schema-aware query rewriting (an atom may be dropped iff the rewritten
   /// query stays equivalent). kContained in the result means "equivalent";
   /// a countermodel (from whichever direction failed) refutes equivalence.
-  ContainmentResult DecideEquivalence(const Ucrpq& p, const Ucrpq& q,
-                                      const NormalTBox& schema);
+  [[nodiscard]] ContainmentResult DecideEquivalence(const Ucrpq& p,
+                                                    const Ucrpq& q,
+                                                    const NormalTBox& schema);
 
   /// Decides one connected disjunct p of P (advanced API — the unit of
   /// parallelism for the batch engine). When `closure` is non-null it must be
@@ -95,7 +98,7 @@ class ContainmentChecker {
   /// the trip details in `ContainmentResult::unknown` — never to an abort or
   /// a wrong definite verdict. Callers that want per-pair deadlines construct
   /// one guard per disjunct against a shared absolute deadline (see Decide).
-  ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,
+  [[nodiscard]] ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,
                                    const NormalTBox& schema,
                                    const TpClosure* closure = nullptr,
                                    ResourceGuard* guard = nullptr);
@@ -104,7 +107,8 @@ class ContainmentChecker {
   /// exactly as the sequential Decide loop does: the first kNotContained
   /// wins; any kUnknown poisons kContained. Exposed so parallel drivers
   /// reproduce sequential results bit-for-bit.
-  static ContainmentResult Combine(std::vector<ContainmentResult> per_disjunct);
+  [[nodiscard]] static ContainmentResult Combine(
+      std::vector<ContainmentResult> per_disjunct);
 
   const ContainmentOptions& options() const { return options_; }
 

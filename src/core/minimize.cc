@@ -7,12 +7,15 @@ namespace gqc {
 
 Graph MinimizeWitness(Graph g, const std::function<bool(const Graph&)>& invariant) {
   bool changed = true;
+  // lint: bounded(each sweep deletes a node, edge, or label or else terminates; witnesses are small)
   while (changed) {
     changed = false;
     // Drop nodes (largest id first so the remaining renaming is stable-ish).
+    // lint: bounded(linear scan over witness nodes)
     for (NodeId v = static_cast<NodeId>(g.NodeCount()); v-- > 0;) {
       if (g.NodeCount() <= 1) break;
       std::vector<NodeId> keep;
+      // lint: bounded(linear scan over witness nodes)
       for (NodeId u = 0; u < g.NodeCount(); ++u) {
         if (u != v) keep.push_back(u);
       }
@@ -23,6 +26,7 @@ Graph MinimizeWitness(Graph g, const std::function<bool(const Graph&)>& invarian
       }
     }
     // Drop edges.
+    // lint: bounded(linear scan over witness edges)
     for (const Edge& e : g.AllEdges()) {
       Graph candidate = g;
       candidate.RemoveEdge(e.from, e.role, e.to);
@@ -32,7 +36,9 @@ Graph MinimizeWitness(Graph g, const std::function<bool(const Graph&)>& invarian
       }
     }
     // Drop labels.
+    // lint: bounded(linear scan over witness nodes)
     for (NodeId v = 0; v < g.NodeCount(); ++v) {
+      // lint: bounded(labels of a single node)
       for (uint32_t id : g.Labels(v).ToIds()) {
         Graph candidate = g;
         candidate.RemoveLabel(v, id);

@@ -23,13 +23,16 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
   // admitted; handle by enumerating completions of the missing bits.
   std::vector<std::size_t> engine_pos(h0_space.arity(), TypeSpace::npos);
   std::vector<std::size_t> missing;
+  // lint: bounded(linear in the H0 support arity, capped by max_support_bits)
   for (std::size_t i = 0; i < h0_space.arity(); ++i) {
     engine_pos[i] = engine_space.PositionOf(h0_space.support()[i]);
     if (engine_pos[i] == TypeSpace::npos) missing.push_back(i);
   }
   std::set<uint64_t> base;
+  // lint: bounded(masks were enumerated under the guarded Tp fixpoint)
   for (uint64_t m : engine_masks) {
     uint64_t projected = 0;
+    // lint: bounded(linear in the H0 support arity)
     for (std::size_t i = 0; i < h0_space.arity(); ++i) {
       if (engine_pos[i] != TypeSpace::npos && ((m >> engine_pos[i]) & 1)) {
         projected |= uint64_t{1} << i;
@@ -39,9 +42,12 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
   }
   if (missing.empty() || missing.size() > 12) return base;
   std::set<uint64_t> out;
+  // lint: bounded(one pass over the projected base masks)
   for (uint64_t m : base) {
+    // lint: bounded(missing.size is capped at 12, so at most 4096 combinations)
     for (uint64_t combo = 0; combo < (uint64_t{1} << missing.size()); ++combo) {
       uint64_t mask = m;
+      // lint: bounded(linear in missing, at most 12)
       for (std::size_t j = 0; j < missing.size(); ++j) {
         if ((combo >> j) & 1) mask |= uint64_t{1} << missing[j];
       }
@@ -87,17 +93,21 @@ Result<TpClosure> ComputeTpClosure(const Ucrpq& q, const NormalTBox& tbox,
   return closure;
 }
 
-ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
+ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& /*q*/,
                                          const NormalTBox& tbox,
                                          const TpClosure& closure,
                                          const ReductionOptions& options) {
+  // Q itself is not consulted here: `closure` already carries its
+  // factorization (Q̂) and Tp masks, computed by ComputeTpClosure(q, ...).
   PhaseTimer timer(options.stats ? &options.stats->reduction_ns : nullptr);
   ReductionResult result;
   const SimpleFactorization& f = closure.factorization;
 
   // H0 search space: T, Q̂ (with permissions), p.
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(mentioned concepts of Q-hat, linear in query size)
   for (uint32_t id : f.q_hat.MentionedConcepts()) ids.push_back(id);
+  // lint: bounded(mentioned concepts of p, linear in query size)
   for (uint32_t id : p.MentionedConcepts()) ids.push_back(id);
   TypeSpace h0_space{std::move(ids)};
   if (h0_space.arity() > options.countermodel.limits.max_support_bits) {
@@ -136,6 +146,7 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& q,
         exp.graph.NodeCount() > 8) {
       capped = true;
     }
+    // lint: bounded(seeds are capped by max_quotients; FindWitness polls the shared guard per step)
     for (const Graph& seed : seeds) {
       WitnessProblem problem;
       problem.space = &h0_space;

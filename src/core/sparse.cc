@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/core/validate.h"
 #include "src/entailment/witness_search.h"
 #include "src/query/eval.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -14,8 +16,11 @@ namespace {
 Graph Quotient(const Graph& g, const std::vector<uint32_t>& block_of,
                uint32_t blocks) {
   Graph out;
+  // lint: bounded(linear in the block count of the at-most-8-node quotient)
   for (uint32_t b = 0; b < blocks; ++b) out.AddNode();
+  // lint: bounded(linear in the at-most-8-node graph)
   for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    // lint: bounded(labels of a single node)
     for (uint32_t id : g.Labels(v).ToIds()) out.AddLabel(block_of[v], id);
   }
   g.ForEachEdge([&](const Edge& e) {
@@ -48,6 +53,7 @@ std::vector<Graph> SatisfyingQuotients(const Graph& g, const Crpq& p,
       return;
     }
     uint32_t highest = std::min<uint32_t>(max_used + 1, static_cast<uint32_t>(n - 1));
+    // lint: bounded(n is at most 8, giving at most 4140 set partitions, further capped by max_out)
     for (uint32_t b = highest + 1; b-- > 0;) {
       rgs[i] = b;
       recurse(i + 1, std::max(max_used, b));
@@ -72,7 +78,9 @@ CountermodelSearchResult FindCountermodel(const Crpq& p, const Ucrpq& q,
 
   // Support: T, p, q concepts.
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(mentioned concepts of q, linear in query size)
   for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
+  // lint: bounded(mentioned concepts of p, linear in query size)
   for (uint32_t id : p.MentionedConcepts()) ids.push_back(id);
   TypeSpace space{std::move(ids)};
 
@@ -87,6 +95,7 @@ CountermodelSearchResult FindCountermodel(const Crpq& p, const Ucrpq& q,
     if (seeds.size() >= options.max_quotients || exp.graph.NodeCount() > 8) {
       capped = true;
     }
+    // lint: bounded(seeds are capped by max_quotients; FindWitness polls the shared guard per step)
     for (const Graph& seed : seeds) {
       WitnessProblem problem;
       problem.space = &space;
@@ -98,6 +107,12 @@ CountermodelSearchResult FindCountermodel(const Crpq& p, const Ucrpq& q,
       if (w.answer == EngineAnswer::kYes) {
         result.answer = EngineAnswer::kYes;
         result.witness = std::move(w.witness);
+        // The witness search claims G ⊨ T, G ⊨ p, G ⊭ q; re-check through
+        // the independent model checker / evaluator before the claim
+        // propagates into a kNotContained verdict.
+        if (result.witness.has_value()) {
+          GQC_AUDIT(ValidateCountermodel(*result.witness, p, q, tbox));
+        }
         return result;
       }
       if (w.answer == EngineAnswer::kUnknown) capped = true;

@@ -1,0 +1,69 @@
+#include "src/core/validate.h"
+
+#include <string>
+
+#include "src/dl/model_check.h"
+#include "src/graph/validate.h"
+#include "src/query/eval.h"
+#include "src/util/fingerprint.h"
+
+namespace gqc {
+
+AuditResult ValidateCacheKey(std::string_view key,
+                             const std::vector<std::string_view>& parts) {
+  std::optional<std::vector<std::string>> decoded = SplitKeyParts(key);
+  if (!decoded.has_value()) {
+    return AuditViolation("cache key is not a valid length-prefixed encoding");
+  }
+  if (decoded->size() != parts.size()) {
+    return AuditViolation(
+        "cache key decodes to " + std::to_string(decoded->size()) +
+        " parts, built from " + std::to_string(parts.size()));
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if ((*decoded)[i] != parts[i]) {
+      return AuditViolation("cache key part #" + std::to_string(i) +
+                            " does not round-trip: possible key aliasing "
+                            "between distinct cache inputs");
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateCountermodel(const Graph& g, const Crpq& p, const Ucrpq& q,
+                                 const NormalTBox& tbox) {
+  if (auto v = ValidateGraph(g)) return v;
+  if (!Satisfies(g, tbox)) {
+    return AuditViolation("claimed countermodel does not satisfy the TBox");
+  }
+  if (!Matches(g, p)) {
+    return AuditViolation(
+        "claimed countermodel does not satisfy the left-hand query");
+  }
+  if (Matches(g, q)) {
+    return AuditViolation(
+        "claimed countermodel satisfies the right-hand query — it refutes "
+        "nothing");
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateCountermodel(const Graph& g, const Ucrpq& p,
+                                 const Ucrpq& q, const NormalTBox& tbox) {
+  if (auto v = ValidateGraph(g)) return v;
+  if (!Satisfies(g, tbox)) {
+    return AuditViolation("claimed countermodel does not satisfy the TBox");
+  }
+  if (!Matches(g, p)) {
+    return AuditViolation(
+        "claimed countermodel does not satisfy the left-hand query");
+  }
+  if (Matches(g, q)) {
+    return AuditViolation(
+        "claimed countermodel satisfies the right-hand query — it refutes "
+        "nothing");
+  }
+  return std::nullopt;
+}
+
+}  // namespace gqc

@@ -1,0 +1,35 @@
+#ifndef GQC_CORE_VALIDATE_H_
+#define GQC_CORE_VALIDATE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/dl/tbox.h"
+#include "src/graph/graph.h"
+#include "src/query/ucrpq.h"
+#include "src/util/invariant.h"
+
+namespace gqc {
+
+/// Cache-key completeness/encoding audit (src/core/caches.cc and the engine's
+/// context maps): the composite key must decode back to exactly the parts it
+/// was built from. A key that fails this could alias two distinct cache
+/// inputs — and a cache collision in the closure cache silently corrupts
+/// verdicts instead of crashing.
+AuditResult ValidateCacheKey(std::string_view key,
+                             const std::vector<std::string_view>& parts);
+
+/// Full countermodel audit before a kNotContained verdict escapes: the
+/// witness is a well-formed graph with G ⊨ T, G ⊨ p, G ⊭ Q. This re-checks
+/// what the search already verified, by independent code paths (model check +
+/// evaluator), so a corrupted witness cannot ride out on a stale claim.
+AuditResult ValidateCountermodel(const Graph& g, const Crpq& p, const Ucrpq& q,
+                                 const NormalTBox& tbox);
+
+/// Same for whole-UCRPQ countermodels (G ⊨ P via some disjunct).
+AuditResult ValidateCountermodel(const Graph& g, const Ucrpq& p,
+                                 const Ucrpq& q, const NormalTBox& tbox);
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_VALIDATE_H_

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "src/util/parse_num.h"
+
 namespace gqc {
 
 namespace {
@@ -95,8 +97,12 @@ class ConceptParser {
       return Result<uint32_t>::Error("concept: expected number at position " +
                                      std::to_string(start));
     }
-    return static_cast<uint32_t>(
-        std::stoul(std::string(text_.substr(start, pos_ - start))));
+    std::optional<uint32_t> n = ParseUint32(text_.substr(start, pos_ - start));
+    if (!n.has_value()) {
+      return Result<uint32_t>::Error("concept: number out of range at position " +
+                                     std::to_string(start));
+    }
+    return *n;
   }
 
   Result<ConceptPtr> ParseAnd() {

@@ -1,6 +1,7 @@
 #include "src/dl/normalize.h"
 
-#include <cassert>
+#include "src/dl/validate.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -139,7 +140,7 @@ class Normalizer {
         return Literal::Positive(c->concept_id);
       case ConceptKind::kNot:
         // NNF: the child is a name.
-        assert(c->children[0]->kind == ConceptKind::kName);
+        GQC_DCHECK(c->children[0]->kind == ConceptKind::kName);
         return Literal::Negative(c->children[0]->concept_id);
       case ConceptKind::kBottom: {
         Literal a = Fresh("nf_bot");
@@ -233,7 +234,7 @@ class Normalizer {
         return a;
       }
     }
-    assert(false && "unreachable");
+    GQC_DCHECK(false && "unreachable concept kind");
     return Literal::Positive(0);
   }
 
@@ -247,6 +248,9 @@ NormalTBox Normalize(const TBox& tbox, Vocabulary* vocab) {
   NormalTBox out;
   Normalizer normalizer(vocab, &out);
   for (const auto& ci : tbox.Cis()) normalizer.AddCi(ci);
+  // Post-normalize shape audit: only the four allowed axiom forms survive,
+  // with every mentioned id interned (the reasoning engines trust both).
+  GQC_AUDIT(ValidateNormalTBox(out, *vocab));
   return out;
 }
 

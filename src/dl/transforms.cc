@@ -1,8 +1,9 @@
 #include "src/dl/transforms.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
+
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -21,7 +22,7 @@ NormalCi FlipForall(const NormalCi& ci) {
   // The Normalize() pass always emits restrictions with exactly one literal
   // on the left (a ⊤ left-hand side gets a defined name), so the flip stays
   // within the normal form.
-  assert(ci.lhs.size() == 1 && "flip requires a single-literal lhs");
+  GQC_DCHECK(ci.lhs.size() == 1 && "flip requires a single-literal lhs");
   NormalCi flipped;
   flipped.kind = NormalCi::Kind::kForall;
   flipped.lhs = {ci.rhs_lit.Complemented()};
@@ -52,7 +53,7 @@ NormalTBox DirectionalRestriction(const NormalTBox& t, bool keep_forward) {
         }
         break;
       case NormalCi::Kind::kAtMost:
-        assert(false && "T→/T← are defined for ALCI TBoxes (no counting)");
+        GQC_DCHECK(false && "T→/T← are defined for ALCI TBoxes (no counting)");
         break;
     }
   }
@@ -175,11 +176,11 @@ TBox MakeTe(const NormalTBox& t, const CountingVocabulary& cv) {
         break;
       }
       case NormalCi::Kind::kForall:
-        assert(false && "run ForallsToAtMost before MakeTe");
+        GQC_DCHECK(false && "run ForallsToAtMost before MakeTe");
         break;
       case NormalCi::Kind::kAtLeast: {
         std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
-        assert(idx != CountingVocabulary::npos);
+        GQC_DCHECK(idx != CountingVocabulary::npos);
         const CountedPair& pair = cv.pairs[idx];
         std::vector<ConceptPtr> options;
         for (uint32_t i = 0; i < pair.labels.size(); ++i) {
@@ -197,7 +198,7 @@ TBox MakeTe(const NormalTBox& t, const CountingVocabulary& cv) {
       }
       case NormalCi::Kind::kAtMost: {
         std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
-        assert(idx != CountingVocabulary::npos);
+        GQC_DCHECK(idx != CountingVocabulary::npos);
         const CountedPair& pair = cv.pairs[idx];
         std::vector<ConceptPtr> conjuncts;
         for (uint32_t i = 0; i < pair.labels.size(); ++i) {
@@ -246,11 +247,11 @@ NormalTBox MakeTeNormal(const NormalTBox& t, const CountingVocabulary& cv) {
         out.Add(ci);
         break;
       case NormalCi::Kind::kForall:
-        assert(false && "run ForallsToAtMost before MakeTeNormal");
+        GQC_DCHECK(false && "run ForallsToAtMost before MakeTeNormal");
         break;
       case NormalCi::Kind::kAtLeast: {
         std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
-        assert(idx != CountingVocabulary::npos);
+        GQC_DCHECK(idx != CountingVocabulary::npos);
         const CountedPair& pair = cv.pairs[idx];
         for (uint32_t i = 0; i < ci.n; ++i) {
           NormalCi split = ci;
@@ -266,7 +267,7 @@ NormalTBox MakeTeNormal(const NormalTBox& t, const CountingVocabulary& cv) {
       }
       case NormalCi::Kind::kAtMost: {
         std::size_t idx = cv.PairIndex(ci.role, ci.rhs_lit);
-        assert(idx != CountingVocabulary::npos);
+        GQC_DCHECK(idx != CountingVocabulary::npos);
         const CountedPair& pair = cv.pairs[idx];
         for (uint32_t i = 0; i <= ci.n && i <= big_n; ++i) {
           NormalCi split = ci;

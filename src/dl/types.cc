@@ -1,6 +1,6 @@
 #include "src/dl/types.h"
 
-#include <cassert>
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -11,7 +11,7 @@ bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
     bool lhs_holds = true;
     for (Literal l : ci.lhs) {
       std::size_t pos = space.PositionOf(l.concept_id());
-      assert(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
       bool set = (mask >> pos) & 1;
       if (l.is_negative() ? set : !set) {
         lhs_holds = false;
@@ -22,7 +22,7 @@ bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
     bool rhs_holds = false;
     for (Literal l : ci.rhs) {
       std::size_t pos = space.PositionOf(l.concept_id());
-      assert(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
       bool set = (mask >> pos) & 1;
       if (l.is_negative() ? !set : set) {
         rhs_holds = true;
@@ -36,7 +36,7 @@ bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
 
 std::vector<uint64_t> EnumerateLocallyConsistentTypes(const TypeSpace& space,
                                                       const NormalTBox& tbox) {
-  assert(space.arity() <= 28 && "type space too large to enumerate");
+  GQC_DCHECK(space.arity() <= 28 && "type space too large to enumerate");
   std::vector<uint64_t> out;
   for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
     if (MaskSatisfiesBooleanCis(space, mask, tbox)) out.push_back(mask);

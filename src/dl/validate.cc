@@ -1,0 +1,107 @@
+#include "src/dl/validate.h"
+
+#include <string>
+
+namespace gqc {
+namespace {
+
+const char* KindName(NormalCi::Kind k) {
+  switch (k) {
+    case NormalCi::Kind::kBoolean: return "boolean";
+    case NormalCi::Kind::kForall: return "forall";
+    case NormalCi::Kind::kAtLeast: return "at-least";
+    case NormalCi::Kind::kAtMost: return "at-most";
+  }
+  return "?";
+}
+
+}  // namespace
+
+AuditResult ValidateNormalCi(const NormalCi& ci) {
+  switch (ci.kind) {
+    case NormalCi::Kind::kBoolean:
+      if (ci.n != 0) {
+        return AuditViolation(
+            "boolean CI carries a number restriction (n = " +
+            std::to_string(ci.n) + "): not a §2 normal form");
+      }
+      break;
+    case NormalCi::Kind::kForall:
+      if (!ci.rhs.empty()) {
+        return AuditViolation("forall CI carries a literal disjunction rhs");
+      }
+      if (ci.n != 0) {
+        return AuditViolation("forall CI carries a number restriction (n = " +
+                              std::to_string(ci.n) + ")");
+      }
+      break;
+    case NormalCi::Kind::kAtLeast:
+      if (!ci.rhs.empty()) {
+        return AuditViolation("at-least CI carries a literal disjunction rhs");
+      }
+      if (ci.n < 1) {
+        return AuditViolation(
+            "at-least CI has n = 0: ∃^{≥0} is trivially true and must not "
+            "survive normalization");
+      }
+      break;
+    case NormalCi::Kind::kAtMost:
+      if (!ci.rhs.empty()) {
+        return AuditViolation("at-most CI carries a literal disjunction rhs");
+      }
+      break;
+    default:
+      return AuditViolation("CI kind " +
+                            std::to_string(static_cast<int>(ci.kind)) +
+                            " is not one of the four allowed axiom forms");
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateNormalTBox(const NormalTBox& tbox) {
+  for (std::size_t i = 0; i < tbox.Cis().size(); ++i) {
+    if (auto v = ValidateNormalCi(tbox.Cis()[i])) {
+      return AuditViolation("CI #" + std::to_string(i) + " (" +
+                            KindName(tbox.Cis()[i].kind) + "): " + *v);
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateNormalTBox(const NormalTBox& tbox,
+                               const Vocabulary& vocab) {
+  if (auto v = ValidateNormalTBox(tbox)) return v;
+  for (std::size_t i = 0; i < tbox.Cis().size(); ++i) {
+    const NormalCi& ci = tbox.Cis()[i];
+    for (Literal l : ci.lhs) {
+      if (l.concept_id() >= vocab.concept_count()) {
+        return AuditViolation("CI #" + std::to_string(i) +
+                              " lhs literal uses un-interned concept id " +
+                              std::to_string(l.concept_id()));
+      }
+    }
+    for (Literal l : ci.rhs) {
+      if (l.concept_id() >= vocab.concept_count()) {
+        return AuditViolation("CI #" + std::to_string(i) +
+                              " rhs literal uses un-interned concept id " +
+                              std::to_string(l.concept_id()));
+      }
+    }
+    if (ci.kind != NormalCi::Kind::kBoolean) {
+      if (ci.rhs_lit.concept_id() >= vocab.concept_count()) {
+        return AuditViolation("CI #" + std::to_string(i) +
+                              " restriction literal uses un-interned concept "
+                              "id " +
+                              std::to_string(ci.rhs_lit.concept_id()));
+      }
+      if (ci.role.name_id() >= vocab.role_count()) {
+        return AuditViolation("CI #" + std::to_string(i) +
+                              " restriction uses un-interned role id " +
+                              std::to_string(ci.role.name_id()));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gqc

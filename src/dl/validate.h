@@ -1,0 +1,28 @@
+#ifndef GQC_DL_VALIDATE_H_
+#define GQC_DL_VALIDATE_H_
+
+#include "src/dl/tbox.h"
+#include "src/util/invariant.h"
+
+namespace gqc {
+
+/// Shape audit of one normal-form concept inclusion (§2 normal forms, tbox.h):
+/// only the four allowed axiom forms, with unused fields at their defaults —
+///   kBoolean  uses lhs/rhs only (n stays 0),
+///   kForall   uses lhs/role/rhs_lit (rhs empty, n stays 0),
+///   kAtLeast  uses lhs/role/rhs_lit/n with n >= 1 (rhs empty),
+///   kAtMost   uses lhs/role/rhs_lit/n (rhs empty).
+AuditResult ValidateNormalCi(const NormalCi& ci);
+
+/// Post-`Normalize` audit: every CI passes ValidateNormalCi. A TBox that
+/// fails this escaped normalization (or was corrupted after), and no
+/// reasoning engine may trust it.
+AuditResult ValidateNormalTBox(const NormalTBox& tbox);
+
+/// ValidateNormalTBox plus vocabulary bounds: every concept / role id
+/// mentioned anywhere is interned.
+AuditResult ValidateNormalTBox(const NormalTBox& tbox, const Vocabulary& vocab);
+
+}  // namespace gqc
+
+#endif  // GQC_DL_VALIDATE_H_

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <utility>
 
+#include "src/core/validate.h"
 #include "src/dl/concept_parser.h"
 #include "src/dl/normalize.h"
 #include "src/query/parser.h"
 #include "src/schema/schema_parser.h"
 #include "src/util/fingerprint.h"
+#include "src/util/invariant.h"
 #include "src/util/json.h"
 
 namespace gqc {
@@ -78,6 +80,10 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
     const std::string& schema_text, const std::string& q_text,
     ResourceGuard* guard) {
   std::string key = JoinKeyParts(schema_text, q_text);
+  // Pair verdicts are a pure function of (schema text, Q text) given the
+  // engine's pinned options; the composite key must round-trip to exactly
+  // those parts or two distinct contexts could alias.
+  GQC_AUDIT(ValidateCacheKey(key, {schema_text, q_text}));
   {
     std::lock_guard<std::mutex> lock(ctx_mu_);
     auto it = query_ctxs_.find(key);
@@ -133,6 +139,11 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
         // sequential path, which reproduces the same failure note.
       }
     }
+    // Vocabulary layering: Q's context must extend the schema context (same
+    // ids for every schema symbol, new ids appended), or disjunct decisions
+    // sharing the closure would disagree about symbol identity.
+    GQC_DCHECK(ctx->vocab.concept_count() >= schema_ctx->vocab.concept_count());
+    GQC_DCHECK(ctx->vocab.role_count() >= schema_ctx->vocab.role_count());
   }
 
   // A context whose closure build tripped the caller's guard reflects that

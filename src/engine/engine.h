@@ -94,14 +94,15 @@ class Engine {
   explicit Engine(EngineOptions options = {});
 
   /// Decides one item (callable concurrently with itself).
-  BatchOutcome DecideOne(const BatchItem& item);
+  [[nodiscard]] BatchOutcome DecideOne(const BatchItem& item);
 
   /// Decides a batch; outcomes are returned in input order. Adds the
   /// end-to-end wall time to stats().batch_wall_ns. With `batch_timeout_ms`
   /// (or after CancelAll) pairs not yet started are preempted and in-flight
   /// pairs unwind at their next guard poll — every item still gets an
   /// outcome, and already-completed verdicts are unaffected.
-  std::vector<BatchOutcome> DecideBatch(const std::vector<BatchItem>& items);
+  [[nodiscard]] std::vector<BatchOutcome> DecideBatch(
+      const std::vector<BatchItem>& items);
 
   /// Cancels every in-flight DecideBatch (and DecideOne) on this engine:
   /// their pairs unwind to Unknown("cancelled") at the next guard poll.

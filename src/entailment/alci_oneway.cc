@@ -27,11 +27,13 @@ EngineAnswer AlciOnewayEngine::TypeRealizable(const Type& tau, const NormalTBox&
   // Q̂, so any witness can be relabelled to satisfy them; only the in-support
   // part needs to be matched against the realizable masks.
   Type in_support;
+  // lint: bounded(literals of a single type)
   for (Literal l : tau.Literals()) {
     if (set.space.PositionOf(l.concept_id()) != TypeSpace::npos) {
       in_support.AddLiteral(l);
     }
   }
+  // lint: bounded(masks were enumerated under the guarded fixpoint)
   for (uint64_t mask : set.masks) {
     if (set.space.MaskContains(mask, in_support)) return EngineAnswer::kYes;
   }
@@ -53,6 +55,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
 
   // Support Γ₀: T, Q̂, marker.
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(mentioned concepts of Q-hat, linear in query size)
   for (uint32_t id : f_->q_hat.MentionedConcepts()) ids.push_back(id);
   ids.push_back(c_fwd);
   TypeSpace space{std::move(ids)};
@@ -77,6 +80,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     const NormalTBox& t_opp = forward ? t_bwd : t_fwd;
     // Collect applicable participation constraints.
     std::vector<const NormalCi*> obligations;
+    // lint: bounded(linear in the TBox CIs)
     for (const auto& ci : t_opp.Cis()) {
       if (ci.kind != NormalCi::Kind::kAtLeast) continue;
       bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
@@ -90,7 +94,9 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     }
     // Per-obligation candidates.
     std::vector<std::vector<uint64_t>> candidates(obligations.size());
+    // lint: bounded(one pass per at-least obligation, at most the TBox size)
     for (std::size_t i = 0; i < obligations.size(); ++i) {
+      // lint: bounded(scans the opposite-direction member masks)
       for (uint64_t child : opposite) {
         if (MaskHasLiteralIn(space, child, obligations[i]->rhs_lit)) {
           candidates[i].push_back(child);
@@ -108,6 +114,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
       }
       if (i == obligations.size()) {
         Graph star = MaterializeNode(space, sigma);
+        // lint: bounded(linear in picks, at most one per obligation)
         for (std::size_t k = 0; k < picks.size(); ++k) {
           NodeId w = AddMaskNode(&star, space, picks[k]);
           // Directed connectors: edges run from backward to forward nodes.
@@ -122,6 +129,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
         if (Matches(star, f_->q_hat)) return false;
         return true;
       }
+      // lint: bounded(each choose recursion polls the guard at entry)
       for (uint64_t child : candidates[i]) {
         picks[i] = child;
         if (choose(i + 1)) return true;
@@ -138,6 +146,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     const NormalTBox& t_dir = forward ? t_fwd : t_bwd;
     std::vector<Type> theta;
     theta.reserve(same_dir.size());
+    // lint: bounded(linear in the same-direction member masks)
     for (uint64_t m : same_dir) theta.push_back(space.MaterializeType(m));
     WitnessProblem problem;
     problem.space = &space;
@@ -163,10 +172,12 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     }
     changed = false;
     std::vector<uint64_t> fwd_alive, bwd_alive;
+    // lint: bounded(linear scan over members)
     for (std::size_t i = 0; i < members.size(); ++i) {
       if (!alive[i]) continue;
       (is_forward(members[i]) ? fwd_alive : bwd_alive).push_back(members[i]);
     }
+    // lint: bounded(per-member elimination scan; the inner connector search polls per step)
     for (std::size_t i = 0; i < members.size(); ++i) {
       if (!alive[i]) continue;
       uint64_t sigma = members[i];
@@ -182,6 +193,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
 
   RealizableSet out;
   out.space = space;
+  // lint: bounded(linear scan over members)
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (alive[i]) out.masks.push_back(members[i]);
   }

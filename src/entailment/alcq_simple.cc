@@ -1,13 +1,13 @@
 #include "src/entailment/alcq_simple.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 #include <map>
 #include <set>
 
 #include "src/dl/transforms.h"
 #include "src/query/eval.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -26,9 +26,10 @@ std::vector<std::size_t> ProjectionPositions(const TypeSpace& parent,
                                              const TypeSpace& child) {
   std::vector<std::size_t> out;
   out.reserve(parent.arity());
+  // lint: bounded(linear in the parent support)
   for (uint32_t id : parent.support()) {
     std::size_t pos = child.PositionOf(id);
-    assert(pos != TypeSpace::npos);
+    GQC_DCHECK(pos != TypeSpace::npos);
     out.push_back(pos);
   }
   return out;
@@ -36,6 +37,7 @@ std::vector<std::size_t> ProjectionPositions(const TypeSpace& parent,
 
 uint64_t Project(uint64_t mask, const std::vector<std::size_t>& positions) {
   uint64_t out = 0;
+  // lint: bounded(linear in the projection positions)
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if ((mask >> positions[i]) & 1) out |= uint64_t{1} << i;
   }
@@ -46,11 +48,13 @@ TypeSpace MakeLevelSupport(const Type& tau, const NormalTBox& tbox,
                            const MaskTheta& theta, const Ucrpq& q_hat,
                            const std::vector<uint32_t>& extra) {
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(literals of a single type)
   for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
   if (theta.space != nullptr) {
     const auto& sup = theta.space->support();
     ids.insert(ids.end(), sup.begin(), sup.end());
   }
+  // lint: bounded(mentioned concepts of Q-hat, linear in query size)
   for (uint32_t id : q_hat.MentionedConcepts()) ids.push_back(id);
   ids.insert(ids.end(), extra.begin(), extra.end());
   return TypeSpace(std::move(ids));
@@ -66,6 +70,7 @@ struct Level {
   uint32_t Promise(uint64_t sigma, std::size_t pair_idx) const {
     const CountedPair& pair = cv.pairs[pair_idx];
     uint32_t m = 0;
+    // lint: bounded(labels of one counted pair)
     for (uint32_t i = 0; i < pair.labels.size(); ++i) {
       std::size_t pos = space.PositionOf(pair.labels[i]);
       if (pos != TypeSpace::npos && ((sigma >> pos) & 1)) m = i;
@@ -128,6 +133,7 @@ class AlcqSimpleEngineImpl {
         FilterCandidates(level, theta, q_mod_sigma_t);
 
     std::vector<std::size_t> all_pairs(level.cv.pairs.size());
+    // lint: bounded(index initialization, linear in the counted pairs)
     for (std::size_t i = 0; i < all_pairs.size(); ++i) all_pairs[i] = i;
 
     std::vector<uint64_t> psi;
@@ -142,6 +148,7 @@ class AlcqSimpleEngineImpl {
       }
       // Connector-feasible candidates over the current psi.
       std::vector<uint64_t> feasible;
+      // lint: bounded(candidates come from the guarded enumeration; ConnectorExists polls per step)
       for (uint64_t sigma : candidates) {
         if (ConnectorExists(level, sigma, psi, q_mod_sigma0, all_pairs)) {
           feasible.push_back(sigma);
@@ -186,6 +193,7 @@ class AlcqSimpleEngineImpl {
     level.te = MakeTeNormal(tbox, level.cv);
     std::map<uint32_t, uint32_t> marker;
     std::vector<uint32_t> extra = level.cv.AllLabelIds();
+    // lint: bounded(one fresh marker per role)
     for (uint32_t r : roles) {
       marker[r] = vocab_->FreshConcept("role_marker");
       extra.push_back(marker[r]);
@@ -205,9 +213,11 @@ class AlcqSimpleEngineImpl {
       uint32_t banned;
     };
     std::vector<Member> members;
+    // lint: bounded(one pass over the enumerated base masks)
     for (uint64_t mask : base) {
       uint32_t banned = UINT32_MAX;
       bool exactly_one = true;
+      // lint: bounded(linear in the role set)
       for (uint32_t r : roles) {
         std::size_t pos = level.space.PositionOf(marker[r]);
         if ((mask >> pos) & 1) {
@@ -248,14 +258,17 @@ class AlcqSimpleEngineImpl {
       changed = false;
       // Component productivity, one recursive set per banned role.
       std::map<uint32_t, std::set<uint64_t>> productive;
+      // lint: bounded(one recursive-set computation per role; the recursion polls at entry)
       for (uint32_t r : roles) {
         std::vector<uint64_t> theta_masks;
+        // lint: bounded(linear scan over members)
         for (std::size_t j = 0; j < members.size(); ++j) {
           if (alive[j] && members[j].banned == r) theta_masks.push_back(members[j].mask);
         }
         if (theta_masks.empty()) continue;
         std::sort(theta_masks.begin(), theta_masks.end());
         NormalTBox component_tbox;
+        // lint: bounded(linear in the TBox CIs)
         for (const auto& ci : tbox.Cis()) {
           if (ci.kind == NormalCi::Kind::kBoolean || ci.role.name_id() != r) {
             component_tbox.Add(ci);
@@ -269,6 +282,7 @@ class AlcqSimpleEngineImpl {
         auto projected = ProjectSet(realizable, level.space, child_space);
         productive[r] = std::set<uint64_t>(projected.begin(), projected.end());
       }
+      // lint: bounded(per-member elimination scan within the guarded sweep)
       for (std::size_t i = 0; i < members.size(); ++i) {
         if (!alive[i]) continue;
         uint32_t banned = members[i].banned;
@@ -279,10 +293,12 @@ class AlcqSimpleEngineImpl {
         }
         uint32_t succ = next_role(banned);
         std::vector<uint64_t> children;
+        // lint: bounded(linear scan over members)
         for (std::size_t j = 0; j < members.size(); ++j) {
           if (alive[j] && members[j].banned == succ) children.push_back(members[j].mask);
         }
         std::vector<std::size_t> pairs;
+        // lint: bounded(linear in the counted pairs)
         for (std::size_t p = 0; p < level.cv.pairs.size(); ++p) {
           if (level.cv.pairs[p].role.name_id() == banned) pairs.push_back(p);
         }
@@ -294,6 +310,7 @@ class AlcqSimpleEngineImpl {
     }
 
     std::vector<uint64_t> result;
+    // lint: bounded(linear scan over members)
     for (std::size_t i = 0; i < members.size(); ++i) {
       if (alive[i]) result.push_back(members[i].mask);
     }
@@ -315,6 +332,7 @@ class AlcqSimpleEngineImpl {
     std::vector<uint64_t> out;
     Level level;
     level.space = space;
+    // lint: bounded(the 2^arity enumeration is billed in bulk to the guard just above)
     for (uint64_t mask : EnumerateLocallyConsistentTypes(space, tbox)) {
       if (!RespectsTheta(level, mask, theta)) continue;
       if (HasAtLeastObligation(tbox, level, mask)) continue;
@@ -333,6 +351,7 @@ class AlcqSimpleEngineImpl {
 
   bool HasAtLeastObligation(const NormalTBox& tbox, const Level& level,
                             uint64_t mask) {
+    // lint: bounded(linear in the TBox CIs)
     for (const auto& ci : tbox.Cis()) {
       if (ci.kind != NormalCi::Kind::kAtLeast) continue;
       bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
@@ -360,6 +379,7 @@ class AlcqSimpleEngineImpl {
     if (theta.space != nullptr) {
       positions = ProjectionPositions(*theta.space, level.space);
     }
+    // lint: bounded(the 2^arity enumeration is billed in bulk to the guard just above)
     for (uint64_t mask : EnumerateLocallyConsistentTypes(level.space, level.te)) {
       if (theta.space != nullptr &&
           !std::binary_search(theta.masks.begin(), theta.masks.end(),
@@ -378,11 +398,13 @@ class AlcqSimpleEngineImpl {
     if (child.arity() == 0) return {};
     auto positions = ProjectionPositions(parent, child);
     std::set<uint64_t> out;
+    // lint: bounded(one projection per mask)
     for (uint64_t m : masks) out.insert(Project(m, positions));
     return std::vector<uint64_t>(out.begin(), out.end());
   }
 
   bool ZeroPromisesForOtherRoles(const Level& level, uint64_t mask, uint32_t banned) {
+    // lint: bounded(linear in the counted pairs)
     for (std::size_t i = 0; i < level.cv.pairs.size(); ++i) {
       if (level.cv.pairs[i].role.name_id() != banned && level.Promise(mask, i) != 0) {
         return false;
@@ -393,6 +415,7 @@ class AlcqSimpleEngineImpl {
 
   bool BannedRoleResiduesHold(const Level& level, const NormalTBox& tbox,
                               uint64_t mask, uint32_t banned) {
+    // lint: bounded(linear in the TBox CIs)
     for (const auto& ci : tbox.Cis()) {
       if (ci.kind != NormalCi::Kind::kAtLeast && ci.kind != NormalCi::Kind::kAtMost) {
         continue;
@@ -403,7 +426,7 @@ class AlcqSimpleEngineImpl {
       });
       if (!applicable) continue;
       std::size_t pair = level.cv.PairIndex(ci.role, ci.rhs_lit);
-      assert(pair != CountingVocabulary::npos);
+      GQC_DCHECK(pair != CountingVocabulary::npos);
       uint32_t m = level.Promise(mask, pair);
       bool saturated = m == level.cv.big_n;
       if (ci.kind == NormalCi::Kind::kAtLeast) {
@@ -422,6 +445,7 @@ class AlcqSimpleEngineImpl {
     ++stats_.connector_searches;
     std::vector<uint32_t> needed;
     std::size_t total_needed = 0;
+    // lint: bounded(linear in the relevant pairs)
     for (std::size_t p : relevant_pairs) {
       uint32_t m = level.Promise(sigma, p);
       needed.push_back(m);
@@ -437,6 +461,7 @@ class AlcqSimpleEngineImpl {
     }
 
     std::set<uint32_t> role_set;
+    // lint: bounded(linear in the relevant pairs)
     for (std::size_t p : relevant_pairs) {
       role_set.insert(level.cv.pairs[p].role.name_id());
     }
@@ -456,6 +481,7 @@ class AlcqSimpleEngineImpl {
       }
       if (role_idx == roles.size()) {
         Graph star = MaterializeNode(level.space, sigma);
+        // lint: bounded(linear in picks)
         for (const ChildChoice& c : picks) {
           NodeId w = AddMaskNode(&star, level.space, c.mask);
           star.AddEdge(0, c.role, w);
@@ -464,6 +490,7 @@ class AlcqSimpleEngineImpl {
       }
       uint32_t role = roles[role_idx];
       bool role_done = true;
+      // lint: bounded(linear in the relevant pairs)
       for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
         if (level.cv.pairs[relevant_pairs[k]].role.name_id() == role &&
             needed[k] > 0) {
@@ -472,10 +499,12 @@ class AlcqSimpleEngineImpl {
       }
       if (role_done) return search(role_idx + 1, 0);
 
+      // lint: bounded(each recursive search call polls the guard at entry)
       for (std::size_t m = min_mask_idx; m < child_masks.size(); ++m) {
         uint64_t child = child_masks[m];
         std::vector<std::size_t> hits;
         bool overshoot = false;
+        // lint: bounded(linear in the relevant pairs)
         for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
           const CountedPair& pair = level.cv.pairs[relevant_pairs[k]];
           if (pair.role.name_id() != role) continue;
@@ -488,10 +517,12 @@ class AlcqSimpleEngineImpl {
           }
         }
         if (overshoot || hits.empty()) continue;
+        // lint: bounded(linear in hits)
         for (std::size_t k : hits) --needed[k];
         picks.push_back({role, child});
         if (search(role_idx, m)) return true;
         picks.pop_back();
+        // lint: bounded(linear in hits)
         for (std::size_t k : hits) ++needed[k];
       }
       return false;
@@ -546,11 +577,14 @@ EngineAnswer AlcqSimpleEngine::Solve(const Type& tau, const NormalTBox& tbox,
   TypeSpace theta_space({});
   if (!theta.empty()) {
     std::vector<uint32_t> ids;
+    // lint: bounded(literals of the theta types)
     for (const Type& t : theta) {
+      // lint: bounded(literals of a single type)
       for (Literal l : t.Literals()) ids.push_back(l.concept_id());
     }
     theta_space = TypeSpace(std::move(ids));
     std::set<uint64_t> masks;
+    // lint: bounded(one mask per theta type)
     for (const Type& t : theta) masks.insert(theta_space.MaskOf(t));
     unconstrained.space = &theta_space;
     unconstrained.masks.assign(masks.begin(), masks.end());
@@ -558,6 +592,7 @@ EngineAnswer AlcqSimpleEngine::Solve(const Type& tau, const NormalTBox& tbox,
   // Make sure tau's concepts are in the level support by adding them to a
   // widened tbox copy via a vacuous Boolean CI.
   NormalTBox widened = tbox;
+  // lint: bounded(literals of a single type)
   for (Literal l : tau.Literals()) {
     NormalCi vac;
     vac.kind = NormalCi::Kind::kBoolean;
@@ -569,6 +604,7 @@ EngineAnswer AlcqSimpleEngine::Solve(const Type& tau, const NormalTBox& tbox,
       impl.SolveSet(widened, unconstrained, sigma0, depth, &space);
   hit_cap_ = impl.hit_cap_;
   stats_ = impl.stats_;
+  // lint: bounded(linear in the realizable masks)
   for (uint64_t mask : realizable) {
     if (space.MaskContains(mask, tau)) return EngineAnswer::kYes;
   }

@@ -16,6 +16,7 @@ const char* EngineAnswerName(EngineAnswer a) {
 
 NodeId AddMaskNode(Graph* g, const TypeSpace& space, uint64_t mask) {
   LabelSet labels;
+  // lint: bounded(linear in the support arity)
   for (std::size_t i = 0; i < space.arity(); ++i) {
     if ((mask >> i) & 1) labels.Add(space.support()[i]);
   }
@@ -30,6 +31,7 @@ Graph MaterializeNode(const TypeSpace& space, uint64_t mask) {
 
 bool MaskRespectsTheta(const TypeSpace& space, uint64_t mask,
                        const std::vector<Type>& theta) {
+  // lint: bounded(linear in the theta types)
   for (const Type& t : theta) {
     if (space.MaskContains(mask, t)) return true;
   }

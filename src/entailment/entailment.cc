@@ -30,7 +30,9 @@ EntailmentResult RealizeByBoundedSearch(const Type& tau, const NormalTBox& tbox,
   EntailmentResult result;
   result.path = EnginePath::kBoundedSearch;
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(literals of a single type)
   for (Literal l : tau.Literals()) ids.push_back(l.concept_id());
+  // lint: bounded(mentioned concepts of q, linear in query size)
   for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
   TypeSpace space{std::move(ids)};
   WitnessProblem problem;
@@ -80,8 +82,11 @@ EntailmentResult FiniteEntails(const Graph& g, const NormalTBox& tbox, const Ucr
   EntailmentResult result;
   result.path = EnginePath::kBoundedSearch;
   std::vector<uint32_t> ids = tbox.ConceptIds();
+  // lint: bounded(mentioned concepts of q, linear in query size)
   for (uint32_t id : q.MentionedConcepts()) ids.push_back(id);
+  // lint: bounded(linear in the graph nodes)
   for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    // lint: bounded(labels of a single node)
     for (uint32_t id : g.Labels(v).ToIds()) ids.push_back(id);
   }
   TypeSpace space{std::move(ids)};

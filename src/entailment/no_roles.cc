@@ -6,8 +6,13 @@ namespace gqc {
 
 EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
                                const NormalTBox& tbox, const std::vector<Type>& theta,
-                               const Ucrpq& q_hat_mod) {
+                               const Ucrpq& q_hat_mod,
+                               const EngineLimits& limits) {
   if (space.arity() > 28) return EngineAnswer::kUnknown;
+  // Bill the whole 2^arity scan up front: each candidate is a cheap
+  // isolated-node check, so bulk-charging beats a per-iteration poll.
+  if (GuardCharge(limits, space.mask_count())) return EngineAnswer::kUnknown;
+  // lint: bounded(the 2^arity scan is billed in bulk to the guard just above)
   for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
     if (!space.MaskContains(mask, tau)) continue;
     if (!MaskRespectsTheta(space, mask, theta)) continue;
@@ -15,9 +20,11 @@ EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
     // Restriction CIs with an at-least obligation cannot be met by an
     // isolated node; at-most and forall hold vacuously.
     bool restriction_ok = true;
+    // lint: bounded(linear in the TBox CIs)
     for (const auto& ci : tbox.Cis()) {
       if (ci.kind != NormalCi::Kind::kAtLeast) continue;
       bool applicable = true;
+      // lint: bounded(literals of one CI lhs)
       for (Literal l : ci.lhs) {
         if (!space.MaskContains(mask, [&] {
               Type t;

@@ -11,9 +11,13 @@ namespace gqc {
 /// by the caller or not — this function re-checks) contains `tau`, contains
 /// some type of `theta`, and whose one-node graph does not satisfy
 /// `q_hat_mod` (the factorized query with Σ0-reachability atoms dropped).
+///
+/// The 2^arity scan is billed in bulk against `limits` before it starts;
+/// a tripped guard yields kUnknown, never a wrong definite answer.
 EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
                                const NormalTBox& tbox, const std::vector<Type>& theta,
-                               const Ucrpq& q_hat_mod);
+                               const Ucrpq& q_hat_mod,
+                               const EngineLimits& limits = {});
 
 }  // namespace gqc
 

@@ -26,6 +26,7 @@ class WitnessSearch {
     if (GuardCharge(limits_, space_.mask_count())) {
       return {EngineAnswer::kUnknown, std::nullopt};
     }
+    // lint: bounded(the 2^arity scan is billed in bulk just above)
     for (uint64_t mask = 0; mask < space_.mask_count(); ++mask) {
       if (!MaskSatisfiesBooleanCis(space_, mask, *p_.tbox)) continue;
       if (!MaskRespectsTheta(space_, mask, p_.theta)) continue;
@@ -67,6 +68,7 @@ class WitnessSearch {
     const Graph& seed = *p_.seed;
     if (v == seed.NodeCount()) {
       Graph completed;
+      // lint: bounded(linear in the seed nodes)
       for (NodeId u = 0; u < seed.NodeCount(); ++u) {
         AddMaskNode(&completed, space_, (*node_masks)[u]);
       }
@@ -78,6 +80,7 @@ class WitnessSearch {
     }
     for (uint64_t mask : masks_) {
       bool covers = true;
+      // lint: bounded(labels of a single node)
       for (uint32_t id : seed.Labels(v).ToIds()) {
         std::size_t pos = space_.PositionOf(id);
         if (pos == TypeSpace::npos || !((mask >> pos) & 1)) {
@@ -108,6 +111,7 @@ class WitnessSearch {
       return std::all_of(ci.lhs.begin(), ci.lhs.end(),
                          [&](Literal l) { return mask_satisfies(v, l); });
     };
+    // lint: bounded(linear in the TBox CIs)
     for (const auto& ci : p_.tbox->Cis()) {
       if (ci.kind == NormalCi::Kind::kForall) {
         // The new edge is an r-edge u->w, i.e. a Forward(role) successor of u
@@ -159,8 +163,10 @@ class WitnessSearch {
   };
   std::optional<Obligation> FirstObligation(const Graph& g,
                                             const std::vector<uint64_t>& node_masks) {
+    // lint: bounded(linear in the TBox CIs)
     for (std::size_t i = 0; i < p_.tbox->Cis().size(); ++i) {
       bool at_least = p_.tbox->Cis()[i].kind == NormalCi::Kind::kAtLeast;
+      // lint: bounded(linear in the graph nodes)
       for (NodeId v = 0; v < g.NodeCount(); ++v) {
         if (NodeSatisfiesCi(g, v, p_.tbox->Cis()[i])) continue;
         if (at_least && IsDeferred(g, node_masks, v)) continue;
@@ -182,7 +188,9 @@ class WitnessSearch {
     // Memoize visited states (approximate canonical form).
     std::vector<uint64_t> key;
     key.reserve(g.NodeCount() * 3);
+    // lint: bounded(linear in the graph nodes)
     for (NodeId v = 0; v < g.NodeCount(); ++v) key.push_back(node_masks[v]);
+    // lint: bounded(linear in the graph edges)
     for (const Edge& e : g.AllEdges()) {
       key.push_back((uint64_t{e.from} << 40) | (uint64_t{e.role} << 20) | e.to);
     }
@@ -201,6 +209,7 @@ class WitnessSearch {
       if (p_.require != nullptr && !Matches(g, *p_.require)) return false;
       if (!p_.tau.Literals().empty()) {
         bool realized = false;
+        // lint: bounded(linear in the graph nodes)
         for (NodeId v = 0; v < g.NodeCount(); ++v) {
           if (space_.MaskContains(node_masks[v], p_.tau)) realized = true;
         }
@@ -272,6 +281,7 @@ class WitnessSearch {
     // left (edges added during the repair were undone). Rebuild without the
     // last node.
     Graph rebuilt;
+    // lint: bounded(linear in the graph nodes)
     for (NodeId v = 0; v + 1 < g->NodeCount(); ++v) {
       rebuilt.AddNode(g->Labels(v));
     }
@@ -307,6 +317,7 @@ WitnessResult FindWitness(const WitnessProblem& problem, const EngineLimits& lim
     bool ok = true;
     if (problem.deferral.has_value()) {
       NormalTBox without_at_least;
+      // lint: bounded(linear in the TBox CIs)
       for (const auto& ci : problem.tbox->Cis()) {
         if (ci.kind != NormalCi::Kind::kAtLeast) without_at_least.Add(ci);
       }

@@ -29,6 +29,7 @@ bool AbstractFrame::IsWitness(uint32_t f, const PointedGraph& witness) const {
   if (!Satisfies(witness.graph, c.tbox)) return false;
   if (Matches(witness.graph, c.avoid)) return false;
   if (!c.allowed.empty()) {
+    // lint: bounded(linear in the witness nodes)
     for (NodeId v = 0; v < witness.graph.NodeCount(); ++v) {
       bool ok = std::any_of(c.allowed.begin(), c.allowed.end(), [&](const Type& t) {
         return witness.graph.HasType(v, t);
@@ -41,11 +42,14 @@ bool AbstractFrame::IsWitness(uint32_t f, const PointedGraph& witness) const {
 
 ConcreteFrame AbstractFrame::Represent(const std::vector<PointedGraph>& witnesses) const {
   ConcreteFrame out;
+  // lint: bounded(one component per frame slot)
   for (std::size_t f = 0; f < components_.size(); ++f) {
     out.AddComponent(witnesses[f]);
   }
+  // lint: bounded(linear in the frame edges)
   for (const FrameEdge& e : edges_) {
     const PointedGraph& w = witnesses[e.from];
+    // lint: bounded(linear in the witness nodes)
     for (NodeId v = 0; v < w.graph.NodeCount(); ++v) {
       if (w.graph.HasType(v, e.source_type)) {
         out.AddEdge(e.from, v, e.role, e.to);

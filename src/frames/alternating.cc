@@ -7,6 +7,7 @@ namespace gqc {
 namespace {
 
 bool AllNodesMarked(const Graph& g, uint32_t concept_id, bool present) {
+  // lint: bounded(linear in the graph nodes)
   for (NodeId v = 0; v < g.NodeCount(); ++v) {
     if (g.HasLabel(v, concept_id) != present) return false;
   }
@@ -18,6 +19,7 @@ bool AllNodesMarked(const Graph& g, uint32_t concept_id, bool present) {
 bool IsAlternating(const ConcreteFrame& frame, uint32_t c_forward) {
   // Components: uniformly forward or uniformly backward.
   std::vector<bool> forward(frame.ComponentCount());
+  // lint: bounded(one check per frame component)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
     const Graph& g = frame.Component(f).graph;
     if (AllNodesMarked(g, c_forward, true)) {
@@ -30,6 +32,7 @@ bool IsAlternating(const ConcreteFrame& frame, uint32_t c_forward) {
   }
   // Connectors directed: frame edges run from backward nodes to forward
   // nodes once edge direction is taken into account.
+  // lint: bounded(linear in the frame edges)
   for (const auto& e : frame.Edges()) {
     bool src_forward = forward[e.from];
     bool dst_forward = forward[e.to];
@@ -45,6 +48,7 @@ bool IsAlternating(const ConcreteFrame& frame, uint32_t c_forward) {
 bool ComponentsAreDirectional(const ConcreteFrame& frame, uint32_t c_forward) {
   // In a graph represented by an alternating frame, forward components have
   // only incoming frame edges and backward components only outgoing ones.
+  // lint: bounded(linear in the frame edges)
   for (const auto& e : frame.Edges()) {
     const Graph& src = frame.Component(e.from).graph;
     bool src_forward = src.HasLabel(e.source_node, c_forward);
@@ -66,8 +70,10 @@ bool IsRoleAlternating(const ConcreteFrame& frame,
   };
 
   std::vector<uint32_t> banned(frame.ComponentCount(), UINT32_MAX);
+  // lint: bounded(one check per frame component)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
     const Graph& g = frame.Component(f).graph;
+    // lint: bounded(one check per role marker)
     for (auto [role, marker] : markers) {
       if (AllNodesMarked(g, marker, true)) {
         if (banned[f] != UINT32_MAX) return false;  // two markers
@@ -82,6 +88,7 @@ bool IsRoleAlternating(const ConcreteFrame& frame,
     });
     if (!clean) return false;
   }
+  // lint: bounded(linear in the frame edges)
   for (const auto& e : frame.Edges()) {
     if (e.role.is_inverse()) return false;  // connectors are out-stars
     if (e.role.name_id() != banned[e.from]) return false;

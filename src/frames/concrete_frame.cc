@@ -1,13 +1,14 @@
 #include "src/frames/concrete_frame.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <set>
 
+#include "src/frames/validate.h"
 #include "src/graph/coil.h"
 #include "src/graph/homomorphism.h"
 #include "src/query/eval.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -18,26 +19,32 @@ uint32_t ConcreteFrame::AddComponent(PointedGraph component) {
 
 void ConcreteFrame::AddEdge(uint32_t from, NodeId source_node, Role role,
                             uint32_t to) {
-  assert(from != to && "frames have no self-loops");
-#ifndef NDEBUG
+  GQC_DCHECK(from != to && "frames have no self-loops");
+#ifdef GQC_AUDIT_ENABLED
+  // lint: bounded(audit-only duplicate check, linear in the frame edges)
   for (const FrameEdge& e : edges_) {
-    assert(!(e.from == from && e.source_node == source_node && e.to == to) &&
-           "edges with the same source node must have distinct targets");
+    GQC_DCHECK(!(e.from == from && e.source_node == source_node &&
+                 e.to == to) &&
+               "edges with the same source node must have distinct targets");
   }
 #endif
   edges_.push_back({from, source_node, role, to});
 }
 
 Graph ConcreteFrame::Assemble(std::vector<std::vector<NodeId>>* node_map) const {
+  GQC_AUDIT(ValidateConcreteFrame(*this));
   Graph g;
   std::vector<std::vector<NodeId>> map(components_.size());
+  // lint: bounded(one disjoint union per component)
   for (std::size_t f = 0; f < components_.size(); ++f) {
     NodeId offset = g.DisjointUnion(components_[f].graph);
     map[f].resize(components_[f].graph.NodeCount());
+    // lint: bounded(linear in the component nodes)
     for (NodeId v = 0; v < components_[f].graph.NodeCount(); ++v) {
       map[f][v] = offset + v;
     }
   }
+  // lint: bounded(linear in the frame edges)
   for (const FrameEdge& e : edges_) {
     NodeId src = map[e.from][e.source_node];
     NodeId dst = map[e.to][components_[e.to].point];
@@ -51,6 +58,7 @@ PointedGraph ConcreteFrame::Connector(uint32_t f, NodeId v) const {
   PointedGraph out;
   NodeId center = out.graph.AddNode(components_[f].graph.Labels(v));
   out.point = center;
+  // lint: bounded(linear in the frame edges)
   for (const FrameEdge& e : edges_) {
     if (e.from != f || e.source_node != v) continue;
     const PointedGraph& target = components_[e.to];
@@ -62,7 +70,9 @@ PointedGraph ConcreteFrame::Connector(uint32_t f, NodeId v) const {
 
 std::vector<PointedGraph> ConcreteFrame::AllConnectors() const {
   std::vector<PointedGraph> out;
+  // lint: bounded(one connector per component node)
   for (uint32_t f = 0; f < components_.size(); ++f) {
+    // lint: bounded(linear in the component nodes)
     for (NodeId v = 0; v < components_[f].graph.NodeCount(); ++v) {
       out.push_back(Connector(f, v));
     }
@@ -78,9 +88,11 @@ bool ConcreteFrame::RealizesType(const Type& t) const {
 
 bool ConcreteFrame::WeaklyRefutes(const Ucrpq& q_components,
                                   const Ucrpq& q_connectors) const {
+  // lint: bounded(one query evaluation per component)
   for (const PointedGraph& c : components_) {
     if (Matches(c.graph, q_components)) return false;
   }
+  // lint: bounded(one query evaluation per connector)
   for (const PointedGraph& c : AllConnectors()) {
     if (Matches(c.graph, q_connectors)) return false;
   }
@@ -93,8 +105,10 @@ bool ConcreteFrame::ActuallyRefutes(const Ucrpq& q) const {
 
 Graph ConcreteFrame::ShapeGraph(std::vector<std::size_t>* edge_of_role) const {
   Graph g;
+  // lint: bounded(one node per component)
   for (std::size_t f = 0; f < components_.size(); ++f) g.AddNode();
   std::vector<std::size_t> roles;
+  // lint: bounded(linear in the frame edges)
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     // Synthetic role id = frame edge index: unique per edge.
     g.AddEdge(edges_[i].from, static_cast<uint32_t>(i), edges_[i].to);
@@ -108,13 +122,16 @@ std::string ConcreteFrame::LocalSignature() const {
   // §4: locally isomorphic frames have equal *sets* of isomorphism types of
   // components and connectors (multiplicities do not matter).
   std::set<std::string> prints;
+  // lint: bounded(one fingerprint per component)
   for (const PointedGraph& c : components_) {
     prints.insert("C:" + PointedFingerprint(c));
   }
+  // lint: bounded(one fingerprint per connector)
   for (const PointedGraph& c : AllConnectors()) {
     prints.insert("K:" + PointedFingerprint(c));
   }
   std::string out;
+  // lint: bounded(linear in the fingerprint set)
   for (const auto& p : prints) out += p + "\n";
   return out;
 }
@@ -128,6 +145,7 @@ Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n,
 
   ConcreteFrame out;
   // Each coil node becomes a fresh copy of the base component.
+  // lint: bounded(one component copy per coil node)
   for (NodeId u = 0; u < coil.graph.NodeCount(); ++u) {
     out.AddComponent(frame.Component(static_cast<uint32_t>(coil.base_node[u])));
   }
@@ -136,6 +154,9 @@ Result<ConcreteFrame> FrameCoil(const ConcreteFrame& frame, std::size_t n,
     const ConcreteFrame::FrameEdge& base = frame.Edges()[e.role];
     out.AddEdge(e.from, base.source_node, base.role, e.to);
   });
+  // Lemma 4.3: the frame coil is well-formed and locally isomorphic to its
+  // base frame.
+  GQC_AUDIT(ValidateFrameCoil(frame, out));
   return out;
 }
 

@@ -29,11 +29,14 @@ std::vector<std::vector<Move>> BuildMoves(const ConcreteFrame& frame,
                                           std::vector<Position>* positions) {
   // Index positions densely.
   std::vector<std::size_t> offset(frame.ComponentCount() + 1, 0);
+  // lint: bounded(one offset per component)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
     offset[f + 1] = offset[f] + frame.Component(f).graph.NodeCount();
   }
   positions->clear();
+  // lint: bounded(linear in the frame positions)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
+    // lint: bounded(linear in the component nodes)
     for (NodeId v = 0; v < frame.Component(f).graph.NodeCount(); ++v) {
       positions->push_back({f, v});
     }
@@ -42,10 +45,14 @@ std::vector<std::vector<Move>> BuildMoves(const ConcreteFrame& frame,
 
   std::vector<std::vector<Move>> moves(positions->size());
   // In-component steps.
+  // lint: bounded(linear in the frame positions)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
     const Graph& g = frame.Component(f).graph;
+    // lint: bounded(linear in the component nodes)
     for (NodeId v = 0; v < g.NodeCount(); ++v) {
+      // lint: bounded(linear in the role alphabet)
       for (Role r : roles) {
+        // lint: bounded(linear in the successor list)
         for (NodeId w : g.Successors(v, r)) {
           moves[index({f, v})].push_back({{f, w}, 0});
         }
@@ -55,6 +62,7 @@ std::vector<std::vector<Move>> BuildMoves(const ConcreteFrame& frame,
   // Frame-edge steps: the assembled edge connects (e.from, e.source_node)
   // with (e.to, point of e.to); a step across it moves between the two
   // components, with balance +1 when moving from e.from to e.to.
+  // lint: bounded(linear in the frame edges)
   for (const auto& e : frame.Edges()) {
     Position src{e.from, e.source_node};
     Position dst{e.to, frame.Component(e.to).point};
@@ -63,6 +71,7 @@ std::vector<std::vector<Move>> BuildMoves(const ConcreteFrame& frame,
     Position tail = e.role.is_inverse() ? dst : src;
     Position head = e.role.is_inverse() ? src : dst;
     uint32_t name = e.role.name_id();
+    // lint: bounded(linear in the role alphabet)
     for (Role r : roles) {
       if (r.name_id() != name) continue;
       // Traversing with role r: forward r goes tail -> head, inverse r goes
@@ -83,6 +92,7 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
   std::vector<Position> positions;
   auto moves = BuildMoves(frame, roles, &positions);
   std::vector<std::size_t> offset(frame.ComponentCount() + 1, 0);
+  // lint: bounded(one offset per component)
   for (uint32_t f = 0; f < frame.ComponentCount(); ++f) {
     offset[f + 1] = offset[f] + frame.Component(f).graph.NodeCount();
   }
@@ -100,6 +110,7 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
   };
   std::set<State> seen;
   std::deque<State> queue;
+  // lint: bounded(one seed state per position)
   for (std::size_t p = 0; p < positions.size(); ++p) {
     State s{p, 0, 0};
     seen.insert(s);
@@ -111,6 +122,7 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
     if (guard != nullptr && guard->Charge(GuardPhase::kFrames)) return true;
     State s = queue.front();
     queue.pop_front();
+    // lint: bounded(bounded by the move fan-out of one state)
     for (const Move& m : moves[s.pos]) {
       int below = s.below + m.delta;
       int above = s.above - m.delta;
@@ -126,6 +138,7 @@ bool StarAtomSpanExceeds(const ConcreteFrame& frame, const std::vector<Role>& ro
 
 std::size_t StarAtomSpan(const ConcreteFrame& frame, const std::vector<Role>& roles,
                          std::size_t cap, ResourceGuard* guard) {
+  // lint: bounded(k is capped; each span check polls the guard internally)
   for (std::size_t k = 0; k <= cap; ++k) {
     if (!StarAtomSpanExceeds(frame, roles, k, guard)) return k;
   }

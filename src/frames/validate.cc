@@ -1,0 +1,104 @@
+#include "src/frames/validate.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/graph/validate.h"
+
+namespace gqc {
+
+AuditResult ValidateConcreteFrame(const ConcreteFrame& frame) {
+  const std::size_t n = frame.ComponentCount();
+  // lint: bounded(one check per component)
+  for (uint32_t f = 0; f < n; ++f) {
+    if (auto v = ValidatePointedGraph(frame.Component(f))) {
+      return AuditViolation("component " + std::to_string(f) + ": " + *v);
+    }
+  }
+  // Distinct edges out of the same (component, source node) pair must have
+  // distinct targets (§4), so (from, source node, to) is unique.
+  std::set<std::tuple<uint32_t, NodeId, uint32_t>> seen;
+  // lint: bounded(linear in the frame edges)
+  for (std::size_t i = 0; i < frame.Edges().size(); ++i) {
+    const ConcreteFrame::FrameEdge& e = frame.Edges()[i];
+    if (e.from >= n || e.to >= n) {
+      return AuditViolation("frame edge #" + std::to_string(i) +
+                            " references a component out of bounds (" +
+                            std::to_string(e.from) + " -> " +
+                            std::to_string(e.to) + ", component count " +
+                            std::to_string(n) + ")");
+    }
+    if (e.from == e.to) {
+      return AuditViolation("frame edge #" + std::to_string(i) +
+                            " is a self-loop on component " +
+                            std::to_string(e.from) +
+                            " (§4 frames are self-loop-free)");
+    }
+    if (e.source_node >= frame.Component(e.from).graph.NodeCount()) {
+      return AuditViolation("frame edge #" + std::to_string(i) +
+                            " sources node " + std::to_string(e.source_node) +
+                            " outside component " + std::to_string(e.from));
+    }
+    if (!seen.insert({e.from, e.source_node, e.to}).second) {
+      return AuditViolation("frame edge #" + std::to_string(i) +
+                            " reaches the same target as an earlier edge out "
+                            "of (" +
+                            std::to_string(e.from) + ", " +
+                            std::to_string(e.source_node) +
+                            ") — targets must be distinct (§4)");
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateAbstractFrame(const AbstractFrame& frame) {
+  const std::size_t n = frame.ComponentCount();
+  // lint: bounded(one check per component)
+  for (uint32_t f = 0; f < n; ++f) {
+    const AbstractComponent& c = frame.Component(f);
+    if (auto v = ValidateType(c.distinguished)) {
+      return AuditViolation("abstract component " + std::to_string(f) +
+                            " distinguished type: " + *v);
+    }
+    // lint: bounded(linear in the allowed types)
+    for (std::size_t t = 0; t < c.allowed.size(); ++t) {
+      if (auto v = ValidateType(c.allowed[t])) {
+        return AuditViolation("abstract component " + std::to_string(f) +
+                              " allowed type #" + std::to_string(t) + ": " +
+                              *v);
+      }
+    }
+  }
+  // lint: bounded(linear in the frame edges)
+  for (std::size_t i = 0; i < frame.Edges().size(); ++i) {
+    const AbstractFrame::FrameEdge& e = frame.Edges()[i];
+    if (e.from >= n || e.to >= n) {
+      return AuditViolation("abstract frame edge #" + std::to_string(i) +
+                            " references a component out of bounds");
+    }
+    if (auto v = ValidateType(e.source_type)) {
+      return AuditViolation("abstract frame edge #" + std::to_string(i) +
+                            " source type: " + *v);
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateFrameCoil(const ConcreteFrame& base,
+                              const ConcreteFrame& coil) {
+  if (auto v = ValidateConcreteFrame(coil)) return v;
+  if (base.ComponentCount() == 0) {
+    return coil.ComponentCount() == 0
+               ? AuditResult(std::nullopt)
+               : AuditViolation("frame coil of an empty frame has components");
+  }
+  if (coil.LocalSignature() != base.LocalSignature()) {
+    return AuditViolation(
+        "frame coil is not locally isomorphic to its base frame (local "
+        "signatures differ — Lemma 4.3 violated)");
+  }
+  return std::nullopt;
+}
+
+}  // namespace gqc

@@ -1,0 +1,28 @@
+#ifndef GQC_FRAMES_VALIDATE_H_
+#define GQC_FRAMES_VALIDATE_H_
+
+#include "src/frames/abstract_frame.h"
+#include "src/frames/concrete_frame.h"
+#include "src/util/invariant.h"
+
+namespace gqc {
+
+/// Structural well-formedness of a concrete frame (§4): every component a
+/// valid pointed graph, every frame edge between live components with a live
+/// source node, no self-loop frame edges, and distinct edges out of the same
+/// (component, source node) pair reaching distinct targets.
+AuditResult ValidateConcreteFrame(const ConcreteFrame& frame);
+
+/// Structural well-formedness of an abstract frame: consistent component
+/// types (distinguished and allowed), edges between live components.
+AuditResult ValidateAbstractFrame(const AbstractFrame& frame);
+
+/// FrameCoil(F, n) output against its base frame (Lemma 4.3): a well-formed
+/// frame that is locally isomorphic to F (equal local signatures — the
+/// multiset of component/connector fingerprints).
+AuditResult ValidateFrameCoil(const ConcreteFrame& base,
+                              const ConcreteFrame& coil);
+
+}  // namespace gqc
+
+#endif  // GQC_FRAMES_VALIDATE_H_

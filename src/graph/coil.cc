@@ -1,9 +1,10 @@
 #include "src/graph/coil.h"
 
-#include <cassert>
 #include <unordered_map>
 
+#include "src/graph/validate.h"
 #include "src/util/hash.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -62,7 +63,7 @@ Result<CoilResult> Coil(const Graph& g, std::size_t n, ResourceGuard* guard) {
     for (const auto& [role, to] : g.OutEdges(p.Last())) {
       GraphPath suffix = p.Extend(role, to).Suffix(n);
       auto it = path_index.find(PathKey(suffix));
-      assert(it != path_index.end());
+      GQC_DCHECK(it != path_index.end());
       std::size_t j = it->second;
       for (std::size_t l = 0; l < levels; ++l) {
         std::size_t l2 = (l + 1) % levels;
@@ -71,6 +72,7 @@ Result<CoilResult> Coil(const Graph& g, std::size_t n, ResourceGuard* guard) {
       }
     }
   }
+  GQC_AUDIT(ValidateCoil(g, result));
   return result;
 }
 

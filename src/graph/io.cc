@@ -3,6 +3,9 @@
 #include <sstream>
 #include <vector>
 
+#include "src/graph/validate.h"
+#include "src/util/invariant.h"
+
 namespace gqc {
 
 NodeId NamedGraph::Find(const std::string& name) const {
@@ -53,6 +56,9 @@ Result<NamedGraph> ParseGraph(std::string_view text, Vocabulary* vocab) {
                                        "' (line " + std::to_string(line_no) + ")");
     }
   }
+  // Parser-output boundary: whatever the surface text said, the graph handed
+  // to the reasoning engines must be structurally well-formed.
+  GQC_AUDIT(ValidateGraph(out.graph, *vocab));
   return out;
 }
 
@@ -60,7 +66,8 @@ std::string WriteGraph(const Graph& g, const Vocabulary& vocab,
                        const std::map<std::string, NodeId>* names) {
   std::vector<std::string> name_of(g.NodeCount());
   for (NodeId v = 0; v < g.NodeCount(); ++v) {
-    name_of[v] = "n" + std::to_string(v);
+    name_of[v] = "n";
+    name_of[v] += std::to_string(v);
   }
   if (names != nullptr) {
     for (const auto& [name, v] : *names) {

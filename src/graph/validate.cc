@@ -1,0 +1,194 @@
+#include "src/graph/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gqc {
+namespace {
+
+std::string NodeStr(NodeId v) { return std::to_string(v); }
+
+}  // namespace
+
+AuditResult ValidateGraph(const Graph& g) {
+  const std::size_t n = g.NodeCount();
+  std::size_t out_total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    std::set<std::pair<uint32_t, NodeId>> seen;
+    for (const auto& [role, v] : g.OutEdges(u)) {
+      if (v >= n) {
+        return AuditViolation("out-edge (" + NodeStr(u) + ", r" +
+                              std::to_string(role) + ", " + NodeStr(v) +
+                              ") targets a node out of bounds (node count " +
+                              std::to_string(n) + ")");
+      }
+      if (!seen.insert({role, v}).second) {
+        return AuditViolation("duplicate edge (" + NodeStr(u) + ", r" +
+                              std::to_string(role) + ", " + NodeStr(v) +
+                              ") violates edge-set semantics");
+      }
+      const auto& mirror = g.InEdges(v);
+      if (std::find(mirror.begin(), mirror.end(),
+                    std::make_pair(role, u)) == mirror.end()) {
+        return AuditViolation("edge (" + NodeStr(u) + ", r" +
+                              std::to_string(role) + ", " + NodeStr(v) +
+                              ") missing from the in-adjacency mirror");
+      }
+      ++out_total;
+    }
+  }
+  std::size_t in_total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [role, u] : g.InEdges(v)) {
+      if (u >= n) {
+        return AuditViolation("in-edge (" + NodeStr(u) + ", r" +
+                              std::to_string(role) + ", " + NodeStr(v) +
+                              ") sources a node out of bounds");
+      }
+      const auto& mirror = g.OutEdges(u);
+      if (std::find(mirror.begin(), mirror.end(),
+                    std::make_pair(role, v)) == mirror.end()) {
+        return AuditViolation("in-edge (" + NodeStr(u) + ", r" +
+                              std::to_string(role) + ", " + NodeStr(v) +
+                              ") missing from the out-adjacency mirror");
+      }
+      ++in_total;
+    }
+  }
+  if (out_total != in_total || out_total != g.EdgeCount()) {
+    return AuditViolation(
+        "edge count mismatch: " + std::to_string(out_total) + " out-edges, " +
+        std::to_string(in_total) + " in-edges, cached count " +
+        std::to_string(g.EdgeCount()));
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateGraph(const Graph& g, const Vocabulary& vocab) {
+  if (auto v = ValidateGraph(g)) return v;
+  for (NodeId u = 0; u < g.NodeCount(); ++u) {
+    for (uint32_t id : g.Labels(u).ToIds()) {
+      if (id >= vocab.concept_count()) {
+        return AuditViolation("node " + NodeStr(u) + " carries label id " +
+                              std::to_string(id) +
+                              " not interned in the vocabulary (" +
+                              std::to_string(vocab.concept_count()) +
+                              " concepts)");
+      }
+    }
+    for (const auto& [role, v] : g.OutEdges(u)) {
+      (void)v;
+      if (role >= vocab.role_count()) {
+        return AuditViolation("edge out of node " + NodeStr(u) +
+                              " carries role id " + std::to_string(role) +
+                              " not interned in the vocabulary (" +
+                              std::to_string(vocab.role_count()) + " roles)");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidatePointedGraph(const PointedGraph& pg) {
+  if (auto v = ValidateGraph(pg.graph)) return v;
+  if (pg.graph.NodeCount() == 0) {
+    return AuditViolation("pointed graph has no nodes");
+  }
+  if (pg.point >= pg.graph.NodeCount()) {
+    return AuditViolation("distinguished node " + NodeStr(pg.point) +
+                          " out of bounds (node count " +
+                          std::to_string(pg.graph.NodeCount()) + ")");
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateType(const Type& t) {
+  for (Literal l : t.Literals()) {
+    if (t.HasPositive(l.concept_id()) && t.HasNegative(l.concept_id())) {
+      return AuditViolation("type contains both a concept and its complement "
+                            "(concept id " +
+                            std::to_string(l.concept_id()) + ")");
+    }
+  }
+  return std::nullopt;
+}
+
+AuditResult ValidateCoil(const Graph& base, const CoilResult& coil) {
+  if (auto v = ValidateGraph(coil.graph)) return v;
+  const std::size_t nodes = coil.graph.NodeCount();
+  if (coil.base_node.size() != nodes || coil.level.size() != nodes ||
+      coil.paths.size() != nodes) {
+    return AuditViolation(
+        "coil vectors misaligned: " + std::to_string(nodes) + " nodes, " +
+        std::to_string(coil.base_node.size()) + " base_node entries, " +
+        std::to_string(coil.level.size()) + " levels, " +
+        std::to_string(coil.paths.size()) + " paths");
+  }
+  if (coil.n == 0) return AuditViolation("coil window n must be positive");
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (coil.base_node[v] >= base.NodeCount()) {
+      return AuditViolation("coil node " + NodeStr(v) +
+                            " maps to base node out of bounds");
+    }
+    if (coil.level[v] > coil.n) {
+      return AuditViolation("coil node " + NodeStr(v) + " has level " +
+                            std::to_string(coil.level[v]) +
+                            " exceeding the window n = " +
+                            std::to_string(coil.n));
+    }
+    const GraphPath& path = coil.paths[v];
+    if (path.nodes.empty() || path.nodes.size() != path.roles.size() + 1) {
+      return AuditViolation("coil node " + NodeStr(v) +
+                            " holds a malformed path");
+    }
+    if (path.Length() > coil.n) {
+      return AuditViolation("coil node " + NodeStr(v) +
+                            " holds a path longer than the window");
+    }
+    if (path.Last() != coil.base_node[v]) {
+      return AuditViolation("coil node " + NodeStr(v) +
+                            " path does not end at its base node");
+    }
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      if (!base.HasEdge(path.nodes[i], path.roles[i], path.nodes[i + 1])) {
+        return AuditViolation("coil node " + NodeStr(v) +
+                              " path steps over a non-edge of the base graph");
+      }
+    }
+    if (!(coil.graph.Labels(v) == base.Labels(coil.base_node[v]))) {
+      return AuditViolation("coil node " + NodeStr(v) +
+                            " labels differ from its base node's labels");
+    }
+  }
+  // h_G is a homomorphism and edges respect level arithmetic + the n-suffix
+  // extension discipline (Property 1).
+  AuditResult violation;
+  coil.graph.ForEachEdge([&](const Edge& e) {
+    if (violation) return;
+    if (coil.level[e.to] != (coil.level[e.from] + 1) % (coil.n + 1)) {
+      violation = AuditViolation(
+          "coil edge (" + NodeStr(e.from) + " -> " + NodeStr(e.to) +
+          ") breaks level arithmetic mod n+1");
+      return;
+    }
+    if (!base.HasEdge(coil.base_node[e.from], e.role, coil.base_node[e.to])) {
+      violation = AuditViolation(
+          "coil edge (" + NodeStr(e.from) + " -> " + NodeStr(e.to) +
+          ") does not project to a base edge under h_G");
+      return;
+    }
+    GraphPath expect =
+        coil.paths[e.from].Extend(e.role, coil.base_node[e.to]).Suffix(coil.n);
+    if (!(coil.paths[e.to] == expect)) {
+      violation = AuditViolation(
+          "coil edge (" + NodeStr(e.from) + " -> " + NodeStr(e.to) +
+          ") target path is not the n-suffix of the one-edge extension");
+    }
+  });
+  return violation;
+}
+
+}  // namespace gqc

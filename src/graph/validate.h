@@ -1,0 +1,37 @@
+#ifndef GQC_GRAPH_VALIDATE_H_
+#define GQC_GRAPH_VALIDATE_H_
+
+#include "src/graph/coil.h"
+#include "src/graph/graph.h"
+#include "src/graph/type.h"
+#include "src/util/invariant.h"
+
+namespace gqc {
+
+/// Structural well-formedness of a graph: every edge endpoint is a live node,
+/// the out-/in-adjacency mirrors agree edge for edge, no duplicate
+/// (from, role, to) triples (edge-set semantics, §2), and the cached edge
+/// count matches the adjacency lists.
+AuditResult ValidateGraph(const Graph& g);
+
+/// ValidateGraph plus vocabulary bounds: node labels are interned concept
+/// ids, edge roles are interned role ids.
+AuditResult ValidateGraph(const Graph& g, const Vocabulary& vocab);
+
+/// The distinguished node is a live node of a well-formed graph.
+AuditResult ValidatePointedGraph(const PointedGraph& pg);
+
+/// Label/complement consistency of a type: at most one of A and Ā per
+/// concept name (§2).
+AuditResult ValidateType(const Type& t);
+
+/// Coil(G, n) output against its base graph (§4 / Property 1): aligned
+/// node-indexed vectors, level arithmetic ℓ' ≡ ℓ+1 (mod n+1) on every edge,
+/// labels inherited from the path's last node, every path a genuine ≤n-path
+/// ending at its base node, and h_G (base_node) a homomorphism onto base
+/// edges with the n-suffix extension discipline.
+AuditResult ValidateCoil(const Graph& base, const CoilResult& coil);
+
+}  // namespace gqc
+
+#endif  // GQC_GRAPH_VALIDATE_H_

@@ -1,7 +1,6 @@
 #ifndef GQC_GRAPH_VOCABULARY_H_
 #define GQC_GRAPH_VOCABULARY_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>

@@ -8,7 +8,10 @@ namespace gqc {
 
 uint32_t Crpq::AddVar(std::string name) {
   uint32_t id = static_cast<uint32_t>(var_names_.size());
-  if (name.empty()) name = "v" + std::to_string(id);
+  if (name.empty()) {
+    name = "v";
+    name += std::to_string(id);
+  }
   var_names_.push_back(std::move(name));
   return id;
 }

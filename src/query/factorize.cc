@@ -1,13 +1,13 @@
 #include "src/query/factorize.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <map>
 #include <set>
 
 #include "src/automata/semiautomaton.h"
 #include "src/query/eval.h"
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -123,7 +123,7 @@ CanonicalKey SerializeUnder(const SPointed& p, const std::vector<uint32_t>& perm
 }
 
 CanonicalKey Canonicalize(const SPointed& p, RoleSetInterner* sets) {
-  assert(p.var_count <= 9 && "factor too large to canonicalize");
+  GQC_DCHECK(p.var_count <= 9 && "factor too large to canonicalize");
   std::vector<uint32_t> order;
   for (uint32_t v = 0; v < p.var_count; ++v) {
     if (v != p.point) order.push_back(v);

@@ -36,7 +36,7 @@ struct QueryContainmentOptions {
 /// (e.g. CQs) within the word-length bound; otherwise kNotContained answers
 /// are exact and kContained degrades to kUnknown when the expansion set is
 /// not exhaustive.
-QueryContainmentResult QueryContainment(
+[[nodiscard]] QueryContainmentResult QueryContainment(
     const Ucrpq& p, const Ucrpq& q, const QueryContainmentOptions& options = {});
 
 }  // namespace gqc

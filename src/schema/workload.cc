@@ -22,8 +22,16 @@ class InstanceBuilder {
   }
 
  private:
-  std::string Concept() { return "T" + std::to_string(rng_() % options_.node_types); }
-  std::string RoleName() { return "r" + std::to_string(rng_() % options_.roles); }
+  std::string Concept() {
+    std::string s = "T";
+    s += std::to_string(rng_() % options_.node_types);
+    return s;
+  }
+  std::string RoleName() {
+    std::string s = "r";
+    s += std::to_string(rng_() % options_.roles);
+    return s;
+  }
   std::string RoleRef() {
     std::string r = RoleName();
     if (options_.allow_inverse && rng_() % 4 == 0) r += "-";
@@ -50,7 +58,11 @@ class InstanceBuilder {
     }
   }
 
-  std::string Var(std::size_t i) { return "x" + std::to_string(i); }
+  std::string Var(std::size_t i) {
+    std::string s = "x";
+    s += std::to_string(i);
+    return s;
+  }
 
   std::string Query() {
     // A connected chain of binary atoms with sprinkled unary atoms.

@@ -52,6 +52,31 @@ std::string JoinKeyParts(std::string_view a, std::string_view b, std::string_vie
   return out;
 }
 
+std::optional<std::vector<std::string>> SplitKeyParts(std::string_view key) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    std::size_t len = 0;
+    std::size_t digits = 0;
+    while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+      // Reject lengths that could not have come from std::to_string (the
+      // whole key is bounded by memory anyway; 15 digits keeps len exact).
+      if (digits >= 15) return std::nullopt;
+      len = len * 10 + static_cast<std::size_t>(key[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || pos >= key.size() || key[pos] != ':') {
+      return std::nullopt;
+    }
+    ++pos;  // ':'
+    if (len > key.size() - pos) return std::nullopt;
+    parts.emplace_back(key.substr(pos, len));
+    pos += len;
+  }
+  return parts;
+}
+
 std::string FingerprintHex(uint64_t fp) {
   static const char* digits = "0123456789abcdef";
   std::string out(16, '0');

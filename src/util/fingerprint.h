@@ -2,8 +2,10 @@
 #define GQC_UTIL_FINGERPRINT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace gqc {
 
@@ -25,6 +27,13 @@ uint64_t Fnv1a64ExtendInt(uint64_t seed, uint64_t value);
 /// ("ab", "c") and ("a", "bc") never collide as composite keys.
 std::string JoinKeyParts(std::string_view a, std::string_view b);
 std::string JoinKeyParts(std::string_view a, std::string_view b, std::string_view c);
+
+/// Exact inverse of JoinKeyParts: decodes a composite key back into its
+/// parts, or nullopt if `key` is not a valid encoding. The cache-key audits
+/// (src/core/validate.h) use this to prove round-tripping — a key that does
+/// not decode to exactly the parts it was built from could alias two
+/// distinct cache inputs.
+std::optional<std::vector<std::string>> SplitKeyParts(std::string_view key);
 
 /// Renders a fingerprint as fixed-width lowercase hex (for stable report
 /// output).

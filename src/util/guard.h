@@ -110,17 +110,17 @@ class ResourceGuard {
 
   /// Charges `steps` to `phase` and returns true iff the guard has tripped
   /// (now or earlier). Search loops call this once per expanded state.
-  bool Charge(GuardPhase phase, uint64_t steps = 1);
+  [[nodiscard]] bool Charge(GuardPhase phase, uint64_t steps = 1);
 
   /// Charges an estimate of allocated search state. Returns true iff tripped.
-  bool ChargeMemory(GuardPhase phase, uint64_t bytes);
+  [[nodiscard]] bool ChargeMemory(GuardPhase phase, uint64_t bytes);
 
   /// Checks deadline and cancellation without charging steps (entry points,
   /// loop boundaries). Returns true iff tripped.
-  bool Recheck(GuardPhase phase);
+  [[nodiscard]] bool Recheck(GuardPhase phase);
 
   /// True iff some budget ran out (sticky).
-  bool exhausted() const {
+  [[nodiscard]] bool exhausted() const {
     return tripped_.load(std::memory_order_acquire) !=
            static_cast<uint8_t>(GuardResource::kNone);
   }

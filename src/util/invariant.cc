@@ -1,0 +1,19 @@
+#include "src/util/invariant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gqc {
+
+void InvariantFailure(const char* file, int line, const char* expr,
+                      const std::string& message) {
+  std::fprintf(stderr, "gqc: invariant violated at %s:%d\n  check:  %s\n", file,
+               line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, "  detail: %s\n", message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gqc

@@ -1,0 +1,76 @@
+#ifndef GQC_UTIL_INVARIANT_H_
+#define GQC_UTIL_INVARIANT_H_
+
+#include <optional>
+#include <string>
+
+namespace gqc {
+
+/// Invariant-audit layer.
+///
+/// The paper's constructions (coils, frames, sparse countermodels, normal-form
+/// TBoxes) carry structural invariants the type system cannot express, and a
+/// latent violation corrupts a verdict silently instead of crashing. This
+/// header provides the machinery to make those invariants machine-checkable:
+///
+///   GQC_DCHECK(cond)   — cheap local invariant; like assert, but tied to the
+///                        GQC_AUDIT build option instead of NDEBUG, so audit
+///                        builds keep full optimization while release builds
+///                        pay nothing.
+///   GQC_AUDIT(expr)    — module-boundary audit. `expr` is a call to one of
+///                        the per-module Validate*() routines returning
+///                        AuditResult; a non-nullopt result aborts with the
+///                        violation message. Compiled out entirely (operand
+///                        unevaluated) unless GQC_AUDIT is on.
+///
+/// The Validate*() routines themselves are ordinary always-compiled functions
+/// (src/graph/validate.h, src/automata/validate.h, src/dl/validate.h,
+/// src/frames/validate.h, src/core/validate.h), so tests exercise them on
+/// corrupted fixtures in every build flavor; only the call sites are gated.
+///
+/// Enable with `cmake --preset audit` (or -DGQC_AUDIT=ON); tools/sanitize.sh
+/// turns it on for sanitizer runs as well.
+
+/// nullopt = invariant holds; otherwise a human-readable violation.
+using AuditResult = std::optional<std::string>;
+
+/// Shorthand for building a violation message in Validate*() routines.
+inline AuditResult AuditViolation(std::string message) { return message; }
+
+/// Prints the violated invariant (with source location) to stderr and aborts.
+/// Invariant violations are programming errors, never user-input errors, so
+/// there is no recovery path: a wrong verdict must not escape.
+[[noreturn]] void InvariantFailure(const char* file, int line, const char* expr,
+                                   const std::string& message);
+
+/// True in builds configured with -DGQC_AUDIT=ON.
+constexpr bool AuditEnabled() {
+#ifdef GQC_AUDIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+inline void AuditCheck(const char* file, int line, const char* expr,
+                       const AuditResult& status) {
+  if (status.has_value()) InvariantFailure(file, line, expr, *status);
+}
+}  // namespace internal
+
+}  // namespace gqc
+
+#ifdef GQC_AUDIT_ENABLED
+#define GQC_DCHECK(cond) \
+  ((cond) ? (void)0 : ::gqc::InvariantFailure(__FILE__, __LINE__, #cond, ""))
+#define GQC_AUDIT(expr) \
+  ::gqc::internal::AuditCheck(__FILE__, __LINE__, #expr, (expr))
+#else
+// sizeof keeps the operand syntactically checked and its captures "used"
+// (no -Wunused warnings in release) while generating no code.
+#define GQC_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#define GQC_AUDIT(expr) ((void)sizeof(expr))
+#endif
+
+#endif  // GQC_UTIL_INVARIANT_H_

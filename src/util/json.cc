@@ -1,7 +1,8 @@
 #include "src/util/json.h"
 
-#include <cassert>
 #include <cstdio>
+
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -46,7 +47,7 @@ JsonWriter& JsonWriter::BeginObject() {
 }
 
 JsonWriter& JsonWriter::EndObject() {
-  assert(has_element_.size() > 1);
+  GQC_DCHECK(has_element_.size() > 1);
   has_element_.pop_back();
   out_.push_back('}');
   return *this;
@@ -60,7 +61,7 @@ JsonWriter& JsonWriter::BeginArray() {
 }
 
 JsonWriter& JsonWriter::EndArray() {
-  assert(has_element_.size() > 1);
+  GQC_DCHECK(has_element_.size() > 1);
   has_element_.pop_back();
   out_.push_back(']');
   return *this;

@@ -1,0 +1,28 @@
+#ifndef GQC_UTIL_PARSE_NUM_H_
+#define GQC_UTIL_PARSE_NUM_H_
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace gqc {
+
+/// Sanctioned numeric parsing helper (see tools/lint rule `raw-sto`).
+///
+/// `std::sto*` is banned in this codebase: it throws on overflow, consults
+/// the locale, and silently accepts trailing garbage — all wrong for parser
+/// input that fuzzers feed us. ParseUint32 is total: nullopt on empty input,
+/// non-digit characters, or overflow past uint32_t.
+inline std::optional<uint32_t> ParseUint32(std::string_view text) {
+  uint32_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace gqc
+
+#endif  // GQC_UTIL_PARSE_NUM_H_

@@ -1,10 +1,11 @@
 #ifndef GQC_UTIL_RESULT_H_
 #define GQC_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -12,9 +13,12 @@ namespace gqc {
 ///
 /// The library does not throw on user-input errors; fallible entry points
 /// return Result<T> and callers branch on ok(). Internal invariant violations
-/// use assert.
+/// use GQC_DCHECK (src/util/invariant.h), active under the audit preset.
+///
+/// [[nodiscard]]: dropping a Result on the floor silently discards both the
+/// value and the error — every caller must branch on ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit success construction.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -30,15 +34,15 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    GQC_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    GQC_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    GQC_DCHECK(ok());
     return *std::move(value_);
   }
 

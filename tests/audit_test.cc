@@ -1,0 +1,299 @@
+// Corrupted-fixture coverage for the invariant-audit layer: each Validate()
+// routine must trip on a deliberately broken structure and stay silent on a
+// healthy one. The validators are always compiled (only the GQC_AUDIT call
+// sites are build-flavor gated), so these tests run in every build flavor.
+
+#include <gtest/gtest.h>
+
+#include "src/automata/regex_parser.h"
+#include "src/automata/validate.h"
+#include "src/core/validate.h"
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/dl/validate.h"
+#include "src/frames/concrete_frame.h"
+#include "src/frames/validate.h"
+#include "src/graph/coil.h"
+#include "src/graph/generators.h"
+#include "src/graph/validate.h"
+#include "src/query/parser.h"
+#include "src/util/fingerprint.h"
+
+namespace gqc {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  Ucrpq U(const std::string& text) {
+    auto r = ParseUcrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  Crpq C(const std::string& text) {
+    auto r = ParseCrpq(text, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+  }
+
+  Vocabulary vocab_;
+};
+
+// ----------------------------------------------------------------- graphs
+
+TEST_F(AuditTest, WellFormedGraphPasses) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = CycleGraph(3, r);
+  g.AddLabel(0, vocab_.ConceptId("A"));
+  EXPECT_FALSE(ValidateGraph(g).has_value());
+  EXPECT_FALSE(ValidateGraph(g, vocab_).has_value());
+}
+
+TEST_F(AuditTest, UninternedLabelTripsGraphValidator) {
+  Graph g;
+  NodeId v = g.AddNode();
+  g.AddLabel(v, 12345);  // never interned in vocab_
+  auto violation = ValidateGraph(g, vocab_);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("label"), std::string::npos) << *violation;
+}
+
+TEST_F(AuditTest, UninternedRoleTripsGraphValidator) {
+  Graph g;
+  NodeId u = g.AddNode();
+  NodeId v = g.AddNode();
+  g.AddEdge(u, 999, v);  // role id 999 never interned
+  auto violation = ValidateGraph(g, vocab_);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("role"), std::string::npos) << *violation;
+}
+
+TEST_F(AuditTest, PointOutOfBoundsTripsPointedGraphValidator) {
+  PointedGraph pg;
+  pg.graph.AddNode();
+  pg.point = 7;  // only node 0 exists
+  EXPECT_TRUE(ValidatePointedGraph(pg).has_value());
+  pg.point = 0;
+  EXPECT_FALSE(ValidatePointedGraph(pg).has_value());
+}
+
+// -------------------------------------------------------------- automata
+
+TEST_F(AuditTest, SemiautomatonWithinAlphabetPasses) {
+  uint32_t r = vocab_.RoleId("r");
+  Semiautomaton a;
+  uint32_t s0 = a.AddState();
+  uint32_t s1 = a.AddState();
+  a.AddTransition(s0, Symbol::FromRole(Role::Forward(r)), s1);
+  std::vector<Symbol> alphabet{Symbol::FromRole(Role::Forward(r))};
+  EXPECT_FALSE(ValidateSemiautomaton(a).has_value());
+  EXPECT_FALSE(ValidateSemiautomaton(a, alphabet).has_value());
+}
+
+TEST_F(AuditTest, OutOfAlphabetTransitionTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  uint32_t s = vocab_.RoleId("s");
+  Semiautomaton a;
+  uint32_t s0 = a.AddState();
+  uint32_t s1 = a.AddState();
+  a.AddTransition(s0, Symbol::FromRole(Role::Forward(s)), s1);
+  // The declared alphabet only contains r; the s-transition is a leak.
+  std::vector<Symbol> alphabet{Symbol::FromRole(Role::Forward(r))};
+  auto violation = ValidateSemiautomaton(a, alphabet);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("alphabet"), std::string::npos) << *violation;
+}
+
+TEST_F(AuditTest, UninternedSymbolTripsVocabularyValidator) {
+  Semiautomaton a;
+  uint32_t s0 = a.AddState();
+  uint32_t s1 = a.AddState();
+  a.AddTransition(s0, Symbol::FromRole(Role::Forward(4242)), s1);
+  EXPECT_TRUE(ValidateSemiautomaton(a, vocab_).has_value());
+}
+
+// -------------------------------------------------------------------- dl
+
+TEST_F(AuditTest, NormalizedTBoxPasses) {
+  auto tbox = ParseTBox(
+      "A <= exists r.B\n"
+      "B and C <= forall r.A\n"
+      "top <= atmost 2 r.C\n",
+      &vocab_);
+  ASSERT_TRUE(tbox.ok()) << tbox.error();
+  NormalTBox normal = Normalize(tbox.value(), &vocab_);
+  EXPECT_FALSE(ValidateNormalTBox(normal).has_value());
+  EXPECT_FALSE(ValidateNormalTBox(normal, vocab_).has_value());
+}
+
+TEST_F(AuditTest, AtLeastZeroTripsNormalFormValidator) {
+  // ≥0 r.B is ⊤ and must have been rewritten away by Normalize; a surviving
+  // n = 0 at-least is an un-normalized axiom.
+  NormalCi ci;
+  ci.kind = NormalCi::Kind::kAtLeast;
+  ci.lhs = {Literal::Positive(vocab_.ConceptId("A"))};
+  ci.role = Role::Forward(vocab_.RoleId("r"));
+  ci.n = 0;
+  ci.rhs_lit = Literal::Positive(vocab_.ConceptId("B"));
+  NormalTBox tbox;
+  tbox.Add(ci);
+  auto violation = ValidateNormalTBox(tbox);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("at-least"), std::string::npos) << *violation;
+}
+
+TEST_F(AuditTest, ForallWithBooleanRhsTripsNormalFormValidator) {
+  // A ⊑ ∀r.B must carry its filler in rhs_lit; a populated Boolean rhs
+  // means the CI mixes two normal forms.
+  NormalCi ci;
+  ci.kind = NormalCi::Kind::kForall;
+  ci.lhs = {Literal::Positive(vocab_.ConceptId("A"))};
+  ci.role = Role::Forward(vocab_.RoleId("r"));
+  ci.rhs_lit = Literal::Positive(vocab_.ConceptId("B"));
+  ci.rhs = {Literal::Positive(vocab_.ConceptId("C"))};
+  NormalTBox tbox;
+  tbox.Add(ci);
+  EXPECT_TRUE(ValidateNormalTBox(tbox).has_value());
+}
+
+// ------------------------------------------------------------------ coils
+
+TEST_F(AuditTest, FreshCoilPasses) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = CycleGraph(3, r);
+  auto coil = Coil(g, 2);
+  ASSERT_TRUE(coil.ok()) << coil.error();
+  EXPECT_FALSE(ValidateCoil(g, coil.value()).has_value());
+}
+
+TEST_F(AuditTest, CorruptedCoilLevelTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = CycleGraph(3, r);
+  auto coil = Coil(g, 2);
+  ASSERT_TRUE(coil.ok()) << coil.error();
+  CoilResult broken = coil.value();
+  ASSERT_FALSE(broken.level.empty());
+  // Push one node's level outside {0, ..., n}: the ℓ' ≡ ℓ+1 (mod n+1)
+  // discipline of Property 1 cannot hold any more.
+  broken.level[0] = static_cast<uint32_t>(broken.n) + 5;
+  EXPECT_TRUE(ValidateCoil(g, broken).has_value());
+}
+
+TEST_F(AuditTest, CorruptedCoilHomomorphismTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  Graph g = PathGraph(3, r);
+  auto coil = Coil(g, 2);
+  ASSERT_TRUE(coil.ok()) << coil.error();
+  CoilResult broken = coil.value();
+  ASSERT_GE(broken.base_node.size(), 2u);
+  // Remap one coil node to a different base node: h_G stops being a
+  // homomorphism (or the labels stop matching the path's last node).
+  broken.base_node[1] = broken.base_node[1] == 0 ? 1 : 0;
+  EXPECT_TRUE(ValidateCoil(g, broken).has_value());
+}
+
+// ----------------------------------------------------------------- frames
+
+TEST_F(AuditTest, WellFormedFramePasses) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  uint32_t f0 = frame.AddComponent({PathGraph(2, r), 0});
+  uint32_t f1 = frame.AddComponent({PathGraph(1, r), 0});
+  frame.AddEdge(f0, 1, Role::Forward(r), f1);
+  EXPECT_FALSE(ValidateConcreteFrame(frame).has_value());
+}
+
+TEST_F(AuditTest, FrameEdgeToMissingComponentTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  uint32_t f0 = frame.AddComponent({PathGraph(2, r), 0});
+  // Component 5 does not exist; the edge dangles.
+  frame.AddEdge(f0, 0, Role::Forward(r), 5);
+  auto violation = ValidateConcreteFrame(frame);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("edge"), std::string::npos) << *violation;
+}
+
+TEST_F(AuditTest, FrameComponentWithBadPointTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame frame;
+  PointedGraph bad{PathGraph(2, r), 9};  // point outside the 2-node graph
+  frame.AddComponent(std::move(bad));
+  EXPECT_TRUE(ValidateConcreteFrame(frame).has_value());
+}
+
+TEST_F(AuditTest, FrameCoilLocalSignatureMismatchTripsValidator) {
+  uint32_t r = vocab_.RoleId("r");
+  ConcreteFrame base;
+  base.AddComponent({PathGraph(2, r), 0});
+
+  // A structurally valid frame that is NOT locally isomorphic to `base`
+  // (different component shape), passed off as its coil.
+  ConcreteFrame impostor;
+  impostor.AddComponent({CycleGraph(3, r), 0});
+  auto violation = ValidateFrameCoil(base, impostor);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("signature"), std::string::npos) << *violation;
+
+  // The genuine FrameCoil passes.
+  auto coil = FrameCoil(base, 2);
+  ASSERT_TRUE(coil.ok()) << coil.error();
+  EXPECT_FALSE(ValidateFrameCoil(base, coil.value()).has_value());
+}
+
+// ------------------------------------------------------------- cache keys
+
+TEST_F(AuditTest, CacheKeyRoundTripPasses) {
+  std::string key = JoinKeyParts("schema text", "q(x) :- A(x)");
+  EXPECT_FALSE(ValidateCacheKey(key, {"schema text", "q(x) :- A(x)"}).has_value());
+}
+
+TEST_F(AuditTest, CacheKeyPartMismatchTrips) {
+  std::string key = JoinKeyParts("alpha", "beta");
+  EXPECT_TRUE(ValidateCacheKey(key, {"alpha", "gamma"}).has_value());
+  EXPECT_TRUE(ValidateCacheKey(key, {"alpha"}).has_value());
+}
+
+TEST_F(AuditTest, MalformedCacheKeyTrips) {
+  EXPECT_TRUE(ValidateCacheKey("no-length-prefix", {"no-length-prefix"}).has_value());
+  // Declared length overruns the payload.
+  EXPECT_FALSE(SplitKeyParts("13:hello, world").has_value());
+  auto parts = SplitKeyParts(JoinKeyParts("a", "", "c"));
+  ASSERT_TRUE(parts.has_value());
+  EXPECT_EQ(*parts, (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_FALSE(SplitKeyParts("999:short").has_value());
+}
+
+// ----------------------------------------------------------- countermodels
+
+TEST_F(AuditTest, GenuineCountermodelPasses) {
+  auto tbox_src = ParseTBox("A <= exists r.B", &vocab_);
+  ASSERT_TRUE(tbox_src.ok());
+  NormalTBox tbox = Normalize(tbox_src.value(), &vocab_);
+
+  // G: an A-node with an r-edge to a B-node. Satisfies T, matches p, and
+  // does not match q = C(x).
+  Graph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  g.AddLabel(a, vocab_.ConceptId("A"));
+  g.AddLabel(b, vocab_.ConceptId("B"));
+  g.AddEdge(a, vocab_.RoleId("r"), b);
+
+  EXPECT_FALSE(ValidateCountermodel(g, C("A(x)"), U("C(x)"), tbox).has_value());
+}
+
+TEST_F(AuditTest, StaleCountermodelTrips) {
+  NormalTBox empty_tbox;
+  Graph g;
+  NodeId v = g.AddNode();
+  g.AddLabel(v, vocab_.ConceptId("A"));
+
+  // Claims to refute p ⊑ q but actually satisfies q: not a countermodel.
+  EXPECT_TRUE(ValidateCountermodel(g, C("A(x)"), U("A(x)"), empty_tbox).has_value());
+  // Claims to witness p but does not match it.
+  EXPECT_TRUE(ValidateCountermodel(g, C("B(x)"), U("C(x)"), empty_tbox).has_value());
+}
+
+}  // namespace
+}  // namespace gqc

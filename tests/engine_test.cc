@@ -153,7 +153,7 @@ TEST(EngineTest, DistinctQueriesAgainstOneSchemaShareTheSchemaContext) {
     items.push_back(std::move(item));
   }
   Engine engine;
-  engine.DecideBatch(items);
+  (void)engine.DecideBatch(items);
   const PipelineStats& stats = engine.stats();
   // Three distinct (schema, Q) contexts, but the schema parsed once.
   EXPECT_EQ(stats.query_ctx_misses.load(), 3u);
@@ -164,13 +164,13 @@ TEST(EngineTest, DistinctQueriesAgainstOneSchemaShareTheSchemaContext) {
 TEST(EngineTest, ResetStateClearsCachesAndStats) {
   std::vector<BatchItem> items = WorkloadItems(5, 19);
   Engine engine;
-  engine.DecideBatch(items);
+  (void)engine.DecideBatch(items);
   ASSERT_GT(engine.stats().pairs_total.load(), 0u);
   engine.ResetState();
   EXPECT_EQ(engine.stats().pairs_total.load(), 0u);
   EXPECT_EQ(engine.stats().schema_ctx_hits.load(), 0u);
   // After reset, the same batch repopulates from scratch (all misses again).
-  engine.DecideBatch(items);
+  (void)engine.DecideBatch(items);
   EXPECT_EQ(engine.stats().query_ctx_misses.load(), items.size());
 }
 
@@ -335,7 +335,7 @@ TEST(EngineTest, CancelAllMidBatchLeavesCompletedVerdictsIntact) {
 TEST(EngineTest, StatsJsonExports) {
   std::vector<BatchItem> items = WorkloadItems(4, 23);
   Engine engine;
-  engine.DecideBatch(items);
+  (void)engine.DecideBatch(items);
   std::string json = engine.StatsJson();
   EXPECT_NE(json.find("\"pairs\""), std::string::npos);
   EXPECT_NE(json.find("\"phases_ms\""), std::string::npos);

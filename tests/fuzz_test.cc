@@ -126,13 +126,13 @@ TEST_P(FuzzTest, SplicedHostileBytesFailCleanly) {
         std::string text = base;
         text.insert(rng() % (text.size() + 1), splice);
         auto q = ParseUcrpq(text, &vocab);
-        if (!q.ok()) EXPECT_FALSE(q.error().empty());
+        if (!q.ok()) { EXPECT_FALSE(q.error().empty()); }
         auto t = ParseTBox(text, &vocab);
-        if (!t.ok()) EXPECT_FALSE(t.error().empty());
+        if (!t.ok()) { EXPECT_FALSE(t.error().empty()); }
         auto g = ParseGraph(text, &vocab);
-        if (!g.ok()) EXPECT_FALSE(g.error().empty());
+        if (!g.ok()) { EXPECT_FALSE(g.error().empty()); }
         auto s = ParseSchema(text, &vocab);
-        if (!s.ok()) EXPECT_FALSE(s.error().empty());
+        if (!s.ok()) { EXPECT_FALSE(s.error().empty()); }
       }
     }
   }

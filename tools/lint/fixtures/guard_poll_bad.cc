@@ -1,0 +1,10 @@
+// Fixture: a loop in an exponential-phase file that never polls the guard
+// and carries no `// lint: bounded` annotation. Rule `guard-poll` must fire.
+int Search(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += i * i;  // unbounded work, no Charge()/Recheck() in sight
+  }
+  while (total > 0) total -= 1;  // single-statement body, also unguarded
+  return total;
+}

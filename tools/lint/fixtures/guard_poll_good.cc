@@ -1,0 +1,27 @@
+// Fixture: every loop either polls the guard or is annotated as bounded.
+// Rule `guard-poll` must stay silent.
+struct Guard {
+  bool Charge(int phase, unsigned steps = 1);
+  bool exhausted() const;
+};
+
+int Search(Guard* guard, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (guard->Charge(0)) break;  // polls: passes directly
+    total += i;
+  }
+  // Outer loop passes because its body contains a polling inner loop.
+  while (total > 0) {
+    for (int j = 0; j < 4; ++j) {
+      if (guard->Charge(0)) return total;
+      total -= 1;
+    }
+  }
+  // lint: bounded(iterates over a fixed 3-element table)
+  for (int k = 0; k < 3; ++k) total += k;
+  do {  // lint: bounded(runs exactly once; the condition is constant-false)
+    total += 1;
+  } while (false);
+  return total;
+}

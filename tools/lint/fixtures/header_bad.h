@@ -1,0 +1,10 @@
+#ifndef GQC_TOOLS_LINT_FIXTURES_HEADER_BAD_H_
+#define GQC_TOOLS_LINT_FIXTURES_HEADER_BAD_H_
+
+// Fixture: uses std::string without including <string>; compiles only when
+// the includer happens to provide it transitively.
+// Rule `header-self-contained` must fire.
+
+inline std::string Greeting() { return "hello"; }
+
+#endif  // GQC_TOOLS_LINT_FIXTURES_HEADER_BAD_H_

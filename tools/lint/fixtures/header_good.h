@@ -1,0 +1,11 @@
+#ifndef GQC_TOOLS_LINT_FIXTURES_HEADER_GOOD_H_
+#define GQC_TOOLS_LINT_FIXTURES_HEADER_GOOD_H_
+
+// Fixture: self-sufficient header. Rule `header-self-contained` must stay
+// silent.
+
+#include <string>
+
+inline std::string Greeting() { return "hello"; }
+
+#endif  // GQC_TOOLS_LINT_FIXTURES_HEADER_GOOD_H_

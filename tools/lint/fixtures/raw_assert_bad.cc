@@ -1,0 +1,8 @@
+// Fixture: raw assert() outside the sanctioned invariant layer.
+// Rule `raw-assert` must fire.
+#include <cassert>
+
+int Clamp(int x) {
+  assert(x >= 0);
+  return x > 10 ? 10 : x;
+}

@@ -1,0 +1,14 @@
+// Fixture: no raw assert(). GQC_DCHECK, gtest ASSERT_* macros, and
+// static_assert are all fine. Rule `raw-assert` must stay silent.
+#define GQC_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#define ASSERT_TRUE(cond) ((void)(cond))
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+int Clamp(int x) {
+  GQC_DCHECK(x >= 0);
+  ASSERT_TRUE(x >= 0);
+  // A comment mentioning assert(x) must not trip the rule either.
+  const char* doc = "call assert(x) here";  // nor a string literal
+  return doc != nullptr ? x : 0;
+}

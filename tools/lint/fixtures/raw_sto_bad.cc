@@ -1,0 +1,7 @@
+// Fixture: std::sto* conversion outside the sanctioned helper.
+// Rule `raw-sto` must fire.
+#include <string>
+
+unsigned ParsePort(const std::string& text) {
+  return static_cast<unsigned>(std::stoul(text));
+}

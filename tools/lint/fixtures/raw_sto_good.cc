@@ -1,0 +1,13 @@
+// Fixture: numeric parsing via the sanctioned checked helper.
+// Rule `raw-sto` must stay silent.
+#include <optional>
+#include <string_view>
+
+namespace gqc {
+std::optional<unsigned> ParseUint32(std::string_view text);
+}
+
+unsigned ParsePort(std::string_view text) {
+  auto port = gqc::ParseUint32(text);
+  return port.has_value() ? port.value() : 0;
+}

@@ -1,0 +1,19 @@
+// Fixture: `.value()` with no visible ok()/has_value() check on the same
+// variable and no `// lint: checked` annotation. Rule `result-unchecked`
+// must fire.
+#include <string>
+
+struct Parsed { std::string text; };
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  const T& value() const;
+};
+
+Result<Parsed> Parse(const std::string& text);
+
+std::string Convert(const std::string& text) {
+  auto parsed = Parse(text);
+  return parsed.value().text;  // never branched on parsed.ok()
+}

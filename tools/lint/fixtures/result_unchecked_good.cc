@@ -1,0 +1,26 @@
+// Fixture: every `.value()` is preceded by a check on the same variable or
+// carries an annotation. Rule `result-unchecked` must stay silent.
+#include <string>
+
+struct Parsed { std::string text; };
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  const T& value() const;
+};
+
+Result<Parsed> Parse(const std::string& text);
+Result<Parsed> ParseKnownGood();
+
+std::string Convert(const std::string& text) {
+  auto parsed = Parse(text);
+  if (!parsed.ok()) return "";
+  return parsed.value().text;
+}
+
+std::string ConvertTrusted() {
+  auto parsed = ParseKnownGood();
+  // lint: checked(input is a compiled-in literal; Parse cannot fail on it)
+  return parsed.value().text;
+}

@@ -14,6 +14,11 @@
 #   tools/sanitize.sh --all      # TSan over the full suite (slow)
 #   tools/sanitize.sh --asan     # ASan+UBSan over the full suite instead
 #
+# Both presets configure with GQC_AUDIT=ON (see CMakePresets.json), so the
+# sanitizer runs also execute every GQC_DCHECK / GQC_AUDIT validator: an
+# invariant violation surfaces as an abort with the violated check, not as
+# whatever memory error it would eventually cause.
+#
 # Exits non-zero on any sanitizer report or test failure.
 
 set -euo pipefail
