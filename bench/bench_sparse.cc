@@ -26,7 +26,7 @@ void RunPair(benchmark::State& state, const std::string& schema_text,
     ContainmentChecker checker(&vocab);
     auto r = checker.Decide(p.value(), q.value(), schema.value());
     verdict = VerdictName(r.verdict);
-    method = ContainmentMethodName(r.method);
+    method = ContainmentMethodName(r.attr.method);
   }
   state.SetLabel(verdict + " via " + method);
 }

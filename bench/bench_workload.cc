@@ -112,7 +112,7 @@ void BM_EngineBatch(benchmark::State& state) {
     std::vector<BatchOutcome> out = engine.DecideBatch(items);
     for (std::size_t i = 0; i < out.size(); ++i) {
       if (out[i].verdict != baseline[i].verdict || out[i].ok != baseline[i].ok ||
-          out[i].method != baseline[i].method || out[i].note != baseline[i].note) {
+          out[i].attr.method != baseline[i].attr.method || out[i].attr.note != baseline[i].attr.note) {
         state.SkipWithError("verdicts diverge from the 1-thread baseline");
         return;
       }
@@ -133,6 +133,64 @@ void BM_EngineBatch(benchmark::State& state) {
                static_cast<long>(state.range(0)), stats_json.c_str());
 }
 BENCHMARK(BM_EngineBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// The same batch through the racing strategy portfolio. Definite verdicts
+// must agree with the sequential 1-thread baseline wherever that baseline is
+// definite (the portfolio may additionally resolve baseline unknowns via the
+// deep witness racer — counted in `extra_definite`). Counters expose the
+// per-strategy win split and fact-board traffic.
+void BM_EngineBatchPortfolio(benchmark::State& state) {
+  const std::vector<BatchItem>& items = EngineBatch();
+  const std::vector<BatchOutcome>& baseline = BaselineOutcomes();
+
+  EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.portfolio = true;
+  std::size_t extra_definite = 0;
+  std::string stats_json;
+  for (auto _ : state) {
+    Engine engine(options);  // cold caches every iteration: honest scaling
+    std::vector<BatchOutcome> out = engine.DecideBatch(items);
+    extra_definite = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].ok != baseline[i].ok) {
+        state.SkipWithError("item availability diverges from the baseline");
+        return;
+      }
+      if (!out[i].ok) continue;
+      if (baseline[i].verdict != Verdict::kUnknown) {
+        if (out[i].verdict != baseline[i].verdict) {
+          state.SkipWithError("definite verdicts diverge from the baseline");
+          return;
+        }
+      } else if (out[i].verdict != Verdict::kUnknown) {
+        ++extra_definite;
+      }
+    }
+    stats_json = engine.StatsJson();
+    const PipelineStats& s = engine.stats();
+    for (std::size_t i = 0; i < kStrategyCount; ++i) {
+      state.counters[std::string("wins_") +
+                     StrategyName(static_cast<StrategyId>(i))] =
+          static_cast<double>(s.strategy_wins[i].load());
+    }
+    state.counters["facts_consumed"] = static_cast<double>(s.facts_consumed.load());
+  }
+  state.counters["extra_definite"] = static_cast<double>(extra_definite);
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(items.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  std::fprintf(stderr, "BM_EngineBatchPortfolio/threads:%ld stats %s\n",
+               static_cast<long>(state.range(0)), stats_json.c_str());
+}
+BENCHMARK(BM_EngineBatchPortfolio)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -42,7 +42,7 @@ int main() {
 
   std::printf("--- Without the schema ---\n");
   auto r21 = checker.Decide(q2.value(), q1.value(), empty);
-  std::printf("q2 ⊑ q1 : %s (%s)\n", VerdictName(r21.verdict), r21.note.c_str());
+  std::printf("q2 ⊑ q1 : %s (%s)\n", VerdictName(r21.verdict), r21.attr.note.c_str());
   auto r12 = checker.Decide(q1.value(), q2.value(), empty);
   std::printf("q1 ⊑ q2 : %s\n", VerdictName(r12.verdict));
   if (r12.countermodel.has_value()) {
@@ -52,7 +52,7 @@ int main() {
 
   std::printf("--- Modulo the schema S ---\n");
   auto s12 = checker.Decide(q1.value(), q2.value(), schema);
-  std::printf("q1 ⊑_S q2 : %s (%s)\n", VerdictName(s12.verdict), s12.note.c_str());
+  std::printf("q1 ⊑_S q2 : %s (%s)\n", VerdictName(s12.verdict), s12.attr.note.c_str());
   std::printf(
       "(the typing constraint top ⊑ ∀partner.RetailCompany makes the extra "
       "atom of q2 redundant; this two-way, non-simple combination is outside "
@@ -67,6 +67,6 @@ int main() {
   auto mq = ParseUcrpq("partner(x, y), RetailCompany(y)", &vocab);
   auto mini = checker.Decide(mp.value(), mq.value(), schema);
   std::printf("partner(x,y) ⊑_S partner(x,y) ∧ RetailCompany(y) : %s (%s)\n",
-              VerdictName(mini.verdict), ContainmentMethodName(mini.method));
+              VerdictName(mini.verdict), ContainmentMethodName(mini.attr.method));
   return 0;
 }

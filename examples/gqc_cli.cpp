@@ -22,6 +22,12 @@
 // that runs out of budget gets verdict "unknown" with "unknown_reason" /
 // "unknown_phase" fields saying which resource gave out and where — never a
 // wrong definite verdict.
+//
+// Strategy scheduling: --portfolio races the applicable decision strategies
+// per disjunct (first definite verdict wins, losers are cancelled, facts are
+// shared); --strategies=a,b,c restricts/reorders the strategy list (known:
+// screen, direct, witness, reduction) in either mode. The winning strategy
+// is reported in each outcome's "strategy" field.
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +49,7 @@ int Usage() {
                "  gqc_cli contain <schema-file|-> '<p-query>' '<q-query>'\n"
                "  gqc_cli batch   [--threads N] [--stats] [--timeout-ms MS]\n"
                "                  [--step-budget N] [--batch-timeout-ms MS]\n"
+               "                  [--portfolio] [--strategies=a,b,c]\n"
                "                  < items.jsonl\n"
                "  gqc_cli entail  <schema-file|-> <graph-file> '<query>'\n"
                "  gqc_cli eval    <graph-file> '<query>'\n");
@@ -113,8 +120,11 @@ int RunContain(const std::string& schema_path, const std::string& p_text,
   ContainmentChecker checker(&vocab);
   ContainmentResult r = checker.Decide(p.value(), q.value(), schema.value());
   std::printf("verdict: %s\nmethod: %s\n", VerdictName(r.verdict),
-              ContainmentMethodName(r.method));
-  if (!r.note.empty()) std::printf("note: %s\n", r.note.c_str());
+              ContainmentMethodName(r.attr.method));
+  if (!r.attr.strategy.empty()) {
+    std::printf("strategy: %s\n", r.attr.strategy.c_str());
+  }
+  if (!r.attr.note.empty()) std::printf("note: %s\n", r.attr.note.c_str());
   if (r.countermodel.has_value()) {
     std::printf("countermodel:\n%s", WriteGraph(*r.countermodel, vocab).c_str());
   }
@@ -145,6 +155,15 @@ int RunBatch(const std::vector<std::string>& args) {
     } else if (args[i] == "--batch-timeout-ms" && i + 1 < args.size() &&
                ParseMillis(args[i + 1], &options.batch_timeout_ms)) {
       ++i;
+    } else if (args[i] == "--portfolio") {
+      options.portfolio = true;
+    } else if (args[i].rfind("--strategies=", 0) == 0) {
+      auto list = ParseStrategyList(args[i].substr(std::string("--strategies=").size()));
+      if (!list.ok()) {
+        std::fprintf(stderr, "%s\n", list.error().c_str());
+        return 2;
+      }
+      options.containment.strategies = std::move(list).value();
     } else {
       return Usage();
     }

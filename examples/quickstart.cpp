@@ -39,13 +39,13 @@ int main() {
   // Modulo the schema the extra atom is free: p ⊑_T q.
   ContainmentResult forward = checker.Decide(p.value(), q.value(), schema.value());
   std::printf("p ⊑_T q : %s  (method: %s)\n", VerdictName(forward.verdict),
-              ContainmentMethodName(forward.method));
+              ContainmentMethodName(forward.attr.method));
 
   // Without the schema it fails, with a concrete countermodel.
   TBox empty;
   ContainmentResult no_schema = checker.Decide(p.value(), q.value(), empty);
   std::printf("p ⊑ q   : %s  (method: %s)\n", VerdictName(no_schema.verdict),
-              ContainmentMethodName(no_schema.method));
+              ContainmentMethodName(no_schema.attr.method));
   if (no_schema.countermodel.has_value()) {
     std::printf("countermodel:\n%s",
                 ToDot(*no_schema.countermodel, vocab).c_str());

@@ -1,15 +1,9 @@
 #include "src/core/containment.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "src/core/minimize.h"
-#include "src/core/validate.h"
-#include "src/graph/validate.h"
-#include "src/dl/model_check.h"
+#include "src/core/strategy.h"
 #include "src/dl/normalize.h"
-#include "src/query/eval.h"
-#include "src/util/invariant.h"
 
 namespace gqc {
 
@@ -27,7 +21,7 @@ void TallyPair(PipelineStats* stats, const ContainmentResult& r) {
       stats->pairs_unknown.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  switch (r.method) {
+  switch (r.attr.method) {
     case ContainmentMethod::kClassical:
       stats->method_classical.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -45,44 +39,6 @@ void TallyPair(PipelineStats* stats, const ContainmentResult& r) {
       break;
   }
 }
-
-namespace {
-
-void RecordRefutation(PipelineStats* stats, const ContainmentResult& r) {
-  if (stats == nullptr || r.verdict != Verdict::kNotContained) return;
-  uint64_t nodes = 0;
-  if (r.countermodel.has_value()) {
-    nodes = r.countermodel->NodeCount();
-  } else if (r.central_part.has_value()) {
-    nodes = r.central_part->NodeCount();
-  }
-  stats->RecordCountermodel(nodes);
-}
-
-/// True if the disjunct matches every graph with at least one node: no unary
-/// atoms and every binary atom admits the empty word (e.g. pure reachability
-/// queries like (r+s)*(x, y)).
-bool MatchesAnyNonEmptyGraph(const Crpq& d) {
-  if (!d.UnaryAtoms().empty() || d.VarCount() == 0) return false;
-  return std::all_of(d.BinaryAtoms().begin(), d.BinaryAtoms().end(),
-                     [](const BinaryAtom& a) { return a.allow_empty; });
-}
-
-/// Trip details for a kUnknown verdict. "caps" means a structural search cap
-/// gave up, not a resource budget.
-UnknownInfo MakeUnknownInfo(const ResourceGuard* guard) {
-  UnknownInfo info;
-  if (guard != nullptr && guard->exhausted()) {
-    info.reason = GuardResourceName(guard->reason());
-    info.phase = GuardPhaseName(guard->trip_phase());
-  } else {
-    info.reason = "caps";
-  }
-  if (guard != nullptr) info.steps = guard->steps_spent();
-  return info;
-}
-
-}  // namespace
 
 ContainmentChecker::ContainmentChecker(Vocabulary* vocab,
                                        ContainmentOptions options)
@@ -143,17 +99,16 @@ ContainmentResult ContainmentChecker::Combine(
     std::vector<ContainmentResult> per_disjunct) {
   ContainmentResult combined;
   combined.verdict = Verdict::kContained;
-  combined.method = ContainmentMethod::kTrivial;
+  combined.attr.method = ContainmentMethod::kTrivial;
   for (ContainmentResult& r : per_disjunct) {
     if (r.verdict == Verdict::kNotContained) return std::move(r);
     if (r.verdict == Verdict::kUnknown) {
       combined.verdict = Verdict::kUnknown;
-      combined.method = r.method;
-      combined.note = r.note;
-      combined.unknown = std::move(r.unknown);
+      combined.attr = std::move(r.attr);
     } else if (combined.verdict == Verdict::kContained) {
-      combined.method = r.method;
-      if (combined.note.empty()) combined.note = r.note;
+      std::string note = std::move(combined.attr.note);
+      combined.attr = r.attr;
+      if (!note.empty()) combined.attr.note = std::move(note);
     }
   }
   return combined;
@@ -163,12 +118,12 @@ ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p, const Uc
                                                         const NormalTBox& schema) {
   ContainmentResult forward = Decide(p, q, schema);
   if (forward.verdict == Verdict::kNotContained) {
-    forward.note = "P ⋢_T Q; " + forward.note;
+    forward.attr.note = "P ⋢_T Q; " + forward.attr.note;
     return forward;
   }
   ContainmentResult backward = Decide(q, p, schema);
   if (backward.verdict == Verdict::kNotContained) {
-    backward.note = "Q ⋢_T P; " + backward.note;
+    backward.attr.note = "Q ⋢_T P; " + backward.attr.note;
     return backward;
   }
   ContainmentResult combined;
@@ -176,8 +131,26 @@ ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p, const Uc
                       backward.verdict == Verdict::kContained)
                          ? Verdict::kContained
                          : Verdict::kUnknown;
-  combined.method = forward.method;
+  combined.attr.method = forward.attr.method;
   return combined;
+}
+
+ContainmentResult ContainmentChecker::DecideEquivalence(const Ucrpq& p,
+                                                        const Ucrpq& q,
+                                                        const TBox& schema) {
+  if (options_.enable_caching) {
+    std::shared_ptr<const NormalTBox> normalized =
+        caches_->GetNormalized(schema, vocab_, options_.stats);
+    return DecideEquivalence(p, q, *normalized);
+  }
+  PipelineStats* stats = options_.stats;
+  if (stats) stats->normal_tbox_misses.fetch_add(1, std::memory_order_relaxed);
+  std::optional<NormalTBox> normalized;
+  {
+    PhaseTimer timer(stats ? &stats->normalize_ns : nullptr);
+    normalized = Normalize(schema, vocab_);
+  }
+  return DecideEquivalence(p, q, *normalized);
 }
 
 ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq& q,
@@ -189,141 +162,58 @@ ContainmentResult ContainmentChecker::DecideDisjunct(const Crpq& p, const Ucrpq&
   ContainmentResult result;
 
   // 0. Preemption: an already-expired deadline or a cancelled batch skips
-  //    every phase — no searches run at all.
+  //    every strategy — no searches run at all.
   if (guard != nullptr && guard->Recheck(GuardPhase::kSetup)) {
     result.verdict = Verdict::kUnknown;
-    result.unknown = MakeUnknownInfo(guard);
-    result.note = guard->Describe();
+    result.attr.unknown = UnknownFromGuard(guard);
+    result.attr.note = guard->Describe();
     return result;
   }
 
-  // 1. Cheap exact screens. (a) Some disjunct of Q matches every non-empty
-  //    graph, and any match of p requires a node.
-  {
-    PhaseTimer timer(stats ? &stats->screen_ns : nullptr);
-    if (p.VarCount() > 0 &&
-        std::any_of(q.Disjuncts().begin(), q.Disjuncts().end(),
-                    MatchesAnyNonEmptyGraph)) {
-      result.verdict = Verdict::kContained;
-      result.method = ContainmentMethod::kTrivial;
-      result.note = "a disjunct of Q matches every non-empty graph";
-      return result;
-    }
-    //  (b) Classical containment (no schema) implies containment modulo any
-    //  schema; the canonical-database test certifies the CQ-shaped cases.
-    Ucrpq p_union;
-    p_union.AddDisjunct(p);
-    QueryContainmentResult classical = QueryContainment(p_union, q);
-    if (classical.verdict == Verdict::kContained) {
-      result.verdict = Verdict::kContained;
-      result.method = ContainmentMethod::kClassical;
-      result.note = "holds classically (schema-free)";
-      return result;
-    }
-  }
+  StrategyContext ctx;
+  ctx.p = &p;
+  ctx.q = &q;
+  ctx.schema = &schema;
+  ctx.closure = closure;
+  ctx.vocab = vocab_;
+  ctx.caches = caches_.get();
+  ctx.options = &options_;
+  ctx.stats = stats;
+  // A caller-supplied closure is the engine's signal that this vocabulary is
+  // shared read-only across concurrent disjunct decisions (see DecideDisjunct
+  // contract); without one the checker owns the vocabulary exclusively.
+  ctx.vocab_shared = closure != nullptr;
 
-  // 2. Direct bounded countermodel search against the full TBox. Also serves
-  //    as the satisfiability screen: if p cannot be satisfied under T at all
-  //    the expansion/quotient seeds all die and the answer is kNo.
-  CountermodelOptions guarded = options_.countermodel;
-  guarded.limits.guard = guard;
-  guarded.limits.guard_phase = GuardPhase::kDirect;
-  guarded.expansion.guard = guard;
-  guarded.expansion.guard_phase = GuardPhase::kDirect;
-  CountermodelSearchResult direct;
-  {
-    PhaseTimer timer(stats ? &stats->direct_ns : nullptr);
-    direct = FindCountermodel(p, q, schema, guarded);
-    if (direct.answer == EngineAnswer::kYes) {
-      result.verdict = Verdict::kNotContained;
-      result.method = ContainmentMethod::kDirectSearch;
-      if (options_.minimize_countermodels && direct.witness.has_value()) {
-        Ucrpq p_union;
-        p_union.AddDisjunct(p);
-        result.countermodel = MinimizeCountermodel(*direct.witness, p_union, q, schema);
-      } else {
-        result.countermodel = std::move(direct.witness);
-      }
+  // Sequential strategy runner: try each applicable strategy in order under
+  // the ONE shared guard; the first definite verdict wins, kUnknown falls
+  // through. With the default order this is step-for-step the former
+  // hardwired pipeline (budget charges included), so verdicts and budget
+  // trips are bit-identical to it.
+  const std::vector<const Strategy*>& order =
+      options_.strategies.empty() ? SequentialOrder() : options_.strategies;
+  std::string pending_note;
+  for (const Strategy* strategy : order) {
+    if (!strategy->Applicable(ctx)) continue;
+    ContainmentResult r = strategy->Run(ctx, guard);
+    if (r.verdict != Verdict::kUnknown) {
+      r.attr.strategy = strategy->name();
+      if (stats) stats->RecordStrategyWin(strategy->id());
+      RecordRefutation(stats, r);
+      return r;
     }
-  }
-  if (result.verdict == Verdict::kNotContained) {
-    // A kNotContained verdict must never escape with a witness that does not
-    // actually refute containment (minimization included).
-    if (result.countermodel.has_value()) {
-      GQC_AUDIT(ValidateCountermodel(*result.countermodel, p, q, schema));
-    }
-    RecordRefutation(stats, result);
-    return result;
-  }
-  bool participation = schema.HasParticipationConstraints();
-  if (direct.answer == EngineAnswer::kNo) {
-    // Exact: no countermodel exists (see FindCountermodel's completeness
-    // conditions — exhaustive seeds, no budget caps).
-    result.verdict = Verdict::kContained;
-    result.method = participation ? ContainmentMethod::kDirectSearch
-                                  : ContainmentMethod::kSparse;
-    return result;
-  }
-
-  // 3. §3 reduction for the supported fragments. The (T, Q)-dependent Tp
-  //    closure may be supplied by the caller (batch engine), come from the
-  //    per-checker cache, or be computed inline — same answers either way.
-  bool fragment_ok = q.IsSimple() && q.IsConnected() && p.IsConnected();
-  bool alcq_case = !schema.UsesInverse();
-  bool alci_case = !schema.UsesCounting() && q.IsOneWay();
-  if (!options_.disable_reduction && participation && fragment_ok &&
-      (alcq_case || alci_case)) {
-    ReductionOptions opts;
-    opts.countermodel = guarded;
-    // The reduction's own expansion enumeration bills under kReduction; the
-    // witness/entailment phases re-attribute themselves (see reduction.cc).
-    opts.countermodel.expansion.guard_phase = GuardPhase::kReduction;
-    opts.factorize = options_.factorize;
-    opts.factorize.guard = guard;
-    opts.stats = stats;
-    ReductionResult red;
-    if (closure != nullptr) {
-      red = ContainmentViaEntailment(p, q, schema, *closure, opts);
-    } else if (options_.enable_caching) {
-      ContainmentCaches::ClosureEntry entry =
-          caches_->GetClosure(q, schema, alcq_case, vocab_, opts);
-      if (entry.closure != nullptr) {
-        red = ContainmentViaEntailment(p, q, schema, *entry.closure, opts);
-      } else {
-        red.note = entry.error;
-      }
-    } else {
-      red = ContainmentViaEntailment(p, q, schema, alcq_case, vocab_, opts);
-    }
-    if (red.countermodel_found == EngineAnswer::kYes) {
-      result.verdict = Verdict::kNotContained;
-      result.method = ContainmentMethod::kReduction;
-      result.central_part = std::move(red.central_part);
-      // The central part is not a full countermodel (stubs defer their
-      // participation constraints; the semantic re-verification happens
-      // inside the reduction), but it must at least be a well-formed graph.
-      if (result.central_part.has_value()) {
-        GQC_AUDIT(ValidateGraph(*result.central_part));
-      }
-      result.note = "countermodel is star-like; central part returned";
-      RecordRefutation(stats, result);
-      return result;
-    }
-    if (red.countermodel_found == EngineAnswer::kNo) {
-      result.verdict = Verdict::kContained;
-      result.method = ContainmentMethod::kReduction;
-      return result;
-    }
-    result.note = red.note.empty() ? "reduction inconclusive" : red.note;
+    if (stats) stats->RecordStrategyLoss(strategy->id(), /*race_cancelled=*/false);
+    if (!r.attr.note.empty()) pending_note = std::move(r.attr.note);
   }
 
   result.verdict = Verdict::kUnknown;
-  result.method = ContainmentMethod::kDirectSearch;
-  result.unknown = MakeUnknownInfo(guard);
+  result.attr.method = ContainmentMethod::kDirectSearch;
+  result.attr.unknown = UnknownFromGuard(guard);
   if (guard != nullptr && guard->exhausted()) {
-    result.note = guard->Describe();
-  } else if (result.note.empty()) {
-    result.note = "no countermodel within budget; containment not certified";
+    result.attr.note = guard->Describe();
+  } else if (!pending_note.empty()) {
+    result.attr.note = std::move(pending_note);
+  } else {
+    result.attr.note = "no countermodel within budget; containment not certified";
   }
   return result;
 }

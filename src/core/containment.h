@@ -12,6 +12,8 @@
 
 namespace gqc {
 
+class Strategy;
+
 /// Options controlling the containment pipeline.
 struct ContainmentOptions {
   CountermodelOptions countermodel;
@@ -35,6 +37,12 @@ struct ContainmentOptions {
   /// counters, verdict/method tallies, countermodel sizes. May be shared by
   /// several checkers/threads (all counters are atomic).
   PipelineStats* stats = nullptr;
+  /// Strategy order DecideDisjunct tries (src/core/strategy.h): first
+  /// definite verdict wins, kUnknown falls through to the next. Empty means
+  /// SequentialOrder() — screen, direct, reduction — which reproduces the
+  /// former hardwired pipeline bit for bit. Entries must outlive the checker
+  /// (the registered strategies are immortal singletons).
+  std::vector<const Strategy*> strategies;
 };
 
 /// Records one decided pair into `stats` (verdict and method tallies);
@@ -87,6 +95,13 @@ class ContainmentChecker {
                                                     const Ucrpq& q,
                                                     const NormalTBox& schema);
 
+  /// Same against a raw TBox, normalizing (and, with `enable_caching`,
+  /// memoizing) exactly like the Decide TBox overload — the two entry
+  /// points stay symmetric.
+  [[nodiscard]] ContainmentResult DecideEquivalence(const Ucrpq& p,
+                                                    const Ucrpq& q,
+                                                    const TBox& schema);
+
   /// Decides one connected disjunct p of P (advanced API — the unit of
   /// parallelism for the batch engine). When `closure` is non-null it must be
   /// the Tp closure of (schema, q) computed in a vocabulary this checker's
@@ -95,7 +110,7 @@ class ContainmentChecker {
   ///
   /// `guard` (optional) governs this one decision: every potentially-
   /// exponential phase polls it, and a trip unwinds to Verdict::kUnknown with
-  /// the trip details in `ContainmentResult::unknown` — never to an abort or
+  /// the trip details in `Attribution::unknown` — never to an abort or
   /// a wrong definite verdict. Callers that want per-pair deadlines construct
   /// one guard per disjunct against a shared absolute deadline (see Decide).
   [[nodiscard]] ContainmentResult DecideDisjunct(const Crpq& p, const Ucrpq& q,

@@ -1,0 +1,123 @@
+#include "src/core/factboard.h"
+
+#include <utility>
+
+#include "src/query/eval.h"
+
+namespace gqc {
+
+bool GraphFitsVocabulary(const Graph& g, std::size_t concept_limit,
+                         std::size_t role_limit) {
+  for (NodeId v = 0; v < g.NodeCount(); ++v) {
+    for (uint32_t concept_id : g.Labels(v).ToIds()) {
+      if (concept_id >= concept_limit) return false;
+    }
+    for (const auto& [role_id, to] : g.OutEdges(v)) {
+      (void)to;
+      if (role_id >= role_limit) return false;
+    }
+  }
+  return true;
+}
+
+bool SharedFactBoard::PublishCountermodel(const std::string& scope_key,
+                                          const Graph& g,
+                                          std::size_t concept_limit,
+                                          std::size_t role_limit,
+                                          PipelineStats* stats) {
+  if (!GraphFitsVocabulary(g, concept_limit, role_limit)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Graph>& scope = countermodels_[scope_key];
+    if (scope.size() >= kMaxCountermodelsPerScope) return false;
+    for (const Graph& have : scope) {
+      if (have == g) return false;  // already published by a sibling
+    }
+    scope.push_back(g);
+  }
+  if (stats != nullptr) {
+    stats->facts_published.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+std::optional<Graph> SharedFactBoard::FindRefutation(
+    const std::string& scope_key, const Crpq& p, PipelineStats* stats) const {
+  std::vector<Graph> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = countermodels_.find(scope_key);
+    if (it == countermodels_.end()) return std::nullopt;
+    candidates = it->second;
+  }
+  for (Graph& g : candidates) {
+    // The scope invariant gives G ⊨ T and G ⊭ Q; G ⊨ p completes the
+    // countermodel for this disjunct.
+    if (Matches(g, p)) {
+      if (stats != nullptr) {
+        stats->facts_consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return std::move(g);
+    }
+  }
+  return std::nullopt;
+}
+
+void SharedFactBoard::PublishResult(const std::string& disjunct_key,
+                                    ContainmentResult result,
+                                    std::size_t concept_limit,
+                                    std::size_t role_limit,
+                                    PipelineStats* stats) {
+  if (result.verdict == Verdict::kUnknown) return;
+  if (result.countermodel.has_value() &&
+      !GraphFitsVocabulary(*result.countermodel, concept_limit, role_limit)) {
+    result.countermodel.reset();
+  }
+  if (result.central_part.has_value() &&
+      !GraphFitsVocabulary(*result.central_part, concept_limit, role_limit)) {
+    result.central_part.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = results_.emplace(disjunct_key, std::move(result));
+    if (!inserted) return;  // first publisher wins; all definite agree anyway
+  }
+  if (stats != nullptr) {
+    stats->facts_published.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<ContainmentResult> SharedFactBoard::LookupResult(
+    const std::string& disjunct_key, PipelineStats* stats) const {
+  std::optional<ContainmentResult> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = results_.find(disjunct_key);
+    if (it == results_.end()) return std::nullopt;
+    out = it->second;
+  }
+  if (stats != nullptr) {
+    stats->facts_consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void SharedFactBoard::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  countermodels_.clear();
+  results_.clear();
+}
+
+std::size_t SharedFactBoard::countermodel_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, scope] : countermodels_) n += scope.size();
+  return n;
+}
+
+std::size_t SharedFactBoard::result_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+}  // namespace gqc

@@ -1,0 +1,68 @@
+#ifndef GQC_CORE_PORTFOLIO_H_
+#define GQC_CORE_PORTFOLIO_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/core/factboard.h"
+#include "src/core/strategy.h"
+#include "src/util/thread_pool.h"
+
+namespace gqc {
+
+/// Options for one racing portfolio decision (one disjunct).
+struct PortfolioOptions {
+  /// Strategies to race; empty means DefaultPortfolio(). Inapplicable
+  /// entries (Strategy::Applicable false) are skipped.
+  std::vector<const Strategy*> strategies;
+  /// Pool the race runs on; null (or concurrency 1) degrades to an in-order
+  /// first-definite-wins sweep with the same per-strategy budgets — verdicts
+  /// stay sound either way, only wall-clock changes.
+  ThreadPool* pool = nullptr;
+
+  /// Optional fact exchange. `scope_key` identifies the (schema, Q)
+  /// vocabulary layer countermodels are shared under; `disjunct_key`
+  /// memoizes this disjunct's definite verdict. Empty keys disable the
+  /// respective sharing; a null board disables both.
+  SharedFactBoard* board = nullptr;
+  std::string scope_key;
+  std::string disjunct_key;
+  /// Shared base-layer symbol counts (ctx.vocab's (schema, Q) prefix);
+  /// graphs using ids at or above these limits are never published.
+  std::size_t shared_concept_limit = 0;
+  std::size_t shared_role_limit = 0;
+
+  /// Per-strategy budget: every racer gets a FRESH guard from this budget
+  /// (plus the shared race-cancellation token), so each strategy sees at
+  /// least the step/memory budget the sequential pipeline would have given
+  /// it — which is what makes portfolio definite verdicts a superset of
+  /// sequential ones (budget monotonicity + soundness).
+  ResourceBudget budget;
+  /// Absolute pair deadline shared by every racer (ignored unless
+  /// `has_deadline`).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Decides one disjunct by racing the applicable strategies (gimsatul-style
+/// portfolio): consult the fact board, then launch every applicable strategy
+/// with its own guard; the first definite verdict cancels the rest through
+/// the shared race token (ResourceGuard::AddCancellation) and becomes the
+/// answer, with the winning strategy recorded in `Attribution::strategy`.
+/// Verified countermodels and the definite verdict are published back to the
+/// board for sibling disjuncts and later pairs.
+///
+/// Soundness under cancellation: losers unwind to kUnknown at their next
+/// guard poll and are discarded — a definite verdict is only ever taken from
+/// a strategy run that completed, and completed definite verdicts are exact
+/// by the Strategy contract.
+///
+/// Records per-strategy win/cancelled/inconclusive tallies, guard spend, and
+/// fact-board traffic into ctx.stats.
+[[nodiscard]] ContainmentResult RunPortfolio(const StrategyContext& ctx,
+                                             const PortfolioOptions& opts);
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_PORTFOLIO_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/graph/graph.h"
 #include "src/query/query_containment.h"
@@ -35,13 +36,35 @@ struct UnknownInfo {
   uint64_t steps = 0;
 };
 
+/// Who answered, how, and — for kUnknown — why not. One attribution struct
+/// serves both the checker-level ContainmentResult and the batch engine's
+/// BatchOutcome, so the verdict surface cannot drift between the two.
+struct Attribution {
+  ContainmentMethod method = ContainmentMethod::kDirectSearch;
+  /// Name of the winning Strategy (src/core/strategy.h); empty when the
+  /// strategy layer never ran (parse errors, preempted pairs).
+  std::string strategy;
+  std::string note;
+  /// Present exactly when the verdict is kUnknown: why the pipeline gave up.
+  std::optional<UnknownInfo> unknown;
+
+  /// Flattened views of the kUnknown details; empty for definite verdicts.
+  std::string_view unknown_reason() const {
+    return unknown.has_value() ? std::string_view(unknown->reason)
+                               : std::string_view();
+  }
+  std::string_view unknown_phase() const {
+    return unknown.has_value() ? std::string_view(unknown->phase)
+                               : std::string_view();
+  }
+};
+
 /// The outcome of a containment-modulo-schema query P ⊑_T Q.
 struct ContainmentResult {
   Verdict verdict = Verdict::kUnknown;
-  ContainmentMethod method = ContainmentMethod::kDirectSearch;
 
-  /// Present exactly when `verdict == kUnknown`: why the pipeline gave up.
-  std::optional<UnknownInfo> unknown;
+  /// Method / winning strategy / note / kUnknown details.
+  Attribution attr;
 
   /// For kNotContained via direct/sparse search: a finite graph G with
   /// G ⊨ T, G ⊨ P, G ⊭ Q, re-verified before being returned.
@@ -51,8 +74,6 @@ struct ContainmentResult {
   /// star-like countermodel (Lemma 3.5); the full countermodel additionally
   /// hangs a peripheral part off each participation-deferred stub.
   std::optional<Graph> central_part;
-
-  std::string note;
 };
 
 }  // namespace gqc

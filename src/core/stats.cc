@@ -45,6 +45,16 @@ void PipelineStats::RecordPreempted() {
   pairs_preempted.fetch_add(1, std::memory_order_relaxed);
 }
 
+void PipelineStats::RecordStrategyWin(StrategyId id) {
+  strategy_wins[static_cast<std::size_t>(id)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void PipelineStats::RecordStrategyLoss(StrategyId id, bool race_cancelled) {
+  auto& arr = race_cancelled ? strategy_cancelled : strategy_inconclusive;
+  arr[static_cast<std::size_t>(id)].fetch_add(1, std::memory_order_relaxed);
+}
+
 void PipelineStats::Reset() {
   for (std::atomic<uint64_t>* a :
        {&parse_ns, &normalize_ns, &screen_ns, &direct_ns, &entailment_ns,
@@ -56,8 +66,13 @@ void PipelineStats::Reset() {
         &schema_ctx_misses, &query_ctx_hits, &query_ctx_misses,
         &countermodel_count, &countermodel_nodes_total, &countermodel_nodes_max,
         &guards_total, &budget_deadline, &budget_steps, &budget_memory,
-        &budget_cancelled, &pairs_preempted}) {
+        &budget_cancelled, &pairs_preempted, &portfolio_races,
+        &facts_published, &facts_consumed}) {
     a->store(0, std::memory_order_relaxed);
+  }
+  for (auto* arr : {&strategy_wins, &strategy_cancelled,
+                    &strategy_inconclusive}) {
+    for (auto& a : *arr) a.store(0, std::memory_order_relaxed);
   }
   for (auto& phase : spend_hist) {
     for (auto& bucket : phase) bucket.store(0, std::memory_order_relaxed);
@@ -108,6 +123,22 @@ std::string PipelineStats::ToJson() const {
   w.EndObject();
 
   w.Key("disjuncts").UInt(V(disjuncts_total));
+
+  w.Key("strategies").BeginObject();
+  for (std::size_t i = 0; i < kStrategyCount; ++i) {
+    w.Key(StrategyName(static_cast<StrategyId>(i))).BeginObject();
+    w.Key("wins").UInt(V(strategy_wins[i]));
+    w.Key("cancelled").UInt(V(strategy_cancelled[i]));
+    w.Key("inconclusive").UInt(V(strategy_inconclusive[i]));
+    w.EndObject();
+  }
+  w.Key("portfolio_races").UInt(V(portfolio_races));
+  w.EndObject();
+
+  w.Key("fact_board").BeginObject();
+  w.Key("published").UInt(V(facts_published));
+  w.Key("consumed").UInt(V(facts_consumed));
+  w.EndObject();
 
   w.Key("phases_ms").BeginObject();
   w.Key("parse").Double(Ms(parse_ns));

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/strategy_id.h"
 #include "src/util/guard.h"
 
 namespace gqc {
@@ -47,6 +48,20 @@ struct PipelineStats {
 
   // --- work volume ---
   std::atomic<uint64_t> disjuncts_total{0};
+
+  // --- strategy attribution (src/core/strategy.h) ---
+  // Indexed by StrategyId. A "win" is a definite verdict credited to the
+  // strategy (sequential or portfolio mode); "cancelled" counts portfolio
+  // losers unwound by race cancellation after a sibling's definite verdict;
+  // "inconclusive" counts completed runs that answered kUnknown.
+  std::array<std::atomic<uint64_t>, kStrategyCount> strategy_wins{};
+  std::array<std::atomic<uint64_t>, kStrategyCount> strategy_cancelled{};
+  std::array<std::atomic<uint64_t>, kStrategyCount> strategy_inconclusive{};
+  std::atomic<uint64_t> portfolio_races{0};  // disjuncts decided by racing
+
+  // --- shared fact board (src/core/factboard.h) ---
+  std::atomic<uint64_t> facts_published{0};  // countermodels/verdicts exported
+  std::atomic<uint64_t> facts_consumed{0};   // decisions short-cut by a fact
 
   // --- cache effectiveness ---
   std::atomic<uint64_t> normal_tbox_hits{0};
@@ -89,6 +104,12 @@ struct PipelineStats {
   /// Tallies a pair that was preempted (deadline already past / batch
   /// cancelled before its first search).
   void RecordPreempted();
+
+  /// Credits strategy `id` with a definite verdict.
+  void RecordStrategyWin(StrategyId id);
+  /// Tallies a completed strategy run that did not win: cancelled by the
+  /// race (a sibling already answered) or genuinely inconclusive.
+  void RecordStrategyLoss(StrategyId id, bool race_cancelled);
 
   /// Zeroes every counter.
   void Reset();

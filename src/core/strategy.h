@@ -1,0 +1,113 @@
+#ifndef GQC_CORE_STRATEGY_H_
+#define GQC_CORE_STRATEGY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/containment.h"
+#include "src/core/strategy_id.h"
+#include "src/util/result.h"
+
+namespace gqc {
+
+/// Everything one strategy run may read. All pointers are non-owning; `p`,
+/// `q`, `schema`, `options` are required, the rest are optional. The context
+/// is shared read-only by every strategy racing one disjunct, so a Run
+/// implementation must not mutate anything reachable from it except through
+/// the explicitly thread-safe sinks (`stats`, `caches`).
+struct StrategyContext {
+  const Crpq* p = nullptr;            // the disjunct under decision
+  const Ucrpq* q = nullptr;           // the right-hand query
+  const NormalTBox* schema = nullptr; // normalized TBox
+  /// Precomputed Tp(T, Q̂) closure, or null. When null and `vocab_shared` is
+  /// false, the reduction strategy may compute one (interning fresh names
+  /// into `vocab`).
+  const TpClosure* closure = nullptr;
+  Vocabulary* vocab = nullptr;
+  /// Per-checker memo (normalized TBoxes, closures); may be null.
+  ContainmentCaches* caches = nullptr;
+  const ContainmentOptions* options = nullptr;
+  PipelineStats* stats = nullptr;  // may be null
+  /// True when `vocab` is shared read-only across concurrent decisions (the
+  /// engine's disjunct parallelism and every portfolio race). Strategies
+  /// must not intern symbols then; the closure-less reduction is
+  /// inapplicable under a shared vocabulary.
+  bool vocab_shared = false;
+};
+
+/// One pluggable decision procedure for a single connected disjunct p of P
+/// against (T, Q). The four registered strategies re-express the stages of
+/// the former hardwired pipeline (src/core/containment.cc):
+///
+///   screen     cheap exact screens (trivial match-all + classical)
+///   direct     direct bounded countermodel search against the full TBox
+///   witness    refutation-only deep witness search (portfolio extra)
+///   reduction  full §3 reduction -> finite entailment
+///
+/// Contract for Run():
+///  - a definite verdict (kContained / kNotContained) must be *exact* — the
+///    portfolio runner publishes whichever definite verdict lands first and
+///    cancels the rest, so two sound strategies can never disagree;
+///  - kUnknown means "inconclusive, ask someone else" (attr.note may say
+///    why); the runner composes the final Unknown attribution itself;
+///  - every potentially-exponential loop must poll `guard` (Charge/Recheck)
+///    and unwind to kUnknown when it trips — this is how race cancellation
+///    reaches a losing strategy (enforced by the strategy-run-guard lint
+///    rule, tools/lint/gqc_lint.py);
+///  - implementations are stateless singletons: Run must be const and
+///    re-entrant (one instance races itself across disjuncts and pairs).
+class Strategy {
+ public:
+  /// Relative cost class, cheapest first; SequentialOrder() runs cheaper
+  /// strategies before more expensive ones.
+  enum class Cost { kCheap = 0, kModerate, kExpensive };
+
+  virtual ~Strategy() = default;
+
+  virtual StrategyId id() const = 0;
+  const char* name() const { return StrategyName(id()); }
+  virtual Cost cost() const = 0;
+
+  /// True iff Run could possibly produce a definite verdict for this
+  /// context (fragment checks, option gates). Must be cheap.
+  virtual bool Applicable(const StrategyContext& ctx) const = 0;
+
+  /// Decides the disjunct, or returns kUnknown. `guard` may be null
+  /// (unlimited); when present it is private to this run.
+  [[nodiscard]] virtual ContainmentResult Run(const StrategyContext& ctx,
+                                              ResourceGuard* guard) const = 0;
+};
+
+/// The registered strategy singletons, in StrategyId order.
+const std::vector<const Strategy*>& AllStrategies();
+
+/// The sequential priority order: screen, direct, reduction — exactly the
+/// former hardwired pipeline, so running these in order with one shared
+/// guard reproduces the pre-strategy verdicts bit for bit. The witness
+/// strategy is excluded (it re-searches the direct strategy's space more
+/// deeply; only a concurrent race can win anything from it).
+const std::vector<const Strategy*>& SequentialOrder();
+
+/// Everything worth racing: screen, direct, witness, reduction.
+const std::vector<const Strategy*>& DefaultPortfolio();
+
+/// Looks up a strategy by its StrategyName; null if unknown.
+const Strategy* FindStrategy(std::string_view name);
+
+/// Parses a comma-separated strategy list ("screen,direct,reduction");
+/// errors on unknown or duplicate names or an empty list.
+Result<std::vector<const Strategy*>> ParseStrategyList(std::string_view csv);
+
+/// Trip details for a kUnknown verdict: the guard's reason/phase when it
+/// tripped, "caps" when the search gave up on a structural cap instead.
+/// Null guard (or a live one) also means "caps".
+UnknownInfo UnknownFromGuard(const ResourceGuard* guard);
+
+/// Records countermodel-size stats for a kNotContained result (no-op
+/// otherwise or on a null sink). Called by the runners when a refutation
+/// becomes the disjunct verdict.
+void RecordRefutation(PipelineStats* stats, const ContainmentResult& r);
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_STRATEGY_H_

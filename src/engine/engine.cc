@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/core/portfolio.h"
 #include "src/core/validate.h"
 #include "src/dl/concept_parser.h"
 #include "src/dl/normalize.h"
@@ -185,10 +186,11 @@ BatchOutcome Engine::DecidePair(const BatchItem& item,
   if (cancelled || (has_deadline && start >= deadline)) {
     out.ok = true;
     out.verdict = Verdict::kUnknown;
-    out.unknown_reason = cancelled ? "cancelled" : "deadline";
-    out.unknown_phase = GuardPhaseName(GuardPhase::kSetup);
-    out.note = cancelled ? "preempted: batch cancelled before decision"
-                         : "preempted: deadline passed before decision";
+    out.attr.unknown.emplace();
+    out.attr.unknown->reason = cancelled ? "cancelled" : "deadline";
+    out.attr.unknown->phase = GuardPhaseName(GuardPhase::kSetup);
+    out.attr.note = cancelled ? "preempted: batch cancelled before decision"
+                              : "preempted: deadline passed before decision";
     stats_.RecordPreempted();
     ContainmentResult preempted;
     preempted.verdict = Verdict::kUnknown;
@@ -232,6 +234,66 @@ BatchOutcome Engine::DecidePair(const BatchItem& item,
   const std::vector<Crpq>& disjuncts = p.value().Disjuncts();
 
   std::vector<ContainmentResult> per_disjunct;
+  if (options_.portfolio) {
+    // Portfolio mode: each disjunct is decided by racing the applicable
+    // strategies (src/core/portfolio.h), sharing facts through the engine
+    // board. Every strategy is read-only on the pair vocabulary
+    // (vocab_shared; the closure-less reduction gates itself out), so
+    // disjunct- and strategy-level parallelism both nest freely on the pool.
+    std::string scope_key = JoinKeyParts(item.schema_text, item.q_text);
+    const ContainmentOptions& copts_ref = checker.options();
+    auto decide_one = [&](std::size_t i) {
+      StrategyContext sctx;
+      sctx.p = &disjuncts[i];
+      sctx.q = &qctx->q;
+      sctx.schema = &tbox;
+      sctx.closure = closure;
+      sctx.vocab = &vocab;
+      sctx.caches = checker.caches();
+      sctx.options = &copts_ref;
+      sctx.stats = &stats_;
+      sctx.vocab_shared = true;
+      PortfolioOptions popts;
+      popts.strategies = copts_ref.strategies;
+      popts.pool = &pool_;
+      popts.board = &facts_;
+      popts.scope_key = scope_key;
+      popts.disjunct_key =
+          JoinKeyParts(scope_key, disjuncts[i].ToString(vocab));
+      popts.shared_concept_limit = qctx->vocab.concept_count();
+      popts.shared_role_limit = qctx->vocab.role_count();
+      popts.budget = budget;
+      popts.has_deadline = has_deadline;
+      popts.deadline = deadline;
+      per_disjunct[i] = RunPortfolio(sctx, popts);
+    };
+    per_disjunct.resize(disjuncts.size());
+    if (options_.parallel_disjuncts && disjuncts.size() > 1 &&
+        pool_.concurrency() > 1) {
+      pool_.ParallelFor(disjuncts.size(), decide_one);
+    } else {
+      for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+        decide_one(i);
+        if (per_disjunct[i].verdict == Verdict::kNotContained) {
+          per_disjunct.resize(i + 1);
+          break;
+        }
+      }
+    }
+    ContainmentResult combined =
+        ContainmentChecker::Combine(std::move(per_disjunct));
+    TallyPair(&stats_, combined);
+    out.ok = true;
+    out.verdict = combined.verdict;
+    out.attr = std::move(combined.attr);
+    if (combined.countermodel.has_value()) {
+      out.countermodel_nodes = combined.countermodel->NodeCount();
+    } else if (combined.central_part.has_value()) {
+      out.countermodel_nodes = combined.central_part->NodeCount();
+    }
+    out.wall_ms = MsSince(start);
+    return out;
+  }
   // Disjunct-level parallelism requires every DecideDisjunct call to be
   // read-only on the shared pair vocabulary, which holds exactly when the
   // closure is precomputed (or the reduction cannot trigger for this Q).
@@ -268,12 +330,7 @@ BatchOutcome Engine::DecidePair(const BatchItem& item,
 
   out.ok = true;
   out.verdict = combined.verdict;
-  out.method = combined.method;
-  out.note = combined.note;
-  if (combined.verdict == Verdict::kUnknown && combined.unknown.has_value()) {
-    out.unknown_reason = combined.unknown->reason;
-    out.unknown_phase = combined.unknown->phase;
-  }
+  out.attr = std::move(combined.attr);
   if (combined.countermodel.has_value()) {
     out.countermodel_nodes = combined.countermodel->NodeCount();
   } else if (combined.central_part.has_value()) {
@@ -335,6 +392,7 @@ void Engine::ResetState() {
     query_ctxs_.clear();
   }
   regex_cache_.Clear();
+  facts_.Clear();
   stats_.Reset();
 }
 
@@ -374,13 +432,14 @@ std::string Engine::OutcomeToJson(const BatchOutcome& outcome) {
     w.Key("error").String(outcome.error);
   } else {
     w.Key("verdict").String(VerdictName(outcome.verdict));
-    w.Key("method").String(ContainmentMethodName(outcome.method));
-    if (!outcome.note.empty()) w.Key("note").String(outcome.note);
-    if (!outcome.unknown_reason.empty()) {
-      w.Key("unknown_reason").String(outcome.unknown_reason);
+    w.Key("method").String(ContainmentMethodName(outcome.attr.method));
+    if (!outcome.attr.strategy.empty()) {
+      w.Key("strategy").String(outcome.attr.strategy);
     }
-    if (!outcome.unknown_phase.empty()) {
-      w.Key("unknown_phase").String(outcome.unknown_phase);
+    if (!outcome.attr.note.empty()) w.Key("note").String(outcome.attr.note);
+    if (outcome.attr.unknown.has_value()) {
+      w.Key("unknown_reason").String(outcome.attr.unknown->reason);
+      w.Key("unknown_phase").String(outcome.attr.unknown->phase);
     }
     if (outcome.countermodel_nodes > 0) {
       w.Key("countermodel_nodes").UInt(outcome.countermodel_nodes);

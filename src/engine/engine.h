@@ -12,6 +12,7 @@
 
 #include "src/automata/compile_cache.h"
 #include "src/core/containment.h"
+#include "src/core/factboard.h"
 #include "src/util/thread_pool.h"
 
 namespace gqc {
@@ -22,11 +23,21 @@ struct EngineOptions {
   /// hardware_concurrency, 1 means fully sequential (no pool overhead).
   std::size_t threads = 1;
   /// Per-pair pipeline options. The `stats` field is ignored — the engine
-  /// threads its own PipelineStats through every phase.
+  /// threads its own PipelineStats through every phase. The `strategies`
+  /// list (empty = mode default) selects the strategy order in sequential
+  /// mode and the racing pool in portfolio mode.
   ContainmentOptions containment;
   /// Also parallelize across the disjuncts of one P (when its Tp closure is
   /// precomputed, so disjunct decisions are read-only on the pair state).
   bool parallel_disjuncts = true;
+  /// Portfolio mode: decide each disjunct by racing the applicable
+  /// strategies on the pool (first definite verdict cancels the rest) with
+  /// fact sharing through the engine's SharedFactBoard, instead of running
+  /// them in sequential priority order. Definite verdicts are identical to
+  /// sequential mode wherever sequential mode reaches one (each racer gets
+  /// a fresh per-strategy budget, so the portfolio can only answer more);
+  /// wall-clock and Unknown attributions differ.
+  bool portfolio = false;
   /// Wall-clock deadline for one whole DecideBatch call (0 = none). Pinned
   /// when the batch starts; pairs reaching the front of the queue after it
   /// passes are preempted (Unknown, no searches run). Each pair's effective
@@ -45,22 +56,17 @@ struct BatchItem {
 };
 
 /// The engine's answer for one item. `ok` is false on parse/setup failures
-/// (`error` says why); otherwise verdict/method/note mirror ContainmentResult,
-/// and `countermodel_nodes` is the size of the returned countermodel (or
-/// central part), 0 when there is none.
+/// (`error` says why); otherwise `verdict` and `attr` are exactly the
+/// checker-level ContainmentResult surface (method, winning strategy, note,
+/// kUnknown details — one shared Attribution struct, so the two cannot
+/// drift), and `countermodel_nodes` is the size of the returned countermodel
+/// (or central part), 0 when there is none.
 struct BatchOutcome {
   std::string id;
   bool ok = false;
   std::string error;
   Verdict verdict = Verdict::kUnknown;
-  ContainmentMethod method = ContainmentMethod::kDirectSearch;
-  std::string note;
-  /// For kUnknown verdicts: which resource gave out ("deadline", "steps",
-  /// "memory", "cancelled") or "caps" when a structural search cap — not a
-  /// budget — stopped short, plus the pipeline phase that spent the tripping
-  /// step. Empty for definite verdicts.
-  std::string unknown_reason;
-  std::string unknown_phase;
+  Attribution attr;
   uint64_t countermodel_nodes = 0;
   double wall_ms = 0.0;
 };
@@ -173,6 +179,9 @@ class Engine {
   PipelineStats stats_;
   ThreadPool pool_;
   RegexCompileCache regex_cache_;
+  /// Portfolio-mode fact exchange: countermodels and definite verdicts
+  /// shared across strategies, disjuncts, and pairs (cleared by ResetState).
+  SharedFactBoard facts_;
 
   std::mutex ctx_mu_;
   std::unordered_map<std::string, std::shared_ptr<const SchemaContext>> schema_ctxs_;

@@ -11,6 +11,9 @@
 ///   ParseTBox / ParseSchema          schema text -> TBox
 ///   ParseUcrpq / ParseCrpq           query text -> UC2RPQ
 ///   ContainmentChecker               P ⊑_T Q for one vocabulary
+///   Strategy / RunPortfolio          pluggable deciders and the racing
+///                                    portfolio runner (strategy.h,
+///                                    portfolio.h, factboard.h)
 ///   Engine / BatchItem / ...         parallel batch service with shared
 ///                                    caches and pipeline metrics
 ///   FiniteEntails                    G, T ⊨fin Q
@@ -27,6 +30,9 @@
 /// and may change freely.
 
 #include "src/core/containment.h"
+#include "src/core/factboard.h"
+#include "src/core/portfolio.h"
+#include "src/core/strategy.h"
 #include "src/dl/concept_parser.h"
 #include "src/dl/normalize.h"
 #include "src/engine/engine.h"

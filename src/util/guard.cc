@@ -66,7 +66,8 @@ void ResourceGuard::Trip(GuardResource r, GuardPhase p) {
 }
 
 bool ResourceGuard::CheckClockAndToken(GuardPhase phase) {
-  if (cancel_.cancelled()) {
+  if (cancel_.cancelled() ||
+      (has_extra_cancel_ && extra_cancel_.cancelled())) {
     Trip(GuardResource::kCancelled, phase);
     return true;
   }

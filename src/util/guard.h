@@ -105,6 +105,16 @@ class ResourceGuard {
   ResourceGuard(const ResourceBudget& budget, bool has_deadline,
                 std::chrono::steady_clock::time_point deadline);
 
+  /// Adds a second cancellation token polled alongside the budget's own.
+  /// The portfolio runner uses this for race cancellation: every strategy
+  /// racing one disjunct shares a race token, the first definite verdict
+  /// cancels it, and the losers unwind at their next poll while the outer
+  /// (batch-level) token in the budget keeps working independently.
+  void AddCancellation(CancellationToken token) {
+    extra_cancel_ = std::move(token);
+    has_extra_cancel_ = true;
+  }
+
   ResourceGuard(const ResourceGuard&) = delete;
   ResourceGuard& operator=(const ResourceGuard&) = delete;
 
@@ -162,6 +172,8 @@ class ResourceGuard {
   uint64_t max_steps_ = 0;
   uint64_t max_memory_ = 0;
   CancellationToken cancel_;
+  CancellationToken extra_cancel_;
+  bool has_extra_cancel_ = false;
 
   std::atomic<uint64_t> steps_{0};
   std::atomic<uint64_t> memory_{0};

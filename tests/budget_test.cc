@@ -79,7 +79,7 @@ TEST(BudgetTest, TinyBudgetsNeverMisanswer) {
         // A definite verdict under a starvation budget must be the true one.
         EXPECT_EQ(out[i].verdict, reference[i].verdict);
       } else {
-        EXPECT_FALSE(out[i].unknown_reason.empty());
+        EXPECT_FALSE(out[i].attr.unknown_reason().empty());
       }
     }
   }
@@ -89,7 +89,7 @@ TEST(BudgetTest, TinyBudgetsNeverMisanswer) {
   std::vector<BatchOutcome> starved = RunWithBudget(items, 1);
   EXPECT_TRUE(std::any_of(starved.begin(), starved.end(),
                           [](const BatchOutcome& o) {
-                            return o.unknown_reason == "steps";
+                            return o.attr.unknown_reason() == "steps";
                           }));
 }
 
@@ -109,9 +109,9 @@ TEST(BudgetTest, FixedSeedAndBudgetIsDeterministic) {
                    items[i].id);
       for (const std::vector<BatchOutcome>* other : {&again, &threaded}) {
         EXPECT_EQ(first[i].verdict, (*other)[i].verdict);
-        EXPECT_EQ(first[i].note, (*other)[i].note);
-        EXPECT_EQ(first[i].unknown_reason, (*other)[i].unknown_reason);
-        EXPECT_EQ(first[i].unknown_phase, (*other)[i].unknown_phase);
+        EXPECT_EQ(first[i].attr.note, (*other)[i].attr.note);
+        EXPECT_EQ(first[i].attr.unknown_reason(), (*other)[i].attr.unknown_reason());
+        EXPECT_EQ(first[i].attr.unknown_phase(), (*other)[i].attr.unknown_phase());
         EXPECT_EQ(first[i].countermodel_nodes, (*other)[i].countermodel_nodes);
       }
     }
@@ -161,7 +161,7 @@ TEST(BudgetTest, BlowUpInstancesReturnPromptlyUnderBudget) {
   for (const BatchOutcome& o : out) {
     if (!o.ok) continue;  // parse failures are not this test's concern
     if (o.verdict == Verdict::kUnknown) {
-      EXPECT_FALSE(o.unknown_reason.empty()) << o.id;
+      EXPECT_FALSE(o.attr.unknown_reason().empty()) << o.id;
     }
   }
   EXPECT_EQ(engine.stats().pairs_total.load(), items.size());
@@ -189,11 +189,48 @@ TEST(BudgetTest, CheckerLevelBudgetReportsTripDetails) {
   ContainmentChecker checker(&vocab, options);
   ContainmentResult r = checker.Decide(p.value(), q.value(), tbox.value());
   if (r.verdict == Verdict::kUnknown) {
-    ASSERT_TRUE(r.unknown.has_value());
-    EXPECT_FALSE(r.unknown->reason.empty());
-    if (r.unknown->reason == "steps") {
-      EXPECT_FALSE(r.unknown->phase.empty());
-      EXPECT_FALSE(r.note.empty());
+    ASSERT_TRUE(r.attr.unknown.has_value());
+    EXPECT_FALSE(r.attr.unknown->reason.empty());
+    if (r.attr.unknown->reason == "steps") {
+      EXPECT_FALSE(r.attr.unknown->phase.empty());
+      EXPECT_FALSE(r.attr.note.empty());
+    }
+  }
+}
+
+// Racing soundness: the portfolio under starvation budgets and full racing
+// (8 threads, every strategy cancelled by whoever wins first) never returns
+// a wrong definite verdict. Same contract as (a), with cancellation in the
+// mix: losers unwind to kUnknown at a guard poll and are discarded, so a
+// definite answer only ever comes from a completed, exact strategy run.
+TEST(BudgetTest, PortfolioRacingNeverWrongDefinite) {
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(40), 11);
+  std::vector<BatchOutcome> reference = RunWithBudget(items, /*max_steps=*/0);
+
+  for (uint64_t budget : {uint64_t{16}, uint64_t{512}, uint64_t{16384}}) {
+    EngineOptions opts;
+    opts.threads = 8;
+    opts.portfolio = true;
+    opts.containment.resources.max_steps = budget;
+    Engine engine(opts);
+    std::vector<BatchOutcome> out = engine.DecideBatch(items);
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      SCOPED_TRACE("budget " + std::to_string(budget) + " item " +
+                   items[i].id);
+      EXPECT_EQ(out[i].ok, reference[i].ok);
+      if (!out[i].ok) continue;
+      if (out[i].verdict != Verdict::kUnknown) {
+        // The deep witness strategy may answer where even the unlimited
+        // sequential reference gave up, so only compare when the reference
+        // is definite too.
+        if (reference[i].verdict != Verdict::kUnknown) {
+          EXPECT_EQ(out[i].verdict, reference[i].verdict);
+        }
+        EXPECT_FALSE(out[i].attr.strategy.empty());
+      } else {
+        EXPECT_FALSE(out[i].attr.unknown_reason().empty());
+      }
     }
   }
 }
@@ -215,8 +252,8 @@ TEST(BudgetTest, PreCancelledTokenPreemptsDecision) {
   ContainmentChecker checker(&vocab, options);
   ContainmentResult r = checker.Decide(p.value(), q.value(), tbox.value());
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
-  ASSERT_TRUE(r.unknown.has_value());
-  EXPECT_EQ(r.unknown->reason, "cancelled");
+  ASSERT_TRUE(r.attr.unknown.has_value());
+  EXPECT_EQ(r.attr.unknown->reason, "cancelled");
   EXPECT_EQ(stats.budget_cancelled.load(), stats.guards_total.load());
 }
 

@@ -235,13 +235,13 @@ TEST_F(ContainmentTest, DecideEquivalenceOneDirectionFails) {
   ASSERT_TRUE(forward.countermodel.has_value());
   EXPECT_TRUE(Matches(*forward.countermodel, p));
   EXPECT_FALSE(Matches(*forward.countermodel, q));
-  EXPECT_TRUE(forward.note.rfind("P ⋢_T Q", 0) == 0) << forward.note;
+  EXPECT_TRUE(forward.attr.note.rfind("P ⋢_T Q", 0) == 0) << forward.attr.note;
 
   // Swapping the arguments makes the *backward* direction the failing one.
   auto backward = checker.DecideEquivalence(q, p, normal);
   ASSERT_EQ(backward.verdict, Verdict::kNotContained);
   ASSERT_TRUE(backward.countermodel.has_value());
-  EXPECT_TRUE(backward.note.rfind("Q ⋢_T P", 0) == 0) << backward.note;
+  EXPECT_TRUE(backward.attr.note.rfind("Q ⋢_T P", 0) == 0) << backward.attr.note;
 }
 
 TEST_F(ContainmentTest, DecideEquivalenceBothDirectionsFail) {
@@ -256,6 +256,33 @@ TEST_F(ContainmentTest, DecideEquivalenceBothDirectionsFail) {
   ASSERT_TRUE(r.countermodel.has_value());
   EXPECT_TRUE(Matches(*r.countermodel, p));
   EXPECT_FALSE(Matches(*r.countermodel, q));
+}
+
+TEST_F(ContainmentTest, DecideEquivalenceTBoxOverloadAgreesWithNormalTBox) {
+  // The raw-TBox convenience overload must answer exactly like normalizing
+  // first — it is the same pipeline behind the Decide(TBox) caching path.
+  TBox schema = T("A <= exists r.A\ntop <= forall partner.RetailCompany");
+  NormalTBox normal = Normalize(schema, &vocab_);
+  ContainmentChecker checker(&vocab_);
+
+  struct Pair {
+    const char* p;
+    const char* q;
+  };
+  for (const Pair& pair : {
+           Pair{"partner(x, y)", "partner(x, y), RetailCompany(y)"},
+           Pair{"r(x, y)", "r(x, y), s(y, z)"},
+           Pair{"A(x)", "A(x)"},
+       }) {
+    SCOPED_TRACE(std::string(pair.p) + " vs " + pair.q);
+    auto from_tbox = checker.DecideEquivalence(U(pair.p), U(pair.q), schema);
+    auto from_normal = checker.DecideEquivalence(U(pair.p), U(pair.q), normal);
+    EXPECT_EQ(from_tbox.verdict, from_normal.verdict);
+    EXPECT_EQ(from_tbox.attr.method, from_normal.attr.method);
+    EXPECT_EQ(from_tbox.attr.note, from_normal.attr.note);
+    EXPECT_EQ(from_tbox.countermodel.has_value(),
+              from_normal.countermodel.has_value());
+  }
 }
 
 TEST(ContainmentCachingTest, CachingOnAndOffAgreeAcrossWorkload) {
@@ -282,7 +309,7 @@ TEST(ContainmentCachingTest, CachingOnAndOffAgreeAcrossWorkload) {
       auto q = ParseUcrpq(inst.q_text, &vocab);
       ASSERT_TRUE(schema.ok() && p.ok() && q.ok());
       ContainmentResult r = checker.Decide(p.value(), q.value(), schema.value());
-      out.emplace_back(r.verdict, r.method);
+      out.emplace_back(r.verdict, r.attr.method);
     }
     ASSERT_EQ(out.size(), instances.size());
     if (enable_caching) {

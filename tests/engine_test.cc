@@ -109,8 +109,8 @@ TEST(EngineTest, OneAndEightThreadsAgreeBitForBit) {
     EXPECT_EQ(base[i].ok, out[i].ok) << "item " << i;
     EXPECT_EQ(base[i].error, out[i].error) << "item " << i;
     EXPECT_EQ(base[i].verdict, out[i].verdict) << "item " << i;
-    EXPECT_EQ(base[i].method, out[i].method) << "item " << i;
-    EXPECT_EQ(base[i].note, out[i].note) << "item " << i;
+    EXPECT_EQ(base[i].attr.method, out[i].attr.method) << "item " << i;
+    EXPECT_EQ(base[i].attr.note, out[i].attr.note) << "item " << i;
     EXPECT_EQ(base[i].countermodel_nodes, out[i].countermodel_nodes)
         << "item " << i;
   }
@@ -216,8 +216,8 @@ TEST(EngineTest, OutcomeJsonIsParseableAndComplete) {
   outcome.id = "pair \"7\"";
   outcome.ok = true;
   outcome.verdict = Verdict::kNotContained;
-  outcome.method = ContainmentMethod::kDirectSearch;
-  outcome.note = "line1\nline2";
+  outcome.attr.method = ContainmentMethod::kDirectSearch;
+  outcome.attr.note = "line1\nline2";
   outcome.countermodel_nodes = 3;
   outcome.wall_ms = 1.5;
 
@@ -235,6 +235,44 @@ TEST(EngineTest, OutcomeJsonIsParseableAndComplete) {
   EXPECT_EQ(verdict, VerdictName(Verdict::kNotContained));
   EXPECT_EQ(note, "line1\nline2");
   EXPECT_EQ(nodes, "3");
+}
+
+// Outcome JSON carries the winning strategy when one is attributed (always
+// under --portfolio for definite verdicts) and omits the key when the
+// strategy layer never ran.
+TEST(EngineTest, OutcomeJsonCarriesWinningStrategy) {
+  BatchOutcome outcome;
+  outcome.id = "p";
+  outcome.ok = true;
+  outcome.verdict = Verdict::kContained;
+  outcome.attr.method = ContainmentMethod::kReduction;
+  outcome.attr.strategy = "reduction";
+  EXPECT_NE(Engine::OutcomeToJson(outcome).find("\"strategy\":\"reduction\""),
+            std::string::npos);
+  outcome.attr.strategy.clear();
+  EXPECT_EQ(Engine::OutcomeToJson(outcome).find("\"strategy\""),
+            std::string::npos);
+
+  // End to end: a portfolio batch attributes every definite outcome.
+  std::vector<BatchItem> items = WorkloadItems(TestBatchSize(10), 17);
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.portfolio = true;
+  // Finite budget: keeps the deep witness racer from exhausting its seed
+  // space on instances that end Unknown anyway.
+  opts.containment.resources.max_steps = 20000;
+  Engine engine(opts);
+  std::vector<BatchOutcome> out = engine.DecideBatch(items);
+  ASSERT_EQ(out.size(), items.size());
+  bool any_definite = false;
+  for (const BatchOutcome& o : out) {
+    if (!o.ok || o.verdict == Verdict::kUnknown) continue;
+    any_definite = true;
+    EXPECT_FALSE(o.attr.strategy.empty()) << o.id;
+    EXPECT_NE(Engine::OutcomeToJson(o).find("\"strategy\""), std::string::npos)
+        << o.id;
+  }
+  EXPECT_TRUE(any_definite);
 }
 
 // ------------------------------------------------- deadlines / cancellation
@@ -257,8 +295,8 @@ TEST(EngineTest, ExpiredBatchDeadlinePreemptsEveryPair) {
     for (const BatchOutcome& o : out) {
       EXPECT_TRUE(o.ok) << o.id;
       EXPECT_EQ(o.verdict, Verdict::kUnknown) << o.id;
-      EXPECT_EQ(o.unknown_reason, "deadline") << o.id;
-      EXPECT_NE(o.note.find("preempted"), std::string::npos) << o.id;
+      EXPECT_EQ(o.attr.unknown_reason(), "deadline") << o.id;
+      EXPECT_NE(o.attr.note.find("preempted"), std::string::npos) << o.id;
     }
     const PipelineStats& stats = engine.stats();
     EXPECT_EQ(stats.pairs_preempted.load(), items.size());
@@ -307,7 +345,7 @@ TEST(EngineTest, CancelAllMidBatchLeavesCompletedVerdictsIntact) {
         // refuting disjunct in disjunct order can change when an earlier one
         // was cancelled mid-decision.)
         EXPECT_EQ(out[i].verdict, ref[i].verdict);
-      } else if (out[i].unknown_reason != "cancelled") {
+      } else if (out[i].attr.unknown_reason() != "cancelled") {
         // Unknown for a non-cancellation reason must be Unknown in the
         // reference too (cancellation never invents other Unknowns).
         EXPECT_EQ(ref[i].verdict, Verdict::kUnknown);

@@ -110,7 +110,7 @@ TEST(EquivalenceApiTest, BothDirectionsChecked) {
   auto r = checker.DecideEquivalence(p.value(), q.value(), empty);
   EXPECT_EQ(r.verdict, Verdict::kNotContained);
   EXPECT_TRUE(r.countermodel.has_value());
-  EXPECT_NE(r.note.find("⋢"), std::string::npos);
+  EXPECT_NE(r.attr.note.find("⋢"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+// Fixture: Strategy::Run implementations that break the guard discipline.
+// Rule `strategy-run-guard` must fire twice: once for a Run that ignores its
+// guard entirely (race cancellation can never reach it), once for an
+// exponential loop inside an otherwise-wired Run that neither polls nor
+// carries `// lint: bounded`.
+struct StrategyContext;
+struct ResourceGuard;
+struct ContainmentResult {
+  int verdict = 0;
+};
+
+struct DeafStrategy {
+  ContainmentResult Run(const StrategyContext& ctx, ResourceGuard* guard) const;
+};
+
+// No poll, no wiring: the guard parameter is dead and the racing portfolio
+// cannot cancel this strategy.
+ContainmentResult DeafStrategy::Run(const StrategyContext& /*ctx*/,
+                                    ResourceGuard* /*ignored*/) const {
+  ContainmentResult r;
+  r.verdict = 2;
+  return r;
+}
+
+struct LeakyStrategy {
+  ContainmentResult Run(const StrategyContext& ctx, ResourceGuard* guard) const;
+  bool Poll(ResourceGuard* guard) const;
+};
+
+ContainmentResult LeakyStrategy::Run(const StrategyContext& /*ctx*/,
+                                     ResourceGuard* guard) const {
+  ContainmentResult r;
+  if (Poll(guard)) return r;  // the body wires the guard once...
+  int total = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    total += i * i;  // ...but this loop burns unguarded and unannotated
+  }
+  r.verdict = total > 0 ? 1 : 0;
+  return r;
+}

@@ -1,0 +1,52 @@
+// Fixture: well-behaved Strategy::Run implementations. Rule
+// `strategy-run-guard` must stay silent: every Run polls or wires its guard
+// and every loop inside a Run body polls, wires, or is annotated bounded.
+struct StrategyContext;
+struct ResourceGuard {
+  bool Recheck(int phase);
+  bool Charge(int phase, unsigned steps = 1);
+};
+struct ContainmentResult {
+  int verdict = 0;
+};
+struct SearchOptions {
+  ResourceGuard* guard = nullptr;
+};
+
+struct PollingStrategy {
+  ContainmentResult Run(const StrategyContext& ctx, ResourceGuard* guard) const;
+};
+
+ContainmentResult PollingStrategy::Run(const StrategyContext& /*ctx*/,
+                                       ResourceGuard* guard) const {
+  ContainmentResult r;
+  if (guard != nullptr && guard->Recheck(0)) return r;
+  int total = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    if (guard != nullptr && guard->Charge(0)) break;  // polls each iteration
+    total += i;
+  }
+  // lint: bounded(fixed 4-entry method table)
+  for (int k = 0; k < 4; ++k) total += k;
+  r.verdict = total > 0 ? 1 : 0;
+  return r;
+}
+
+struct WiringStrategy {
+  ContainmentResult Run(const StrategyContext& ctx, ResourceGuard* guard) const;
+  ContainmentResult Search(const SearchOptions& options) const;
+};
+
+// Wires the guard into the callee's options — the search polls it inside.
+ContainmentResult WiringStrategy::Run(const StrategyContext& /*ctx*/,
+                                      ResourceGuard* guard) const {
+  SearchOptions options;
+  options.guard = guard;
+  return Search(options);
+}
+
+// Out-of-class declaration followed by something else must not confuse the
+// definition matcher.
+struct DeclaredOnly {
+  ContainmentResult Run(const StrategyContext& ctx, ResourceGuard* guard) const;
+};

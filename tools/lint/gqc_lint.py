@@ -7,6 +7,12 @@ Rules (see DESIGN.md for the catalogue, rationale, and suppression syntax):
                   ResourceGuard somewhere in its body, or carry a
                   `// lint: bounded(<why>)` annotation explaining why the
                   iteration count is harmless.
+  strategy-run-guard  every `ContainmentResult <Class>::Run(...)` definition
+                  (the Strategy interface of src/core/strategy.h) must poll
+                  or wire its ResourceGuard parameter — racing cancellation
+                  reaches losing strategies only through guard polls — and
+                  every loop inside such a body must poll/wire the guard or
+                  carry `// lint: bounded(<why>)`.
   result-unchecked  `.value()` on a Result/optional must be preceded by a
                   visible ok()/has_value() check on the same variable, or
                   carry `// lint: checked(<why>)`.
@@ -43,6 +49,8 @@ EXPO_FILE_PATTERNS = [
     r"src/core/reduction\.cc$",
     r"src/core/sparse\.cc$",
     r"src/core/minimize\.cc$",
+    r"src/core/strategy\.cc$",
+    r"src/core/portfolio\.cc$",
     r"src/entailment/[^/]+\.cc$",
     r"src/frames/[^/]+\.cc$",
 ]
@@ -252,6 +260,92 @@ def rule_guard_poll(path, text, stripped, annotations, treat_as_expo=False):
     return findings
 
 
+# Out-of-line Strategy::Run definition: `ContainmentResult <Class>::Run(`.
+# Keeping Run definitions out-of-line is part of the Strategy idiom so this
+# rule can see them (a Run defined inline in a class body will not match and
+# review must catch it; the in-tree strategies all follow the idiom).
+STRATEGY_RUN_RE = re.compile(
+    r"ContainmentResult\s+[A-Za-z_][A-Za-z0-9_]*\s*::\s*Run\s*\("
+)
+# The guard is "used" if the body polls the protocol (GUARD_POLL_RE) or
+# wires/forwards the `guard` parameter into a guarded callee's options.
+GUARD_WIRE_RE = re.compile(r"\bguard\b")
+
+
+def rule_strategy_run_guard(path, text, stripped, annotations):
+    """Strategy::Run bodies must poll/wire their guard, including in loops.
+
+    Racing cancellation (PortfolioRunner's first-definite-wins token) reaches
+    a losing strategy only through its ResourceGuard: a Run implementation
+    that never polls or forwards the guard cannot be cancelled and turns the
+    race into a wait-for-slowest. Loops inside Run are held to the guard-poll
+    discipline of the exponential-phase files regardless of which file the
+    strategy lives in.
+    """
+    findings = []
+    for m in STRATEGY_RUN_RE.finditer(stripped):
+        params_end = match_paren(stripped, stripped.index("(", m.start()))
+        if params_end == -1:
+            continue
+        # Skip declarations (`... Run(...) const;`) — only definitions with a
+        # brace body are checked.
+        body_start = params_end
+        n = len(stripped)
+        while body_start < n and stripped[body_start] not in "{;":
+            body_start += 1
+        if body_start >= n or stripped[body_start] == ";":
+            continue
+        body_end = match_paren(stripped, body_start, "{", "}")
+        if body_end == -1:
+            body_end = n
+        body = stripped[body_start:body_end]
+        lineno = line_of(stripped, m.start())
+        if not (GUARD_POLL_RE.search(body) or GUARD_WIRE_RE.search(body)):
+            findings.append(
+                Finding(
+                    "strategy-run-guard",
+                    path,
+                    lineno,
+                    "Strategy::Run implementation neither polls nor wires its "
+                    "ResourceGuard — race cancellation cannot reach it",
+                )
+            )
+            continue
+
+        def check_loop(head_pos, body_span, kind):
+            loop_line = line_of(stripped, head_pos)
+            if suppressed(annotations, loop_line, "bounded"):
+                return
+            loop_body = stripped[body_span[0] : body_span[1]]
+            if GUARD_POLL_RE.search(loop_body) or GUARD_WIRE_RE.search(loop_body):
+                return
+            findings.append(
+                Finding(
+                    "strategy-run-guard",
+                    path,
+                    loop_line,
+                    f"{kind} loop inside Strategy::Run neither polls/wires the "
+                    "guard nor carries `// lint: bounded(<why>)`",
+                )
+            )
+
+        for lm in LOOP_HEAD_RE.finditer(stripped, body_start, body_end):
+            cond_end = match_paren(stripped, lm.end() - 1)
+            if cond_end == -1 or cond_end > body_end:
+                continue
+            after = stripped[cond_end:].lstrip()
+            if lm.group(1) == "while" and after.startswith(";"):
+                continue
+            check_loop(lm.start(), loop_body_span(stripped, cond_end), lm.group(1))
+        for dm in DO_HEAD_RE.finditer(stripped, body_start, body_end):
+            brace = stripped.find("{", dm.start())
+            end = match_paren(stripped, brace, "{", "}")
+            if end == -1:
+                end = body_end
+            check_loop(dm.start(), (brace, end), "do")
+    return findings
+
+
 def rule_result_unchecked(path, text, stripped, annotations):
     findings = []
     lines = stripped.splitlines()
@@ -362,6 +456,7 @@ def check_header_self_contained(repo, header, std):
 
 TEXT_RULES = {
     "guard-poll": rule_guard_poll,
+    "strategy-run-guard": rule_strategy_run_guard,
     "result-unchecked": rule_result_unchecked,
     "raw-assert": rule_raw_assert,
     "raw-sto": rule_raw_sto,
@@ -436,6 +531,8 @@ def selftest(repo):
 
     expect("guard-poll", "guard_poll_bad.cc", True, treat_as_expo=True)
     expect("guard-poll", "guard_poll_good.cc", False, treat_as_expo=True)
+    expect("strategy-run-guard", "strategy_run_bad.cc", True)
+    expect("strategy-run-guard", "strategy_run_good.cc", False)
     expect("result-unchecked", "result_unchecked_bad.cc", True)
     expect("result-unchecked", "result_unchecked_good.cc", False)
     expect("raw-assert", "raw_assert_bad.cc", True)

@@ -3,11 +3,15 @@
 #
 # The batch engine (src/engine) is the one concurrent subsystem: a
 # work-stealing thread pool plus mutex-guarded context caches shared across
-# worker threads, and resource guards (deadlines, step budgets, cancellation
-# tokens) polled concurrently by disjunct-level workers. This script builds
-# the tsan preset and runs every EngineTest.* / ThreadPoolTest.* /
-# BudgetTest.* case under it, so data races in the pool, the caches, the
-# guards, or the atomic stats counters surface as hard failures.
+# worker threads, resource guards (deadlines, step budgets, cancellation
+# tokens) polled concurrently by disjunct-level workers, and the racing
+# strategy portfolio (per-strategy guards cancelled through a shared race
+# token, with the mutex-guarded fact board exchanging countermodels between
+# racers). This script builds the tsan preset and runs every EngineTest.* /
+# ThreadPoolTest.* / BudgetTest.* / PortfolioTest.* / StrategyTest.* /
+# FactBoardTest.* case under it, so data races in the pool, the caches, the
+# guards, the race bookkeeping, the board, or the atomic stats counters
+# surface as hard failures.
 #
 # Usage:
 #   tools/sanitize.sh            # TSan over the engine tests (the default)
@@ -25,7 +29,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=tsan
-filter='^(EngineTest|ThreadPoolTest|BudgetTest)\.'
+filter='^(EngineTest|ThreadPoolTest|BudgetTest|PortfolioTest|StrategyTest|FactBoardTest)\.'
 for arg in "$@"; do
   case "$arg" in
     --all) filter='.*' ;;
