@@ -49,7 +49,7 @@ CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
   std::string key = RegexStructuralKey(regex);
   std::shared_ptr<const CompiledRegex> compiled;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) compiled = it->second;
   }
@@ -58,7 +58,7 @@ CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
   } else {
     if (stats) stats->regex_misses.fetch_add(1, std::memory_order_relaxed);
     compiled = std::make_shared<const CompiledRegex>(CompileRegex(regex));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto [it, inserted] = cache_.emplace(std::move(key), std::move(compiled));
     compiled = it->second;
   }
@@ -71,12 +71,12 @@ CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
 }
 
 void RegexCompileCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cache_.clear();
 }
 
 std::size_t RegexCompileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.size();
 }
 

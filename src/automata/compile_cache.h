@@ -2,12 +2,12 @@
 #define GQC_AUTOMATA_COMPILE_CACHE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/automata/semiautomaton.h"
 #include "src/core/stats.h"
+#include "src/util/sync.h"
 
 namespace gqc {
 
@@ -39,8 +39,9 @@ class RegexCompileCache {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledRegex>> cache_;
+  mutable Mutex mu_{kLockRankRegexCache, "regex-cache"};
+  std::unordered_map<std::string, std::shared_ptr<const CompiledRegex>>
+      cache_ GQC_GUARDED_BY(mu_);
 };
 
 /// The cache key: a prefix encoding of the regex AST over symbol codes.

@@ -11,7 +11,7 @@ std::shared_ptr<const NormalTBox> ContainmentCaches::GetNormalized(
     const TBox& tbox, Vocabulary* vocab, PipelineStats* stats) {
   std::string key = tbox.ToString(*vocab);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = normalized_.find(key);
     if (it != normalized_.end()) {
       if (stats) stats->normal_tbox_hits.fetch_add(1, std::memory_order_relaxed);
@@ -24,7 +24,7 @@ std::shared_ptr<const NormalTBox> ContainmentCaches::GetNormalized(
     PhaseTimer timer(stats ? &stats->normalize_ns : nullptr);
     built = std::make_shared<const NormalTBox>(Normalize(tbox, vocab));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = normalized_.emplace(std::move(key), std::move(built));
   return it->second;
 }
@@ -41,7 +41,7 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
   // not round-trip to exactly those parts could alias distinct inputs.
   GQC_AUDIT(ValidateCacheKey(key, {tbox_part, q_part, engine_part}));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = closures_.find(key);
     if (it != closures_.end()) {
       if (stats) stats->closure_hits.fetch_add(1, std::memory_order_relaxed);
@@ -61,24 +61,24 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
   // better-funded calls. Return it uncached.
   const ResourceGuard* guard = options.countermodel.limits.guard;
   if (guard != nullptr && guard->exhausted()) return entry;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = closures_.emplace(std::move(key), std::move(entry));
   return it->second;
 }
 
 void ContainmentCaches::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   normalized_.clear();
   closures_.clear();
 }
 
 std::size_t ContainmentCaches::normalized_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return normalized_.size();
 }
 
 std::size_t ContainmentCaches::closure_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closures_.size();
 }
 

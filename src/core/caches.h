@@ -2,13 +2,13 @@
 #define GQC_CORE_CACHES_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/core/reduction.h"
 #include "src/core/stats.h"
 #include "src/dl/tbox.h"
+#include "src/util/sync.h"
 
 namespace gqc {
 
@@ -59,9 +59,10 @@ class ContainmentCaches {
   std::size_t closure_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const NormalTBox>> normalized_;
-  std::unordered_map<std::string, ClosureEntry> closures_;
+  mutable Mutex mu_{kLockRankNormalizeCache, "normalize-cache"};
+  std::unordered_map<std::string, std::shared_ptr<const NormalTBox>>
+      normalized_ GQC_GUARDED_BY(mu_);
+  std::unordered_map<std::string, ClosureEntry> closures_ GQC_GUARDED_BY(mu_);
 };
 
 }  // namespace gqc

@@ -27,7 +27,7 @@ bool SharedFactBoard::PublishCountermodel(const std::string& scope_key,
                                           PipelineStats* stats) {
   if (!GraphFitsVocabulary(g, concept_limit, role_limit)) return false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<Graph>& scope = countermodels_[scope_key];
     if (scope.size() >= kMaxCountermodelsPerScope) return false;
     for (const Graph& have : scope) {
@@ -45,7 +45,7 @@ std::optional<Graph> SharedFactBoard::FindRefutation(
     const std::string& scope_key, const Crpq& p, PipelineStats* stats) const {
   std::vector<Graph> candidates;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = countermodels_.find(scope_key);
     if (it == countermodels_.end()) return std::nullopt;
     candidates = it->second;
@@ -78,7 +78,7 @@ void SharedFactBoard::PublishResult(const std::string& disjunct_key,
     result.central_part.reset();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto [it, inserted] = results_.emplace(disjunct_key, std::move(result));
     if (!inserted) return;  // first publisher wins; all definite agree anyway
   }
@@ -91,7 +91,7 @@ std::optional<ContainmentResult> SharedFactBoard::LookupResult(
     const std::string& disjunct_key, PipelineStats* stats) const {
   std::optional<ContainmentResult> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = results_.find(disjunct_key);
     if (it == results_.end()) return std::nullopt;
     out = it->second;
@@ -103,20 +103,20 @@ std::optional<ContainmentResult> SharedFactBoard::LookupResult(
 }
 
 void SharedFactBoard::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   countermodels_.clear();
   results_.clear();
 }
 
 std::size_t SharedFactBoard::countermodel_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::size_t n = 0;
   for (const auto& [key, scope] : countermodels_) n += scope.size();
   return n;
 }
 
 std::size_t SharedFactBoard::result_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return results_.size();
 }
 

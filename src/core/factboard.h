@@ -1,7 +1,6 @@
 #ifndef GQC_CORE_FACTBOARD_H_
 #define GQC_CORE_FACTBOARD_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 #include "src/core/stats.h"
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/sync.h"
 
 namespace gqc {
 
@@ -79,9 +79,11 @@ class SharedFactBoard {
   std::size_t result_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<Graph>> countermodels_;
-  std::unordered_map<std::string, ContainmentResult> results_;
+  mutable Mutex mu_{kLockRankFactBoard, "fact-board"};
+  std::unordered_map<std::string, std::vector<Graph>>
+      countermodels_ GQC_GUARDED_BY(mu_);
+  std::unordered_map<std::string, ContainmentResult>
+      results_ GQC_GUARDED_BY(mu_);
 };
 
 /// True iff every concept/role id used by `g` (labels and edges) is below

@@ -1,9 +1,10 @@
 #include "src/core/portfolio.h"
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/util/sync.h"
 
 namespace gqc {
 
@@ -125,16 +126,24 @@ ContainmentResult RunPortfolio(const StrategyContext& ctx,
         opts.budget, opts.has_deadline, opts.deadline));
     guards.back()->AddCancellation(race);
   }
-  std::mutex winner_mu;
-  std::optional<std::size_t> winner;
+  // Local race state, bundled so the analysis ties the winner slot to its
+  // mutex even though both live on this stack frame.
+  struct RaceState {
+    Mutex mu{kLockRankRaceWinner, "portfolio-winner"};
+    std::optional<std::size_t> winner GQC_GUARDED_BY(mu);
+  } race_state;
+  auto claimed = [&race_state]() {
+    MutexLock lock(&race_state.mu);
+    return race_state.winner;
+  };
   auto run_one = [&](std::size_t i) {
     ContainmentResult r = ran[i]->Run(ctx, guards[i].get());
     if (r.verdict != Verdict::kUnknown) {
       bool won = false;
       {
-        std::lock_guard<std::mutex> lock(winner_mu);
-        if (!winner.has_value()) {
-          winner = i;
+        MutexLock lock(&race_state.mu);
+        if (!race_state.winner.has_value()) {
+          race_state.winner = i;
           won = true;
         }
       }
@@ -151,10 +160,13 @@ ContainmentResult RunPortfolio(const StrategyContext& ctx,
     // Degenerate race: in order, first definite wins, later strategies are
     // never started (they count as neither cancelled nor inconclusive).
     // lint: bounded(in-order sweep over the raced strategies; each Run is guard-governed)
-    for (std::size_t i = 0; i < ran.size() && !winner.has_value(); ++i) {
+    for (std::size_t i = 0; i < ran.size() && !claimed().has_value(); ++i) {
       run_one(i);
     }
   }
+  // The race is over (ParallelFor is a barrier; the sequential sweep is this
+  // thread); one locked read fixes the winner for the attribution pass.
+  const std::optional<std::size_t> winner = claimed();
 
   // 3. Attribution + stats. A loser whose guard was tripped by cancellation
   //    after the race token fired was a casualty of the race, not a genuine

@@ -20,6 +20,13 @@ namespace gqc {
 /// counter updated with relaxed read-modify-writes, so recording is wait-free
 /// and snapshots are approximate only while work is still in flight.
 ///
+/// Concurrency contract (DESIGN.md §10): this struct is lock-free by design
+/// — counters are independent, no invariant spans two fields, and relaxed
+/// ordering is sufficient because readers only consume quiescent snapshots
+/// (after a batch, or accepting in-flight skew). Every atomic access here
+/// spells its memory order explicitly; the atomic-memory-order lint enforces
+/// that repo-wide.
+///
 /// Exported as JSON by ToJson() — the schema is documented in DESIGN.md §
 /// "Batch engine".
 struct PipelineStats {

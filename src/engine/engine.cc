@@ -41,7 +41,7 @@ Engine::Engine(EngineOptions options)
 std::shared_ptr<const Engine::SchemaContext> Engine::GetSchemaContext(
     const std::string& schema_text) {
   {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    MutexLock lock(&ctx_mu_);
     auto it = schema_ctxs_.find(schema_text);
     if (it != schema_ctxs_.end()) {
       stats_.schema_ctx_hits.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +72,7 @@ std::shared_ptr<const Engine::SchemaContext> Engine::GetSchemaContext(
     ctx->tbox = Normalize(parsed.value(), &ctx->vocab);
   }
 
-  std::lock_guard<std::mutex> lock(ctx_mu_);
+  MutexLock lock(&ctx_mu_);
   auto [it, inserted] = schema_ctxs_.emplace(schema_text, std::move(ctx));
   return it->second;
 }
@@ -86,7 +86,7 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
   // those parts or two distinct contexts could alias.
   GQC_AUDIT(ValidateCacheKey(key, {schema_text, q_text}));
   {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    MutexLock lock(&ctx_mu_);
     auto it = query_ctxs_.find(key);
     if (it != query_ctxs_.end()) {
       stats_.query_ctx_hits.fetch_add(1, std::memory_order_relaxed);
@@ -152,7 +152,7 @@ std::shared_ptr<const Engine::QueryContext> Engine::GetQueryContext(
   // would degrade later, better-funded pairs. Return it uncached.
   if (guard != nullptr && guard->exhausted()) return ctx;
 
-  std::lock_guard<std::mutex> lock(ctx_mu_);
+  MutexLock lock(&ctx_mu_);
   auto [it, inserted] = query_ctxs_.emplace(std::move(key), std::move(ctx));
   return it->second;
 }
@@ -350,18 +350,18 @@ Engine::BatchControl Engine::StartControl(
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(options_.batch_timeout_ms));
   }
-  std::lock_guard<std::mutex> lock(cancel_mu_);
+  MutexLock lock(&cancel_mu_);
   *handle = active_controls_.insert(active_controls_.end(), control.cancel);
   return control;
 }
 
 void Engine::FinishControl(std::list<CancellationToken>::iterator handle) {
-  std::lock_guard<std::mutex> lock(cancel_mu_);
+  MutexLock lock(&cancel_mu_);
   active_controls_.erase(handle);
 }
 
 void Engine::CancelAll() {
-  std::lock_guard<std::mutex> lock(cancel_mu_);
+  MutexLock lock(&cancel_mu_);
   for (CancellationToken& token : active_controls_) token.Cancel();
 }
 
@@ -387,7 +387,7 @@ std::vector<BatchOutcome> Engine::DecideBatch(const std::vector<BatchItem>& item
 
 void Engine::ResetState() {
   {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    MutexLock lock(&ctx_mu_);
     schema_ctxs_.clear();
     query_ctxs_.clear();
   }

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "src/automata/compile_cache.h"
 #include "src/core/containment.h"
 #include "src/core/factboard.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace gqc {
@@ -162,13 +162,14 @@ class Engine {
     CancellationToken cancel;
   };
 
-  std::shared_ptr<const SchemaContext> GetSchemaContext(const std::string& schema_text);
+  std::shared_ptr<const SchemaContext> GetSchemaContext(
+      const std::string& schema_text) GQC_EXCLUDES(ctx_mu_);
   /// `guard` (optional) governs the closure build on a context miss; a
   /// context whose closure build tripped the guard reflects that caller's
   /// budget, not (schema, Q), and is returned uncached.
-  std::shared_ptr<const QueryContext> GetQueryContext(const std::string& schema_text,
-                                                      const std::string& q_text,
-                                                      ResourceGuard* guard);
+  std::shared_ptr<const QueryContext> GetQueryContext(
+      const std::string& schema_text, const std::string& q_text,
+      ResourceGuard* guard) GQC_EXCLUDES(ctx_mu_);
   BatchOutcome DecidePair(const BatchItem& item, const BatchControl& control);
   /// Pins the batch deadline and registers the control's token with
   /// CancelAll; `handle` receives the registration to pass to FinishControl.
@@ -183,12 +184,18 @@ class Engine {
   /// shared across strategies, disjuncts, and pairs (cleared by ResetState).
   SharedFactBoard facts_;
 
-  std::mutex ctx_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const SchemaContext>> schema_ctxs_;
-  std::unordered_map<std::string, std::shared_ptr<const QueryContext>> query_ctxs_;
+  /// Guards the memoized context maps; values are computed outside the lock
+  /// (a racing double-miss builds the identical context; first insert wins).
+  Mutex ctx_mu_{kLockRankEngineContext, "engine-ctx"};
+  std::unordered_map<std::string, std::shared_ptr<const SchemaContext>>
+      schema_ctxs_ GQC_GUARDED_BY(ctx_mu_);
+  std::unordered_map<std::string, std::shared_ptr<const QueryContext>>
+      query_ctxs_ GQC_GUARDED_BY(ctx_mu_);
 
-  std::mutex cancel_mu_;
-  std::list<CancellationToken> active_controls_;
+  /// Guards the registry of in-flight batch cancellation tokens (the list
+  /// CancelAll walks); the tokens themselves are wait-free once copied out.
+  Mutex cancel_mu_{kLockRankEngineCancel, "engine-cancel"};
+  std::list<CancellationToken> active_controls_ GQC_GUARDED_BY(cancel_mu_);
 };
 
 }  // namespace gqc

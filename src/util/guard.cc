@@ -58,11 +58,13 @@ ResourceGuard::ResourceGuard(const ResourceBudget& budget, bool has_deadline,
 
 void ResourceGuard::Trip(GuardResource r, GuardPhase p) {
   // First trip wins; later trips (other threads, other resources) are noise.
-  uint8_t expected = static_cast<uint8_t>(GuardResource::kNone);
-  if (tripped_.compare_exchange_strong(expected, static_cast<uint8_t>(r),
-                                       std::memory_order_acq_rel)) {
-    trip_phase_.store(static_cast<uint8_t>(p), std::memory_order_release);
-  }
+  // Reason and phase are published in one CAS so no reader interleaving can
+  // tear them apart.
+  uint16_t packed = static_cast<uint16_t>(
+      (static_cast<uint16_t>(p) << 8) | static_cast<uint16_t>(r));
+  uint16_t expected = 0;
+  trip_.compare_exchange_strong(expected, packed, std::memory_order_acq_rel,
+                                std::memory_order_acquire);
 }
 
 bool ResourceGuard::CheckClockAndToken(GuardPhase phase) {

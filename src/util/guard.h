@@ -110,6 +110,12 @@ class ResourceGuard {
   /// racing one disjunct shares a race token, the first definite verdict
   /// cancels it, and the losers unwind at their next poll while the outer
   /// (batch-level) token in the budget keeps working independently.
+  ///
+  /// Thread-compatibility contract: the extra-token fields are plain (not
+  /// atomic), so AddCancellation must happen-before the guard is shared with
+  /// other threads — call it during guard setup, never while polls may be in
+  /// flight. The portfolio runner wires the token before handing the guard
+  /// to the pool, and the pool's queue handoff publishes the write.
   void AddCancellation(CancellationToken token) {
     extra_cancel_ = std::move(token);
     has_extra_cancel_ = true;
@@ -131,18 +137,18 @@ class ResourceGuard {
 
   /// True iff some budget ran out (sticky).
   [[nodiscard]] bool exhausted() const {
-    return tripped_.load(std::memory_order_acquire) !=
-           static_cast<uint8_t>(GuardResource::kNone);
+    return trip_.load(std::memory_order_acquire) != 0;
   }
 
   /// Which resource tripped first (kNone if live).
   GuardResource reason() const {
-    return static_cast<GuardResource>(tripped_.load(std::memory_order_acquire));
+    return static_cast<GuardResource>(trip_.load(std::memory_order_acquire) &
+                                      0xffu);
   }
 
   /// The phase that charged the tripping step (meaningless if live).
   GuardPhase trip_phase() const {
-    return static_cast<GuardPhase>(trip_phase_.load(std::memory_order_acquire));
+    return static_cast<GuardPhase>(trip_.load(std::memory_order_acquire) >> 8);
   }
 
   uint64_t steps_spent() const { return steps_.load(std::memory_order_relaxed); }
@@ -178,8 +184,10 @@ class ResourceGuard {
   std::atomic<uint64_t> steps_{0};
   std::atomic<uint64_t> memory_{0};
   std::array<std::atomic<uint64_t>, kGuardPhaseCount> phase_steps_{};
-  std::atomic<uint8_t> tripped_{static_cast<uint8_t>(GuardResource::kNone)};
-  std::atomic<uint8_t> trip_phase_{0};
+  /// Trip record, packed (phase << 8) | reason; 0 = live. One atomic so a
+  /// concurrent reader can never observe a tripped reason paired with a
+  /// stale phase (two separate atomics allowed exactly that skew).
+  std::atomic<uint16_t> trip_{0};
 };
 
 }  // namespace gqc

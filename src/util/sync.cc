@@ -1,0 +1,63 @@
+#include "src/util/sync.h"
+
+#include <string>
+
+namespace gqc {
+namespace lock_audit {
+
+namespace {
+
+/// The calling thread's held-lock stack, in acquisition order. thread_local
+/// so the checker needs no synchronization of its own (it must not — it runs
+/// inside every Lock()).
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+}  // namespace
+
+AuditResult CheckAcquire(const std::vector<HeldLock>& held, uint32_t rank,
+                         const char* name) {
+  for (const HeldLock& h : held) {
+    if (h.rank >= rank) {
+      return AuditViolation(
+          "lock-order violation: acquiring \"" + std::string(name) +
+          "\" (rank " + std::to_string(rank) + ") while holding \"" +
+          std::string(h.name) + "\" (rank " + std::to_string(h.rank) +
+          "); ranks must strictly increase along every acquisition chain "
+          "(see the hierarchy in src/util/sync.h)");
+    }
+  }
+  return std::nullopt;
+}
+
+void OnAcquire(const void* mu, uint32_t rank, const char* name, bool checked) {
+  std::vector<HeldLock>& held = HeldStack();
+  if (checked) {
+    AuditResult violation = CheckAcquire(held, rank, name);
+    if (violation.has_value()) {
+      InvariantFailure("src/util/sync.h", 0, "LockOrder", *violation);
+    }
+  }
+  held.push_back(HeldLock{mu, rank, name});
+}
+
+void OnRelease(const void* mu) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Release is usually LIFO (RAII guards), but a condvar wait releases from
+  // mid-stack legally; search from the top.
+  for (std::size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mu == mu) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i) - 1);
+      return;
+    }
+  }
+  InvariantFailure("src/util/sync.h", 0, "LockOrder",
+                   "releasing a mutex this thread does not hold");
+}
+
+std::size_t HeldCount() { return HeldStack().size(); }
+
+}  // namespace lock_audit
+}  // namespace gqc

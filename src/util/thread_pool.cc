@@ -15,11 +15,10 @@ ThreadPool::ThreadPool(std::size_t concurrency) {
   if (concurrency == 0) concurrency = std::thread::hardware_concurrency();
   if (concurrency == 0) concurrency = 1;
   std::size_t worker_count = concurrency - 1;
-  queue_mus_.reserve(worker_count);
+  queues_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
-    queue_mus_.push_back(std::make_unique<std::mutex>());
+    queues_.push_back(std::make_unique<WorkerQueue>());
   }
-  queues_.resize(worker_count);
   workers_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -28,10 +27,10 @@ ThreadPool::ThreadPool(std::size_t concurrency) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -42,25 +41,37 @@ void ThreadPool::Submit(std::function<void()> fn) {
   }
   std::size_t target = tls_worker_index;
   if (target >= queues_.size()) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     target = rr_++ % queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(*queue_mus_[target]);
-    queues_[target].push_back(std::move(fn));
+    WorkerQueue& q = *queues_[target];
+    MutexLock lock(&q.mu);
+    q.items.push_back(std::move(fn));
   }
-  wake_cv_.notify_one();
+  // Notify under the wake mutex. A worker that found every deque empty holds
+  // wake_mu_ from its re-scan until wait() releases it; taking the mutex here
+  // serializes this notify against that window, so the push above is either
+  // seen by the re-scan or the notify lands after the worker started waiting.
+  // A bare notify could fire inside the window and be lost — with every
+  // worker asleep, a fire-and-forget task would strand until the next Submit.
+  {
+    MutexLock lock(&wake_mu_);
+    wake_cv_.NotifyOne();
+  }
 }
 
-bool ThreadPool::PopFrom(std::size_t queue, bool lifo, std::function<void()>* out) {
-  std::lock_guard<std::mutex> lock(*queue_mus_[queue]);
-  if (queues_[queue].empty()) return false;
+bool ThreadPool::PopFrom(std::size_t queue, bool lifo,
+                         std::function<void()>* out) {
+  WorkerQueue& q = *queues_[queue];
+  MutexLock lock(&q.mu);
+  if (q.items.empty()) return false;
   if (lifo) {
-    *out = std::move(queues_[queue].back());
-    queues_[queue].pop_back();
+    *out = std::move(q.items.back());
+    q.items.pop_back();
   } else {
-    *out = std::move(queues_[queue].front());
-    queues_[queue].pop_front();
+    *out = std::move(q.items.front());
+    q.items.pop_front();
   }
   return true;
 }
@@ -90,17 +101,19 @@ void ThreadPool::WorkerLoop(std::size_t self) {
   tls_worker_index = self;
   while (true) {
     if (RunOneTask(self)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     if (stop_) return;
-    // Re-check under the wake lock: a Submit between our scan and here would
-    // have notified before we started waiting only if we hold the lock.
+    // Re-check under the wake lock: Submit notifies while holding it, so a
+    // push racing this scan either shows up below or its notify is delivered
+    // after Wait() starts — never lost in between.
     bool any = false;
     for (std::size_t i = 0; i < queues_.size() && !any; ++i) {
-      std::lock_guard<std::mutex> qlock(*queue_mus_[i]);
-      any = !queues_[i].empty();
+      WorkerQueue& q = *queues_[i];
+      MutexLock qlock(&q.mu);
+      any = !q.items.empty();
     }
     if (any) continue;
-    wake_cv_.wait(lock);
+    wake_cv_.Wait(wake_mu_);
   }
 }
 

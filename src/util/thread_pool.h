@@ -1,14 +1,14 @@
 #ifndef GQC_UTIL_THREAD_POOL_H_
 #define GQC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace gqc {
 
@@ -29,6 +29,12 @@ namespace gqc {
 /// ParallelFor may be nested (a pair-level loop spawning a disjunct-level
 /// loop): while waiting, the caller executes other pool tasks instead of
 /// blocking, so workers never deadlock on their own subtasks.
+///
+/// Locking (DESIGN.md §10): wake_mu_ guards the stop flag and the
+/// round-robin cursor; each worker deque has its own mutex inside its
+/// WorkerQueue. The one sanctioned nesting is wake -> queue (a worker
+/// re-scans every deque under the wake mutex before sleeping), which the
+/// rank hierarchy (kLockRankPoolWake < kLockRankPoolQueue) pins.
 class ThreadPool {
  public:
   /// `concurrency` = total threads that can run tasks (callers included).
@@ -53,18 +59,26 @@ class ThreadPool {
   void Submit(std::function<void()> fn);
 
  private:
+  /// One worker's deque and the mutex guarding it. Bundling the pair lets
+  /// the static analysis tie each deque to its own lock even though the
+  /// set of queues is sized at runtime.
+  struct WorkerQueue {
+    Mutex mu{kLockRankPoolQueue, "pool-queue"};
+    std::deque<std::function<void()>> items GQC_GUARDED_BY(mu);
+  };
+
   void WorkerLoop(std::size_t self);
   /// Runs one queued task if any is available; `home` is the deque tried
   /// first (own deque for workers, round-robin start for callers).
   bool RunOneTask(std::size_t home);
   bool PopFrom(std::size_t queue, bool lifo, std::function<void()>* out);
 
-  std::vector<std::unique_ptr<std::mutex>> queue_mus_;
-  std::vector<std::deque<std::function<void()>>> queues_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;
-  std::size_t rr_ = 0;  // round-robin cursor for external submissions
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  Mutex wake_mu_{kLockRankPoolWake, "pool-wake"};
+  CondVar wake_cv_;
+  bool stop_ GQC_GUARDED_BY(wake_mu_) = false;
+  /// Round-robin cursor for external submissions.
+  std::size_t rr_ GQC_GUARDED_BY(wake_mu_) = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,11 @@
+// Fixture: atomic operations leaning on the implicit seq_cst default.
+// Rule `atomic-memory-order` must fire.
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int Bump() {
+  counter.fetch_add(1);
+  counter.store(5);
+  return counter.load();
+}

@@ -1,0 +1,22 @@
+// Fixture: atomic operations with explicit orderings (including an argument
+// list that wraps onto a continuation line, and a suppressed non-atomic
+// receiver that happens to share a method name).
+// Rule `atomic-memory-order` must stay silent.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> counter{0};
+std::atomic<uint16_t> packed{0};
+
+struct Tape {
+  void store(int slot);
+};
+
+uint64_t Bump(Tape& tape) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  uint16_t expected = 0;
+  packed.compare_exchange_strong(expected, 7, std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+  tape.store(3);  // lint: memory-order(Tape::store is not an atomic)
+  return counter.load(std::memory_order_acquire);
+}

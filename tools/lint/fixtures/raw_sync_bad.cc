@@ -1,0 +1,14 @@
+// Fixture: raw standard-library synchronization outside src/util/sync.h.
+// Rule `raw-sync-primitive` must fire.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void Touch(Queue& q) {
+  std::lock_guard<std::mutex> lock(q.mu);
+  q.cv.notify_one();
+}

@@ -1,0 +1,20 @@
+// Fixture: synchronization through the annotated wrappers.
+// Rule `raw-sync-primitive` must stay silent.
+namespace gqc {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace gqc
+
+struct Queue {
+  gqc::Mutex mu;
+};
+
+void Touch(Queue& q) { gqc::MutexLock lock(&q.mu); }

@@ -21,6 +21,14 @@ Rules (see DESIGN.md for the catalogue, rationale, and suppression syntax):
                   flavor instead of NDEBUG.
   raw-sto         `std::sto*` is banned — it throws on overflow and consults
                   the locale; use gqc::ParseUint32 (src/util/parse_num.h).
+  raw-sync-primitive  `std::mutex` / `std::lock_guard` / `std::condition_variable`
+                  (and friends) are banned outside src/util/sync.h — use
+                  gqc::Mutex/MutexLock/CondVar so every lock carries its
+                  thread-safety capability and lock-order rank.
+  atomic-memory-order  every std::atomic load/store/RMW must spell its
+                  std::memory_order explicitly; a bare `.load()` silently
+                  defaults to seq_cst, hiding the intended (and usually
+                  cheaper) ordering contract.
   header-self-contained  every header in src/ must compile on its own
                   (IWYU-lite; catches headers leaning on transitive includes).
 
@@ -82,6 +90,26 @@ RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 RAW_STO_RE = re.compile(r"std\s*::\s*sto[a-z]+\b")
 # Files allowed to use std::sto* (checked wrappers live here).
 RAW_STO_SANCTIONED = [r"src/util/parse_num\.h$"]
+
+# Raw standard-library synchronization primitives. Longer alternatives first
+# so e.g. `recursive_mutex` is not half-matched as `mutex`.
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*(?:recursive_timed_mutex|recursive_mutex|timed_mutex"
+    r"|shared_timed_mutex|shared_mutex|mutex|lock_guard|scoped_lock"
+    r"|unique_lock|shared_lock|condition_variable_any|condition_variable)\b"
+)
+# The annotated wrappers are built on the raw primitives here (and only here).
+RAW_SYNC_SANCTIONED = [r"src/util/sync\.h$"]
+
+# std::atomic member operations that take an optional std::memory_order.
+# `.clear()`, `.wait()`, `.notify_*()` are deliberately absent: those names
+# collide with containers and condition variables far more often than they
+# appear on atomics in this codebase.
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?P<op>load|store|exchange|fetch_add|fetch_sub|fetch_and"
+    r"|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong"
+    r"|test_and_set)\s*\("
+)
 
 VALUE_CALL_RE = re.compile(
     r"(?:std\s*::\s*move\s*\(\s*)?"
@@ -413,6 +441,58 @@ def rule_raw_sto(path, text, stripped, annotations):
     return findings
 
 
+def rule_raw_sync_primitive(path, text, stripped, annotations):
+    rel = path.replace("\\", "/")
+    if any(re.search(p, rel) for p in RAW_SYNC_SANCTIONED):
+        return []
+    findings = []
+    for m in RAW_SYNC_RE.finditer(stripped):
+        lineno = line_of(stripped, m.start())
+        if suppressed(annotations, lineno, "raw-sync"):
+            continue
+        primitive = re.sub(r"\s+", "", m.group(0))
+        findings.append(
+            Finding(
+                "raw-sync-primitive",
+                path,
+                lineno,
+                f"raw `{primitive}` — use gqc::Mutex / MutexLock / CondVar "
+                "(src/util/sync.h) so the lock carries a thread-safety "
+                "capability and a lock-order rank",
+            )
+        )
+    return findings
+
+
+def rule_atomic_memory_order(path, text, stripped, annotations):
+    findings = []
+    for m in ATOMIC_CALL_RE.finditer(stripped):
+        lineno = line_of(stripped, m.start())
+        if suppressed(annotations, lineno, "memory-order"):
+            continue
+        open_pos = m.end() - 1
+        close_pos = match_paren(stripped, open_pos)
+        if close_pos == -1:
+            close_pos = stripped.find("\n", open_pos)
+            if close_pos == -1:
+                close_pos = len(stripped)
+        args = stripped[open_pos + 1 : close_pos]
+        if "memory_order" in args:
+            continue
+        findings.append(
+            Finding(
+                "atomic-memory-order",
+                path,
+                lineno,
+                f"atomic `.{m.group('op')}()` without an explicit "
+                "std::memory_order — a bare call defaults to seq_cst; spell "
+                "the intended ordering (or annotate "
+                "`// lint: memory-order(<why>)` for a non-atomic receiver)",
+            )
+        )
+    return findings
+
+
 def check_header_self_contained(repo, header, std):
     """Compiles `#include "<header>"` alone; returns a Finding or None."""
     rel = os.path.relpath(header, repo).replace("\\", "/")
@@ -460,6 +540,8 @@ TEXT_RULES = {
     "result-unchecked": rule_result_unchecked,
     "raw-assert": rule_raw_assert,
     "raw-sto": rule_raw_sto,
+    "raw-sync-primitive": rule_raw_sync_primitive,
+    "atomic-memory-order": rule_atomic_memory_order,
 }
 ALL_RULES = list(TEXT_RULES) + ["header-self-contained"]
 
@@ -539,6 +621,10 @@ def selftest(repo):
     expect("raw-assert", "raw_assert_good.cc", False)
     expect("raw-sto", "raw_sto_bad.cc", True)
     expect("raw-sto", "raw_sto_good.cc", False)
+    expect("raw-sync-primitive", "raw_sync_bad.cc", True)
+    expect("raw-sync-primitive", "raw_sync_good.cc", False)
+    expect("atomic-memory-order", "atomic_order_bad.cc", True)
+    expect("atomic-memory-order", "atomic_order_good.cc", False)
     expect("header-self-contained", "header_bad.h", True)
     expect("header-self-contained", "header_good.h", False)
 

@@ -6,17 +6,23 @@
 #   2. the domain lint self-tests (each rule must fire on its bad fixture
 #      and stay silent on the good one),
 #   3. the domain lint over src/ (guard polling, Result discipline, banned
-#      assert()/std::sto*, header self-sufficiency — see tools/lint/),
+#      assert()/std::sto*, raw sync primitives, implicit atomic memory
+#      orders, header self-sufficiency — see tools/lint/),
 #   4. clang-tidy over src/**/*.cc with the curated .clang-tidy profile,
-#      any finding treated as an error.
+#      any finding treated as an error,
+#   5. a clang++ -Wthread-safety -Werror=thread-safety build of the library
+#      (Clang's Thread Safety Analysis over the gqc::Mutex capability
+#      annotations in src/util/sync.h — the GCC build of layer 1 compiles
+#      the annotations away, so this is the only layer that checks them).
 #
 # clang-tidy results are cached per file content hash under
 # ${GQC_TIDY_CACHE:-.cache/clang-tidy}: an unchanged file with an unchanged
 # profile is not re-analyzed. CI persists that directory between runs.
 #
-# If clang-tidy is not installed (e.g. the minimal dev container), step 4 is
-# skipped with a notice and the gate still passes — the compiler and lint
-# layers run everywhere, the tidy layer wherever the binary exists.
+# Layers 4 and 5 need LLVM tooling. If clang-tidy / clang++ is not installed
+# (e.g. the minimal dev container), the corresponding layer is skipped with a
+# notice and the gate still passes — the compiler and lint layers run
+# everywhere, the clang layers wherever the binaries exist.
 #
 # Usage:
 #   tools/static_analysis.sh             # full gate
@@ -29,6 +35,7 @@ cd "$(dirname "$0")/.."
 ROOT="$PWD"
 
 BUILD_DIR="${GQC_SA_BUILD_DIR:-$ROOT/build-sa}"
+TS_BUILD_DIR="${GQC_TS_BUILD_DIR:-$ROOT/build-threadsafety}"
 CACHE_DIR="${GQC_TIDY_CACHE:-$ROOT/.cache/clang-tidy}"
 JOBS="$(nproc)"
 
@@ -40,7 +47,9 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/4] warnings-as-errors build =="
+skipped_layers=""
+
+echo "== [1/5] warnings-as-errors build =="
 if [[ "$run_build" == 1 ]]; then
   cmake -S "$ROOT" -B "$BUILD_DIR" -DGQC_WERROR=ON \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -49,13 +58,13 @@ else
   echo "   (skipped: --no-build)"
 fi
 
-echo "== [2/4] lint self-tests =="
+echo "== [2/5] lint self-tests =="
 python3 tools/lint/gqc_lint.py --selftest
 
-echo "== [3/4] domain lint over src/ =="
+echo "== [3/5] domain lint over src/ =="
 python3 tools/lint/gqc_lint.py
 
-echo "== [4/4] clang-tidy =="
+echo "== [4/5] clang-tidy =="
 TIDY="${CLANG_TIDY:-}"
 if [[ -z "$TIDY" ]]; then
   for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
@@ -68,40 +77,65 @@ if [[ -z "$TIDY" ]]; then
 fi
 if [[ -z "$TIDY" ]]; then
   echo "   clang-tidy not installed; skipping the tidy layer."
-  echo "static_analysis: PASS (compiler + lint layers; tidy skipped)"
-  exit 0
-fi
-if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  skipped_layers="$skipped_layers tidy"
+elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   echo "   missing $BUILD_DIR/compile_commands.json (run without --no-build)" >&2
   exit 1
+else
+  mkdir -p "$CACHE_DIR"
+  # Cache key ingredients shared by every file: the profile and the tidy
+  # binary's own version (a new clang-tidy can introduce new findings).
+  profile_hash="$({ cat .clang-tidy; "$TIDY" --version; } | sha256sum | cut -d' ' -f1)"
+
+  failed=0
+  analyzed=0
+  cached=0
+  while IFS= read -r file; do
+    key="$(cat "$file" | sha256sum | cut -d' ' -f1)-$profile_hash"
+    marker="$CACHE_DIR/${key}.ok"
+    if [[ -f "$marker" ]]; then
+      cached=$((cached + 1))
+      continue
+    fi
+    analyzed=$((analyzed + 1))
+    if "$TIDY" -p "$BUILD_DIR" -warnings-as-errors='*' -quiet "$file"; then
+      touch "$marker"
+    else
+      failed=1
+    fi
+  done < <(find src -name '*.cc' | sort)
+
+  echo "   clang-tidy: $analyzed analyzed, $cached cache hits"
+  if [[ "$failed" != 0 ]]; then
+    echo "static_analysis: FAIL (clang-tidy findings above)" >&2
+    exit 1
+  fi
 fi
 
-mkdir -p "$CACHE_DIR"
-# Cache key ingredients shared by every file: the profile and the tidy
-# binary's own version (a new clang-tidy can introduce new findings).
-profile_hash="$({ cat .clang-tidy; "$TIDY" --version; } | sha256sum | cut -d' ' -f1)"
-
-failed=0
-analyzed=0
-cached=0
-while IFS= read -r file; do
-  key="$(cat "$file" | sha256sum | cut -d' ' -f1)-$profile_hash"
-  marker="$CACHE_DIR/${key}.ok"
-  if [[ -f "$marker" ]]; then
-    cached=$((cached + 1))
-    continue
-  fi
-  analyzed=$((analyzed + 1))
-  if "$TIDY" -p "$BUILD_DIR" -warnings-as-errors='*' -quiet "$file"; then
-    touch "$marker"
-  else
-    failed=1
-  fi
-done < <(find src -name '*.cc' | sort)
-
-echo "   clang-tidy: $analyzed analyzed, $cached cache hits"
-if [[ "$failed" != 0 ]]; then
-  echo "static_analysis: FAIL (clang-tidy findings above)" >&2
-  exit 1
+echo "== [5/5] clang thread-safety analysis =="
+CLANGXX="${CLANGXX:-}"
+if [[ -z "$CLANGXX" ]]; then
+  for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15 \
+                   clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANGXX="$candidate"
+      break
+    fi
+  done
 fi
-echo "static_analysis: PASS"
+if [[ -z "$CLANGXX" ]]; then
+  echo "   clang++ not installed; skipping the thread-safety layer."
+  skipped_layers="$skipped_layers thread-safety"
+else
+  # Library target only: the analysis is about src/; CMakeLists adds
+  # -Wthread-safety -Werror=thread-safety whenever the compiler is Clang.
+  cmake -S "$ROOT" -B "$TS_BUILD_DIR" -DGQC_WERROR=ON \
+        -DCMAKE_CXX_COMPILER="$CLANGXX" >/dev/null
+  cmake --build "$TS_BUILD_DIR" -j "$JOBS" --target gqc
+fi
+
+if [[ -n "$skipped_layers" ]]; then
+  echo "static_analysis: PASS (skipped:$skipped_layers)"
+else
+  echo "static_analysis: PASS"
+fi
