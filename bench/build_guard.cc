@@ -1,0 +1,51 @@
+// Build-type guard linked into every benchmark binary (bench/CMakeLists.txt).
+//
+// The committed BENCH_*.json baselines are produced from optimized builds;
+// numbers from a -O0/assert-enabled build are not comparable and must never
+// be recorded as baselines (tools/bench_diff.py compares against them). The
+// guard refuses to run benchmarks unless this translation unit was compiled
+// with optimizations and NDEBUG, matching the `library_build_type` context
+// Google Benchmark reports for its own library build.
+//
+// Escape hatch: GQC_BENCH_ALLOW_DEBUG=1 runs anyway (for smoke-testing the
+// bench code itself), loudly warns, and tags the JSON context with
+// gqc_build_type=debug so a debug run can never masquerade as a baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+constexpr bool kOptimizedBuild = true;
+#else
+constexpr bool kOptimizedBuild = false;
+#endif
+
+struct BenchBuildGuard {
+  BenchBuildGuard() {
+    benchmark::AddCustomContext("gqc_build_type",
+                                kOptimizedBuild ? "release" : "debug");
+    if (kOptimizedBuild) return;
+    if (std::getenv("GQC_BENCH_ALLOW_DEBUG") != nullptr) {
+      std::fprintf(stderr,
+                   "WARNING: running benchmarks from an UNOPTIMIZED build "
+                   "(GQC_BENCH_ALLOW_DEBUG is set); results are tagged "
+                   "gqc_build_type=debug and must not be committed as "
+                   "baselines.\n");
+      return;
+    }
+    std::fprintf(stderr,
+                 "ERROR: this benchmark binary was built without "
+                 "optimizations (missing NDEBUG/__OPTIMIZE__). Build with "
+                 "-DCMAKE_BUILD_TYPE=Release, or set GQC_BENCH_ALLOW_DEBUG=1 "
+                 "to run anyway for smoke-testing.\n");
+    std::exit(1);
+  }
+};
+
+const BenchBuildGuard kGuard;
+
+}  // namespace

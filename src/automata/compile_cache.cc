@@ -46,12 +46,11 @@ std::string RegexStructuralKey(const RegexPtr& regex) {
 CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
                                            Semiautomaton* target,
                                            PipelineStats* stats) {
-  std::string key = RegexStructuralKey(regex);
+  FpKey key(RegexStructuralKey(regex));
   std::shared_ptr<const CompiledRegex> compiled;
   {
     MutexLock lock(&mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) compiled = it->second;
+    if (const auto* hit = cache_.Find(key)) compiled = *hit;
   }
   if (compiled != nullptr) {
     if (stats) stats->regex_hits.fetch_add(1, std::memory_order_relaxed);
@@ -59,8 +58,9 @@ CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
     if (stats) stats->regex_misses.fetch_add(1, std::memory_order_relaxed);
     compiled = std::make_shared<const CompiledRegex>(CompileRegex(regex));
     MutexLock lock(&mu_);
-    auto [it, inserted] = cache_.emplace(std::move(key), std::move(compiled));
-    compiled = it->second;
+    auto [slot, inserted] = cache_.TryEmplace(std::move(key));
+    if (inserted) *slot = std::move(compiled);
+    compiled = *slot;
   }
   uint32_t offset = target->DisjointUnion(compiled->automaton);
   CompiledRef ref;
@@ -72,7 +72,7 @@ CompiledRef RegexCompileCache::CompileInto(const RegexPtr& regex,
 
 void RegexCompileCache::Clear() {
   MutexLock lock(&mu_);
-  cache_.clear();
+  cache_.Clear();
 }
 
 std::size_t RegexCompileCache::size() const {

@@ -3,10 +3,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "src/automata/semiautomaton.h"
 #include "src/core/stats.h"
+#include "src/util/fingerprint.h"
+#include "src/util/flat_map.h"
 #include "src/util/sync.h"
 
 namespace gqc {
@@ -40,7 +41,9 @@ class RegexCompileCache {
 
  private:
   mutable Mutex mu_{kLockRankRegexCache, "regex-cache"};
-  std::unordered_map<std::string, std::shared_ptr<const CompiledRegex>>
+  /// Keyed by the structural serialization as an FpKey: probes compare the
+  /// precomputed fingerprint first and the exact key text only on a match.
+  FlatMap<FpKey, std::shared_ptr<const CompiledRegex>, FpKeyHash>
       cache_ GQC_GUARDED_BY(mu_);
 };
 

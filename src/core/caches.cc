@@ -9,13 +9,12 @@ namespace gqc {
 
 std::shared_ptr<const NormalTBox> ContainmentCaches::GetNormalized(
     const TBox& tbox, Vocabulary* vocab, PipelineStats* stats) {
-  std::string key = tbox.ToString(*vocab);
+  FpKey key(tbox.ToString(*vocab));
   {
     MutexLock lock(&mu_);
-    auto it = normalized_.find(key);
-    if (it != normalized_.end()) {
+    if (const auto* hit = normalized_.Find(key)) {
       if (stats) stats->normal_tbox_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return *hit;
     }
   }
   if (stats) stats->normal_tbox_misses.fetch_add(1, std::memory_order_relaxed);
@@ -25,8 +24,9 @@ std::shared_ptr<const NormalTBox> ContainmentCaches::GetNormalized(
     built = std::make_shared<const NormalTBox>(Normalize(tbox, vocab));
   }
   MutexLock lock(&mu_);
-  auto [it, inserted] = normalized_.emplace(std::move(key), std::move(built));
-  return it->second;
+  auto [slot, inserted] = normalized_.TryEmplace(std::move(key));
+  if (inserted) *slot = std::move(built);
+  return *slot;
 }
 
 ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
@@ -36,16 +36,15 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
   const std::string tbox_part = tbox.ToString(*vocab);
   const std::string q_part = q.ToString(*vocab);
   const std::string_view engine_part = alcq_case ? "alcq" : "alci";
-  std::string key = JoinKeyParts(tbox_part, q_part, engine_part);
+  FpKey key(JoinKeyParts(tbox_part, q_part, engine_part));
   // Closure verdicts are a pure function of (T, Q, engine); a key that does
   // not round-trip to exactly those parts could alias distinct inputs.
-  GQC_AUDIT(ValidateCacheKey(key, {tbox_part, q_part, engine_part}));
+  GQC_AUDIT(ValidateCacheKey(key.text(), {tbox_part, q_part, engine_part}));
   {
     MutexLock lock(&mu_);
-    auto it = closures_.find(key);
-    if (it != closures_.end()) {
+    if (const auto* hit = closures_.Find(key)) {
       if (stats) stats->closure_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return *hit;
     }
   }
   if (stats) stats->closure_misses.fetch_add(1, std::memory_order_relaxed);
@@ -62,14 +61,15 @@ ContainmentCaches::ClosureEntry ContainmentCaches::GetClosure(
   const ResourceGuard* guard = options.countermodel.limits.guard;
   if (guard != nullptr && guard->exhausted()) return entry;
   MutexLock lock(&mu_);
-  auto [it, inserted] = closures_.emplace(std::move(key), std::move(entry));
-  return it->second;
+  auto [slot, inserted] = closures_.TryEmplace(std::move(key));
+  if (inserted) *slot = std::move(entry);
+  return *slot;
 }
 
 void ContainmentCaches::Clear() {
   MutexLock lock(&mu_);
-  normalized_.clear();
-  closures_.clear();
+  normalized_.Clear();
+  closures_.Clear();
 }
 
 std::size_t ContainmentCaches::normalized_count() const {

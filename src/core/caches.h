@@ -3,11 +3,12 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "src/core/reduction.h"
 #include "src/core/stats.h"
 #include "src/dl/tbox.h"
+#include "src/util/fingerprint.h"
+#include "src/util/flat_map.h"
 #include "src/util/sync.h"
 
 namespace gqc {
@@ -25,8 +26,10 @@ namespace gqc {
 ///    left-hand disjunct p, so one closure serves every disjunct of every P
 ///    checked against the same (T, Q).
 ///
-/// Keys are exact canonical serializations (no fingerprint collisions can
-/// produce wrong verdicts); fingerprints are only reported in stats.
+/// Keys are exact canonical serializations carried as FpKeys: the flat maps
+/// probe on the precomputed 64-bit fingerprint (an 8-byte compare per probe
+/// step) and verify the canonical text only on a fingerprint match, so no
+/// fingerprint collision can produce a wrong verdict (DESIGN.md §11).
 ///
 /// Lookup/insert is mutex-protected and safe from any thread. Values are
 /// computed OUTSIDE the lock; on a miss the builder may intern fresh names
@@ -60,9 +63,9 @@ class ContainmentCaches {
 
  private:
   mutable Mutex mu_{kLockRankNormalizeCache, "normalize-cache"};
-  std::unordered_map<std::string, std::shared_ptr<const NormalTBox>>
+  FlatMap<FpKey, std::shared_ptr<const NormalTBox>, FpKeyHash>
       normalized_ GQC_GUARDED_BY(mu_);
-  std::unordered_map<std::string, ClosureEntry> closures_ GQC_GUARDED_BY(mu_);
+  FlatMap<FpKey, ClosureEntry, FpKeyHash> closures_ GQC_GUARDED_BY(mu_);
 };
 
 }  // namespace gqc

@@ -20,7 +20,7 @@ bool GraphFitsVocabulary(const Graph& g, std::size_t concept_limit,
   return true;
 }
 
-bool SharedFactBoard::PublishCountermodel(const std::string& scope_key,
+bool SharedFactBoard::PublishCountermodel(const FpKey& scope_key,
                                           const Graph& g,
                                           std::size_t concept_limit,
                                           std::size_t role_limit,
@@ -28,7 +28,7 @@ bool SharedFactBoard::PublishCountermodel(const std::string& scope_key,
   if (!GraphFitsVocabulary(g, concept_limit, role_limit)) return false;
   {
     MutexLock lock(&mu_);
-    std::vector<Graph>& scope = countermodels_[scope_key];
+    std::vector<Graph>& scope = *countermodels_.TryEmplace(scope_key).first;
     if (scope.size() >= kMaxCountermodelsPerScope) return false;
     for (const Graph& have : scope) {
       if (have == g) return false;  // already published by a sibling
@@ -42,13 +42,13 @@ bool SharedFactBoard::PublishCountermodel(const std::string& scope_key,
 }
 
 std::optional<Graph> SharedFactBoard::FindRefutation(
-    const std::string& scope_key, const Crpq& p, PipelineStats* stats) const {
+    const FpKey& scope_key, const Crpq& p, PipelineStats* stats) const {
   std::vector<Graph> candidates;
   {
     MutexLock lock(&mu_);
-    auto it = countermodels_.find(scope_key);
-    if (it == countermodels_.end()) return std::nullopt;
-    candidates = it->second;
+    const std::vector<Graph>* scope = countermodels_.Find(scope_key);
+    if (scope == nullptr) return std::nullopt;
+    candidates = *scope;
   }
   for (Graph& g : candidates) {
     // The scope invariant gives G ⊨ T and G ⊭ Q; G ⊨ p completes the
@@ -63,7 +63,7 @@ std::optional<Graph> SharedFactBoard::FindRefutation(
   return std::nullopt;
 }
 
-void SharedFactBoard::PublishResult(const std::string& disjunct_key,
+void SharedFactBoard::PublishResult(const FpKey& disjunct_key,
                                     ContainmentResult result,
                                     std::size_t concept_limit,
                                     std::size_t role_limit,
@@ -79,8 +79,9 @@ void SharedFactBoard::PublishResult(const std::string& disjunct_key,
   }
   {
     MutexLock lock(&mu_);
-    auto [it, inserted] = results_.emplace(disjunct_key, std::move(result));
+    auto [slot, inserted] = results_.TryEmplace(disjunct_key);
     if (!inserted) return;  // first publisher wins; all definite agree anyway
+    *slot = std::move(result);
   }
   if (stats != nullptr) {
     stats->facts_published.fetch_add(1, std::memory_order_relaxed);
@@ -88,13 +89,13 @@ void SharedFactBoard::PublishResult(const std::string& disjunct_key,
 }
 
 std::optional<ContainmentResult> SharedFactBoard::LookupResult(
-    const std::string& disjunct_key, PipelineStats* stats) const {
+    const FpKey& disjunct_key, PipelineStats* stats) const {
   std::optional<ContainmentResult> out;
   {
     MutexLock lock(&mu_);
-    auto it = results_.find(disjunct_key);
-    if (it == results_.end()) return std::nullopt;
-    out = it->second;
+    const ContainmentResult* hit = results_.Find(disjunct_key);
+    if (hit == nullptr) return std::nullopt;
+    out = *hit;
   }
   if (stats != nullptr) {
     stats->facts_consumed.fetch_add(1, std::memory_order_relaxed);
@@ -104,14 +105,15 @@ std::optional<ContainmentResult> SharedFactBoard::LookupResult(
 
 void SharedFactBoard::Clear() {
   MutexLock lock(&mu_);
-  countermodels_.clear();
-  results_.clear();
+  countermodels_.Clear();
+  results_.Clear();
 }
 
 std::size_t SharedFactBoard::countermodel_count() const {
   MutexLock lock(&mu_);
   std::size_t n = 0;
-  for (const auto& [key, scope] : countermodels_) n += scope.size();
+  countermodels_.ForEach(
+      [&](const FpKey&, const std::vector<Graph>& scope) { n += scope.size(); });
   return n;
 }
 

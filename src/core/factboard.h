@@ -2,14 +2,14 @@
 #define GQC_CORE_FACTBOARD_H_
 
 #include <optional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/result.h"
 #include "src/core/stats.h"
 #include "src/graph/graph.h"
 #include "src/query/ucrpq.h"
+#include "src/util/fingerprint.h"
+#include "src/util/flat_map.h"
 #include "src/util/sync.h"
 
 namespace gqc {
@@ -51,26 +51,27 @@ class SharedFactBoard {
   /// Publishes a verified countermodel for `scope_key` unless the scope is
   /// full or the graph uses symbol ids outside the shared base layer
   /// (ids must satisfy concept < concept_limit, role < role_limit).
-  /// Returns true iff the graph was retained.
-  bool PublishCountermodel(const std::string& scope_key, const Graph& g,
+  /// Returns true iff the graph was retained. Keys are FpKeys built once per
+  /// decision, so board probes never rehash the canonical scope text.
+  bool PublishCountermodel(const FpKey& scope_key, const Graph& g,
                            std::size_t concept_limit, std::size_t role_limit,
                            PipelineStats* stats);
 
   /// Searches the scope's published countermodels for one matching `p`
   /// (G ⊨ p re-checked here); a hit refutes p ⊑_T Q with that graph as
   /// witness. Matching runs on copies outside the board lock.
-  std::optional<Graph> FindRefutation(const std::string& scope_key,
+  std::optional<Graph> FindRefutation(const FpKey& scope_key,
                                       const Crpq& p, PipelineStats* stats) const;
 
   /// Memoizes a definite verdict for one disjunct key. Unknown verdicts and
   /// results carrying graphs that do not fit the shared base layer are
   /// stored with the graphs stripped (the verdict itself is id-free).
-  void PublishResult(const std::string& disjunct_key, ContainmentResult result,
+  void PublishResult(const FpKey& disjunct_key, ContainmentResult result,
                      std::size_t concept_limit, std::size_t role_limit,
                      PipelineStats* stats);
 
   /// Returns the memoized definite verdict for the key, if any.
-  std::optional<ContainmentResult> LookupResult(const std::string& disjunct_key,
+  std::optional<ContainmentResult> LookupResult(const FpKey& disjunct_key,
                                                 PipelineStats* stats) const;
 
   void Clear();
@@ -80,9 +81,9 @@ class SharedFactBoard {
 
  private:
   mutable Mutex mu_{kLockRankFactBoard, "fact-board"};
-  std::unordered_map<std::string, std::vector<Graph>>
+  FlatMap<FpKey, std::vector<Graph>, FpKeyHash>
       countermodels_ GQC_GUARDED_BY(mu_);
-  std::unordered_map<std::string, ContainmentResult>
+  FlatMap<FpKey, ContainmentResult, FpKeyHash>
       results_ GQC_GUARDED_BY(mu_);
 };
 

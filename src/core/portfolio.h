@@ -24,10 +24,12 @@ struct PortfolioOptions {
   /// Optional fact exchange. `scope_key` identifies the (schema, Q)
   /// vocabulary layer countermodels are shared under; `disjunct_key`
   /// memoizes this disjunct's definite verdict. Empty keys disable the
-  /// respective sharing; a null board disables both.
+  /// respective sharing; a null board disables both. Keys carry their
+  /// fingerprint (FpKey), built once by the caller, so the board probes
+  /// without rehashing the canonical text.
   SharedFactBoard* board = nullptr;
-  std::string scope_key;
-  std::string disjunct_key;
+  FpKey scope_key;
+  FpKey disjunct_key;
   /// Shared base-layer symbol counts (ctx.vocab's (schema, Q) prefix);
   /// graphs using ids at or above these limits are never published.
   std::size_t shared_concept_limit = 0;

@@ -1,6 +1,6 @@
 #include "src/core/reduction.h"
 
-#include <set>
+#include <algorithm>
 
 #include "src/dl/transforms.h"
 #include "src/entailment/alci_oneway.h"
@@ -15,9 +15,9 @@ namespace {
 /// Projects engine-level realizable masks onto the H0 search space; a stub
 /// type over the H0 space is allowed iff some realizable engine mask agrees
 /// with it on the shared support.
-std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
-                                     const std::vector<uint64_t>& engine_masks,
-                                     const TypeSpace& h0_space) {
+std::vector<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
+                                        const std::vector<uint64_t>& engine_masks,
+                                        const TypeSpace& h0_space) {
   // Positions of h0 support concepts within the engine space. Concepts
   // unknown to the engine space are unconstrained there: both values must be
   // admitted; handle by enumerating completions of the missing bits.
@@ -28,7 +28,8 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
     engine_pos[i] = engine_space.PositionOf(h0_space.support()[i]);
     if (engine_pos[i] == TypeSpace::npos) missing.push_back(i);
   }
-  std::set<uint64_t> base;
+  std::vector<uint64_t> base;
+  base.reserve(engine_masks.size());
   // lint: bounded(masks were enumerated under the guarded Tp fixpoint)
   for (uint64_t m : engine_masks) {
     uint64_t projected = 0;
@@ -38,10 +39,13 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
         projected |= uint64_t{1} << i;
       }
     }
-    base.insert(projected);
+    base.push_back(projected);
   }
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
   if (missing.empty() || missing.size() > 12) return base;
-  std::set<uint64_t> out;
+  std::vector<uint64_t> out;
+  out.reserve(base.size() << missing.size());
   // lint: bounded(one pass over the projected base masks)
   for (uint64_t m : base) {
     // lint: bounded(missing.size is capped at 12, so at most 4096 combinations)
@@ -51,9 +55,11 @@ std::set<uint64_t> ProjectRealizable(const TypeSpace& engine_space,
       for (std::size_t j = 0; j < missing.size(); ++j) {
         if ((combo >> j) & 1) mask |= uint64_t{1} << missing[j];
       }
-      out.insert(mask);
+      out.push_back(mask);
     }
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -115,7 +121,7 @@ ReductionResult ContainmentViaEntailment(const Crpq& p, const Ucrpq& /*q*/,
     return result;
   }
 
-  std::set<uint64_t> allowed =
+  std::vector<uint64_t> allowed =
       ProjectRealizable(closure.engine_space, closure.engine_masks, h0_space);
   if (allowed.empty() && closure.engine_capped) {
     result.note = "Tp computation capped";

@@ -1,45 +1,23 @@
 #include "src/dl/types.h"
 
+#include <algorithm>
+
 #include "src/util/invariant.h"
 
 namespace gqc {
 
 bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
                              const NormalTBox& tbox) {
-  for (const auto& ci : tbox.Cis()) {
-    if (ci.kind != NormalCi::Kind::kBoolean) continue;
-    bool lhs_holds = true;
-    for (Literal l : ci.lhs) {
-      std::size_t pos = space.PositionOf(l.concept_id());
-      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
-      bool set = (mask >> pos) & 1;
-      if (l.is_negative() ? set : !set) {
-        lhs_holds = false;
-        break;
-      }
-    }
-    if (!lhs_holds) continue;
-    bool rhs_holds = false;
-    for (Literal l : ci.rhs) {
-      std::size_t pos = space.PositionOf(l.concept_id());
-      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
-      bool set = (mask >> pos) & 1;
-      if (l.is_negative() ? !set : set) {
-        rhs_holds = true;
-        break;
-      }
-    }
-    if (!rhs_holds) return false;
-  }
-  return true;
+  return CompiledBooleanCis(space, tbox).Satisfies(mask);
 }
 
 std::vector<uint64_t> EnumerateLocallyConsistentTypes(const TypeSpace& space,
                                                       const NormalTBox& tbox) {
   GQC_DCHECK(space.arity() <= 28 && "type space too large to enumerate");
+  CompiledBooleanCis compiled(space, tbox);
   std::vector<uint64_t> out;
   for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
-    if (MaskSatisfiesBooleanCis(space, mask, tbox)) out.push_back(mask);
+    if (compiled.Satisfies(mask)) out.push_back(mask);
   }
   return out;
 }
@@ -48,6 +26,80 @@ TypeSpace MakeSupport(const std::vector<std::vector<uint32_t>>& groups) {
   std::vector<uint32_t> all;
   for (const auto& g : groups) all.insert(all.end(), g.begin(), g.end());
   return TypeSpace(std::move(all));
+}
+
+CompiledLiterals::CompiledLiterals(const TypeSpace& space,
+                                   const std::vector<Literal>& literals) {
+  for (Literal l : literals) Add(space, l);
+}
+
+CompiledLiterals::CompiledLiterals(const TypeSpace& space, const Type& type) {
+  for (Literal l : type.Literals()) Add(space, l);
+}
+
+void CompiledLiterals::Add(const TypeSpace& space, Literal l) {
+  std::size_t pos = space.PositionOf(l.concept_id());
+  if (pos == TypeSpace::npos) {
+    // Maximal types over the space never carry out-of-support labels: a
+    // positive literal is unsatisfiable, a negative one vacuous.
+    if (!l.is_negative()) satisfiable_ = false;
+    return;
+  }
+  uint64_t bit = uint64_t{1} << pos;
+  if (l.is_negative()) {
+    neg_ |= bit;
+  } else {
+    pos_ |= bit;
+  }
+  if ((pos_ & neg_) != 0) satisfiable_ = false;
+}
+
+CompiledBooleanCis::CompiledBooleanCis(const TypeSpace& space,
+                                       const NormalTBox& tbox) {
+  for (const auto& ci : tbox.Cis()) {
+    if (ci.kind != NormalCi::Kind::kBoolean) continue;
+    Ci compiled;
+    bool lhs_satisfiable = true;
+    for (Literal l : ci.lhs) {
+      std::size_t pos = space.PositionOf(l.concept_id());
+      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      if (pos == TypeSpace::npos) {
+        if (!l.is_negative()) lhs_satisfiable = false;
+        continue;
+      }
+      uint64_t bit = uint64_t{1} << pos;
+      if (l.is_negative()) {
+        compiled.lhs_neg |= bit;
+      } else {
+        compiled.lhs_pos |= bit;
+      }
+    }
+    // An unsatisfiable lhs (including complementary-literal pairs, used by
+    // the engines as vacuous support-widening CIs) never applies.
+    if (!lhs_satisfiable || (compiled.lhs_pos & compiled.lhs_neg) != 0) continue;
+    for (Literal l : ci.rhs) {
+      std::size_t pos = space.PositionOf(l.concept_id());
+      GQC_DCHECK(pos != TypeSpace::npos && "support must cover the TBox concepts");
+      if (pos == TypeSpace::npos) continue;
+      uint64_t bit = uint64_t{1} << pos;
+      if (l.is_negative()) {
+        compiled.rhs_neg |= bit;
+      } else {
+        compiled.rhs_pos |= bit;
+      }
+    }
+    cis_.push_back(compiled);
+  }
+}
+
+MaskIndex::MaskIndex(std::vector<uint64_t> masks) : masks_(std::move(masks)) {
+  GQC_DCHECK(std::is_sorted(masks_.begin(), masks_.end()));
+}
+
+std::size_t MaskIndex::IndexOf(uint64_t mask) const {
+  auto it = std::lower_bound(masks_.begin(), masks_.end(), mask);
+  if (it == masks_.end() || *it != mask) return npos;
+  return static_cast<std::size_t>(it - masks_.begin());
 }
 
 }  // namespace gqc

@@ -16,13 +16,99 @@ bool MaskSatisfiesBooleanCis(const TypeSpace& space, uint64_t mask,
 
 /// Enumerates all maximal types over the support of `space` that satisfy the
 /// Boolean CIs of `tbox` (restriction CIs are ignored here — they are handled
-/// by the engines' fixpoints). Requires space.arity() <= 28.
+/// by the engines' fixpoints). Requires space.arity() <= 28. The result is
+/// ascending (and therefore deduplicated), so it can seed a MaskIndex.
 std::vector<uint64_t> EnumerateLocallyConsistentTypes(const TypeSpace& space,
                                                       const NormalTBox& tbox);
 
 /// Builds the support Γ₀ as the union of the given concept-id groups,
 /// deduplicated.
 TypeSpace MakeSupport(const std::vector<std::vector<uint32_t>>& groups);
+
+/// A conjunction of literals precompiled to word masks over a TypeSpace:
+/// `pos` bits must be set, `neg` bits must be clear. A positive literal whose
+/// concept is outside the support can never hold on a maximal type over the
+/// space (satisfiable_ = false); a negative literal outside the support
+/// always holds and compiles away. Holds() is then two ANDs and two compares
+/// instead of a per-literal binary search — the innermost test of every
+/// type-elimination kernel.
+class CompiledLiterals {
+ public:
+  CompiledLiterals() = default;
+  CompiledLiterals(const TypeSpace& space, const std::vector<Literal>& literals);
+  /// Convenience: compile the literals of a (partial) type.
+  CompiledLiterals(const TypeSpace& space, const Type& type);
+
+  bool Holds(uint64_t mask) const {
+    return satisfiable_ && (mask & pos_) == pos_ && (mask & neg_) == 0;
+  }
+  /// True if some mask over the space can satisfy the conjunction.
+  bool satisfiable() const { return satisfiable_; }
+
+ private:
+  void Add(const TypeSpace& space, Literal l);
+
+  uint64_t pos_ = 0;
+  uint64_t neg_ = 0;
+  bool satisfiable_ = true;
+};
+
+/// The Boolean CIs of a TBox precompiled against one TypeSpace, so the
+/// 2^arity local-consistency scans test each mask with a handful of word
+/// operations. The support must cover every concept mentioned in a Boolean
+/// CI (asserted at compile time, matching MaskSatisfiesBooleanCis).
+class CompiledBooleanCis {
+ public:
+  CompiledBooleanCis(const TypeSpace& space, const NormalTBox& tbox);
+
+  bool Satisfies(uint64_t mask) const {
+    for (const Ci& ci : cis_) {
+      if ((mask & ci.lhs_pos) != ci.lhs_pos || (mask & ci.lhs_neg) != 0) {
+        continue;  // lhs does not apply
+      }
+      if ((mask & ci.rhs_pos) != 0 || (ci.rhs_neg & ~mask) != 0) {
+        continue;  // some rhs disjunct holds
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Ci {
+    uint64_t lhs_pos = 0;  // bits that must be set for the lhs to apply
+    uint64_t lhs_neg = 0;  // bits that must be clear for the lhs to apply
+    uint64_t rhs_pos = 0;  // rhs holds if any of these bits is set
+    uint64_t rhs_neg = 0;  // rhs holds if any of these bits is clear
+  };
+  std::vector<Ci> cis_;
+};
+
+/// Dense index over an enumerated ascending list of maximal-type masks.
+///
+/// The §6/App-B fixpoints quotient their work by *enumerated type*, so giving
+/// each enumerated mask a dense index lets frontiers, feasible/productive
+/// sets, and Θ constraints live in DynamicBitsets over type indices —
+/// intersection, union, and equality become word-parallel instead of
+/// red-black-tree walks.
+class MaskIndex {
+ public:
+  MaskIndex() = default;
+  /// `masks` must be strictly ascending (EnumerateLocallyConsistentTypes
+  /// output qualifies).
+  explicit MaskIndex(std::vector<uint64_t> masks);
+
+  std::size_t size() const { return masks_.size(); }
+  uint64_t MaskAt(std::size_t index) const { return masks_[index]; }
+  const std::vector<uint64_t>& masks() const { return masks_; }
+
+  /// Dense index of `mask`, or npos if it was not enumerated.
+  std::size_t IndexOf(uint64_t mask) const;
+  static constexpr std::size_t npos = SIZE_MAX;
+
+ private:
+  std::vector<uint64_t> masks_;
+};
 
 }  // namespace gqc
 

@@ -240,7 +240,7 @@ BatchOutcome Engine::DecidePair(const BatchItem& item,
     // board. Every strategy is read-only on the pair vocabulary
     // (vocab_shared; the closure-less reduction gates itself out), so
     // disjunct- and strategy-level parallelism both nest freely on the pool.
-    std::string scope_key = JoinKeyParts(item.schema_text, item.q_text);
+    const FpKey scope_key(JoinKeyParts(item.schema_text, item.q_text));
     const ContainmentOptions& copts_ref = checker.options();
     auto decide_one = [&](std::size_t i) {
       StrategyContext sctx;
@@ -259,7 +259,7 @@ BatchOutcome Engine::DecidePair(const BatchItem& item,
       popts.board = &facts_;
       popts.scope_key = scope_key;
       popts.disjunct_key =
-          JoinKeyParts(scope_key, disjuncts[i].ToString(vocab));
+          FpKey(JoinKeyParts(scope_key.text(), disjuncts[i].ToString(vocab)));
       popts.shared_concept_limit = qctx->vocab.concept_count();
       popts.shared_role_limit = qctx->vocab.role_count();
       popts.budget = budget;

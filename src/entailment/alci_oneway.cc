@@ -10,17 +10,6 @@
 
 namespace gqc {
 
-namespace {
-
-bool MaskHasLiteralIn(const TypeSpace& space, uint64_t mask, Literal l) {
-  std::size_t pos = space.PositionOf(l.concept_id());
-  if (pos == TypeSpace::npos) return l.is_negative();
-  bool set = (mask >> pos) & 1;
-  return l.is_negative() ? !set : set;
-}
-
-}  // namespace
-
 EngineAnswer AlciOnewayEngine::TypeRealizable(const Type& tau, const NormalTBox& tbox) {
   RealizableSet set = RealizableTypes(tbox);
   // τ-literals over concepts outside the support are unconstrained by T and
@@ -70,6 +59,34 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
   std::size_t fwd_pos = space.PositionOf(c_fwd);
   auto is_forward = [&](uint64_t mask) { return (mask >> fwd_pos) & 1; };
 
+  // Participation constraints of each direction, with lhs applicability and
+  // the rhs filler compiled to word masks once — the fixpoint's connector
+  // checks re-test these per member per sweep.
+  struct AtLeastOb {
+    const NormalCi* ci = nullptr;
+    CompiledLiterals lhs;
+    std::size_t rhs_pos = TypeSpace::npos;
+    bool rhs_negative = false;
+  };
+  auto compile_at_least = [&](const NormalTBox& t) {
+    std::vector<AtLeastOb> out;
+    // lint: bounded(linear in the TBox CIs)
+    for (const auto& ci : t.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
+      out.push_back({&ci, CompiledLiterals(space, ci.lhs),
+                     space.PositionOf(ci.rhs_lit.concept_id()),
+                     ci.rhs_lit.is_negative()});
+    }
+    return out;
+  };
+  std::vector<AtLeastOb> fwd_at_least = compile_at_least(t_fwd);
+  std::vector<AtLeastOb> bwd_at_least = compile_at_least(t_bwd);
+  auto rhs_holds = [](const AtLeastOb& ob, uint64_t mask) {
+    if (ob.rhs_pos == TypeSpace::npos) return ob.rhs_negative;
+    bool set = (mask >> ob.rhs_pos) & 1;
+    return ob.rhs_negative ? !set : set;
+  };
+
   // Connector check: for σ of direction d, every participation constraint of
   // the opposite-direction TBox applicable at σ picks one child of the
   // opposite direction; the assembled star must satisfy the opposite TBox at
@@ -78,15 +95,11 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
   auto connector_ok = [&](uint64_t sigma, const std::vector<uint64_t>& opposite) {
     bool forward = is_forward(sigma);
     const NormalTBox& t_opp = forward ? t_bwd : t_fwd;
-    // Collect applicable participation constraints.
-    std::vector<const NormalCi*> obligations;
+    // Collect applicable participation constraints (precompiled lhs masks).
+    std::vector<const AtLeastOb*> obligations;
     // lint: bounded(linear in the TBox CIs)
-    for (const auto& ci : t_opp.Cis()) {
-      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
-      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
-        return MaskHasLiteralIn(space, sigma, l);
-      });
-      if (applicable) obligations.push_back(&ci);
+    for (const AtLeastOb& ob : forward ? bwd_at_least : fwd_at_least) {
+      if (ob.lhs.Holds(sigma)) obligations.push_back(&ob);
     }
     if (obligations.size() > limits_.max_connector_children) {
       hit_cap_ = true;
@@ -98,7 +111,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
     for (std::size_t i = 0; i < obligations.size(); ++i) {
       // lint: bounded(scans the opposite-direction member masks)
       for (uint64_t child : opposite) {
-        if (MaskHasLiteralIn(space, child, obligations[i]->rhs_lit)) {
+        if (rhs_holds(*obligations[i], child)) {
           candidates[i].push_back(child);
         }
       }
@@ -118,7 +131,7 @@ AlciOnewayEngine::RealizableSet AlciOnewayEngine::RealizableTypes(
         for (std::size_t k = 0; k < picks.size(); ++k) {
           NodeId w = AddMaskNode(&star, space, picks[k]);
           // Directed connectors: edges run from backward to forward nodes.
-          Role role = obligations[k]->role;
+          Role role = obligations[k]->ci->role;
           if (role.is_inverse()) {
             star.AddEdge(w, role.name_id(), 0);
           } else {

@@ -1,12 +1,13 @@
 #include "src/entailment/alcq_simple.h"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
-#include <map>
-#include <set>
 
 #include "src/dl/transforms.h"
 #include "src/query/eval.h"
+#include "src/util/bitset.h"
+#include "src/util/flat_map.h"
 #include "src/util/invariant.h"
 
 namespace gqc {
@@ -61,28 +62,67 @@ TypeSpace MakeLevelSupport(const Type& tau, const NormalTBox& tbox,
 }
 
 /// Per-recursion-level bookkeeping: the type space Γ₀, the counting
-/// vocabulary, and the promise-split TBox.
+/// vocabulary, the promise-split TBox, and the hot-path precomputation over
+/// the space — per-pair label bits (so Promise is a handful of word ANDs
+/// instead of per-label binary searches) and projection-keyed single-node
+/// match memos for the level's component and connector queries.
 struct Level {
   TypeSpace space{std::vector<uint32_t>{}};
   CountingVocabulary cv;
   NormalTBox te;
 
-  uint32_t Promise(uint64_t sigma, std::size_t pair_idx) const {
-    const CountedPair& pair = cv.pairs[pair_idx];
-    uint32_t m = 0;
-    // lint: bounded(labels of one counted pair)
-    for (uint32_t i = 0; i < pair.labels.size(); ++i) {
-      std::size_t pos = space.PositionOf(pair.labels[i]);
-      if (pos != TypeSpace::npos && ((sigma >> pos) & 1)) m = i;
+  struct PairInfo {
+    uint32_t role_id = 0;
+    /// label_bits[i] is the space bit of C_{i,r,D}, or 0 if out of support.
+    std::vector<uint64_t> label_bits;
+    /// OR of label_bits[1..]: a promise is nonzero iff a mask hits this.
+    uint64_t nonzero_bits = 0;
+    std::size_t filler_pos = TypeSpace::npos;
+    bool filler_negative = false;
+  };
+  std::vector<PairInfo> pair_info;
+
+  mutable SingleNodeMatchMemo filter_memo;     // the level's component query
+  mutable SingleNodeMatchMemo connector_memo;  // the level's connector query
+
+  /// Must run after `space` and `cv` are final.
+  void PrecomputePairs() {
+    pair_info.clear();
+    pair_info.reserve(cv.pairs.size());
+    // lint: bounded(linear in the counted pairs)
+    for (const CountedPair& pair : cv.pairs) {
+      PairInfo info;
+      info.role_id = pair.role.name_id();
+      info.label_bits.reserve(pair.labels.size());
+      // lint: bounded(labels of one counted pair)
+      for (std::size_t i = 0; i < pair.labels.size(); ++i) {
+        std::size_t pos = space.PositionOf(pair.labels[i]);
+        uint64_t bit = pos == TypeSpace::npos ? 0 : uint64_t{1} << pos;
+        info.label_bits.push_back(bit);
+        if (i > 0) info.nonzero_bits |= bit;
+      }
+      info.filler_pos = space.PositionOf(pair.filler.concept_id());
+      info.filler_negative = pair.filler.is_negative();
+      pair_info.push_back(std::move(info));
     }
-    return m;
   }
 
-  bool MaskHasLiteral(uint64_t mask, Literal l) const {
-    std::size_t pos = space.PositionOf(l.concept_id());
-    if (pos == TypeSpace::npos) return l.is_negative();
-    bool set = (mask >> pos) & 1;
-    return l.is_negative() ? !set : set;
+  /// Largest i such that sigma carries C_{i,r,D} (0 if none).
+  uint32_t Promise(uint64_t sigma, std::size_t pair_idx) const {
+    const PairInfo& info = pair_info[pair_idx];
+    // lint: bounded(labels of one counted pair)
+    for (std::size_t i = info.label_bits.size(); i-- > 1;) {
+      if (sigma & info.label_bits[i]) return static_cast<uint32_t>(i);
+    }
+    return 0;
+  }
+
+  /// MaskHasLiteral(mask, pair.filler), with the position hoisted.
+  bool FillerHolds(uint64_t mask, std::size_t pair_idx) const {
+    const PairInfo& info = pair_info[pair_idx];
+    if (info.filler_pos == TypeSpace::npos) return info.filler_negative;
+    bool set = (mask >> info.filler_pos) & 1;
+    return info.filler_negative ? !set : set;
   }
 };
 
@@ -127,16 +167,28 @@ class AlcqSimpleEngineImpl {
       hit_cap_ = true;
       return {};
     }
+    level.PrecomputePairs();
 
     Ucrpq q_mod_sigma_t = DropReachabilityAtoms(f_->q_hat, roles);
-    std::vector<uint64_t> candidates =
-        FilterCandidates(level, theta, q_mod_sigma_t);
+    level.filter_memo.Bind(level.space, &q_mod_sigma_t,
+                           &stats_.single_node_match_queries,
+                           &stats_.single_node_match_hits);
+    level.connector_memo.Bind(level.space, &q_mod_sigma0,
+                              &stats_.single_node_match_queries,
+                              &stats_.single_node_match_hits);
+
+    // Candidates get dense indices; the fixpoint's frontier and per-round
+    // feasible/productive sets are bitsets over those indices, so the
+    // frontier comparison and the feasible∩productive step are word-parallel.
+    MaskIndex candidates(FilterCandidates(level, theta));
+    const std::size_t n = candidates.size();
 
     std::vector<std::size_t> all_pairs(level.cv.pairs.size());
     // lint: bounded(index initialization, linear in the counted pairs)
     for (std::size_t i = 0; i < all_pairs.size(); ++i) all_pairs[i] = i;
 
-    std::vector<uint64_t> psi;
+    DynamicBitset psi(n);
+    std::vector<uint64_t> psi_masks;  // masks of psi's set bits, ascending
     for (std::size_t iteration = 0; iteration < 64; ++iteration) {
       ++stats_.fixpoint_iterations;
       // Guard trips return the empty (under-approximating) set: a definite
@@ -147,30 +199,42 @@ class AlcqSimpleEngineImpl {
         return {};
       }
       // Connector-feasible candidates over the current psi.
-      std::vector<uint64_t> feasible;
+      DynamicBitset feasible(n);
+      std::vector<uint64_t> feasible_masks;
       // lint: bounded(candidates come from the guarded enumeration; ConnectorExists polls per step)
-      for (uint64_t sigma : candidates) {
-        if (ConnectorExists(level, sigma, psi, q_mod_sigma0, all_pairs)) {
-          feasible.push_back(sigma);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ConnectorExists(level, candidates.MaskAt(i), psi_masks,
+                            q_mod_sigma0, all_pairs)) {
+          feasible.Set(i);
+          feasible_masks.push_back(candidates.MaskAt(i));
         }
       }
-      if (feasible.empty()) return {};
+      if (feasible_masks.empty()) return {};
       // Productivity: one recursive set computation for all of them.
-      MaskTheta component_theta{&level.space, feasible};
+      MaskTheta component_theta{&level.space, std::move(feasible_masks)};
       TypeSpace child_space({});
       std::vector<uint64_t> realizable = SolveSetStepB(
           level.te, component_theta, roles, depth + 1, &child_space);
-      std::vector<uint64_t> productive =
-          ProjectSet(realizable, level.space, child_space);
-      // Keep only feasible ones (projection may include types outside).
-      std::vector<uint64_t> next;
-      std::set_intersection(feasible.begin(), feasible.end(), productive.begin(),
-                            productive.end(), std::back_inserter(next));
-      if (next == psi) return psi;
+      // next = feasible ∩ (projection of the realizable set), as index bits.
+      DynamicBitset next(n);
+      if (child_space.arity() != 0) {
+        auto positions = ProjectionPositions(level.space, child_space);
+        // lint: bounded(one projection per realizable mask)
+        for (uint64_t m : realizable) {
+          std::size_t idx = candidates.IndexOf(Project(m, positions));
+          if (idx != MaskIndex::npos && feasible.Test(idx)) next.Set(idx);
+        }
+      }
+      if (next == psi) return psi_masks;
       psi = std::move(next);
+      psi_masks.clear();
+      // lint: bounded(set bits of the frontier)
+      for (std::size_t i = psi.FindFirst(); i < n; i = psi.FindNext(i + 1)) {
+        psi_masks.push_back(candidates.MaskAt(i));
+      }
     }
     hit_cap_ = true;
-    return psi;
+    return psi_masks;
   }
 
   /// Step B (Lemma 6.5): role-alternating frames, greatest fixpoint.
@@ -191,12 +255,12 @@ class AlcqSimpleEngineImpl {
     Level level;
     level.cv = MakeCountingVocabulary(tbox, vocab_);
     level.te = MakeTeNormal(tbox, level.cv);
-    std::map<uint32_t, uint32_t> marker;
+    std::vector<uint32_t> marker_ids(roles.size());
     std::vector<uint32_t> extra = level.cv.AllLabelIds();
     // lint: bounded(one fresh marker per role)
-    for (uint32_t r : roles) {
-      marker[r] = vocab_->FreshConcept("role_marker");
-      extra.push_back(marker[r]);
+    for (std::size_t k = 0; k < roles.size(); ++k) {
+      marker_ids[k] = vocab_->FreshConcept("role_marker");
+      extra.push_back(marker_ids[k]);
     }
     level.space = MakeLevelSupport(Type{}, level.te, theta, f_->q_hat, extra);
     *out_space = level.space;
@@ -204,43 +268,103 @@ class AlcqSimpleEngineImpl {
       hit_cap_ = true;
       return {};
     }
+    level.PrecomputePairs();
+
+    // Marker positions hoisted out of the member scan: screening a candidate
+    // is one AND against `marker_all` plus a popcount, instead of a per-role
+    // std::map lookup and PositionOf binary search.
+    std::vector<std::size_t> marker_pos(roles.size());
+    uint64_t marker_all = 0;
+    // lint: bounded(one position per role marker)
+    for (std::size_t k = 0; k < roles.size(); ++k) {
+      std::size_t pos = level.space.PositionOf(marker_ids[k]);
+      GQC_DCHECK(pos != TypeSpace::npos);
+      marker_pos[k] = pos;
+      marker_all |= uint64_t{1} << pos;
+    }
 
     Ucrpq q_mod = DropReachabilityAtoms(f_->q_hat, sigma_mod);
-    std::vector<uint64_t> base = FilterCandidates(level, theta, q_mod);
+    level.filter_memo.Bind(level.space, &q_mod,
+                           &stats_.single_node_match_queries,
+                           &stats_.single_node_match_hits);
+    level.connector_memo.Bind(level.space, &q_mod,
+                              &stats_.single_node_match_queries,
+                              &stats_.single_node_match_hits);
+    std::vector<uint64_t> base = FilterCandidates(level, theta);
+
+    // Per-role eliminators, compiled once per level:
+    //  - other_nonzero[k]: label bits whose presence means a nonzero promise
+    //    for a pair over some role other than roles[k] (ZeroPromises test).
+    //  - residues[k]: the at-least/at-most CIs over roles[k], with their lhs
+    //    conjunctions compiled to word masks.
+    //  - pairs_by_role[k]: counted-pair indices over roles[k] (the relevant
+    //    pairs of a member's connector search).
+    std::vector<uint64_t> other_nonzero(roles.size(), 0);
+    std::vector<std::vector<std::size_t>> pairs_by_role(roles.size());
+    // lint: bounded(roles times counted pairs, both linear in the TBox)
+    for (std::size_t k = 0; k < roles.size(); ++k) {
+      // lint: bounded(linear in the counted pairs)
+      for (std::size_t p = 0; p < level.pair_info.size(); ++p) {
+        if (level.pair_info[p].role_id != roles[k]) {
+          other_nonzero[k] |= level.pair_info[p].nonzero_bits;
+        } else {
+          pairs_by_role[k].push_back(p);
+        }
+      }
+    }
+    struct ResidueCi {
+      bool at_least = false;
+      CompiledLiterals lhs;
+      std::size_t pair = 0;
+      uint32_t n = 0;
+    };
+    std::vector<std::vector<ResidueCi>> residues(roles.size());
+    // lint: bounded(linear in the TBox CIs)
+    for (const auto& ci : tbox.Cis()) {
+      if (ci.kind != NormalCi::Kind::kAtLeast && ci.kind != NormalCi::Kind::kAtMost) {
+        continue;
+      }
+      std::size_t k = RoleIndexOf(roles, ci.role.name_id());
+      GQC_DCHECK(k != SIZE_MAX);
+      std::size_t pair = level.cv.PairIndex(ci.role, ci.rhs_lit);
+      GQC_DCHECK(pair != CountingVocabulary::npos);
+      residues[k].push_back(
+          {ci.kind == NormalCi::Kind::kAtLeast,
+           CompiledLiterals(level.space, ci.lhs), pair, ci.n});
+    }
 
     struct Member {
       uint64_t mask;
-      uint32_t banned;
+      uint32_t banned;  // index into `roles`
     };
     std::vector<Member> members;
     // lint: bounded(one pass over the enumerated base masks)
     for (uint64_t mask : base) {
-      uint32_t banned = UINT32_MAX;
-      bool exactly_one = true;
+      ++stats_.marker_word_tests;
+      if (std::popcount(mask & marker_all) != 1) continue;
+      uint32_t banned = 0;
       // lint: bounded(linear in the role set)
-      for (uint32_t r : roles) {
-        std::size_t pos = level.space.PositionOf(marker[r]);
-        if ((mask >> pos) & 1) {
-          if (banned != UINT32_MAX) {
-            exactly_one = false;
-            break;
-          }
-          banned = r;
-        }
+      for (std::size_t k = 0; k < roles.size(); ++k) {
+        if ((mask >> marker_pos[k]) & 1) banned = static_cast<uint32_t>(k);
       }
-      if (!exactly_one || banned == UINT32_MAX) continue;
-      if (!ZeroPromisesForOtherRoles(level, mask, banned)) continue;
-      if (!BannedRoleResiduesHold(level, tbox, mask, banned)) continue;
+      if ((mask & other_nonzero[banned]) != 0) continue;  // nonzero promise
+      if (!ResiduesHold(level, residues[banned], mask)) continue;
       members.push_back({mask, banned});
     }
 
-    auto next_role = [&](uint32_t r) {
-      auto it = std::find(roles.begin(), roles.end(), r);
-      ++it;
-      return it == roles.end() ? roles.front() : *it;
-    };
+    // Members are an ascending subsequence of the base enumeration with
+    // unique masks, so the alive/productive sets of the greatest fixpoint
+    // are bitsets over member indices.
+    std::vector<uint64_t> member_masks;
+    member_masks.reserve(members.size());
+    // lint: bounded(linear scan over members)
+    for (const Member& m : members) member_masks.push_back(m.mask);
+    MaskIndex member_index(std::move(member_masks));
+    const std::size_t mcount = members.size();
 
-    std::vector<bool> alive(members.size(), true);
+    DynamicBitset alive(mcount);
+    // lint: bounded(linear scan over members)
+    for (std::size_t i = 0; i < mcount; ++i) alive.Set(i);
     bool changed = true;
     std::size_t sweeps = 0;
     while (changed) {
@@ -257,68 +381,102 @@ class AlcqSimpleEngineImpl {
       }
       changed = false;
       // Component productivity, one recursive set per banned role.
-      std::map<uint32_t, std::set<uint64_t>> productive;
+      DynamicBitset productive(mcount);
       // lint: bounded(one recursive-set computation per role; the recursion polls at entry)
-      for (uint32_t r : roles) {
+      for (std::size_t k = 0; k < roles.size(); ++k) {
         std::vector<uint64_t> theta_masks;
         // lint: bounded(linear scan over members)
-        for (std::size_t j = 0; j < members.size(); ++j) {
-          if (alive[j] && members[j].banned == r) theta_masks.push_back(members[j].mask);
+        for (std::size_t j = 0; j < mcount; ++j) {
+          if (alive.Test(j) && members[j].banned == k) {
+            theta_masks.push_back(members[j].mask);
+          }
         }
         if (theta_masks.empty()) continue;
-        std::sort(theta_masks.begin(), theta_masks.end());
         NormalTBox component_tbox;
         // lint: bounded(linear in the TBox CIs)
         for (const auto& ci : tbox.Cis()) {
-          if (ci.kind == NormalCi::Kind::kBoolean || ci.role.name_id() != r) {
+          if (ci.kind == NormalCi::Kind::kBoolean || ci.role.name_id() != roles[k]) {
             component_tbox.Add(ci);
           }
         }
-        MaskTheta component_theta{&level.space, theta_masks};
+        MaskTheta component_theta{&level.space, std::move(theta_masks)};
         TypeSpace child_space({});
         std::vector<uint64_t> realizable =
             SolveSet(component_tbox, component_theta, sigma_mod, depth + 1,
                      &child_space);
-        auto projected = ProjectSet(realizable, level.space, child_space);
-        productive[r] = std::set<uint64_t>(projected.begin(), projected.end());
+        if (child_space.arity() == 0) continue;
+        auto positions = ProjectionPositions(level.space, child_space);
+        // lint: bounded(one projection per realizable mask)
+        for (uint64_t m : realizable) {
+          std::size_t idx = member_index.IndexOf(Project(m, positions));
+          if (idx != MaskIndex::npos && members[idx].banned == k) {
+            productive.Set(idx);
+          }
+        }
       }
       // lint: bounded(per-member elimination scan within the guarded sweep)
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        if (!alive[i]) continue;
-        uint32_t banned = members[i].banned;
-        if (productive[banned].find(members[i].mask) == productive[banned].end()) {
-          alive[i] = false;
+      for (std::size_t i = 0; i < mcount; ++i) {
+        if (!alive.Test(i)) continue;
+        if (!productive.Test(i)) {
+          alive.Reset(i);
           changed = true;
           continue;
         }
-        uint32_t succ = next_role(banned);
+        // Successor role in frame order: a modular increment over role
+        // indices (banned roles are stored as indices into `roles`).
+        ++stats_.next_role_lookups;
+        uint32_t succ = (members[i].banned + 1) % roles.size();
         std::vector<uint64_t> children;
         // lint: bounded(linear scan over members)
-        for (std::size_t j = 0; j < members.size(); ++j) {
-          if (alive[j] && members[j].banned == succ) children.push_back(members[j].mask);
+        for (std::size_t j = 0; j < mcount; ++j) {
+          if (alive.Test(j) && members[j].banned == succ) {
+            children.push_back(members[j].mask);
+          }
         }
-        std::vector<std::size_t> pairs;
-        // lint: bounded(linear in the counted pairs)
-        for (std::size_t p = 0; p < level.cv.pairs.size(); ++p) {
-          if (level.cv.pairs[p].role.name_id() == banned) pairs.push_back(p);
-        }
-        if (!ConnectorExists(level, members[i].mask, children, q_mod, pairs)) {
-          alive[i] = false;
+        if (!ConnectorExists(level, members[i].mask, children, q_mod,
+                             pairs_by_role[members[i].banned])) {
+          alive.Reset(i);
           changed = true;
         }
       }
     }
 
     std::vector<uint64_t> result;
-    // lint: bounded(linear scan over members)
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      if (alive[i]) result.push_back(members[i].mask);
+    // lint: bounded(set bits of the surviving members)
+    for (std::size_t i = alive.FindFirst(); i < mcount; i = alive.FindNext(i + 1)) {
+      result.push_back(members[i].mask);
     }
-    std::sort(result.begin(), result.end());
-    return result;
+    return result;  // ascending: members follow the base enumeration order
   }
 
  private:
+  static std::size_t RoleIndexOf(const std::vector<uint32_t>& roles, uint32_t r) {
+    // The fixpoint's successor steps use the precomputed indices instead.
+    // lint: bounded(linear in the role set, setup only)
+    for (std::size_t k = 0; k < roles.size(); ++k) {
+      if (roles[k] == r) return k;
+    }
+    return SIZE_MAX;
+  }
+
+  /// Counting residues of the banned role, with lhs applicability compiled
+  /// to word masks (ResidueCi is local to SolveSetStepB, hence the template).
+  template <typename ResidueList>
+  bool ResiduesHold(const Level& level, const ResidueList& list, uint64_t mask) {
+    // lint: bounded(linear in the banned role's counting CIs)
+    for (const auto& rc : list) {
+      if (!rc.lhs.Holds(mask)) continue;
+      uint32_t m = level.Promise(mask, rc.pair);
+      bool saturated = m == level.cv.big_n;
+      if (rc.at_least) {
+        if (m < rc.n && !(saturated && level.cv.big_n >= rc.n)) return false;
+      } else {
+        if (saturated || m > rc.n) return false;
+      }
+    }
+    return true;
+  }
+
   /// No-roles base case (B.1): single isolated nodes.
   std::vector<uint64_t> BaseCaseSet(const NormalTBox& tbox, const MaskTheta& theta,
                                     const Ucrpq& q_mod, TypeSpace* out_space) {
@@ -329,44 +487,54 @@ class AlcqSimpleEngineImpl {
       hit_cap_ = true;
       return {};
     }
-    std::vector<uint64_t> out;
     Level level;
     level.space = space;
+    level.filter_memo.Bind(level.space, &q_mod,
+                           &stats_.single_node_match_queries,
+                           &stats_.single_node_match_hits);
+    // Θ probe: project and look up in a flat hash set (one word-mix probe
+    // per mask, versus a binary search over the theta masks).
+    std::vector<std::size_t> positions;
+    FlatSet<uint64_t> theta_set;
+    if (theta.space != nullptr) {
+      positions = ProjectionPositions(*theta.space, level.space);
+      theta_set.Reserve(theta.masks.size());
+      // lint: bounded(linear in the theta masks)
+      for (uint64_t m : theta.masks) theta_set.Insert(m);
+    }
+    // At-least applicability compiled to word masks, hoisted out of the scan.
+    std::vector<CompiledLiterals> at_least_lhs;
+    // lint: bounded(linear in the TBox CIs)
+    for (const auto& ci : tbox.Cis()) {
+      if (ci.kind == NormalCi::Kind::kAtLeast) {
+        at_least_lhs.emplace_back(level.space, ci.lhs);
+      }
+    }
+    std::vector<uint64_t> out;
     // lint: bounded(the 2^arity enumeration is billed in bulk to the guard just above)
-    for (uint64_t mask : EnumerateLocallyConsistentTypes(space, tbox)) {
-      if (!RespectsTheta(level, mask, theta)) continue;
-      if (HasAtLeastObligation(tbox, level, mask)) continue;
-      Graph g = MaterializeNode(space, mask);
-      if (!Matches(g, q_mod)) out.push_back(mask);
+    for (uint64_t mask : EnumerateLocallyConsistentTypes(level.space, tbox)) {
+      if (theta.space != nullptr && !theta_set.Contains(Project(mask, positions))) {
+        continue;
+      }
+      bool obligated = false;
+      // lint: bounded(linear in the at-least CIs)
+      for (const CompiledLiterals& lhs : at_least_lhs) {
+        if (lhs.Holds(mask)) {
+          obligated = true;
+          break;
+        }
+      }
+      if (obligated) continue;
+      if (!level.filter_memo.Matches(mask)) out.push_back(mask);
     }
     return out;
   }
 
-  bool RespectsTheta(const Level& level, uint64_t mask, const MaskTheta& theta) {
-    if (theta.space == nullptr) return true;
-    auto positions = ProjectionPositions(*theta.space, level.space);
-    uint64_t projected = Project(mask, positions);
-    return std::binary_search(theta.masks.begin(), theta.masks.end(), projected);
-  }
-
-  bool HasAtLeastObligation(const NormalTBox& tbox, const Level& level,
-                            uint64_t mask) {
-    // lint: bounded(linear in the TBox CIs)
-    for (const auto& ci : tbox.Cis()) {
-      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
-      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
-        return level.MaskHasLiteral(mask, l);
-      });
-      if (applicable) return true;
-    }
-    return false;
-  }
-
   /// Locally consistent, Θ-respecting masks whose single-node graph already
   /// refutes the component-level query (a node matching a one-variable
-  /// disjunct can never appear in a countermodel).
-  std::vector<uint64_t> FilterCandidates(const Level& level, const MaskTheta& theta,
-                                         const Ucrpq& q_component) {
+  /// disjunct can never appear in a countermodel). Uses the level's bound
+  /// filter_memo; the result is ascending and can seed a MaskIndex.
+  std::vector<uint64_t> FilterCandidates(Level& level, const MaskTheta& theta) {
     stats_.types_enumerated += level.space.mask_count();
     stats_.max_support_bits = std::max(stats_.max_support_bits, level.space.arity());
     // Enumerating the level's type space is 2^arity work; charge it in bulk.
@@ -376,66 +544,22 @@ class AlcqSimpleEngineImpl {
     }
     std::vector<uint64_t> out;
     std::vector<std::size_t> positions;
+    FlatSet<uint64_t> theta_set;
     if (theta.space != nullptr) {
       positions = ProjectionPositions(*theta.space, level.space);
+      theta_set.Reserve(theta.masks.size());
+      // lint: bounded(linear in the theta masks)
+      for (uint64_t m : theta.masks) theta_set.Insert(m);
     }
     // lint: bounded(the 2^arity enumeration is billed in bulk to the guard just above)
     for (uint64_t mask : EnumerateLocallyConsistentTypes(level.space, level.te)) {
-      if (theta.space != nullptr &&
-          !std::binary_search(theta.masks.begin(), theta.masks.end(),
-                              Project(mask, positions))) {
+      if (theta.space != nullptr && !theta_set.Contains(Project(mask, positions))) {
         continue;
       }
-      Graph g = MaterializeNode(level.space, mask);
-      if (Matches(g, q_component)) continue;
+      if (level.filter_memo.Matches(mask)) continue;
       out.push_back(mask);
     }
     return out;
-  }
-
-  std::vector<uint64_t> ProjectSet(const std::vector<uint64_t>& masks,
-                                   const TypeSpace& parent, const TypeSpace& child) {
-    if (child.arity() == 0) return {};
-    auto positions = ProjectionPositions(parent, child);
-    std::set<uint64_t> out;
-    // lint: bounded(one projection per mask)
-    for (uint64_t m : masks) out.insert(Project(m, positions));
-    return std::vector<uint64_t>(out.begin(), out.end());
-  }
-
-  bool ZeroPromisesForOtherRoles(const Level& level, uint64_t mask, uint32_t banned) {
-    // lint: bounded(linear in the counted pairs)
-    for (std::size_t i = 0; i < level.cv.pairs.size(); ++i) {
-      if (level.cv.pairs[i].role.name_id() != banned && level.Promise(mask, i) != 0) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  bool BannedRoleResiduesHold(const Level& level, const NormalTBox& tbox,
-                              uint64_t mask, uint32_t banned) {
-    // lint: bounded(linear in the TBox CIs)
-    for (const auto& ci : tbox.Cis()) {
-      if (ci.kind != NormalCi::Kind::kAtLeast && ci.kind != NormalCi::Kind::kAtMost) {
-        continue;
-      }
-      if (ci.role.name_id() != banned) continue;
-      bool applicable = std::all_of(ci.lhs.begin(), ci.lhs.end(), [&](Literal l) {
-        return level.MaskHasLiteral(mask, l);
-      });
-      if (!applicable) continue;
-      std::size_t pair = level.cv.PairIndex(ci.role, ci.rhs_lit);
-      GQC_DCHECK(pair != CountingVocabulary::npos);
-      uint32_t m = level.Promise(mask, pair);
-      bool saturated = m == level.cv.big_n;
-      if (ci.kind == NormalCi::Kind::kAtLeast) {
-        if (m < ci.n && !(saturated && level.cv.big_n >= ci.n)) return false;
-      } else {
-        if (saturated || m > ci.n) return false;
-      }
-    }
-    return true;
   }
 
  public:
@@ -452,20 +576,21 @@ class AlcqSimpleEngineImpl {
       total_needed += m;
     }
     if (total_needed == 0) {
-      Graph star = MaterializeNode(level.space, sigma);
-      return !Matches(star, q_mod);
+      GQC_DCHECK(level.connector_memo.BoundTo(&q_mod));
+      return !level.connector_memo.Matches(sigma);
     }
     if (total_needed > limits_.max_connector_children) {
       hit_cap_ = true;
       return false;
     }
 
-    std::set<uint32_t> role_set;
+    std::vector<uint32_t> roles;
     // lint: bounded(linear in the relevant pairs)
     for (std::size_t p : relevant_pairs) {
-      role_set.insert(level.cv.pairs[p].role.name_id());
+      roles.push_back(level.pair_info[p].role_id);
     }
-    std::vector<uint32_t> roles(role_set.begin(), role_set.end());
+    std::sort(roles.begin(), roles.end());
+    roles.erase(std::unique(roles.begin(), roles.end()), roles.end());
 
     struct ChildChoice {
       uint32_t role;
@@ -492,8 +617,7 @@ class AlcqSimpleEngineImpl {
       bool role_done = true;
       // lint: bounded(linear in the relevant pairs)
       for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
-        if (level.cv.pairs[relevant_pairs[k]].role.name_id() == role &&
-            needed[k] > 0) {
+        if (level.pair_info[relevant_pairs[k]].role_id == role && needed[k] > 0) {
           role_done = false;
         }
       }
@@ -506,9 +630,8 @@ class AlcqSimpleEngineImpl {
         bool overshoot = false;
         // lint: bounded(linear in the relevant pairs)
         for (std::size_t k = 0; k < relevant_pairs.size(); ++k) {
-          const CountedPair& pair = level.cv.pairs[relevant_pairs[k]];
-          if (pair.role.name_id() != role) continue;
-          if (level.MaskHasLiteral(child, pair.filler)) {
+          if (level.pair_info[relevant_pairs[k]].role_id != role) continue;
+          if (level.FillerHolds(child, relevant_pairs[k])) {
             if (needed[k] == 0) {
               overshoot = true;
               break;
@@ -583,11 +706,13 @@ EngineAnswer AlcqSimpleEngine::Solve(const Type& tau, const NormalTBox& tbox,
       for (Literal l : t.Literals()) ids.push_back(l.concept_id());
     }
     theta_space = TypeSpace(std::move(ids));
-    std::set<uint64_t> masks;
+    std::vector<uint64_t> masks;
     // lint: bounded(one mask per theta type)
-    for (const Type& t : theta) masks.insert(theta_space.MaskOf(t));
+    for (const Type& t : theta) masks.push_back(theta_space.MaskOf(t));
+    std::sort(masks.begin(), masks.end());
+    masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
     unconstrained.space = &theta_space;
-    unconstrained.masks.assign(masks.begin(), masks.end());
+    unconstrained.masks = std::move(masks);
   }
   // Make sure tau's concepts are in the level support by adding them to a
   // widened tbox copy via a vacuous Boolean CI.

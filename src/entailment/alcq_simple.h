@@ -66,6 +66,19 @@ class AlcqSimpleEngine {
     std::size_t types_enumerated = 0;
     std::size_t recursive_calls = 0;
     std::size_t max_support_bits = 0;
+    // Hot-path counters (see DESIGN.md §11). Each counts a constant-time
+    // fast-path operation that replaced a scan or tree lookup:
+    //  - next_role_lookups: step-B successor-role steps, now a modular
+    //    increment over role indices (was a std::find over the role list).
+    //  - marker_word_tests: step-B member screening via one word-AND against
+    //    the hoisted marker bit mask (was a per-role std::map lookup plus a
+    //    PositionOf binary search per candidate mask).
+    //  - single_node_match_queries/hits: memoized single-node query matches
+    //    (hits skip a full query evaluation).
+    std::size_t next_role_lookups = 0;
+    std::size_t marker_word_tests = 0;
+    std::size_t single_node_match_queries = 0;
+    std::size_t single_node_match_hits = 0;
   };
   const Stats& stats() const { return stats_; }
 

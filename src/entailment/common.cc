@@ -1,5 +1,7 @@
 #include "src/entailment/common.h"
 
+#include "src/query/eval.h"
+
 namespace gqc {
 
 const char* EngineAnswerName(EngineAnswer a) {
@@ -36,6 +38,53 @@ bool MaskRespectsTheta(const TypeSpace& space, uint64_t mask,
     if (space.MaskContains(mask, t)) return true;
   }
   return theta.empty();
+}
+
+CompiledTheta::CompiledTheta(const TypeSpace& space,
+                             const std::vector<Type>& theta) {
+  unconstrained_ = theta.empty();
+  // lint: bounded(linear in the theta types)
+  for (const Type& t : theta) {
+    bool in_support = true;
+    // lint: bounded(literals of a single type)
+    for (Literal l : t.Literals()) {
+      if (space.PositionOf(l.concept_id()) == TypeSpace::npos) {
+        in_support = false;
+        break;
+      }
+    }
+    // MaskContains semantics: a type with any out-of-support literal is
+    // never contained, so it contributes nothing to the disjunction.
+    if (!in_support) continue;
+    types_.emplace_back(space, t);
+  }
+}
+
+void SingleNodeMatchMemo::Bind(const TypeSpace& space, const Ucrpq* q,
+                               std::size_t* queries, std::size_t* hits) {
+  space_ = &space;
+  q_ = q;
+  queries_ = queries;
+  hits_ = hits;
+  relevant_ = 0;
+  memo_.Clear();
+  // lint: bounded(mentioned concepts of the query, linear in query size)
+  for (uint32_t id : q->MentionedConcepts()) {
+    std::size_t pos = space.PositionOf(id);
+    if (pos != TypeSpace::npos) relevant_ |= uint64_t{1} << pos;
+  }
+}
+
+bool SingleNodeMatchMemo::Matches(uint64_t mask) {
+  if (queries_ != nullptr) ++*queries_;
+  uint64_t key = mask & relevant_;
+  auto [slot, inserted] = memo_.TryEmplace(key);
+  if (!inserted) {
+    if (hits_ != nullptr) ++*hits_;
+    return *slot;
+  }
+  *slot = gqc::Matches(MaterializeNode(*space_, key), *q_);
+  return *slot;
 }
 
 }  // namespace gqc

@@ -9,6 +9,7 @@
 #include "src/graph/graph.h"
 #include "src/graph/type.h"
 #include "src/query/ucrpq.h"
+#include "src/util/flat_map.h"
 #include "src/util/guard.h"
 
 namespace gqc {
@@ -64,6 +65,63 @@ NodeId AddMaskNode(Graph* g, const TypeSpace& space, uint64_t mask);
 /// (the "respects Θ" condition on node types).
 bool MaskRespectsTheta(const TypeSpace& space, uint64_t mask,
                        const std::vector<Type>& theta);
+
+/// Θ precompiled against one TypeSpace so the per-mask "respects Θ" test in
+/// the enumeration scans is a couple of word operations per Θ type instead of
+/// per-literal binary searches. Matches MaskRespectsTheta exactly, including
+/// its strict out-of-support semantics: a Θ type mentioning any concept
+/// outside the support (either polarity) can never be contained, and an
+/// empty Θ is unconstrained.
+class CompiledTheta {
+ public:
+  CompiledTheta() = default;  // unconstrained
+  CompiledTheta(const TypeSpace& space, const std::vector<Type>& theta);
+
+  bool Respects(uint64_t mask) const {
+    if (unconstrained_) return true;
+    // lint: bounded(linear in the theta types)
+    for (const CompiledLiterals& t : types_) {
+      if (t.Holds(mask)) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool unconstrained_ = true;
+  std::vector<CompiledLiterals> types_;
+};
+
+/// Memoized single-node query matching, keyed by the projection of the mask
+/// onto the query's mentioned concepts.
+///
+/// An edge-free single-node graph can only satisfy unary atoms and concept
+/// tests inside path regexes, so Matches(MaterializeNode(space, mask), q)
+/// depends only on the bits of `mask` at the in-support positions of
+/// q.MentionedConcepts() (out-of-support mentioned concepts are constantly
+/// absent). The §6 fixpoints evaluate exactly this per enumerated candidate
+/// and per zero-promise connector, with heavy projection overlap — the memo
+/// turns repeats into one FlatMap probe.
+class SingleNodeMatchMemo {
+ public:
+  /// Binds the memo to one (space, query) pair and drops earlier entries.
+  /// Both referents must outlive the memo; counters may be null.
+  void Bind(const TypeSpace& space, const Ucrpq* q, std::size_t* queries,
+            std::size_t* hits);
+
+  /// Matches(MaterializeNode(space, mask), *q), memoized.
+  bool Matches(uint64_t mask);
+
+  /// True if the memo is bound to exactly this query object (DCHECK helper).
+  bool BoundTo(const Ucrpq* q) const { return q_ == q; }
+
+ private:
+  const TypeSpace* space_ = nullptr;
+  const Ucrpq* q_ = nullptr;
+  uint64_t relevant_ = 0;  // in-space bit positions of mentioned concepts
+  FlatMap<uint64_t, bool> memo_;
+  std::size_t* queries_ = nullptr;
+  std::size_t* hits_ = nullptr;
+};
 
 }  // namespace gqc
 

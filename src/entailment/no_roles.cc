@@ -12,30 +12,33 @@ EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
   // Bill the whole 2^arity scan up front: each candidate is a cheap
   // isolated-node check, so bulk-charging beats a per-iteration poll.
   if (GuardCharge(limits, space.mask_count())) return EngineAnswer::kUnknown;
+  // Compile every per-mask condition to word masks once, outside the scan:
+  // tau containment and at-least applicability use the strict MaskContains
+  // semantics (CompiledTheta over a single type), local consistency uses the
+  // compiled Boolean CIs.
+  CompiledTheta tau_check(space, std::vector<Type>{tau});
+  CompiledTheta theta_check(space, theta);
+  CompiledBooleanCis boolean_cis(space, tbox);
+  std::vector<CompiledTheta> at_least_lhs;
+  // lint: bounded(linear in the TBox CIs)
+  for (const auto& ci : tbox.Cis()) {
+    if (ci.kind != NormalCi::Kind::kAtLeast) continue;
+    Type t;
+    // lint: bounded(literals of one CI lhs)
+    for (Literal l : ci.lhs) t.AddLiteral(l);
+    at_least_lhs.emplace_back(space, std::vector<Type>{std::move(t)});
+  }
   // lint: bounded(the 2^arity scan is billed in bulk to the guard just above)
   for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
-    if (!space.MaskContains(mask, tau)) continue;
-    if (!MaskRespectsTheta(space, mask, theta)) continue;
-    if (!MaskSatisfiesBooleanCis(space, mask, tbox)) continue;
+    if (!tau_check.Respects(mask)) continue;
+    if (!theta_check.Respects(mask)) continue;
+    if (!boolean_cis.Satisfies(mask)) continue;
     // Restriction CIs with an at-least obligation cannot be met by an
     // isolated node; at-most and forall hold vacuously.
     bool restriction_ok = true;
-    // lint: bounded(linear in the TBox CIs)
-    for (const auto& ci : tbox.Cis()) {
-      if (ci.kind != NormalCi::Kind::kAtLeast) continue;
-      bool applicable = true;
-      // lint: bounded(literals of one CI lhs)
-      for (Literal l : ci.lhs) {
-        if (!space.MaskContains(mask, [&] {
-              Type t;
-              t.AddLiteral(l);
-              return t;
-            }())) {
-          applicable = false;
-          break;
-        }
-      }
-      if (applicable) {
+    // lint: bounded(linear in the at-least CIs)
+    for (const CompiledTheta& lhs : at_least_lhs) {
+      if (lhs.Respects(mask)) {
         restriction_ok = false;
         break;
       }

@@ -1,10 +1,10 @@
 #include "src/entailment/witness_search.h"
 
 #include <algorithm>
-#include <set>
 
 #include "src/dl/model_check.h"
 #include "src/query/eval.h"
+#include "src/util/flat_map.h"
 
 namespace gqc {
 
@@ -22,17 +22,37 @@ class WitnessSearch {
     roles_ = p_.roles.empty() ? p_.tbox->RoleIds() : p_.roles;
 
     // Enumerate admissible masks once. This scan is 2^arity work, so it is
-    // charged in bulk up front.
+    // charged in bulk up front; the Boolean CIs and Θ are compiled to word
+    // masks once instead of being re-walked per enumerated mask.
     if (GuardCharge(limits_, space_.mask_count())) {
       return {EngineAnswer::kUnknown, std::nullopt};
     }
+    CompiledBooleanCis boolean_cis(space_, *p_.tbox);
+    CompiledTheta theta(space_, p_.theta);
     // lint: bounded(the 2^arity scan is billed in bulk just above)
     for (uint64_t mask = 0; mask < space_.mask_count(); ++mask) {
-      if (!MaskSatisfiesBooleanCis(space_, mask, *p_.tbox)) continue;
-      if (!MaskRespectsTheta(space_, mask, p_.theta)) continue;
+      if (!boolean_cis.Satisfies(mask)) continue;
+      if (!theta.Respects(mask)) continue;
       masks_.push_back(mask);
     }
     if (masks_.empty()) return {EngineAnswer::kNo, std::nullopt};
+
+    // Edge-admissibility guards (forall/at-most CIs) with their lhs
+    // conjunctions compiled to word masks, hoisted out of the search.
+    // lint: bounded(linear in the TBox CIs)
+    for (const auto& ci : p_.tbox->Cis()) {
+      if (ci.kind != NormalCi::Kind::kForall && ci.kind != NormalCi::Kind::kAtMost) {
+        continue;
+      }
+      guards_.push_back({&ci, CompiledLiterals(space_, ci.lhs),
+                         space_.PositionOf(ci.rhs_lit.concept_id()),
+                         ci.rhs_lit.is_negative()});
+    }
+    if (p_.deferral.has_value() && p_.deferral->allowed_masks != nullptr) {
+      deferred_masks_.Reserve(p_.deferral->allowed_masks->size());
+      // lint: bounded(linear in the allowed stub masks)
+      for (uint64_t m : *p_.deferral->allowed_masks) deferred_masks_.Insert(m);
+    }
 
     // Initial states: either completions of the seed or a single tau-node.
     if (p_.seed != nullptr) {
@@ -98,36 +118,35 @@ class WitnessSearch {
   }
 
   /// True iff adding edge (u, role, w) keeps all forall/at-most CIs intact.
+  /// Uses the precompiled guards: lhs applicability and the rhs literal are
+  /// word tests against the node masks instead of per-literal binary
+  /// searches.
   bool EdgeAdmissible(const Graph& g, const std::vector<uint64_t>& node_masks,
                       NodeId u, uint32_t role, NodeId w) {
     if (g.HasEdge(u, role, w)) return false;
-    auto mask_satisfies = [&](NodeId v, Literal l) {
-      std::size_t pos = space_.PositionOf(l.concept_id());
-      if (pos == TypeSpace::npos) return l.is_negative();
-      bool set = (node_masks[v] >> pos) & 1;
-      return l.is_negative() ? !set : set;
-    };
-    auto lhs_applies = [&](NodeId v, const NormalCi& ci) {
-      return std::all_of(ci.lhs.begin(), ci.lhs.end(),
-                         [&](Literal l) { return mask_satisfies(v, l); });
+    auto rhs_holds = [&](NodeId v, const GuardCi& gc) {
+      if (gc.rhs_pos == TypeSpace::npos) return gc.rhs_negative;
+      bool set = (node_masks[v] >> gc.rhs_pos) & 1;
+      return gc.rhs_negative ? !set : set;
     };
     // lint: bounded(linear in the TBox CIs)
-    for (const auto& ci : p_.tbox->Cis()) {
+    for (const GuardCi& gc : guards_) {
+      const NormalCi& ci = *gc.ci;
       if (ci.kind == NormalCi::Kind::kForall) {
         // The new edge is an r-edge u->w, i.e. a Forward(role) successor of u
         // and an Inverse(role) successor of w.
-        if (ci.role == Role::Forward(role) && lhs_applies(u, ci) &&
-            !mask_satisfies(w, ci.rhs_lit)) {
+        if (ci.role == Role::Forward(role) && gc.lhs.Holds(node_masks[u]) &&
+            !rhs_holds(w, gc)) {
           return false;
         }
-        if (ci.role == Role::Inverse(role) && lhs_applies(w, ci) &&
-            !mask_satisfies(u, ci.rhs_lit)) {
+        if (ci.role == Role::Inverse(role) && gc.lhs.Holds(node_masks[w]) &&
+            !rhs_holds(u, gc)) {
           return false;
         }
-      } else if (ci.kind == NormalCi::Kind::kAtMost) {
+      } else {  // kAtMost
         auto violates = [&](NodeId src, NodeId dst, Role r) {
-          if (!(ci.role == r) || !lhs_applies(src, ci)) return false;
-          if (!mask_satisfies(dst, ci.rhs_lit)) return false;
+          if (!(ci.role == r) || !gc.lhs.Holds(node_masks[src])) return false;
+          if (!rhs_holds(dst, gc)) return false;
           return CountSuccessors(g, src, r, ci.rhs_lit) + 1 > ci.n;
         };
         if (violates(u, w, Role::Forward(role))) return false;
@@ -144,10 +163,7 @@ class WitnessSearch {
                   NodeId v) const {
     if (!p_.deferral.has_value()) return false;
     const auto& policy = *p_.deferral;
-    if (policy.allowed_masks == nullptr ||
-        policy.allowed_masks->find(node_masks[v]) == policy.allowed_masks->end()) {
-      return false;
-    }
+    if (!deferred_masks_.Contains(node_masks[v])) return false;
     if (g.Degree(v) != 1) return false;
     if (policy.forbid_outgoing && !g.OutEdges(v).empty()) return false;
     return true;
@@ -194,12 +210,13 @@ class WitnessSearch {
     for (const Edge& e : g.AllEdges()) {
       key.push_back((uint64_t{e.from} << 40) | (uint64_t{e.role} << 20) | e.to);
     }
-    if (!visited_.insert(key).second) return false;
+    const std::size_t key_words = key.size();
+    if (!visited_.Insert(std::move(key))) return false;
     // The memo set is the one structure that grows without bound with the
     // search; its keys carry the memory estimate.
     if (limits_.guard != nullptr &&
         limits_.guard->ChargeMemory(limits_.guard_phase,
-                                    key.size() * sizeof(uint64_t))) {
+                                    key_words * sizeof(uint64_t))) {
       hit_cap_ = true;
       return false;
     }
@@ -294,12 +311,24 @@ class WitnessSearch {
     node_masks->pop_back();
   }
 
+  struct GuardCi {
+    const NormalCi* ci = nullptr;
+    CompiledLiterals lhs;
+    std::size_t rhs_pos = TypeSpace::npos;
+    bool rhs_negative = false;
+  };
+
   const WitnessProblem& p_;
   const EngineLimits& limits_;
   const TypeSpace& space_;
   std::vector<uint32_t> roles_;
   std::vector<uint64_t> masks_;
-  std::set<std::vector<uint64_t>> visited_;
+  std::vector<GuardCi> guards_;
+  FlatSet<uint64_t> deferred_masks_;
+  /// Visited search states (approximate canonical forms). The flat set
+  /// probes by hash — one word compare per probe step — instead of
+  /// lexicographically comparing key vectors down a red-black tree.
+  FlatSet<std::vector<uint64_t>> visited_;
   std::size_t steps_ = 0;
   bool hit_cap_ = false;
   std::optional<Graph> found_;

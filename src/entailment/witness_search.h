@@ -2,7 +2,6 @@
 #define GQC_ENTAILMENT_WITNESS_SEARCH_H_
 
 #include <optional>
-#include <set>
 
 #include "src/entailment/common.h"
 
@@ -34,7 +33,9 @@ struct WitnessProblem {
   /// no outgoing edges. Used by the containment reduction to search for the
   /// central part H0 of a star-like countermodel.
   struct Deferral {
-    const std::set<uint64_t>* allowed_masks = nullptr;  // over `space`
+    /// Sorted ascending, over `space`. The search indexes it into a flat
+    /// hash set once up front.
+    const std::vector<uint64_t>* allowed_masks = nullptr;
     bool forbid_outgoing = true;
   };
   std::optional<Deferral> deferral;

@@ -1,0 +1,29 @@
+#include "src/util/arena.h"
+
+#include <cstring>
+
+namespace gqc {
+
+std::string_view StringArena::Intern(std::string_view s) {
+  if (s.empty()) return std::string_view{};
+  if (blocks_.empty() ||
+      blocks_.back().used + s.size() > blocks_.back().capacity) {
+    Block block;
+    block.capacity = s.size() > kBlockSize ? s.size() : kBlockSize;
+    block.data = std::make_unique<char[]>(block.capacity);
+    blocks_.push_back(std::move(block));
+  }
+  Block& block = blocks_.back();
+  char* dst = block.data.get() + block.used;
+  std::memcpy(dst, s.data(), s.size());
+  block.used += s.size();
+  bytes_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+void StringArena::Clear() {
+  blocks_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace gqc

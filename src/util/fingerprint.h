@@ -39,6 +39,36 @@ std::optional<std::vector<std::string>> SplitKeyParts(std::string_view key);
 /// output).
 std::string FingerprintHex(uint64_t fp);
 
+/// A canonical cache key carrying its 64-bit FNV-1a fingerprint, computed
+/// once at construction. The shared caches probe on the fingerprint (an
+/// 8-byte compare per probe step) and fall back to the exact canonical text
+/// only on a fingerprint match, so the "no fingerprint collision can alias
+/// two inputs" guarantee is preserved: equality is fingerprint-then-verify.
+class FpKey {
+ public:
+  FpKey() = default;
+  explicit FpKey(std::string text)
+      : text_(std::move(text)), fp_(Fnv1a64(text_)) {}
+
+  const std::string& text() const { return text_; }
+  uint64_t fingerprint() const { return fp_; }
+  bool empty() const { return text_.empty(); }
+
+  friend bool operator==(const FpKey& a, const FpKey& b) {
+    return a.fp_ == b.fp_ && a.text_ == b.text_;
+  }
+
+ private:
+  std::string text_;
+  uint64_t fp_ = 0xcbf29ce484222325ull;  // Fnv1a64("")
+};
+
+/// FlatMap/FlatSet hasher for FpKey: the stored hash IS the fingerprint, so
+/// cache probes never rehash the canonical serialization.
+struct FpKeyHash {
+  uint64_t operator()(const FpKey& k) const { return k.fingerprint(); }
+};
+
 }  // namespace gqc
 
 #endif  // GQC_UTIL_FINGERPRINT_H_

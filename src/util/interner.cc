@@ -2,18 +2,39 @@
 
 namespace gqc {
 
+Interner::Interner(const Interner& other) : names_(other.names_) {
+  RebuildIndex();
+}
+
+Interner& Interner::operator=(const Interner& other) {
+  if (this == &other) return *this;
+  names_ = other.names_;
+  RebuildIndex();
+  return *this;
+}
+
+void Interner::RebuildIndex() {
+  arena_.Clear();
+  ids_.Clear();
+  ids_.Reserve(names_.size());
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    ids_.TryEmplace(arena_.Intern(names_[id]), id);
+  }
+}
+
 uint32_t Interner::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
-  if (it != ids_.end()) return it->second;
+  if (const uint32_t* id = ids_.Find(name)) return *id;
   uint32_t id = static_cast<uint32_t>(names_.size());
+  // Arena-intern only on a genuine miss so repeated lookups stay
+  // allocation-free and the arena holds each name exactly once.
+  ids_.TryEmplace(arena_.Intern(name), id);
   names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
   return id;
 }
 
 uint32_t Interner::Find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
-  return it == ids_.end() ? kNotFound : it->second;
+  const uint32_t* id = ids_.Find(name);
+  return id == nullptr ? kNotFound : *id;
 }
 
 }  // namespace gqc

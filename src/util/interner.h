@@ -4,17 +4,30 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/flat_map.h"
 
 namespace gqc {
 
 /// Bidirectional string <-> dense-id interner.
 ///
 /// Used by Vocabulary to map concept and role names to small integers so that
-/// label sets and types can be bitsets.
+/// label sets and types can be bitsets. Lookups are allocation-free: the id
+/// index is a FlatMap keyed by string_views into an arena, so Intern/Find on
+/// a hot path (fresh marker and counting-label minting in the entailment
+/// fixpoints) never builds a temporary std::string.
 class Interner {
  public:
+  Interner() = default;
+  /// Copies rebuild the id index into a fresh arena (the FlatMap keys are
+  /// views into the owning interner's arena, so they cannot be shared).
+  Interner(const Interner& other);
+  Interner& operator=(const Interner& other);
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
   /// Returns the id of `name`, interning it if new. Ids are dense from 0.
   uint32_t Intern(std::string_view name);
 
@@ -29,7 +42,10 @@ class Interner {
   static constexpr uint32_t kNotFound = UINT32_MAX;
 
  private:
-  std::unordered_map<std::string, uint32_t> ids_;
+  void RebuildIndex();
+
+  StringArena arena_;
+  FlatMap<std::string_view, uint32_t> ids_;
   std::vector<std::string> names_;
 };
 

@@ -205,11 +205,11 @@ TEST(FactBoardTest, CountermodelSharingRespectsVocabularyLimits) {
 
   PipelineStats stats;
   // Graph uses concept 0 and role 0: fits (1, 1), not (0, 1) or (1, 0).
-  EXPECT_FALSE(board.PublishCountermodel("scope", g, 0, 1, &stats));
-  EXPECT_FALSE(board.PublishCountermodel("scope", g, 1, 0, &stats));
-  EXPECT_TRUE(board.PublishCountermodel("scope", g, 1, 1, &stats));
+  EXPECT_FALSE(board.PublishCountermodel(FpKey("scope"), g, 0, 1, &stats));
+  EXPECT_FALSE(board.PublishCountermodel(FpKey("scope"), g, 1, 0, &stats));
+  EXPECT_TRUE(board.PublishCountermodel(FpKey("scope"), g, 1, 1, &stats));
   // Duplicate publishes are dropped.
-  EXPECT_FALSE(board.PublishCountermodel("scope", g, 1, 1, &stats));
+  EXPECT_FALSE(board.PublishCountermodel(FpKey("scope"), g, 1, 1, &stats));
   EXPECT_EQ(board.countermodel_count(), 1u);
   EXPECT_EQ(stats.facts_published.load(), 1u);
 
@@ -217,9 +217,9 @@ TEST(FactBoardTest, CountermodelSharingRespectsVocabularyLimits) {
   auto p_hit = ParseCrpq("A(x), r(x, y)", &vocab);
   auto p_miss = ParseCrpq("A(x), r(x, x)", &vocab);
   ASSERT_TRUE(p_hit.ok() && p_miss.ok());
-  EXPECT_TRUE(board.FindRefutation("scope", p_hit.value(), &stats).has_value());
-  EXPECT_FALSE(board.FindRefutation("other", p_hit.value(), &stats).has_value());
-  EXPECT_FALSE(board.FindRefutation("scope", p_miss.value(), &stats).has_value());
+  EXPECT_TRUE(board.FindRefutation(FpKey("scope"), p_hit.value(), &stats).has_value());
+  EXPECT_FALSE(board.FindRefutation(FpKey("other"), p_hit.value(), &stats).has_value());
+  EXPECT_FALSE(board.FindRefutation(FpKey("scope"), p_miss.value(), &stats).has_value());
   EXPECT_EQ(stats.facts_consumed.load(), 1u);
 
   board.Clear();
@@ -230,15 +230,15 @@ TEST(FactBoardTest, ResultMemoStoresOnlyDefiniteVerdicts) {
   SharedFactBoard board;
   PipelineStats stats;
   ContainmentResult unknown;
-  board.PublishResult("k", unknown, 8, 8, &stats);
-  EXPECT_FALSE(board.LookupResult("k", &stats).has_value());
+  board.PublishResult(FpKey("k"), unknown, 8, 8, &stats);
+  EXPECT_FALSE(board.LookupResult(FpKey("k"), &stats).has_value());
 
   ContainmentResult definite;
   definite.verdict = Verdict::kContained;
   definite.attr.method = ContainmentMethod::kReduction;
   definite.attr.strategy = "reduction";
-  board.PublishResult("k", definite, 8, 8, &stats);
-  auto memo = board.LookupResult("k", &stats);
+  board.PublishResult(FpKey("k"), definite, 8, 8, &stats);
+  auto memo = board.LookupResult(FpKey("k"), &stats);
   ASSERT_TRUE(memo.has_value());
   EXPECT_EQ(memo->verdict, Verdict::kContained);
   EXPECT_EQ(memo->attr.strategy, "reduction");
@@ -403,8 +403,8 @@ TEST(PortfolioTest, RawRunnerAgreesWithCheckerAndPublishesFacts) {
   PortfolioOptions popts;
   popts.pool = &pool;
   popts.board = &board;
-  popts.scope_key = "scope";
-  popts.disjunct_key = "scope/p0";
+  popts.scope_key = FpKey("scope");
+  popts.disjunct_key = FpKey("scope/p0");
   popts.shared_concept_limit = vocab.concept_count();
   popts.shared_role_limit = vocab.role_count();
 

@@ -301,7 +301,7 @@ TEST(SyncTest, SharedStateStressEightThreads) {
 
       PipelineStats stats;
       for (int i = 0; i < kIters; ++i) {
-        std::string scope = "scope-" + std::to_string(i % 4);
+        FpKey scope("scope-" + std::to_string(i % 4));
         (void)board.PublishCountermodel(scope, g, /*concept_limit=*/1,
                                         /*role_limit=*/1, &stats);
         std::optional<Graph> refutation =
@@ -311,7 +311,7 @@ TEST(SyncTest, SharedStateStressEightThreads) {
           // countermodel (two nodes here), never a half-written graph.
           EXPECT_EQ(refutation->NodeCount(), 2u);
         }
-        std::string key = scope + "/disjunct-" + std::to_string(t % 2);
+        FpKey key(scope.text() + "/disjunct-" + std::to_string(t % 2));
         board.PublishResult(key, definite, 1, 1, &stats);
         std::optional<ContainmentResult> memo = board.LookupResult(key, &stats);
         if (memo.has_value()) {

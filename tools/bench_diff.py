@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare a fresh Google Benchmark JSON against a committed baseline.
+
+Usage:
+  tools/bench_diff.py BASELINE.json FRESH.json [--threshold 1.10] [--min-ns 1000]
+
+Prints a per-benchmark table of real_time deltas (fresh / baseline; ratios
+below 1.0 are speedups) and exits nonzero if any benchmark regressed past the
+threshold. Benchmarks present on only one side are reported but do not fail
+the run (suites grow and shrink across PRs).
+
+A note on noise: real_time on a loaded or frequency-scaled machine can swing
+by tens of percent. The tool surfaces the benchmark library's own context
+(cpu_scaling_enabled, load average when present) as a sanity note; treat
+single-digit-percent deltas as noise unless reproduced.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    ctx = doc.get("context", {})
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # compare raw iterations, not mean/median/stddev rows
+        name = b.get("name")
+        if name is None or "real_time" not in b:
+            continue
+        rows[name] = {
+            "real_time": float(b["real_time"]),
+            "time_unit": b.get("time_unit", "ns"),
+        }
+    return ctx, rows
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(row):
+    return row["real_time"] * UNIT_NS.get(row["time_unit"], 1.0)
+
+
+def context_notes(label, ctx):
+    notes = []
+    build = ctx.get("gqc_build_type") or ctx.get("library_build_type")
+    if build and "debug" in str(build):
+        notes.append(f"{label}: built in DEBUG mode ({build}) — numbers are not baseline-grade")
+    if ctx.get("cpu_scaling_enabled"):
+        notes.append(f"{label}: cpu frequency scaling is enabled — expect noisy timings")
+    load_avg = ctx.get("load_avg")
+    if isinstance(load_avg, list) and load_avg and load_avg[0] > ctx.get("num_cpus", 1):
+        notes.append(
+            f"{label}: load average {load_avg[0]:.2f} exceeds cpu count "
+            f"{ctx.get('num_cpus')} — the machine was busy during the run"
+        )
+    return notes
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=1.10,
+                    help="fail if fresh/baseline real_time exceeds this ratio "
+                         "(default 1.10 = 10%% regression)")
+    ap.add_argument("--min-ns", type=float, default=1000.0,
+                    help="ignore benchmarks faster than this in the baseline "
+                         "(sub-microsecond timings are dominated by noise)")
+    args = ap.parse_args()
+
+    base_ctx, base = load(args.baseline)
+    fresh_ctx, fresh = load(args.fresh)
+
+    for note in context_notes("baseline", base_ctx) + context_notes("fresh", fresh_ctx):
+        print(f"note: {note}")
+
+    shared = sorted(set(base) & set(fresh))
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+
+    width = max((len(n) for n in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>7}")
+    regressions = []
+    speedups = 0
+    for name in shared:
+        b_ns, f_ns = to_ns(base[name]), to_ns(fresh[name])
+        if b_ns < args.min_ns:
+            print(f"{name:<{width}}  {b_ns:>10.0f}ns  {f_ns:>10.0f}ns    skip (below --min-ns)")
+            continue
+        ratio = f_ns / b_ns if b_ns > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / args.threshold:
+            flag = "  improved"
+            speedups += 1
+        print(f"{name:<{width}}  {b_ns:>10.0f}ns  {f_ns:>10.0f}ns  {ratio:>7.3f}{flag}")
+
+    for name in only_base:
+        print(f"only in baseline: {name}")
+    for name in only_fresh:
+        print(f"only in fresh:    {name}")
+
+    print(f"\n{len(shared)} compared, {speedups} improved, {len(regressions)} regressed "
+          f"(threshold {args.threshold:.2f}x)")
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"worst regression: {worst[0]} at {worst[1]:.3f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

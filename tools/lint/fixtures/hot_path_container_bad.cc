@@ -1,0 +1,16 @@
+// Fixture: node-based ordered containers on a (simulated) hot-path file.
+// Rule `hot-path-container` must fire on each of these.
+#include <map>
+#include <set>
+
+std::set<unsigned long> Frontier() {
+  std::set<unsigned long> psi;
+  psi.insert(3);
+  return psi;
+}
+
+int CountMarkers(const std::map<int, int>& markers) {
+  std::multiset<int> bag(markers.size(), 0);
+  std::multimap<int, int> rebuilt(markers.begin(), markers.end());
+  return static_cast<int>(bag.size() + rebuilt.size());
+}

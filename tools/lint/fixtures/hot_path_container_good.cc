@@ -1,0 +1,22 @@
+// Fixture: hot-path file using the sanctioned structures, plus the two
+// legitimate escapes. Rule `hot-path-container` must stay silent.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+// std::set_intersection is an algorithm, not a container — the word boundary
+// in the rule regex must not flag it.
+std::vector<uint64_t> Intersect(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Cold setup code may keep an ordered container with a documented waiver.
+#include <set>
+// lint: cold(one-time vocabulary dump for diagnostics, never on the fixpoint path)
+std::set<int> SortedDiagnosticIds(const std::vector<int>& ids) {
+  return std::set<int>(ids.begin(), ids.end());  // lint: cold(diagnostics only)
+}

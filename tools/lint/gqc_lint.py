@@ -29,6 +29,12 @@ Rules (see DESIGN.md for the catalogue, rationale, and suppression syntax):
                   std::memory_order explicitly; a bare `.load()` silently
                   defaults to seq_cst, hiding the intended (and usually
                   cheaper) ordering contract.
+  hot-path-container  node-based ordered containers (std::set/std::map and
+                  their multi variants) are banned in the entailment fixpoint
+                  files and the containment caches — the hot paths use dense
+                  type-index bitsets, MaskIndex, and the open-addressing
+                  FlatMap/FlatSet (DESIGN.md §11). Genuinely cold code
+                  escapes with `// lint: cold(<why>)`.
   header-self-contained  every header in src/ must compile on its own
                   (IWYU-lite; catches headers leaning on transitive includes).
 
@@ -110,6 +116,15 @@ ATOMIC_CALL_RE = re.compile(
     r"|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong"
     r"|test_and_set)\s*\("
 )
+
+# Hot-path files where node-based ordered containers are banned: the §6/App-B
+# fixpoint kernels and the caches keyed by canonical strings. Word-boundary
+# after set/map keeps std::set_intersection and friends out of scope.
+HOT_PATH_FILE_PATTERNS = [
+    r"src/entailment/[^/]+\.(?:h|cc)$",
+    r"src/core/caches\.(?:h|cc)$",
+]
+HOT_PATH_CONTAINER_RE = re.compile(r"std\s*::\s*(?:multiset|multimap|set|map)\b")
 
 VALUE_CALL_RE = re.compile(
     r"(?:std\s*::\s*move\s*\(\s*)?"
@@ -493,6 +508,40 @@ def rule_atomic_memory_order(path, text, stripped, annotations):
     return findings
 
 
+def rule_hot_path_container(path, text, stripped, annotations, treat_as_hot=False):
+    """Ban std::set/std::map (and multi variants) in the hot-path files.
+
+    The fixpoint kernels operate on dense type indices (DynamicBitset,
+    MaskIndex) and the caches on fingerprinted flat tables; a node-based
+    ordered container reintroduces per-element allocation and pointer-chasing
+    on exactly the paths the bench baselines measure. Cold setup code that
+    genuinely wants ordering documents itself with `// lint: cold(<why>)`.
+    """
+    rel = path.replace("\\", "/")
+    if not treat_as_hot and not any(
+        re.search(p, rel) for p in HOT_PATH_FILE_PATTERNS
+    ):
+        return []
+    findings = []
+    for m in HOT_PATH_CONTAINER_RE.finditer(stripped):
+        lineno = line_of(stripped, m.start())
+        if suppressed(annotations, lineno, "cold"):
+            continue
+        container = re.sub(r"\s+", "", m.group(0))
+        findings.append(
+            Finding(
+                "hot-path-container",
+                path,
+                lineno,
+                f"`{container}` in a hot-path file — use DynamicBitset/"
+                "MaskIndex over type indices or FlatMap/FlatSet "
+                "(DESIGN.md §11); annotate `// lint: cold(<why>)` only for "
+                "setup code off the fixpoint/cache paths",
+            )
+        )
+    return findings
+
+
 def check_header_self_contained(repo, header, std):
     """Compiles `#include "<header>"` alone; returns a Finding or None."""
     rel = os.path.relpath(header, repo).replace("\\", "/")
@@ -542,6 +591,7 @@ TEXT_RULES = {
     "raw-sto": rule_raw_sto,
     "raw-sync-primitive": rule_raw_sync_primitive,
     "atomic-memory-order": rule_atomic_memory_order,
+    "hot-path-container": rule_hot_path_container,
 }
 ALL_RULES = list(TEXT_RULES) + ["header-self-contained"]
 
@@ -557,7 +607,7 @@ def gather_sources(repo, subdirs=("src",), exts=(".h", ".cc")):
     return sorted(out)
 
 
-def run_text_rules(repo, files, rules, treat_as_expo=False):
+def run_text_rules(repo, files, rules, treat_as_expo=False, treat_as_hot=False):
     findings = []
     for path in files:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -570,6 +620,10 @@ def run_text_rules(repo, files, rules, treat_as_expo=False):
             if rule == "guard-poll":
                 findings.extend(
                     fn(rel, text, stripped, annotations, treat_as_expo=treat_as_expo)
+                )
+            elif rule == "hot-path-container":
+                findings.extend(
+                    fn(rel, text, stripped, annotations, treat_as_hot=treat_as_hot)
                 )
             else:
                 findings.extend(fn(rel, text, stripped, annotations))
@@ -625,6 +679,8 @@ def selftest(repo):
     expect("raw-sync-primitive", "raw_sync_good.cc", False)
     expect("atomic-memory-order", "atomic_order_bad.cc", True)
     expect("atomic-memory-order", "atomic_order_good.cc", False)
+    expect("hot-path-container", "hot_path_container_bad.cc", True, treat_as_hot=True)
+    expect("hot-path-container", "hot_path_container_good.cc", False, treat_as_hot=True)
     expect("header-self-contained", "header_bad.h", True)
     expect("header-self-contained", "header_good.h", False)
 

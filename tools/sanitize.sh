@@ -9,7 +9,8 @@
 # token, with the mutex-guarded fact board exchanging countermodels between
 # racers). This script builds the tsan preset and runs every EngineTest.* /
 # ThreadPoolTest.* / BudgetTest.* / PortfolioTest.* / StrategyTest.* /
-# FactBoardTest.* / SyncTest.* case under it (SyncTest is the dedicated
+# FactBoardTest.* / SyncTest.* / FlatContainerTest.* case under it (SyncTest
+# is the dedicated
 # multi-threaded stress file: sync-primitive contracts, fact-board/cache
 # hammering from 8 threads, CancelAll storms), so data races in the pool,
 # the caches, the guards, the race bookkeeping, the board, or the atomic
@@ -31,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=tsan
-filter='^(EngineTest|ThreadPoolTest|BudgetTest|PortfolioTest|StrategyTest|FactBoardTest|SyncTest)\.'
+filter='^(EngineTest|ThreadPoolTest|BudgetTest|PortfolioTest|StrategyTest|FactBoardTest|SyncTest|FlatContainerTest)\.'
 for arg in "$@"; do
   case "$arg" in
     --all) filter='.*' ;;
