@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/automata/semiautomaton.h"
+#include "src/core/lifecycle.h"
 #include "src/core/stats.h"
 #include "src/util/fingerprint.h"
 #include "src/util/flat_map.h"
@@ -36,14 +37,30 @@ class RegexCompileCache {
   CompiledRef CompileInto(const RegexPtr& regex, Semiautomaton* target,
                           PipelineStats* stats = nullptr);
 
+  /// Bounds the cache (entries and/or estimated bytes; 0 = unbounded).
+  /// Applies immediately and to every later insert.
+  void SetBudget(const CacheBudget& budget);
+
+  /// Drops ceil(size * pressure) lowest retain-score entries and shrinks the
+  /// backing arrays; returns entries dropped. Dropping is lifecycle only —
+  /// the regex recompiles identically on the next miss.
+  std::size_t Evict(double pressure, PipelineStats* stats = nullptr);
+
+  /// Summed resident-size estimates of the retained compilations.
+  std::size_t retained_bytes() const;
+
   void Clear();
   std::size_t size() const;
 
  private:
+  std::size_t EnforceBudgetLocked() GQC_REQUIRES(mu_);
+
   mutable Mutex mu_{kLockRankRegexCache, "regex-cache"};
+  CacheBudget budget_ GQC_GUARDED_BY(mu_);
+  uint64_t tick_ GQC_GUARDED_BY(mu_) = 0;
   /// Keyed by the structural serialization as an FpKey: probes compare the
   /// precomputed fingerprint first and the exact key text only on a match.
-  FlatMap<FpKey, std::shared_ptr<const CompiledRegex>, FpKeyHash>
+  FlatMap<FpKey, Retained<std::shared_ptr<const CompiledRegex>>, FpKeyHash>
       cache_ GQC_GUARDED_BY(mu_);
 };
 

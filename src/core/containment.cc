@@ -44,7 +44,15 @@ ContainmentChecker::ContainmentChecker(Vocabulary* vocab,
                                        ContainmentOptions options)
     : vocab_(vocab),
       options_(std::move(options)),
-      caches_(std::make_unique<ContainmentCaches>()) {}
+      caches_(std::make_unique<ContainmentCaches>()) {
+  // Wire the shared compile memo into every downstream search unless the
+  // caller supplied their own (the batch engine does, so its memo survives
+  // across per-worker checkers). Caching off disables the memo too.
+  if (options_.enable_caching &&
+      options_.countermodel.limits.compile_memo == nullptr) {
+    options_.countermodel.limits.compile_memo = caches_->compile_memo();
+  }
+}
 
 ContainmentResult ContainmentChecker::Decide(const Ucrpq& p, const Ucrpq& q,
                                              const TBox& schema) {

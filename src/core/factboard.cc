@@ -6,6 +6,23 @@
 
 namespace gqc {
 
+namespace {
+
+std::size_t GraphBytes(const Graph& g) {
+  std::size_t edges = 0;
+  for (NodeId v = 0; v < g.NodeCount(); ++v) edges += g.OutEdges(v).size();
+  return 64 + 48 * g.NodeCount() + 16 * edges;
+}
+
+std::size_t ResultBytes(const ContainmentResult& r) {
+  std::size_t bytes = 128 + r.attr.note.size();
+  if (r.countermodel.has_value()) bytes += GraphBytes(*r.countermodel);
+  if (r.central_part.has_value()) bytes += GraphBytes(*r.central_part);
+  return bytes;
+}
+
+}  // namespace
+
 bool GraphFitsVocabulary(const Graph& g, std::size_t concept_limit,
                          std::size_t role_limit) {
   for (NodeId v = 0; v < g.NodeCount(); ++v) {
@@ -28,12 +45,21 @@ bool SharedFactBoard::PublishCountermodel(const FpKey& scope_key,
   if (!GraphFitsVocabulary(g, concept_limit, role_limit)) return false;
   {
     MutexLock lock(&mu_);
-    std::vector<Graph>& scope = *countermodels_.TryEmplace(scope_key).first;
+    ++tick_;
+    auto [slot, inserted] = countermodels_.TryEmplace(scope_key);
+    if (inserted) slot->meta.bytes = scope_key.text().size() + 64;
+    std::vector<Graph>& scope = slot->value;
     if (scope.size() >= kMaxCountermodelsPerScope) return false;
     for (const Graph& have : scope) {
       if (have == g) return false;  // already published by a sibling
     }
     scope.push_back(g);
+    slot->meta.touch = tick_;
+    slot->meta.bytes += GraphBytes(g);
+    // A published countermodel short-cuts whole disjunct decisions; charge
+    // its retain cost well above a verdict memo's.
+    slot->meta.cost += 1000000;
+    EnforceBudgetLocked();
   }
   if (stats != nullptr) {
     stats->facts_published.fetch_add(1, std::memory_order_relaxed);
@@ -46,9 +72,11 @@ std::optional<Graph> SharedFactBoard::FindRefutation(
   std::vector<Graph> candidates;
   {
     MutexLock lock(&mu_);
-    const std::vector<Graph>* scope = countermodels_.Find(scope_key);
+    ++tick_;
+    auto* scope = countermodels_.Find(scope_key);
     if (scope == nullptr) return std::nullopt;
-    candidates = *scope;
+    scope->meta.touch = tick_;
+    candidates = scope->value;
   }
   for (Graph& g : candidates) {
     // The scope invariant gives G ⊨ T and G ⊭ Q; G ⊨ p completes the
@@ -79,9 +107,15 @@ void SharedFactBoard::PublishResult(const FpKey& disjunct_key,
   }
   {
     MutexLock lock(&mu_);
+    ++tick_;
     auto [slot, inserted] = results_.TryEmplace(disjunct_key);
     if (!inserted) return;  // first publisher wins; all definite agree anyway
-    *slot = std::move(result);
+    std::size_t bytes = disjunct_key.text().size() + ResultBytes(result);
+    slot->value = std::move(result);
+    // Verdict memos replace whole strategy pipelines; keep a flat high cost
+    // so recency drives eviction among them.
+    slot->meta = {tick_, 100000, bytes};
+    EnforceBudgetLocked();
   }
   if (stats != nullptr) {
     stats->facts_published.fetch_add(1, std::memory_order_relaxed);
@@ -93,9 +127,11 @@ std::optional<ContainmentResult> SharedFactBoard::LookupResult(
   std::optional<ContainmentResult> out;
   {
     MutexLock lock(&mu_);
-    const ContainmentResult* hit = results_.Find(disjunct_key);
+    ++tick_;
+    auto* hit = results_.Find(disjunct_key);
     if (hit == nullptr) return std::nullopt;
-    out = *hit;
+    hit->meta.touch = tick_;
+    out = hit->value;
   }
   if (stats != nullptr) {
     stats->facts_consumed.fetch_add(1, std::memory_order_relaxed);
@@ -103,17 +139,63 @@ std::optional<ContainmentResult> SharedFactBoard::LookupResult(
   return out;
 }
 
+void SharedFactBoard::SetBudget(const CacheBudget& budget) {
+  MutexLock lock(&mu_);
+  budget_ = budget;
+  EnforceBudgetLocked();
+}
+
+std::size_t SharedFactBoard::EnforceBudgetLocked() {
+  if (!budget_.bounded()) return 0;
+  std::size_t entries = countermodels_.size() + results_.size();
+  std::size_t bytes = RetainedBytes(countermodels_) + RetainedBytes(results_);
+  std::size_t drop = OverBudgetDropCount(budget_, entries, bytes);
+  if (drop == 0) return 0;
+  // Verdict memos outnumber countermodel scopes and recompute cheaply;
+  // evict them first.
+  std::size_t from_results = std::min(drop, results_.size());
+  std::size_t freed = EvictLowestScore(&results_, tick_, from_results);
+  freed += EvictLowestScore(&countermodels_, tick_, drop - from_results);
+  return freed;
+}
+
+std::size_t SharedFactBoard::Evict(double pressure, PipelineStats* stats) {
+  std::size_t bytes_freed = 0;
+  std::size_t freed = 0;
+  {
+    MutexLock lock(&mu_);
+    freed += EvictLowestScore(&countermodels_, tick_,
+                              EvictionCount(countermodels_.size(), pressure),
+                              &bytes_freed);
+    freed += EvictLowestScore(&results_, tick_,
+                              EvictionCount(results_.size(), pressure),
+                              &bytes_freed);
+  }
+  if (stats != nullptr && freed > 0) {
+    stats->cache_evictions.fetch_add(freed, std::memory_order_relaxed);
+    stats->cache_evicted_bytes.fetch_add(bytes_freed, std::memory_order_relaxed);
+  }
+  return freed;
+}
+
+std::size_t SharedFactBoard::retained_bytes() const {
+  MutexLock lock(&mu_);
+  return RetainedBytes(countermodels_) + RetainedBytes(results_);
+}
+
 void SharedFactBoard::Clear() {
   MutexLock lock(&mu_);
   countermodels_.Clear();
   results_.Clear();
+  tick_ = 0;
 }
 
 std::size_t SharedFactBoard::countermodel_count() const {
   MutexLock lock(&mu_);
   std::size_t n = 0;
-  countermodels_.ForEach(
-      [&](const FpKey&, const std::vector<Graph>& scope) { n += scope.size(); });
+  countermodels_.ForEach([&](const FpKey&, const Retained<std::vector<Graph>>& scope) {
+    n += scope.value.size();
+  });
   return n;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/lifecycle.h"
 #include "src/core/result.h"
 #include "src/core/stats.h"
 #include "src/graph/graph.h"
@@ -40,6 +41,10 @@ namespace gqc {
 /// countermodel mentioning P-layer symbols would silently alias differently-
 /// named symbols of another pair, so it stays private.
 ///
+/// Lifecycle (DESIGN.md §12): like the other caches, the board is bounded
+/// and evictable. Dropping an entry is always sound — a dropped fact is
+/// merely re-derived by whichever strategy finds it next.
+///
 /// All operations are mutex-protected and safe from any thread; query
 /// evaluation (the G ⊨ p re-check) runs outside the lock on copies.
 class SharedFactBoard {
@@ -74,16 +79,33 @@ class SharedFactBoard {
   std::optional<ContainmentResult> LookupResult(const FpKey& disjunct_key,
                                                 PipelineStats* stats) const;
 
+  /// Bounds both tables (entries are scopes/verdicts; bytes are resident
+  /// estimates; 0 = unbounded). Applies immediately and to later publishes.
+  void SetBudget(const CacheBudget& budget);
+
+  /// Drops ceil(size * pressure) lowest retain-score entries from each table
+  /// and shrinks the backing arrays; returns entries dropped.
+  std::size_t Evict(double pressure, PipelineStats* stats = nullptr);
+
+  /// Summed resident-size estimates of every retained fact.
+  std::size_t retained_bytes() const;
+
   void Clear();
 
   std::size_t countermodel_count() const;
   std::size_t result_count() const;
 
  private:
+  std::size_t EnforceBudgetLocked() GQC_REQUIRES(mu_);
+
   mutable Mutex mu_{kLockRankFactBoard, "fact-board"};
-  FlatMap<FpKey, std::vector<Graph>, FpKeyHash>
+  CacheBudget budget_ GQC_GUARDED_BY(mu_);
+  /// tick_ and the tables are mutable so const lookups can refresh retain
+  /// recency — logical constness: lookups never change what a key maps to.
+  mutable uint64_t tick_ GQC_GUARDED_BY(mu_) = 0;
+  mutable FlatMap<FpKey, Retained<std::vector<Graph>>, FpKeyHash>
       countermodels_ GQC_GUARDED_BY(mu_);
-  FlatMap<FpKey, ContainmentResult, FpKeyHash>
+  mutable FlatMap<FpKey, Retained<ContainmentResult>, FpKeyHash>
       results_ GQC_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,139 @@
+#ifndef GQC_CORE_LIFECYCLE_H_
+#define GQC_CORE_LIFECYCLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/fingerprint.h"
+#include "src/util/flat_map.h"
+
+namespace gqc {
+
+/// Cache-lifecycle primitives for long-running serving (DESIGN.md §12).
+///
+/// A batch run fills the shared caches and exits; a persistent server must
+/// keep them *useful under a memory bound*. Every bounded cache attaches a
+/// RetainMeta to each entry, scores entries by recency × recompute-cost
+/// (the vlog GBGraph cache-retain discipline: drop what is cheap to rebuild
+/// and cold, keep what is expensive and hot), and evicts the lowest-scoring
+/// entries when over budget or when an explicit Evict(pressure) hook fires.
+///
+/// Eviction is *lifecycle only*: a cache stores pure functions of its keys,
+/// so dropping an entry can never change a verdict — the next request
+/// recomputes the identical value (the eviction-soundness test pins this).
+
+/// Per-cache bounds. 0 = unbounded on that axis. Entry budgets are exact;
+/// byte budgets compare against the cache's resident-size *estimates*
+/// (documented per cache), so they bound growth, not precise RSS.
+struct CacheBudget {
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;
+
+  bool bounded() const { return max_entries > 0 || max_bytes > 0; }
+};
+
+/// Retain bookkeeping attached to every entry of a bounded cache.
+struct RetainMeta {
+  uint64_t touch = 0;     ///< owner's lifecycle tick at the last hit/insert
+  uint64_t cost = 1;      ///< recompute cost (build wall ns, clamped >= 1)
+  std::size_t bytes = 0;  ///< resident-size estimate
+};
+
+/// Retain score: recompute-cost discounted by age in ticks. Higher = more
+/// worth keeping; Evict drops the lowest-scoring entries first. A just-hit
+/// expensive entry maximizes the score; a cold cheap one minimizes it.
+inline double RetainScore(uint64_t now_tick, const RetainMeta& m) {
+  double age = static_cast<double>(now_tick - m.touch) + 1.0;
+  return static_cast<double>(m.cost == 0 ? 1 : m.cost) / age;
+}
+
+/// A cached value plus its retain metadata.
+template <typename V>
+struct Retained {
+  V value{};
+  RetainMeta meta;
+};
+
+/// How many entries an Evict(pressure) pass drops: ceil(size * pressure),
+/// clamped to [0, size]. pressure >= 1 empties the cache.
+inline std::size_t EvictionCount(std::size_t size, double pressure) {
+  if (size == 0 || pressure <= 0.0) return 0;
+  if (pressure >= 1.0) return size;
+  auto n = static_cast<std::size_t>(
+      static_cast<double>(size) * pressure + 0.999999);
+  return std::min(n, size);
+}
+
+/// Summed resident-size estimate of a retained FlatMap.
+template <typename V, typename Hash>
+std::size_t RetainedBytes(const FlatMap<FpKey, Retained<V>, Hash>& map) {
+  std::size_t total = 0;
+  map.ForEach([&](const FpKey&, const Retained<V>& r) {
+    total += r.meta.bytes;
+  });
+  return total;
+}
+
+/// Drops the `drop` lowest-scoring entries of `map` (ties broken by key text
+/// so eviction order is deterministic), adds the freed byte estimates to
+/// `*bytes_freed` (may be null), shrinks the slot arrays, and returns the
+/// number of entries dropped.
+template <typename V, typename Hash>
+std::size_t EvictLowestScore(FlatMap<FpKey, Retained<V>, Hash>* map,
+                             uint64_t now_tick, std::size_t drop,
+                             std::size_t* bytes_freed = nullptr) {
+  drop = std::min(drop, map->size());
+  if (drop == 0) return 0;
+  std::vector<std::pair<double, const FpKey*>> scored;
+  scored.reserve(map->size());
+  map->ForEach([&](const FpKey& k, const Retained<V>& r) {
+    scored.emplace_back(RetainScore(now_tick, r.meta), &k);
+  });
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->text() < b.second->text();
+            });
+  // Copy the doomed keys out first: Erase invalidates the pointers the
+  // scoreboard borrows from the map's slots.
+  std::vector<FpKey> doomed;
+  doomed.reserve(drop);
+  for (std::size_t i = 0; i < drop; ++i) doomed.push_back(*scored[i].second);
+  for (const FpKey& key : doomed) {
+    if (bytes_freed != nullptr) {
+      if (const auto* r = map->Find(key)) *bytes_freed += r->meta.bytes;
+    }
+    map->Erase(key);
+  }
+  map->ShrinkToFit();
+  return drop;
+}
+
+/// Entries to drop to bring (`entries`, `bytes`) back under `budget` with
+/// slack: targets 7/8 of each bound so one insert does not immediately
+/// re-trigger eviction. Returns 0 when within budget or unbounded.
+inline std::size_t OverBudgetDropCount(const CacheBudget& budget,
+                                       std::size_t entries,
+                                       std::size_t bytes) {
+  std::size_t drop = 0;
+  if (budget.max_entries > 0 && entries > budget.max_entries) {
+    std::size_t target = budget.max_entries - budget.max_entries / 8;
+    drop = std::max(drop, entries - target);
+  }
+  if (budget.max_bytes > 0 && bytes > budget.max_bytes && entries > 0) {
+    // Approximate bytes-per-entry to convert the byte overshoot into a
+    // deterministic entry count.
+    std::size_t per_entry = std::max<std::size_t>(1, bytes / entries);
+    std::size_t target_bytes = budget.max_bytes - budget.max_bytes / 8;
+    std::size_t excess = bytes - target_bytes;
+    drop = std::max(drop, std::min(entries, (excess + per_entry - 1) / per_entry));
+  }
+  return drop;
+}
+
+}  // namespace gqc
+
+#endif  // GQC_CORE_LIFECYCLE_H_

@@ -64,6 +64,9 @@ void PipelineStats::Reset() {
         &disjuncts_total, &normal_tbox_hits, &normal_tbox_misses, &regex_hits,
         &regex_misses, &closure_hits, &closure_misses, &schema_ctx_hits,
         &schema_ctx_misses, &query_ctx_hits, &query_ctx_misses,
+        &compile_memo_hits, &compile_memo_misses, &cache_evictions,
+        &cache_evicted_bytes, &cache_retained_bytes, &warmstart_loaded,
+        &warmstart_hits, &warmstart_rejected, &requests_shed,
         &countermodel_count, &countermodel_nodes_total, &countermodel_nodes_max,
         &guards_total, &budget_deadline, &budget_steps, &budget_memory,
         &budget_cancelled, &pairs_preempted, &portfolio_races,
@@ -156,6 +159,17 @@ std::string PipelineStats::ToJson() const {
   CacheEntry(&w, "closure", V(closure_hits), V(closure_misses));
   CacheEntry(&w, "schema_context", V(schema_ctx_hits), V(schema_ctx_misses));
   CacheEntry(&w, "query_context", V(query_ctx_hits), V(query_ctx_misses));
+  CacheEntry(&w, "compile_memo", V(compile_memo_hits), V(compile_memo_misses));
+  w.EndObject();
+
+  w.Key("lifecycle").BeginObject();
+  w.Key("evictions").UInt(V(cache_evictions));
+  w.Key("evicted_bytes").UInt(V(cache_evicted_bytes));
+  w.Key("retained_bytes").UInt(V(cache_retained_bytes));
+  w.Key("warmstart_loaded").UInt(V(warmstart_loaded));
+  w.Key("warmstart_hits").UInt(V(warmstart_hits));
+  w.Key("warmstart_rejected").UInt(V(warmstart_rejected));
+  w.Key("requests_shed").UInt(V(requests_shed));
   w.EndObject();
 
   w.Key("countermodels").BeginObject();

@@ -81,6 +81,19 @@ struct PipelineStats {
   std::atomic<uint64_t> schema_ctx_misses{0};
   std::atomic<uint64_t> query_ctx_hits{0};
   std::atomic<uint64_t> query_ctx_misses{0};
+  std::atomic<uint64_t> compile_memo_hits{0};
+  std::atomic<uint64_t> compile_memo_misses{0};
+
+  // --- cache lifecycle (long-running serving; DESIGN.md §12) ---
+  std::atomic<uint64_t> cache_evictions{0};      // entries dropped by Evict()
+  std::atomic<uint64_t> cache_evicted_bytes{0};  // estimated bytes released
+  /// Gauge, not a counter: the owner (EngineCore) refreshes it from the live
+  /// caches before every export, so snapshots show current residency.
+  std::atomic<uint64_t> cache_retained_bytes{0};
+  std::atomic<uint64_t> warmstart_loaded{0};     // contexts rebuilt from snapshot
+  std::atomic<uint64_t> warmstart_hits{0};       // hits on warm-started contexts
+  std::atomic<uint64_t> warmstart_rejected{0};   // corrupt/stale snapshots refused
+  std::atomic<uint64_t> requests_shed{0};        // admission-control sheds (serve)
 
   // --- countermodel sizes (nodes, over refuted pairs) ---
   std::atomic<uint64_t> countermodel_count{0};

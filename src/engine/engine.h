@@ -1,89 +1,26 @@
 #ifndef GQC_ENGINE_ENGINE_H_
 #define GQC_ENGINE_ENGINE_H_
 
-#include <chrono>
-#include <list>
-#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
-#include "src/automata/compile_cache.h"
-#include "src/core/containment.h"
-#include "src/core/factboard.h"
-#include "src/util/sync.h"
-#include "src/util/thread_pool.h"
+#include "src/engine/engine_core.h"
 
 namespace gqc {
-
-/// Options for the batch containment engine.
-struct EngineOptions {
-  /// Total threads deciding pairs (callers included); 0 means
-  /// hardware_concurrency, 1 means fully sequential (no pool overhead).
-  std::size_t threads = 1;
-  /// Per-pair pipeline options. The `stats` field is ignored — the engine
-  /// threads its own PipelineStats through every phase. The `strategies`
-  /// list (empty = mode default) selects the strategy order in sequential
-  /// mode and the racing pool in portfolio mode.
-  ContainmentOptions containment;
-  /// Also parallelize across the disjuncts of one P (when its Tp closure is
-  /// precomputed, so disjunct decisions are read-only on the pair state).
-  bool parallel_disjuncts = true;
-  /// Portfolio mode: decide each disjunct by racing the applicable
-  /// strategies on the pool (first definite verdict cancels the rest) with
-  /// fact sharing through the engine's SharedFactBoard, instead of running
-  /// them in sequential priority order. Definite verdicts are identical to
-  /// sequential mode wherever sequential mode reaches one (each racer gets
-  /// a fresh per-strategy budget, so the portfolio can only answer more);
-  /// wall-clock and Unknown attributions differ.
-  bool portfolio = false;
-  /// Wall-clock deadline for one whole DecideBatch call (0 = none). Pinned
-  /// when the batch starts; pairs reaching the front of the queue after it
-  /// passes are preempted (Unknown, no searches run). Each pair's effective
-  /// deadline is the tighter of this and `containment.resources.deadline_ms`.
-  double batch_timeout_ms = 0;
-};
-
-/// One containment question, as text. `schema_text` uses the concept syntax
-/// (lines with "<=") or the PG-Schema surface syntax, auto-detected; empty
-/// means the empty schema. Queries use the UC2RPQ syntax (src/query/parser.h).
-struct BatchItem {
-  std::string id;
-  std::string schema_text;
-  std::string p_text;
-  std::string q_text;
-};
-
-/// The engine's answer for one item. `ok` is false on parse/setup failures
-/// (`error` says why); otherwise `verdict` and `attr` are exactly the
-/// checker-level ContainmentResult surface (method, winning strategy, note,
-/// kUnknown details — one shared Attribution struct, so the two cannot
-/// drift), and `countermodel_nodes` is the size of the returned countermodel
-/// (or central part), 0 when there is none.
-struct BatchOutcome {
-  std::string id;
-  bool ok = false;
-  std::string error;
-  Verdict verdict = Verdict::kUnknown;
-  Attribution attr;
-  uint64_t countermodel_nodes = 0;
-  double wall_ms = 0.0;
-};
 
 /// Batch containment service: decides many (P, Q) pairs against their
 /// schemas, in parallel, with shared memoized state and pipeline metrics.
 ///
+/// Engine is the *batch orchestration* layer over EngineCore
+/// (src/engine/engine_core.h): it owns batch fan-out, per-batch controls,
+/// and input-order result collection, while the core owns the per-pair
+/// decision path and every memoized table. The serving front end
+/// (src/serve) is a sibling layer over the same core.
+///
 /// Parallelism: pair-level across the batch on a work-stealing pool, plus
 /// disjunct-level inside a pair (a nested ParallelFor; the waiting thread
 /// helps run other tasks, so nesting cannot deadlock).
-///
-/// Shared immutable state, all keyed by exact input text (or exact canonical
-/// serializations below the text level):
-///   - schema contexts: schema text -> (vocabulary, normalized TBox)
-///   - query contexts: (schema text, Q text) -> (vocabulary, parsed Q, and —
-///     when the §3 reduction applies to (T, Q) — the Tp(T, Q̂) closure)
-///   - a regex -> semiautomaton compile cache shared across all parses
 ///
 /// Determinism: each pair's decision is a pure function of its three texts.
 /// Vocabularies are layered — schema symbols first, then Q's, then the
@@ -114,88 +51,36 @@ class Engine {
   /// their pairs unwind to Unknown("cancelled") at the next guard poll.
   /// Sticky per batch only — batches started after the call are unaffected.
   /// Safe from any thread.
-  void CancelAll();
+  void CancelAll() { core_.CancelAll(); }
 
   /// Total threads the engine decides pairs with.
-  std::size_t threads() const { return pool_.concurrency(); }
+  std::size_t threads() const { return core_.threads(); }
 
-  PipelineStats& stats() { return stats_; }
-  const PipelineStats& stats() const { return stats_; }
-  std::string StatsJson() const { return stats_.ToJson(); }
+  PipelineStats& stats() { return core_.stats(); }
+  const PipelineStats& stats() const { return core_.stats(); }
+  std::string StatsJson() { return core_.StatsJson(); }
+
+  /// The layered decision core (session/serving layers build on it
+  /// directly; batch callers rarely need it).
+  EngineCore& core() { return core_; }
+  const EngineCore& core() const { return core_; }
 
   /// Drops memoized contexts and zeroes the stats (for measurement runs).
-  void ResetState();
+  void ResetState() { core_.ResetState(); }
 
   /// Parses one JSON-lines batch item: a flat object with string fields
   /// "id", "schema", "p", "q" ("id" and "schema" optional).
-  static Result<BatchItem> ParseBatchItemJson(std::string_view json_line);
+  static Result<BatchItem> ParseBatchItemJson(std::string_view json_line) {
+    return gqc::ParseBatchItemJson(json_line);
+  }
 
   /// Serializes an outcome as one JSON line (no trailing newline).
-  static std::string OutcomeToJson(const BatchOutcome& outcome);
+  static std::string OutcomeToJson(const BatchOutcome& outcome) {
+    return gqc::OutcomeToJson(outcome);
+  }
 
  private:
-  /// Schema text -> parsed + normalized schema in its own vocabulary.
-  struct SchemaContext {
-    Vocabulary vocab;
-    NormalTBox tbox;
-    std::string error;  // non-empty: parse failed, other fields invalid
-  };
-
-  /// (schema text, Q text) -> Q parsed in a copy of the schema vocabulary,
-  /// plus the precomputed Tp closure when the reduction applies to (T, Q).
-  struct QueryContext {
-    std::shared_ptr<const SchemaContext> schema;
-    Vocabulary vocab;
-    Ucrpq q;
-    /// Reduction would run for some disjunct of some P (participation
-    /// constraints present, Q in a supported fragment).
-    bool reduction_applicable = false;
-    std::shared_ptr<const TpClosure> closure;  // null if N/A or failed
-    std::string error;  // non-empty: parse failed, other fields invalid
-  };
-
-  /// Per-DecideBatch (or DecideOne) resource control: the batch deadline
-  /// pinned at start plus the cancellation token CancelAll reaches.
-  struct BatchControl {
-    bool has_deadline = false;
-    std::chrono::steady_clock::time_point deadline{};
-    CancellationToken cancel;
-  };
-
-  std::shared_ptr<const SchemaContext> GetSchemaContext(
-      const std::string& schema_text) GQC_EXCLUDES(ctx_mu_);
-  /// `guard` (optional) governs the closure build on a context miss; a
-  /// context whose closure build tripped the guard reflects that caller's
-  /// budget, not (schema, Q), and is returned uncached.
-  std::shared_ptr<const QueryContext> GetQueryContext(
-      const std::string& schema_text, const std::string& q_text,
-      ResourceGuard* guard) GQC_EXCLUDES(ctx_mu_);
-  BatchOutcome DecidePair(const BatchItem& item, const BatchControl& control);
-  /// Pins the batch deadline and registers the control's token with
-  /// CancelAll; `handle` receives the registration to pass to FinishControl.
-  BatchControl StartControl(std::list<CancellationToken>::iterator* handle);
-  void FinishControl(std::list<CancellationToken>::iterator handle);
-
-  EngineOptions options_;
-  PipelineStats stats_;
-  ThreadPool pool_;
-  RegexCompileCache regex_cache_;
-  /// Portfolio-mode fact exchange: countermodels and definite verdicts
-  /// shared across strategies, disjuncts, and pairs (cleared by ResetState).
-  SharedFactBoard facts_;
-
-  /// Guards the memoized context maps; values are computed outside the lock
-  /// (a racing double-miss builds the identical context; first insert wins).
-  Mutex ctx_mu_{kLockRankEngineContext, "engine-ctx"};
-  std::unordered_map<std::string, std::shared_ptr<const SchemaContext>>
-      schema_ctxs_ GQC_GUARDED_BY(ctx_mu_);
-  std::unordered_map<std::string, std::shared_ptr<const QueryContext>>
-      query_ctxs_ GQC_GUARDED_BY(ctx_mu_);
-
-  /// Guards the registry of in-flight batch cancellation tokens (the list
-  /// CancelAll walks); the tokens themselves are wait-free once copied out.
-  Mutex cancel_mu_{kLockRankEngineCancel, "engine-cancel"};
-  std::list<CancellationToken> active_controls_ GQC_GUARDED_BY(cancel_mu_);
+  EngineCore core_;
 };
 
 }  // namespace gqc

@@ -1,0 +1,654 @@
+#include "src/engine/engine_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <utility>
+
+#include "src/core/portfolio.h"
+#include "src/core/validate.h"
+#include "src/dl/concept_parser.h"
+#include "src/dl/normalize.h"
+#include "src/query/parser.h"
+#include "src/schema/schema_parser.h"
+#include "src/util/fingerprint.h"
+#include "src/util/invariant.h"
+#include "src/util/json.h"
+
+namespace gqc {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+uint64_t NsSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  return ns <= 0 ? 1 : static_cast<uint64_t>(ns);
+}
+
+std::size_t VocabBytes(const Vocabulary& vocab) {
+  // Interned name strings + id tables, at a flat per-symbol rate.
+  return 48 * (vocab.concept_count() + vocab.role_count());
+}
+
+}  // namespace
+
+EngineCore::EngineCore(EngineOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {
+  // Wire the core-lifetime compile memo into every downstream search (the
+  // ContainmentCheckers DecidePair creates are per pair, so a per-checker
+  // memo would never see a second solve). Callers may pre-wire their own.
+  if (options_.containment.countermodel.limits.compile_memo == nullptr) {
+    options_.containment.countermodel.limits.compile_memo = &compile_memo_;
+  }
+}
+
+std::shared_ptr<const EngineCore::SchemaContext> EngineCore::BuildSchemaContext(
+    const std::string& schema_text, bool warm) {
+  auto ctx = std::make_shared<SchemaContext>();
+  ctx->warm = warm;
+  Result<TBox> parsed = [&] {
+    PhaseTimer timer(&stats_.parse_ns);
+    std::string_view trimmed = Trim(schema_text);
+    if (trimmed.empty() || trimmed == "-") return Result<TBox>(TBox{});
+    // Same auto-detection as the CLI: concept syntax has "<=" inclusions,
+    // the PG-Schema surface syntax does not.
+    if (schema_text.find("<=") != std::string::npos) {
+      return ParseTBox(schema_text, &ctx->vocab);
+    }
+    return ParseSchema(schema_text, &ctx->vocab);
+  }();
+  if (!parsed.ok()) {
+    ctx->error = "schema: " + parsed.error();
+  } else {
+    PhaseTimer timer(&stats_.normalize_ns);
+    ctx->tbox = Normalize(parsed.value(), &ctx->vocab);
+  }
+  return ctx;
+}
+
+std::shared_ptr<const EngineCore::SchemaContext> EngineCore::GetSchemaContext(
+    const std::string& schema_text) {
+  FpKey key(schema_text);
+  {
+    MutexLock lock(&ctx_mu_);
+    ++ctx_tick_;
+    if (auto* hit = schema_ctxs_.Find(key)) {
+      hit->meta.touch = ctx_tick_;
+      stats_.schema_ctx_hits.fetch_add(1, std::memory_order_relaxed);
+      if (hit->value->warm) {
+        stats_.warmstart_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return hit->value;
+    }
+  }
+  stats_.schema_ctx_misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Built outside the lock: on a racing double-miss both threads build the
+  // identical context (it is a pure function of the text) and the first
+  // insert wins, so determinism is unaffected.
+  auto build_start = std::chrono::steady_clock::now();
+  auto ctx = BuildSchemaContext(schema_text, /*warm=*/false);
+  uint64_t cost = NsSince(build_start);
+  std::size_t bytes = schema_text.size() + 96 * ctx->tbox.size() +
+                      VocabBytes(ctx->vocab) + 128;
+
+  MutexLock lock(&ctx_mu_);
+  auto [slot, inserted] = schema_ctxs_.TryEmplace(std::move(key));
+  if (!inserted) return slot->value;
+  slot->value = ctx;
+  slot->meta = {ctx_tick_, cost, bytes};
+  // Enforcement may evict this very entry and rehash the table; `slot` is
+  // dead after the call, so return the local ref.
+  EnforceCtxBudgetLocked();
+  return ctx;
+}
+
+std::shared_ptr<const EngineCore::QueryContext> EngineCore::BuildQueryContext(
+    const std::string& schema_text, const std::string& q_text,
+    ResourceGuard* guard, bool warm) {
+  auto schema_ctx = GetSchemaContext(schema_text);
+  auto ctx = std::make_shared<QueryContext>();
+  ctx->warm = warm;
+  ctx->schema = schema_ctx;
+  if (!schema_ctx->error.empty()) {
+    ctx->error = schema_ctx->error;
+    return ctx;
+  }
+  // Layer Q's symbols on a private copy of the schema vocabulary; every
+  // pair against this (T, Q) then copies the result, so symbol ids are a
+  // deterministic function of (schema text, Q text) alone.
+  ctx->vocab = schema_ctx->vocab;
+  Result<Ucrpq> q = [&] {
+    PhaseTimer timer(&stats_.parse_ns);
+    return ParseUcrpq(q_text, &ctx->vocab, &regex_cache_, &stats_);
+  }();
+  if (!q.ok()) {
+    ctx->error = "q: " + q.error();
+  } else {
+    ctx->q = std::move(q).value();
+    const NormalTBox& tbox = schema_ctx->tbox;
+    bool alcq_case = !tbox.UsesInverse();
+    bool alci_case = !tbox.UsesCounting() && ctx->q.IsOneWay();
+    ctx->reduction_applicable = !options_.containment.disable_reduction &&
+                                tbox.HasParticipationConstraints() &&
+                                ctx->q.IsSimple() && ctx->q.IsConnected() &&
+                                (alcq_case || alci_case);
+    if (ctx->reduction_applicable) {
+      ReductionOptions ropts;
+      ropts.countermodel = options_.containment.countermodel;
+      ropts.countermodel.limits.guard = guard;
+      ropts.factorize = options_.containment.factorize;
+      ropts.factorize.guard = guard;
+      ropts.stats = &stats_;
+      stats_.closure_misses.fetch_add(1, std::memory_order_relaxed);
+      auto closure = ComputeTpClosure(ctx->q, tbox, alcq_case, &ctx->vocab, ropts);
+      if (closure.ok()) {
+        ctx->closure =
+            std::make_shared<const TpClosure>(std::move(closure).value());
+      }
+      // On failure the closure stays null; pairs fall back to the checker's
+      // sequential path, which reproduces the same failure note.
+    }
+  }
+  // Vocabulary layering: Q's context must extend the schema context (same
+  // ids for every schema symbol, new ids appended), or disjunct decisions
+  // sharing the closure would disagree about symbol identity.
+  GQC_DCHECK(ctx->vocab.concept_count() >= schema_ctx->vocab.concept_count());
+  GQC_DCHECK(ctx->vocab.role_count() >= schema_ctx->vocab.role_count());
+  return ctx;
+}
+
+std::shared_ptr<const EngineCore::QueryContext> EngineCore::GetQueryContext(
+    const std::string& schema_text, const std::string& q_text,
+    ResourceGuard* guard) {
+  std::string key_text = JoinKeyParts(schema_text, q_text);
+  // Pair verdicts are a pure function of (schema text, Q text) given the
+  // engine's pinned options; the composite key must round-trip to exactly
+  // those parts or two distinct contexts could alias.
+  GQC_AUDIT(ValidateCacheKey(key_text, {schema_text, q_text}));
+  FpKey key(std::move(key_text));
+  {
+    MutexLock lock(&ctx_mu_);
+    ++ctx_tick_;
+    if (auto* hit = query_ctxs_.Find(key)) {
+      hit->meta.touch = ctx_tick_;
+      stats_.query_ctx_hits.fetch_add(1, std::memory_order_relaxed);
+      if (hit->value->closure != nullptr) {
+        stats_.closure_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (hit->value->warm) {
+        stats_.warmstart_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return hit->value;
+    }
+  }
+  stats_.query_ctx_misses.fetch_add(1, std::memory_order_relaxed);
+
+  auto build_start = std::chrono::steady_clock::now();
+  auto ctx = BuildQueryContext(schema_text, q_text, guard, /*warm=*/false);
+  uint64_t cost = NsSince(build_start);
+
+  // A context whose closure build tripped the caller's guard reflects that
+  // caller's budget (or the batch deadline), not (schema, Q); caching it
+  // would degrade later, better-funded pairs. Return it uncached.
+  if (guard != nullptr && guard->exhausted()) return ctx;
+
+  std::size_t bytes = key.text().size() + VocabBytes(ctx->vocab) + 256;
+  if (ctx->closure != nullptr) {
+    bytes += 8 * ctx->closure->engine_masks.size() + 1024;
+  }
+  MutexLock lock(&ctx_mu_);
+  auto [slot, inserted] = query_ctxs_.TryEmplace(std::move(key));
+  if (!inserted) return slot->value;
+  slot->value = ctx;
+  slot->meta = {ctx_tick_, cost, bytes};
+  // Enforcement may evict this very entry and rehash; `slot` is dead after.
+  EnforceCtxBudgetLocked();
+  return ctx;
+}
+
+BatchOutcome EngineCore::DecidePair(const BatchItem& item,
+                                    const BatchControl& control) {
+  auto start = std::chrono::steady_clock::now();
+  BatchOutcome out;
+  out.id = item.id;
+
+  // Effective pair deadline: the tighter of the per-pair budget deadline
+  // (relative to now) and the batch deadline (absolute, pinned at batch
+  // start). Pinned once here and shared by every guard of this pair; step
+  // and memory budgets stay per disjunct.
+  ResourceBudget budget = options_.containment.resources;
+  budget.cancel = control.cancel;
+  bool has_deadline = control.has_deadline;
+  auto deadline = control.deadline;
+  if (budget.deadline_ms > 0) {
+    auto pair_deadline =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget.deadline_ms));
+    if (!has_deadline || pair_deadline < deadline) deadline = pair_deadline;
+    has_deadline = true;
+  }
+
+  // Preemption: a cancelled batch or an already-passed deadline skips the
+  // pair entirely — no parsing, no searches — but still yields a (tallied)
+  // Unknown outcome so completed batches always account for every item.
+  bool cancelled = control.cancel.cancelled();
+  if (cancelled || (has_deadline && start >= deadline)) {
+    out.ok = true;
+    out.verdict = Verdict::kUnknown;
+    out.attr.unknown.emplace();
+    out.attr.unknown->reason = cancelled ? "cancelled" : "deadline";
+    out.attr.unknown->phase = GuardPhaseName(GuardPhase::kSetup);
+    out.attr.note = cancelled ? "preempted: batch cancelled before decision"
+                              : "preempted: deadline passed before decision";
+    stats_.RecordPreempted();
+    ContainmentResult preempted;
+    preempted.verdict = Verdict::kUnknown;
+    TallyPair(&stats_, preempted);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  // The setup guard spans context assembly (including a Tp-closure build on
+  // a context miss); each disjunct decision below gets its own fresh guard.
+  ResourceGuard setup_guard(budget, has_deadline, deadline);
+  std::shared_ptr<const QueryContext> qctx =
+      GetQueryContext(item.schema_text, item.q_text, &setup_guard);
+  if (setup_guard.exhausted()) stats_.RecordGuard(setup_guard);
+  if (!qctx->error.empty()) {
+    out.error = qctx->error;
+    stats_.pairs_error.fetch_add(1, std::memory_order_relaxed);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  // Per-pair vocabulary: a copy of the (schema, Q) context layer; P's
+  // symbols intern into the copy, never into shared state.
+  Vocabulary vocab = qctx->vocab;
+  Result<Ucrpq> p = [&] {
+    PhaseTimer timer(&stats_.parse_ns);
+    return ParseUcrpq(item.p_text, &vocab, &regex_cache_, &stats_);
+  }();
+  if (!p.ok()) {
+    out.error = "p: " + p.error();
+    stats_.pairs_error.fetch_add(1, std::memory_order_relaxed);
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+
+  ContainmentOptions copts = options_.containment;
+  copts.stats = &stats_;
+  ContainmentChecker checker(&vocab, copts);
+  const NormalTBox& tbox = qctx->schema->tbox;
+  const TpClosure* closure = qctx->closure.get();
+  const std::vector<Crpq>& disjuncts = p.value().Disjuncts();
+
+  std::vector<ContainmentResult> per_disjunct;
+  if (options_.portfolio) {
+    // Portfolio mode: each disjunct is decided by racing the applicable
+    // strategies (src/core/portfolio.h), sharing facts through the engine
+    // board. Every strategy is read-only on the pair vocabulary
+    // (vocab_shared; the closure-less reduction gates itself out), so
+    // disjunct- and strategy-level parallelism both nest freely on the pool.
+    const FpKey scope_key(JoinKeyParts(item.schema_text, item.q_text));
+    const ContainmentOptions& copts_ref = checker.options();
+    auto decide_one = [&](std::size_t i) {
+      StrategyContext sctx;
+      sctx.p = &disjuncts[i];
+      sctx.q = &qctx->q;
+      sctx.schema = &tbox;
+      sctx.closure = closure;
+      sctx.vocab = &vocab;
+      sctx.caches = checker.caches();
+      sctx.options = &copts_ref;
+      sctx.stats = &stats_;
+      sctx.vocab_shared = true;
+      PortfolioOptions popts;
+      popts.strategies = copts_ref.strategies;
+      popts.pool = &pool_;
+      popts.board = &facts_;
+      popts.scope_key = scope_key;
+      popts.disjunct_key =
+          FpKey(JoinKeyParts(scope_key.text(), disjuncts[i].ToString(vocab)));
+      popts.shared_concept_limit = qctx->vocab.concept_count();
+      popts.shared_role_limit = qctx->vocab.role_count();
+      popts.budget = budget;
+      popts.has_deadline = has_deadline;
+      popts.deadline = deadline;
+      per_disjunct[i] = RunPortfolio(sctx, popts);
+    };
+    per_disjunct.resize(disjuncts.size());
+    if (options_.parallel_disjuncts && disjuncts.size() > 1 &&
+        pool_.concurrency() > 1) {
+      pool_.ParallelFor(disjuncts.size(), decide_one);
+    } else {
+      for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+        decide_one(i);
+        if (per_disjunct[i].verdict == Verdict::kNotContained) {
+          per_disjunct.resize(i + 1);
+          break;
+        }
+      }
+    }
+    ContainmentResult combined =
+        ContainmentChecker::Combine(std::move(per_disjunct));
+    TallyPair(&stats_, combined);
+    out.ok = true;
+    out.verdict = combined.verdict;
+    out.attr = std::move(combined.attr);
+    if (combined.countermodel.has_value()) {
+      out.countermodel_nodes = combined.countermodel->NodeCount();
+    } else if (combined.central_part.has_value()) {
+      out.countermodel_nodes = combined.central_part->NodeCount();
+    }
+    out.wall_ms = MsSince(start);
+    return out;
+  }
+  // Disjunct-level parallelism requires every DecideDisjunct call to be
+  // read-only on the shared pair vocabulary, which holds exactly when the
+  // closure is precomputed (or the reduction cannot trigger for this Q).
+  bool parallel = options_.parallel_disjuncts && disjuncts.size() > 1 &&
+                  pool_.concurrency() > 1 &&
+                  (closure != nullptr || !qctx->reduction_applicable);
+  if (parallel) {
+    per_disjunct.resize(disjuncts.size());
+    // One guard per disjunct (fresh step/memory counters, shared absolute
+    // deadline + token) keeps budget verdicts independent of scheduling.
+    std::vector<std::unique_ptr<ResourceGuard>> guards;
+    guards.reserve(disjuncts.size());
+    for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+      guards.push_back(
+          std::make_unique<ResourceGuard>(budget, has_deadline, deadline));
+    }
+    pool_.ParallelFor(disjuncts.size(), [&](std::size_t i) {
+      per_disjunct[i] = checker.DecideDisjunct(disjuncts[i], qctx->q, tbox,
+                                               closure, guards[i].get());
+    });
+    for (const auto& guard : guards) stats_.RecordGuard(*guard);
+  } else {
+    per_disjunct.reserve(disjuncts.size());
+    for (const Crpq& d : disjuncts) {
+      ResourceGuard guard(budget, has_deadline, deadline);
+      per_disjunct.push_back(
+          checker.DecideDisjunct(d, qctx->q, tbox, closure, &guard));
+      stats_.RecordGuard(guard);
+      if (per_disjunct.back().verdict == Verdict::kNotContained) break;
+    }
+  }
+  ContainmentResult combined = ContainmentChecker::Combine(std::move(per_disjunct));
+  TallyPair(&stats_, combined);
+
+  out.ok = true;
+  out.verdict = combined.verdict;
+  out.attr = std::move(combined.attr);
+  if (combined.countermodel.has_value()) {
+    out.countermodel_nodes = combined.countermodel->NodeCount();
+  } else if (combined.central_part.has_value()) {
+    out.countermodel_nodes = combined.central_part->NodeCount();
+  }
+  out.wall_ms = MsSince(start);
+  return out;
+}
+
+EngineCore::BatchControl EngineCore::StartControl(ControlHandle* handle) {
+  return StartControl(options_.batch_timeout_ms, handle);
+}
+
+EngineCore::BatchControl EngineCore::StartControl(double timeout_ms,
+                                                  ControlHandle* handle) {
+  if (timeout_ms <= 0) timeout_ms = options_.batch_timeout_ms;
+  BatchControl control;
+  if (timeout_ms > 0) {
+    control.has_deadline = true;
+    control.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+  }
+  MutexLock lock(&cancel_mu_);
+  *handle = active_controls_.insert(active_controls_.end(), control.cancel);
+  return control;
+}
+
+void EngineCore::FinishControl(ControlHandle handle) {
+  MutexLock lock(&cancel_mu_);
+  active_controls_.erase(handle);
+}
+
+void EngineCore::CancelAll() {
+  MutexLock lock(&cancel_mu_);
+  for (CancellationToken& token : active_controls_) token.Cancel();
+}
+
+void EngineCore::SetCacheBudget(const CacheBudget& budget) {
+  regex_cache_.SetBudget(budget);
+  facts_.SetBudget(budget);
+  compile_memo_.SetBudget(budget);
+  MutexLock lock(&ctx_mu_);
+  ctx_budget_ = budget;
+  EnforceCtxBudgetLocked();
+}
+
+std::size_t EngineCore::EnforceCtxBudgetLocked() {
+  if (!ctx_budget_.bounded()) return 0;
+  std::size_t entries = schema_ctxs_.size() + query_ctxs_.size();
+  std::size_t bytes = RetainedBytes(schema_ctxs_) + RetainedBytes(query_ctxs_);
+  std::size_t drop = OverBudgetDropCount(ctx_budget_, entries, bytes);
+  if (drop == 0) return 0;
+  // Query contexts dominate (closures) and depend on schema contexts, so
+  // evict them first; schema contexts go only when that is not enough.
+  std::size_t from_queries = std::min(drop, query_ctxs_.size());
+  std::size_t bytes_freed = 0;
+  std::size_t freed = EvictLowestScore(&query_ctxs_, ctx_tick_, from_queries,
+                                       &bytes_freed);
+  freed += EvictLowestScore(&schema_ctxs_, ctx_tick_, drop - from_queries,
+                            &bytes_freed);
+  stats_.cache_evictions.fetch_add(freed, std::memory_order_relaxed);
+  stats_.cache_evicted_bytes.fetch_add(bytes_freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t EngineCore::Evict(double pressure) {
+  std::size_t freed = 0;
+  freed += regex_cache_.Evict(pressure, &stats_);
+  freed += facts_.Evict(pressure, &stats_);
+  std::size_t memo_freed = compile_memo_.Evict(pressure);
+  stats_.cache_evictions.fetch_add(memo_freed, std::memory_order_relaxed);
+  freed += memo_freed;
+  {
+    MutexLock lock(&ctx_mu_);
+    std::size_t bytes_freed = 0;
+    std::size_t n = 0;
+    n += EvictLowestScore(&schema_ctxs_, ctx_tick_,
+                          EvictionCount(schema_ctxs_.size(), pressure),
+                          &bytes_freed);
+    n += EvictLowestScore(&query_ctxs_, ctx_tick_,
+                          EvictionCount(query_ctxs_.size(), pressure),
+                          &bytes_freed);
+    stats_.cache_evictions.fetch_add(n, std::memory_order_relaxed);
+    stats_.cache_evicted_bytes.fetch_add(bytes_freed, std::memory_order_relaxed);
+    freed += n;
+  }
+  RefreshLifecycleGauges();
+  return freed;
+}
+
+std::size_t EngineCore::retained_bytes() const {
+  std::size_t total = regex_cache_.retained_bytes() + facts_.retained_bytes() +
+                      compile_memo_.retained_bytes();
+  MutexLock lock(&ctx_mu_);
+  return total + RetainedBytes(schema_ctxs_) + RetainedBytes(query_ctxs_);
+}
+
+EngineCore::SnapshotKeys EngineCore::ExportSnapshotKeys() const {
+  SnapshotKeys keys;
+  {
+    MutexLock lock(&ctx_mu_);
+    schema_ctxs_.ForEach(
+        [&](const FpKey& k, const Retained<std::shared_ptr<const SchemaContext>>& r) {
+          // Contexts that failed to parse are not worth re-warming.
+          if (r.value->error.empty()) keys.schemas.push_back(k.text());
+        });
+    query_ctxs_.ForEach(
+        [&](const FpKey& k, const Retained<std::shared_ptr<const QueryContext>>& r) {
+          if (!r.value->error.empty()) return;
+          auto parts = SplitKeyParts(k.text());
+          if (parts.has_value() && parts->size() == 2) {
+            keys.queries.emplace_back(std::move((*parts)[0]),
+                                      std::move((*parts)[1]));
+          }
+        });
+  }
+  std::sort(keys.schemas.begin(), keys.schemas.end());
+  std::sort(keys.queries.begin(), keys.queries.end());
+  return keys;
+}
+
+std::size_t EngineCore::WarmStart(const SnapshotKeys& keys) {
+  std::size_t loaded = 0;
+  for (const std::string& schema_text : keys.schemas) {
+    FpKey key(schema_text);
+    {
+      MutexLock lock(&ctx_mu_);
+      if (schema_ctxs_.Find(key) != nullptr) continue;
+    }
+    auto build_start = std::chrono::steady_clock::now();
+    auto ctx = BuildSchemaContext(schema_text, /*warm=*/true);
+    uint64_t cost = NsSince(build_start);
+    std::size_t bytes = schema_text.size() + 96 * ctx->tbox.size() +
+                        VocabBytes(ctx->vocab) + 128;
+    MutexLock lock(&ctx_mu_);
+    ++ctx_tick_;
+    auto [slot, inserted] = schema_ctxs_.TryEmplace(std::move(key));
+    if (inserted) {
+      slot->value = std::move(ctx);
+      slot->meta = {ctx_tick_, cost, bytes};
+      EnforceCtxBudgetLocked();
+      ++loaded;
+    }
+  }
+  for (const auto& [schema_text, q_text] : keys.queries) {
+    FpKey key(JoinKeyParts(schema_text, q_text));
+    {
+      MutexLock lock(&ctx_mu_);
+      if (query_ctxs_.Find(key) != nullptr) continue;
+    }
+    auto build_start = std::chrono::steady_clock::now();
+    auto ctx = BuildQueryContext(schema_text, q_text, /*guard=*/nullptr,
+                                 /*warm=*/true);
+    uint64_t cost = NsSince(build_start);
+    std::size_t bytes = key.text().size() + VocabBytes(ctx->vocab) + 256;
+    if (ctx->closure != nullptr) {
+      bytes += 8 * ctx->closure->engine_masks.size() + 1024;
+    }
+    MutexLock lock(&ctx_mu_);
+    ++ctx_tick_;
+    auto [slot, inserted] = query_ctxs_.TryEmplace(std::move(key));
+    if (inserted) {
+      slot->value = std::move(ctx);
+      slot->meta = {ctx_tick_, cost, bytes};
+      EnforceCtxBudgetLocked();
+      ++loaded;
+    }
+  }
+  stats_.warmstart_loaded.fetch_add(loaded, std::memory_order_relaxed);
+  return loaded;
+}
+
+void EngineCore::RefreshLifecycleGauges() {
+  stats_.compile_memo_hits.store(compile_memo_.hits(),
+                                 std::memory_order_relaxed);
+  stats_.compile_memo_misses.store(compile_memo_.misses(),
+                                   std::memory_order_relaxed);
+  stats_.cache_retained_bytes.store(retained_bytes(),
+                                    std::memory_order_relaxed);
+}
+
+std::string EngineCore::StatsJson() {
+  RefreshLifecycleGauges();
+  return stats_.ToJson();
+}
+
+void EngineCore::ResetState() {
+  {
+    MutexLock lock(&ctx_mu_);
+    schema_ctxs_.Clear();
+    query_ctxs_.Clear();
+    ctx_tick_ = 0;
+  }
+  regex_cache_.Clear();
+  facts_.Clear();
+  compile_memo_.Clear();
+  stats_.Reset();
+}
+
+Result<BatchItem> ParseBatchItemJson(std::string_view json_line) {
+  auto fields = ParseFlatJsonObject(json_line);
+  if (!fields.ok()) return Result<BatchItem>::Error("batch item: " + fields.error());
+  BatchItem item;
+  bool have_p = false;
+  bool have_q = false;
+  for (const JsonField& f : fields.value()) {
+    if (f.key == "id") {
+      item.id = f.value;
+    } else if (f.key == "schema") {
+      item.schema_text = f.value;
+    } else if (f.key == "p") {
+      item.p_text = f.value;
+      have_p = true;
+    } else if (f.key == "q") {
+      item.q_text = f.value;
+      have_q = true;
+    } else {
+      return Result<BatchItem>::Error("batch item: unknown field \"" + f.key + "\"");
+    }
+  }
+  if (!have_p || !have_q) {
+    return Result<BatchItem>::Error("batch item: fields \"p\" and \"q\" are required");
+  }
+  return item;
+}
+
+std::string OutcomeToJson(const BatchOutcome& outcome) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").String(outcome.id);
+  w.Key("ok").Bool(outcome.ok);
+  if (!outcome.ok) {
+    w.Key("error").String(outcome.error);
+  } else {
+    w.Key("verdict").String(VerdictName(outcome.verdict));
+    w.Key("method").String(ContainmentMethodName(outcome.attr.method));
+    if (!outcome.attr.strategy.empty()) {
+      w.Key("strategy").String(outcome.attr.strategy);
+    }
+    if (!outcome.attr.note.empty()) w.Key("note").String(outcome.attr.note);
+    if (outcome.attr.unknown.has_value()) {
+      w.Key("unknown_reason").String(outcome.attr.unknown->reason);
+      w.Key("unknown_phase").String(outcome.attr.unknown->phase);
+    }
+    if (outcome.countermodel_nodes > 0) {
+      w.Key("countermodel_nodes").UInt(outcome.countermodel_nodes);
+    }
+  }
+  w.Key("wall_ms").Double(outcome.wall_ms);
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace gqc

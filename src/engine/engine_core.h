@@ -1,0 +1,255 @@
+#ifndef GQC_ENGINE_ENGINE_CORE_H_
+#define GQC_ENGINE_ENGINE_CORE_H_
+
+#include <chrono>
+#include <list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/automata/compile_cache.h"
+#include "src/core/containment.h"
+#include "src/core/factboard.h"
+#include "src/core/lifecycle.h"
+#include "src/entailment/compile_memo.h"
+#include "src/util/sync.h"
+#include "src/util/thread_pool.h"
+
+namespace gqc {
+
+/// Options for the batch containment engine.
+struct EngineOptions {
+  /// Total threads deciding pairs (callers included); 0 means
+  /// hardware_concurrency, 1 means fully sequential (no pool overhead).
+  std::size_t threads = 1;
+  /// Per-pair pipeline options. The `stats` field is ignored — the engine
+  /// threads its own PipelineStats through every phase. The `strategies`
+  /// list (empty = mode default) selects the strategy order in sequential
+  /// mode and the racing pool in portfolio mode.
+  ContainmentOptions containment;
+  /// Also parallelize across the disjuncts of one P (when its Tp closure is
+  /// precomputed, so disjunct decisions are read-only on the pair state).
+  bool parallel_disjuncts = true;
+  /// Portfolio mode: decide each disjunct by racing the applicable
+  /// strategies on the pool (first definite verdict cancels the rest) with
+  /// fact sharing through the engine's SharedFactBoard, instead of running
+  /// them in sequential priority order. Definite verdicts are identical to
+  /// sequential mode wherever sequential mode reaches one (each racer gets
+  /// a fresh per-strategy budget, so the portfolio can only answer more);
+  /// wall-clock and Unknown attributions differ.
+  bool portfolio = false;
+  /// Wall-clock deadline for one whole DecideBatch call (0 = none). Pinned
+  /// when the batch starts; pairs reaching the front of the queue after it
+  /// passes are preempted (Unknown, no searches run). Each pair's effective
+  /// deadline is the tighter of this and `containment.resources.deadline_ms`.
+  double batch_timeout_ms = 0;
+};
+
+/// One containment question, as text. `schema_text` uses the concept syntax
+/// (lines with "<=") or the PG-Schema surface syntax, auto-detected; empty
+/// means the empty schema. Queries use the UC2RPQ syntax (src/query/parser.h).
+struct BatchItem {
+  std::string id;
+  std::string schema_text;
+  std::string p_text;
+  std::string q_text;
+};
+
+/// The engine's answer for one item. `ok` is false on parse/setup failures
+/// (`error` says why); otherwise `verdict` and `attr` are exactly the
+/// checker-level ContainmentResult surface (method, winning strategy, note,
+/// kUnknown details — one shared Attribution struct, so the two cannot
+/// drift), and `countermodel_nodes` is the size of the returned countermodel
+/// (or central part), 0 when there is none.
+struct BatchOutcome {
+  std::string id;
+  bool ok = false;
+  std::string error;
+  Verdict verdict = Verdict::kUnknown;
+  Attribution attr;
+  uint64_t countermodel_nodes = 0;
+  double wall_ms = 0.0;
+};
+
+/// The per-pair decision core of the batch engine: context assembly,
+/// strategy/portfolio dispatch, guards, cancellation, stats — everything
+/// *below* batch orchestration. The Engine facade (src/engine/engine.h)
+/// layers batch fan-out on top; the serving layer (src/serve) layers
+/// sessions and admission on top of the same core. Both reuse the one
+/// decision path, so a pair's verdict cannot depend on which front end
+/// asked (DecidePair is a pure function of the item texts given the pinned
+/// options; see the determinism contract on Engine).
+///
+/// Shared memoized state, all keyed by exact input text (or exact canonical
+/// serializations below the text level):
+///   - schema contexts: schema text -> (vocabulary, normalized TBox)
+///   - query contexts: (schema text, Q text) -> (vocabulary, parsed Q, and —
+///     when the §3 reduction applies to (T, Q) — the Tp(T, Q̂) closure)
+///   - a regex -> semiautomaton compile cache shared across all parses
+///   - a compile memo for the per-solve word-mask compilations
+///   - the portfolio fact board
+///
+/// Lifecycle (DESIGN.md §12): every table above is bounded by
+/// SetCacheBudget, evictable via Evict(pressure), and measurable via
+/// retained_bytes(). Context keys can be exported (ExportSnapshotKeys) and
+/// re-imported (WarmStart) to persist cache warmth across process restarts;
+/// only *keys* are persisted — values are recomputed on load, so a snapshot
+/// can never alter a verdict.
+class EngineCore {
+ public:
+  explicit EngineCore(EngineOptions options = {});
+
+  /// Schema text -> parsed + normalized schema in its own vocabulary.
+  struct SchemaContext {
+    Vocabulary vocab;
+    NormalTBox tbox;
+    std::string error;  // non-empty: parse failed, other fields invalid
+    /// Rebuilt from a warm-start snapshot (hits count as warmstart_hits).
+    bool warm = false;
+  };
+
+  /// (schema text, Q text) -> Q parsed in a copy of the schema vocabulary,
+  /// plus the precomputed Tp closure when the reduction applies to (T, Q).
+  struct QueryContext {
+    std::shared_ptr<const SchemaContext> schema;
+    Vocabulary vocab;
+    Ucrpq q;
+    /// Reduction would run for some disjunct of some P (participation
+    /// constraints present, Q in a supported fragment).
+    bool reduction_applicable = false;
+    std::shared_ptr<const TpClosure> closure;  // null if N/A or failed
+    std::string error;  // non-empty: parse failed, other fields invalid
+    bool warm = false;
+  };
+
+  /// Per-batch (or per-request) resource control: the deadline pinned at
+  /// start plus the cancellation token CancelAll reaches.
+  struct BatchControl {
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    CancellationToken cancel;
+  };
+
+  using ControlHandle = std::list<CancellationToken>::iterator;
+
+  /// Decides one pair under `control`. Callable concurrently with itself.
+  BatchOutcome DecidePair(const BatchItem& item, const BatchControl& control);
+
+  /// Pins a deadline from options().batch_timeout_ms and registers the
+  /// control's token with CancelAll; `handle` receives the registration to
+  /// pass to FinishControl.
+  BatchControl StartControl(ControlHandle* handle) GQC_EXCLUDES(cancel_mu_);
+  /// Same, but with an explicit wall-clock budget for this control
+  /// (serving: per-request deadlines). timeout_ms <= 0 means
+  /// options().batch_timeout_ms.
+  BatchControl StartControl(double timeout_ms, ControlHandle* handle)
+      GQC_EXCLUDES(cancel_mu_);
+  void FinishControl(ControlHandle handle) GQC_EXCLUDES(cancel_mu_);
+
+  /// Cancels every in-flight control: their pairs unwind to
+  /// Unknown("cancelled") at the next guard poll. Sticky per control only —
+  /// controls started after the call are unaffected. Safe from any thread.
+  void CancelAll() GQC_EXCLUDES(cancel_mu_);
+
+  std::shared_ptr<const SchemaContext> GetSchemaContext(
+      const std::string& schema_text) GQC_EXCLUDES(ctx_mu_);
+  /// `guard` (optional) governs the closure build on a context miss; a
+  /// context whose closure build tripped the guard reflects that caller's
+  /// budget, not (schema, Q), and is returned uncached.
+  std::shared_ptr<const QueryContext> GetQueryContext(
+      const std::string& schema_text, const std::string& q_text,
+      ResourceGuard* guard) GQC_EXCLUDES(ctx_mu_);
+
+  /// Bounds every memoized table (context maps, regex cache, fact board,
+  /// compile memo) — the budget applies to each table separately, not to
+  /// their sum. 0 = unbounded.
+  void SetCacheBudget(const CacheBudget& budget);
+
+  /// Drops ceil(size * pressure) lowest retain-score entries from every
+  /// table and shrinks the backing arrays. Returns entries dropped; records
+  /// lifecycle counters on stats().
+  std::size_t Evict(double pressure);
+
+  /// Summed resident-size estimates across every memoized table.
+  std::size_t retained_bytes() const;
+
+  /// Canonical keys of the memoized contexts, for snapshot persistence
+  /// (src/engine/snapshot.h). Deterministic order (sorted by key text).
+  struct SnapshotKeys {
+    std::vector<std::string> schemas;
+    /// (schema text, Q text) pairs.
+    std::vector<std::pair<std::string, std::string>> queries;
+  };
+  SnapshotKeys ExportSnapshotKeys() const GQC_EXCLUDES(ctx_mu_);
+
+  /// Rebuilds contexts for the given keys (values recomputed from scratch —
+  /// a snapshot carries no values, so warm-start cannot alter verdicts) and
+  /// marks them warm. Returns the number of contexts loaded; already-present
+  /// contexts are left untouched and not counted.
+  std::size_t WarmStart(const SnapshotKeys& keys);
+
+  /// Total threads the core decides pairs with.
+  std::size_t threads() const { return pool_.concurrency(); }
+  ThreadPool& pool() { return pool_; }
+  RegexCompileCache& regex_cache() { return regex_cache_; }
+  const EngineOptions& options() const { return options_; }
+
+  PipelineStats& stats() { return stats_; }
+  const PipelineStats& stats() const { return stats_; }
+  /// Refreshes the lifecycle gauges/memo counters, then exports the stats.
+  std::string StatsJson();
+
+  /// Copies the compile-memo counters and the retained-bytes gauge into
+  /// stats() (they live in their owners between exports).
+  void RefreshLifecycleGauges();
+
+  /// Drops memoized contexts and zeroes the stats (for measurement runs).
+  void ResetState();
+
+ private:
+  std::shared_ptr<const SchemaContext> BuildSchemaContext(
+      const std::string& schema_text, bool warm);
+  std::shared_ptr<const QueryContext> BuildQueryContext(
+      const std::string& schema_text, const std::string& q_text,
+      ResourceGuard* guard, bool warm);
+  std::size_t EnforceCtxBudgetLocked() GQC_REQUIRES(ctx_mu_);
+
+  EngineOptions options_;
+  PipelineStats stats_;
+  ThreadPool pool_;
+  RegexCompileCache regex_cache_;
+  /// Portfolio-mode fact exchange: countermodels and definite verdicts
+  /// shared across strategies, disjuncts, and pairs (cleared by ResetState).
+  SharedFactBoard facts_;
+  /// Per-solve compiled-artifact memo, wired into every downstream search
+  /// through EngineLimits (unless the caller supplied their own).
+  CompiledScopeMemo compile_memo_;
+
+  /// Guards the memoized context maps; values are computed outside the lock
+  /// (a racing double-miss builds the identical context; first insert wins).
+  /// Mutable so const inspection (retained_bytes, ExportSnapshotKeys) locks.
+  mutable Mutex ctx_mu_{kLockRankEngineContext, "engine-ctx"};
+  CacheBudget ctx_budget_ GQC_GUARDED_BY(ctx_mu_);
+  uint64_t ctx_tick_ GQC_GUARDED_BY(ctx_mu_) = 0;
+  FlatMap<FpKey, Retained<std::shared_ptr<const SchemaContext>>, FpKeyHash>
+      schema_ctxs_ GQC_GUARDED_BY(ctx_mu_);
+  FlatMap<FpKey, Retained<std::shared_ptr<const QueryContext>>, FpKeyHash>
+      query_ctxs_ GQC_GUARDED_BY(ctx_mu_);
+
+  /// Guards the registry of in-flight control cancellation tokens (the list
+  /// CancelAll walks); the tokens themselves are wait-free once copied out.
+  Mutex cancel_mu_{kLockRankEngineCancel, "engine-cancel"};
+  std::list<CancellationToken> active_controls_ GQC_GUARDED_BY(cancel_mu_);
+};
+
+/// Parses one JSON-lines batch item: a flat object with string fields
+/// "id", "schema", "p", "q" ("id" and "schema" optional).
+Result<BatchItem> ParseBatchItemJson(std::string_view json_line);
+
+/// Serializes an outcome as one JSON line (no trailing newline).
+std::string OutcomeToJson(const BatchOutcome& outcome);
+
+}  // namespace gqc
+
+#endif  // GQC_ENGINE_ENGINE_CORE_H_

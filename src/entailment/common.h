@@ -20,6 +20,8 @@ enum class EngineAnswer { kYes, kNo, kUnknown };
 
 const char* EngineAnswerName(EngineAnswer a);
 
+class CompiledScopeMemo;
+
 /// Shared resource limits for the entailment engines.
 struct EngineLimits {
   /// Maximum number of bits in any type-space support Γ₀ (the fixpoints
@@ -42,6 +44,11 @@ struct EngineLimits {
   /// the pipeline phase, e.g. kDirect for the countermodel search and
   /// kEntailment for the Tp fixpoints).
   GuardPhase guard_phase = GuardPhase::kDirect;
+  /// Optional memo for the per-solve word-mask compilations
+  /// (src/entailment/compile_memo.h). Null = compile inline every call.
+  /// Purely a performance hook: compiled artifacts are exact functions of
+  /// (space, TBox/Θ), so answers are identical with or without it.
+  CompiledScopeMemo* compile_memo = nullptr;
 };
 
 /// True iff `limits.guard` exists and has tripped (or trips right now after

@@ -1,5 +1,8 @@
 #include "src/entailment/no_roles.h"
 
+#include <memory>
+
+#include "src/entailment/compile_memo.h"
 #include "src/query/eval.h"
 
 namespace gqc {
@@ -16,9 +19,19 @@ EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
   // tau containment and at-least applicability use the strict MaskContains
   // semantics (CompiledTheta over a single type), local consistency uses the
   // compiled Boolean CIs.
-  CompiledTheta tau_check(space, std::vector<Type>{tau});
-  CompiledTheta theta_check(space, theta);
-  CompiledBooleanCis boolean_cis(space, tbox);
+  std::shared_ptr<const CompiledTheta> tau_check;
+  std::shared_ptr<const CompiledTheta> theta_check;
+  std::shared_ptr<const CompiledBooleanCis> boolean_cis;
+  if (limits.compile_memo != nullptr) {
+    tau_check = limits.compile_memo->GetTheta(space, std::vector<Type>{tau});
+    theta_check = limits.compile_memo->GetTheta(space, theta);
+    boolean_cis = limits.compile_memo->GetBooleanCis(space, tbox);
+  } else {
+    tau_check = std::make_shared<const CompiledTheta>(space,
+                                                      std::vector<Type>{tau});
+    theta_check = std::make_shared<const CompiledTheta>(space, theta);
+    boolean_cis = std::make_shared<const CompiledBooleanCis>(space, tbox);
+  }
   std::vector<CompiledTheta> at_least_lhs;
   // lint: bounded(linear in the TBox CIs)
   for (const auto& ci : tbox.Cis()) {
@@ -30,9 +43,9 @@ EngineAnswer RealizableNoRoles(const TypeSpace& space, const Type& tau,
   }
   // lint: bounded(the 2^arity scan is billed in bulk to the guard just above)
   for (uint64_t mask = 0; mask < space.mask_count(); ++mask) {
-    if (!tau_check.Respects(mask)) continue;
-    if (!theta_check.Respects(mask)) continue;
-    if (!boolean_cis.Satisfies(mask)) continue;
+    if (!tau_check->Respects(mask)) continue;
+    if (!theta_check->Respects(mask)) continue;
+    if (!boolean_cis->Satisfies(mask)) continue;
     // Restriction CIs with an at-least obligation cannot be met by an
     // isolated node; at-most and forall hold vacuously.
     bool restriction_ok = true;

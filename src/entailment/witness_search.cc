@@ -1,8 +1,10 @@
 #include "src/entailment/witness_search.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/dl/model_check.h"
+#include "src/entailment/compile_memo.h"
 #include "src/query/eval.h"
 #include "src/util/flat_map.h"
 
@@ -27,12 +29,19 @@ class WitnessSearch {
     if (GuardCharge(limits_, space_.mask_count())) {
       return {EngineAnswer::kUnknown, std::nullopt};
     }
-    CompiledBooleanCis boolean_cis(space_, *p_.tbox);
-    CompiledTheta theta(space_, p_.theta);
+    std::shared_ptr<const CompiledBooleanCis> boolean_cis;
+    std::shared_ptr<const CompiledTheta> theta;
+    if (limits_.compile_memo != nullptr) {
+      boolean_cis = limits_.compile_memo->GetBooleanCis(space_, *p_.tbox);
+      theta = limits_.compile_memo->GetTheta(space_, p_.theta);
+    } else {
+      boolean_cis = std::make_shared<const CompiledBooleanCis>(space_, *p_.tbox);
+      theta = std::make_shared<const CompiledTheta>(space_, p_.theta);
+    }
     // lint: bounded(the 2^arity scan is billed in bulk just above)
     for (uint64_t mask = 0; mask < space_.mask_count(); ++mask) {
-      if (!boolean_cis.Satisfies(mask)) continue;
-      if (!theta.Respects(mask)) continue;
+      if (!boolean_cis->Satisfies(mask)) continue;
+      if (!theta->Respects(mask)) continue;
       masks_.push_back(mask);
     }
     if (masks_.empty()) return {EngineAnswer::kNo, std::nullopt};

@@ -1,0 +1,51 @@
+#include "src/serve/admission.h"
+
+namespace gqc {
+namespace serve {
+
+Admission AdmissionGate::Enter() {
+  MutexLock lock(&mu_);
+  if (draining_) return Admission::kDraining;
+  if (in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    return Admission::kAdmitted;
+  }
+  if (queued_ >= options_.max_queue) return Admission::kShed;
+  ++queued_;
+  // lint: bounded(wakes on Leave/BeginDrain; standard condvar loop)
+  while (in_flight_ >= options_.max_in_flight && !draining_) cv_.Wait(mu_);
+  --queued_;
+  if (draining_) return Admission::kDraining;
+  ++in_flight_;
+  return Admission::kAdmitted;
+}
+
+void AdmissionGate::Leave() {
+  MutexLock lock(&mu_);
+  --in_flight_;
+  cv_.NotifyOne();
+}
+
+void AdmissionGate::BeginDrain() {
+  MutexLock lock(&mu_);
+  draining_ = true;
+  cv_.NotifyAll();
+}
+
+bool AdmissionGate::draining() const {
+  MutexLock lock(&mu_);
+  return draining_;
+}
+
+std::size_t AdmissionGate::in_flight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+std::size_t AdmissionGate::queued() const {
+  MutexLock lock(&mu_);
+  return queued_;
+}
+
+}  // namespace serve
+}  // namespace gqc

@@ -1,0 +1,69 @@
+#ifndef GQC_SERVE_ADMISSION_H_
+#define GQC_SERVE_ADMISSION_H_
+
+#include <cstddef>
+
+#include "src/util/sync.h"
+
+namespace gqc {
+namespace serve {
+
+/// Admission bounds for the serving front end.
+struct AdmissionOptions {
+  /// Decide requests processed concurrently across all sessions. The engine
+  /// pool parallelizes *inside* a pair; this caps how many pairs are in
+  /// flight at once so a burst cannot oversubscribe the pool.
+  std::size_t max_in_flight = 4;
+  /// Requests allowed to wait for an in-flight slot. Beyond this the request
+  /// is shed immediately (answered kUnknown, never silently dropped).
+  std::size_t max_queue = 16;
+};
+
+/// Why Enter() returned without admitting.
+enum class Admission {
+  kAdmitted,  ///< caller holds an in-flight slot; must call Leave()
+  kShed,      ///< queue full — answer kUnknown("shed") without deciding
+  kDraining,  ///< server draining — answer kUnknown("draining"), no new work
+};
+
+/// Counting admission gate: at most max_in_flight concurrent holders, at
+/// most max_queue blocked waiters, fail-fast beyond that. Shedding is
+/// *sound* by construction — a shed request is answered kUnknown, which the
+/// tri-state verdict contract already reserves for "not decided", so
+/// admission control can never flip a verdict.
+///
+/// Rank note: kLockRankServeAdmission (40) sits below every engine rank, so
+/// a thread may enter the gate and then run the full decision path (which
+/// acquires engine/cache locks) without inverting the hierarchy — but the
+/// gate is never acquired while holding an engine lock.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(AdmissionOptions options) : options_(options) {}
+
+  /// Blocks until a slot frees (queue permitting). On kAdmitted the caller
+  /// MUST call Leave() when the request finishes.
+  Admission Enter() GQC_EXCLUDES(mu_);
+  void Leave() GQC_EXCLUDES(mu_);
+
+  /// Flips to draining: queued waiters wake and report kDraining, later
+  /// Enter() calls fail fast. In-flight holders are unaffected (graceful
+  /// drain waits for them via Leave()).
+  void BeginDrain() GQC_EXCLUDES(mu_);
+  bool draining() const GQC_EXCLUDES(mu_);
+
+  std::size_t in_flight() const GQC_EXCLUDES(mu_);
+  std::size_t queued() const GQC_EXCLUDES(mu_);
+
+ private:
+  const AdmissionOptions options_;
+  mutable Mutex mu_{kLockRankServeAdmission, "serve-admission"};
+  CondVar cv_;
+  std::size_t in_flight_ GQC_GUARDED_BY(mu_) = 0;
+  std::size_t queued_ GQC_GUARDED_BY(mu_) = 0;
+  bool draining_ GQC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace serve
+}  // namespace gqc
+
+#endif  // GQC_SERVE_ADMISSION_H_

@@ -1,0 +1,44 @@
+#include "src/serve/session.h"
+
+#include <utility>
+
+namespace gqc {
+namespace serve {
+
+std::shared_ptr<Session> SessionRegistry::Open(std::string peer) {
+  auto session = std::make_shared<Session>();
+  session->peer = std::move(peer);
+  MutexLock lock(&mu_);
+  session->id = next_id_++;
+  ++opened_total_;
+  *sessions_.TryEmplace(session->id).first = session;
+  return session;
+}
+
+void SessionRegistry::Close(uint64_t id) {
+  MutexLock lock(&mu_);
+  sessions_.Erase(id);
+}
+
+std::size_t SessionRegistry::active() const {
+  MutexLock lock(&mu_);
+  return sessions_.size();
+}
+
+uint64_t SessionRegistry::opened_total() const {
+  MutexLock lock(&mu_);
+  return opened_total_;
+}
+
+std::vector<std::shared_ptr<Session>> SessionRegistry::Snapshot() const {
+  std::vector<std::shared_ptr<Session>> out;
+  MutexLock lock(&mu_);
+  out.reserve(sessions_.size());
+  sessions_.ForEach([&](const uint64_t&, const std::shared_ptr<Session>& s) {
+    out.push_back(s);
+  });
+  return out;
+}
+
+}  // namespace serve
+}  // namespace gqc

@@ -1,0 +1,53 @@
+#ifndef GQC_SERVE_SESSION_H_
+#define GQC_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/flat_map.h"
+#include "src/util/sync.h"
+
+namespace gqc {
+namespace serve {
+
+/// Per-client connection state. Counters are atomics so the stats exporter
+/// can read them while the connection thread is mid-request.
+struct Session {
+  uint64_t id = 0;
+  std::string peer;
+  std::atomic<uint64_t> requests{0};  ///< lines received (any verb)
+  std::atomic<uint64_t> decided{0};   ///< decide requests answered
+  std::atomic<uint64_t> shed{0};      ///< decide requests shed/drained
+  std::atomic<uint64_t> errors{0};    ///< malformed requests
+};
+
+/// Registry of live sessions: one per accepted connection, plus one
+/// "inproc" session per in-process caller (tests, benches). Rank
+/// kLockRankServeSessions sits below the engine ranks, so handlers may hold
+/// nothing while deciding and the registry is only touched at connection
+/// open/close and stats export.
+class SessionRegistry {
+ public:
+  std::shared_ptr<Session> Open(std::string peer) GQC_EXCLUDES(mu_);
+  void Close(uint64_t id) GQC_EXCLUDES(mu_);
+
+  std::size_t active() const GQC_EXCLUDES(mu_);
+  uint64_t opened_total() const GQC_EXCLUDES(mu_);
+
+  /// Snapshot of the live sessions (for the stats verb).
+  std::vector<std::shared_ptr<Session>> Snapshot() const GQC_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_{kLockRankServeSessions, "serve-sessions"};
+  uint64_t next_id_ GQC_GUARDED_BY(mu_) = 1;
+  uint64_t opened_total_ GQC_GUARDED_BY(mu_) = 0;
+  FlatMap<uint64_t, std::shared_ptr<Session>> sessions_ GQC_GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace gqc
+
+#endif  // GQC_SERVE_SESSION_H_

@@ -76,11 +76,29 @@ class FlatMap {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Slot-array capacity (0 before the first insert). Stays put across
+  /// Clear()/Erase(); only ShrinkToFit() gives memory back.
+  std::size_t capacity() const { return hashes_.size(); }
 
   void Clear() {
     hashes_.clear();
     slots_.clear();
     size_ = 0;
+  }
+
+  /// Releases slot memory a shrinking map retains: rehashes down to the
+  /// smallest power-of-two capacity holding the current entries within the
+  /// load-factor bound, or frees everything when empty. Clear()/Erase()
+  /// deliberately keep capacity (steady-state workloads re-fill); a
+  /// long-lived process calls this after eviction storms so RSS drops.
+  void ShrinkToFit() {
+    if (size_ == 0) {
+      std::vector<uint64_t>().swap(hashes_);
+      std::vector<Slot>().swap(slots_);
+      return;
+    }
+    std::size_t target = NormalizeCapacity(size_);
+    if (target < hashes_.size()) Rehash(target);
   }
 
   /// Grows capacity so `n` entries fit without rehashing.
@@ -233,8 +251,10 @@ class FlatSet {
  public:
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
+  std::size_t capacity() const { return map_.capacity(); }
   void Clear() { map_.Clear(); }
   void Reserve(std::size_t n) { map_.Reserve(n); }
+  void ShrinkToFit() { map_.ShrinkToFit(); }
 
   bool Contains(const Key& key) const { return map_.Contains(key); }
 

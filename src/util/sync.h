@@ -78,13 +78,16 @@ namespace gqc {
 // mutex is a leaf in practice, but the ranks pin the order future code must
 // follow if it ever nests them.
 
-inline constexpr uint32_t kLockRankEngineCancel = 100;   // Engine::cancel_mu_
-inline constexpr uint32_t kLockRankEngineContext = 200;  // Engine::ctx_mu_
+inline constexpr uint32_t kLockRankServeAdmission = 40;  // serve::AdmissionGate
+inline constexpr uint32_t kLockRankServeSessions = 60;   // serve::SessionRegistry
+inline constexpr uint32_t kLockRankEngineCancel = 100;   // EngineCore::cancel_mu_
+inline constexpr uint32_t kLockRankEngineContext = 200;  // EngineCore::ctx_mu_
 inline constexpr uint32_t kLockRankPoolWake = 300;       // ThreadPool::wake_mu_
 inline constexpr uint32_t kLockRankPoolQueue = 400;      // per-worker deques
 inline constexpr uint32_t kLockRankNormalizeCache = 500; // ContainmentCaches
 inline constexpr uint32_t kLockRankRegexCache = 510;     // RegexCompileCache
 inline constexpr uint32_t kLockRankFactBoard = 520;      // SharedFactBoard
+inline constexpr uint32_t kLockRankCompileMemo = 530;    // CompiledScopeMemo
 inline constexpr uint32_t kLockRankRaceWinner = 600;     // portfolio winner
 /// Default for unranked mutexes: may be acquired while holding anything,
 /// but nothing (not even another leaf) may be acquired while holding one.

@@ -133,6 +133,44 @@ TEST(FlatContainerTest, SetMatchesReferenceUnderChurn) {
   EXPECT_EQ(flat_keys, std::vector<uint64_t>(ref.begin(), ref.end()));
 }
 
+TEST(FlatContainerTest, ShrinkToFitReleasesCapacityAndKeepsEntries) {
+  FlatMap<uint64_t, int> flat;
+  for (uint64_t k = 0; k < 1000; ++k) flat.TryEmplace(k, static_cast<int>(k));
+  std::size_t grown = flat.capacity();
+  // Erase/Clear deliberately retain capacity; only ShrinkToFit gives it back.
+  for (uint64_t k = 10; k < 1000; ++k) flat.Erase(k);
+  EXPECT_EQ(flat.capacity(), grown);
+  flat.ShrinkToFit();
+  EXPECT_LT(flat.capacity(), grown);
+  EXPECT_EQ(flat.size(), 10u);
+  for (uint64_t k = 0; k < 10; ++k) {
+    int* found = flat.Find(k);
+    ASSERT_NE(found, nullptr) << "key " << k << " lost by shrink rehash";
+    EXPECT_EQ(*found, static_cast<int>(k));
+  }
+  // Shrinking an already-tight map is a no-op; an emptied map frees all.
+  std::size_t tight = flat.capacity();
+  flat.ShrinkToFit();
+  EXPECT_EQ(flat.capacity(), tight);
+  flat.Clear();
+  flat.ShrinkToFit();
+  EXPECT_EQ(flat.capacity(), 0u);
+  // And the empty-shrunk map still accepts inserts.
+  EXPECT_TRUE(flat.TryEmplace(uint64_t{42}, 42).second);
+  EXPECT_NE(flat.Find(uint64_t{42}), nullptr);
+}
+
+TEST(FlatContainerTest, SetShrinkToFitMirrorsMap) {
+  FlatSet<uint64_t> flat;
+  for (uint64_t k = 0; k < 500; ++k) flat.Insert(k);
+  for (uint64_t k = 5; k < 500; ++k) flat.Erase(k);
+  std::size_t before = flat.capacity();
+  flat.ShrinkToFit();
+  EXPECT_LT(flat.capacity(), before);
+  for (uint64_t k = 0; k < 5; ++k) EXPECT_TRUE(flat.Contains(k));
+  EXPECT_EQ(flat.size(), 5u);
+}
+
 // Forces every key into one probe chain so Erase must backward-shift later
 // entries across the hole (a tombstone-free open table that fails to do this
 // loses reachable keys — exactly the bug class this pins down).

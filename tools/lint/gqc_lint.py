@@ -123,6 +123,9 @@ ATOMIC_CALL_RE = re.compile(
 HOT_PATH_FILE_PATTERNS = [
     r"src/entailment/[^/]+\.(?:h|cc)$",
     r"src/core/caches\.(?:h|cc)$",
+    # The serving layer sits on every request's path: its session registry
+    # and admission bookkeeping must stay on the flat containers too.
+    r"src/serve/[^/]+\.(?:h|cc)$",
 ]
 HOT_PATH_CONTAINER_RE = re.compile(r"std\s*::\s*(?:multiset|multimap|set|map)\b")
 
